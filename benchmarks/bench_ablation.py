@@ -1,0 +1,57 @@
+"""Ablation benchmarks on the framework's design choices (DESIGN.md A1-A5)."""
+
+import pytest
+
+from repro.experiments import (
+    hysteresis_ablation,
+    isolation_ablation,
+    limiter_mode_ablation,
+    sampling_strategy_ablation,
+    scheduler_interpolation_ablation,
+)
+
+
+def test_scheduler_interpolation(benchmark, save_table):
+    """A1: interpolation beats the paper's discrete nearest-point lookup."""
+    result = benchmark.pedantic(
+        scheduler_interpolation_ablation, rounds=1, iterations=1
+    )
+    save_table(result, "ablation_a1_interpolation",
+               "prediction error, interpolate vs nearest")
+    assert result["interpolate"] < result["nearest"] * 0.5
+    assert result["interpolate"] < 0.1
+
+
+def test_sampling_strategies(benchmark, save_table):
+    """A2: sensitivity-driven sampling beats a uniform grid at equal budget."""
+    result = benchmark.pedantic(sampling_strategy_ablation, rounds=1, iterations=1)
+    save_table(result, "ablation_a2_sampling",
+               "interpolation error, uniform vs adaptive sampling")
+    assert result["adaptive_samples"] <= result["uniform_samples"]
+    assert result["adaptive"] < result["uniform"]
+
+
+def test_hysteresis(benchmark, save_table):
+    """A3: guards suppress thrash under small oscillations (Sec. 7.5)."""
+    result = benchmark.pedantic(hysteresis_ablation, rounds=1, iterations=1)
+    save_table(result, "ablation_a3_hysteresis",
+               "config switches under small bandwidth oscillation")
+    assert result["guarded_switches"] < result["naive_switches"]
+    assert result["guarded_switches"] <= 2.0
+
+
+def test_limiter_modes(benchmark, save_table):
+    """A4: both limiter modes are accurate; ideal mode is tighter."""
+    result = benchmark.pedantic(limiter_mode_ablation, rounds=1, iterations=1)
+    save_table(result, "ablation_a4_limiters",
+               "mean share-enforcement error, ideal vs quantum")
+    assert result["ideal"] < 1e-6
+    assert result["quantum"] < 0.03
+
+
+def test_admission_isolation(benchmark, save_table):
+    """A5: co-located sandboxes match single-tenant expectations (Sec 6.2)."""
+    result = benchmark.pedantic(isolation_ablation, rounds=1, iterations=1)
+    save_table(result, "ablation_a5_isolation",
+               "co-located sandbox deviation from single-tenant time")
+    assert result["worst_deviation"] < 0.01

@@ -1,0 +1,28 @@
+"""Extension benchmark: adaptation along the memory dimension.
+
+Not a paper figure — the paper fixes memory — but the natural completion
+of its framework: the sandbox's resident-set limits drive a working-set
+adaptation in the memory-bound grid application.
+"""
+
+import pytest
+
+from repro.experiments import run_memory_adaptation
+
+
+def test_memory_adaptation(benchmark, save_figure):
+    figure, outcomes = benchmark.pedantic(
+        run_memory_adaptation, rounds=1, iterations=1
+    )
+    save_figure(figure, "ext_memory")
+    runs = outcomes["runs"]
+    # Ample memory: the scheduler starts with the largest tile.
+    assert outcomes["initial_config"].tile == 512
+    # The drop triggers a re-tile to a smaller working set.
+    assert runs["adaptive"]["switches"], "no adaptation happened"
+    _, old, new = runs["adaptive"]["switches"][0]
+    assert old.tile == 512
+    assert new.tile < old.tile
+    # Adaptation pays: fewer faults and less total time than static.
+    assert runs["adaptive"]["faults"] < runs["static"]["faults"]
+    assert runs["adaptive"]["elapsed"] < runs["static"]["elapsed"] * 0.9

@@ -1,0 +1,40 @@
+"""Benchmarks reproducing Figure 3: sandbox CPU control fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig3a, run_fig3b
+
+
+def test_fig3a(benchmark, save_figure):
+    """Fig 3a: measured usage tracks the 80% -> 40% -> 60% share schedule."""
+    result = benchmark.pedantic(run_fig3a, rounds=1, iterations=1)
+    save_figure(result, "fig3a")
+    measured = result.series["measured"]
+
+    def window_mean(t0, t1):
+        vals = [y for x, y in measured.points if t0 <= x <= t1]
+        assert vals, f"no usage samples in [{t0}, {t1}]"
+        return float(np.mean(vals))
+
+    # Steady-state windows (skipping 3 s after each change for settling).
+    assert window_mean(3, 19) == pytest.approx(0.8, abs=0.05)
+    assert window_mean(23, 49) == pytest.approx(0.4, abs=0.05)
+    assert window_mean(53, 79) == pytest.approx(0.6, abs=0.05)
+
+
+def test_fig3b(benchmark, save_figure):
+    """Fig 3b: testbed time ~= expected except at 100% share (daemons)."""
+    result = benchmark.pedantic(run_fig3b, rounds=1, iterations=1)
+    save_figure(result, "fig3b")
+    measured = result.series["measured (testbed)"]
+    expected = result.series["expected (baseline/share)"]
+    for share_pct in (10, 20, 30, 40, 50, 60, 70, 80, 90):
+        m, e = measured.y_at(share_pct), expected.y_at(share_pct)
+        assert m == pytest.approx(e, rel=0.06), f"share {share_pct}%"
+    # At 100% the daemons steal CPU: measured must exceed expected by a
+    # visible margin (the paper's footnote-2 effect).
+    m100, e100 = measured.y_at(100), expected.y_at(100)
+    assert m100 > e100 * 1.005
+    # Both curves fall with share (more CPU -> faster).
+    assert measured.monotone() == "decreasing"

@@ -1,0 +1,34 @@
+"""Benchmarks reproducing Figure 4: testbed vs physical machines."""
+
+import pytest
+
+from repro.experiments import run_fig4a, run_fig4b
+
+
+def test_fig4a(benchmark, save_figure):
+    """Fig 4a: clock-ratio emulation matches physical toy-app times."""
+    result = benchmark.pedantic(run_fig4a, rounds=1, iterations=1)
+    save_figure(result, "fig4a")
+    physical = result.series["physical"]
+    emulated = result.series["testbed (PII-450, clock-ratio share)"]
+    for x in physical.xs:
+        assert emulated.y_at(x) == pytest.approx(physical.y_at(x), rel=0.03), (
+            f"machine index {x}: emulation error above 3%"
+        )
+    # The PPro-200 (slower clock) takes longer than the PII-333.
+    assert physical.y_at(1) > physical.y_at(0)
+
+
+def test_fig4b(benchmark, save_figure):
+    """Fig 4b: SpecInt-ratio emulation of the viz app within ~8%."""
+    result = benchmark.pedantic(run_fig4b, rounds=1, iterations=1)
+    save_figure(result, "fig4b")
+    physical = result.series["physical"]
+    emulated = result.series["testbed (PII-450, SpecInt-ratio share)"]
+    # PII-333 emulation is tight; PPro-200 may drift up to the paper's ~8%.
+    err_333 = abs(emulated.y_at(0) - physical.y_at(0)) / physical.y_at(0)
+    err_200 = abs(emulated.y_at(1) - physical.y_at(1)) / physical.y_at(1)
+    assert err_333 < 0.05
+    assert err_200 < 0.10
+    # The paper observes the bigger error on the PPro-200.
+    assert err_200 > err_333

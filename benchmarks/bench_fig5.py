@@ -1,0 +1,47 @@
+"""Benchmarks reproducing Figure 5: fovea-size tradeoffs vs CPU share."""
+
+import pytest
+
+from repro.experiments import run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_results():
+    return run_fig5()
+
+
+def test_fig5a(benchmark, save_figure, fig5_results):
+    """Fig 5a: transmission time falls with CPU share; larger fovea wins."""
+    fig_a, _ = benchmark.pedantic(lambda: fig5_results, rounds=1, iterations=1)
+    save_figure(fig_a, "fig5a")
+    for label, series in fig_a.series.items():
+        assert series.monotone() == "decreasing", f"{label} not decreasing in share"
+    # At every sampled share: bigger fovea -> strictly smaller transmit time.
+    s80, s160, s320 = (
+        fig_a.series["fovea=80"],
+        fig_a.series["fovea=160"],
+        fig_a.series["fovea=320"],
+    )
+    for x in s80.xs:
+        assert s320.y_at(x) < s160.y_at(x) < s80.y_at(x), f"at share {x}%"
+
+
+def test_fig5b(benchmark, save_figure, fig5_results):
+    """Fig 5b: response time falls with share; larger fovea loses (opposite
+    trend to Fig 5a — the paper's central tension)."""
+    _, fig_b = benchmark.pedantic(lambda: fig5_results, rounds=1, iterations=1)
+    save_figure(fig_b, "fig5b")
+    for label, series in fig_b.series.items():
+        assert series.monotone() == "decreasing", f"{label} not decreasing in share"
+    s80, s160, s320 = (
+        fig_b.series["fovea=80"],
+        fig_b.series["fovea=160"],
+        fig_b.series["fovea=320"],
+    )
+    for x in s80.xs:
+        assert s320.y_at(x) > s160.y_at(x) > s80.y_at(x), f"at share {x}%"
+    # Experiment-3 decision structure: fovea 320 meets the 1 s bound at
+    # 90% CPU but not at 40%, where only fovea 80 meets it.
+    assert s320.y_at(90) < 1.0 < s320.y_at(40)
+    assert s160.y_at(40) > 1.0
+    assert s80.y_at(40) < 1.0

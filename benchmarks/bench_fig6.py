@@ -1,0 +1,52 @@
+"""Benchmarks reproducing Figure 6: compression and resolution tradeoffs."""
+
+import pytest
+
+from repro.experiments import run_fig6a, run_fig6b
+
+
+def test_fig6a(benchmark, save_figure):
+    """Fig 6a: the compression crossover.
+
+    Both curves fall with bandwidth; bzip2 ("B") wins at low bandwidth,
+    LZW ("A") wins at high bandwidth, and a single crossover lies between.
+    """
+    result = benchmark.pedantic(run_fig6a, rounds=1, iterations=1)
+    save_figure(result, "fig6a")
+    a = result.series["A (LZW)"]
+    b = result.series["B (bzip2)"]
+    assert a.monotone() == "decreasing"
+    assert b.monotone() == "decreasing"
+    assert b.y_at(50) < a.y_at(50), "B must win at 50 KB/s (paper: 24 vs 40 s)"
+    assert a.y_at(500) < b.y_at(500), "A must win at 500 KB/s (paper: 5 vs 12 s)"
+    # Exactly one sign change along the sweep (a clean crossover).
+    signs = [a.y_at(x) - b.y_at(x) > 0 for x in a.xs]
+    changes = sum(1 for s0, s1 in zip(signs, signs[1:]) if s0 != s1)
+    assert changes == 1
+    result.note(
+        f"crossover between {max(x for x, s in zip(a.xs, signs) if s):g} "
+        f"and {min(x for x, s in zip(a.xs, signs) if not s):g} KB/s"
+    )
+    save_figure(result, "fig6a")
+
+
+def test_fig6b(benchmark, save_figure):
+    """Fig 6b: higher resolution costs more; less CPU costs more.
+
+    The Experiment-2 decision structure must hold: level 4 meets the 10 s
+    deadline at 90% CPU but not at 40%, where level 3 comes in far under.
+    """
+    result = benchmark.pedantic(run_fig6b, rounds=1, iterations=1)
+    save_figure(result, "fig6b")
+    l3 = result.series["level 3"]
+    l4 = result.series["level 4"]
+    assert l3.monotone() == "decreasing"
+    assert l4.monotone() == "decreasing"
+    for x in l3.xs:
+        assert l4.y_at(x) > l3.y_at(x), f"level 4 must dominate at share {x}%"
+    assert l4.y_at(90) < 10.0
+    assert l4.y_at(40) > 10.0
+    assert l3.y_at(40) < 10.0
+    # Paper's specific anchors: level 4 @40% ~= 18 s, level 3 @40% ~= 4 s.
+    assert l4.y_at(40) == pytest.approx(18.0, rel=0.25)
+    assert l3.y_at(40) == pytest.approx(4.0, rel=0.35)

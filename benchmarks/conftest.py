@@ -1,0 +1,55 @@
+"""Benchmark-harness plumbing: artifact saving and shared fixtures.
+
+Every benchmark regenerates one paper figure (or ablation table), asserts
+its qualitative shape, and writes the rendered series to
+``benchmarks/out/`` so EXPERIMENTS.md can cite actual program output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_figure(artifact_dir):
+    """Persist a FigureResult as .txt (rendered) and .json (raw series)."""
+
+    def _save(result, name: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(result.render() + "\n")
+        payload = {
+            "figure": result.figure,
+            "title": result.title,
+            "xlabel": result.xlabel,
+            "ylabel": result.ylabel,
+            "series": {label: s.points for label, s in result.series.items()},
+            "notes": result.notes,
+        }
+        (artifact_dir / f"{name}.json").write_text(json.dumps(payload, indent=1))
+
+    return _save
+
+
+@pytest.fixture
+def save_table(artifact_dir):
+    """Persist a plain dict result as .json with a rendered .txt twin."""
+
+    def _save(data: dict, name: str, title: str = "") -> None:
+        lines = [f"== {name}: {title} =="] + [
+            f"  {k}: {v:.6g}" if isinstance(v, float) else f"  {k}: {v}"
+            for k, v in data.items()
+        ]
+        (artifact_dir / f"{name}.txt").write_text("\n".join(lines) + "\n")
+        (artifact_dir / f"{name}.json").write_text(json.dumps(data, indent=1))
+
+    return _save

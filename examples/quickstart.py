@@ -1,0 +1,139 @@
+"""Quickstart: declare a tunable application, profile it, let it adapt.
+
+This walks the full pipeline of the framework on a deliberately tiny
+application so every moving part is visible:
+
+1. declare control parameters, QoS metrics, environment, tasks (Section 4);
+2. profile every configuration in the virtual testbed to build the
+   performance database (Section 5);
+3. ask the resource scheduler for the right configuration under different
+   resource conditions (Section 6);
+4. run with run-time adaptation: monitoring detects a CPU-share drop and
+   the steering agent switches configurations mid-run (Section 7).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.profiling import (
+    PerformanceDatabase,
+    ProfilingDriver,
+    ResourceDimension,
+    ResourcePoint,
+)
+from repro.runtime import (
+    AdaptationController,
+    Objective,
+    ResourceScheduler,
+    UserPreference,
+)
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    MetricRange,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+
+# -- 1. Declare the tunable application ------------------------------------
+# A "renderer" that processes 60 frames; the `detail` knob trades output
+# quality against CPU work per frame.
+
+WORK_PER_DETAIL = {1: 1.0, 2: 2.5, 3: 6.0}
+
+
+def launcher(rt):
+    def main():
+        sandbox = rt.sandbox("node")
+        start = rt.sim.now
+        frames = 0
+        for _ in range(60):
+            # Task boundary: pending reconfigurations land here.
+            yield from rt.controls.apply(rt, rt.sim.now)
+            yield sandbox.compute(WORK_PER_DETAIL[rt.config.detail])
+            frames += 1
+            rt.qos.update("detail", float(rt.config.detail), time=rt.sim.now)
+        elapsed = rt.sim.now - start
+        rt.qos.update("fps", frames / elapsed, time=rt.sim.now)
+
+    return rt.sim.process(main(), name="renderer")
+
+
+app = TunableApp(
+    name="renderer",
+    space=ConfigSpace([ControlParameter("detail", (1, 2, 3))]),
+    env=ExecutionEnv([HostComponent("node", cpu_speed=100.0)]),
+    metrics=[
+        QoSMetric("fps", better="higher", unit="frames/s"),
+        QoSMetric("detail", better="higher"),
+    ],
+    tasks=TaskGraph(
+        [TaskSpec("render", params=("detail",), resources=("node.cpu",),
+                  metrics=("fps", "detail"))]
+    ),
+    launcher=launcher,
+)
+
+# -- 2. Profile every configuration in the virtual testbed ------------------
+
+dims = [ResourceDimension("node.cpu", (0.2, 0.4, 0.6, 0.8, 1.0), lo=0.01, hi=1.0)]
+driver = ProfilingDriver(app, dims)
+db = driver.profile()
+print(f"performance database: {len(db)} records "
+      f"({len(db.configurations())} configurations x {len(dims[0].levels)} points)")
+for config in sorted(db.configurations(), key=lambda c: c.detail):
+    fps_full = db.predict(config, ResourcePoint({"node.cpu": 1.0}), "fps")
+    fps_low = db.predict(config, ResourcePoint({"node.cpu": 0.2}), "fps")
+    print(f"  detail={config.detail}: fps@100%={fps_full:6.1f}  fps@20%={fps_low:6.1f}")
+
+# -- 3. Ask the scheduler what to run under given conditions ----------------
+# Preference: keep fps >= 12, and of the feasible configurations show the
+# most detail.
+
+preference = UserPreference.single(
+    Objective("detail", "maximize"), [MetricRange("fps", lo=12.0)]
+)
+scheduler = ResourceScheduler(db, preference)
+for share in (1.0, 0.5, 0.2):
+    decision = scheduler.select(ResourcePoint({"node.cpu": share}))
+    print(f"at {share:4.0%} CPU the scheduler picks detail={decision.config.detail} "
+          f"(predicted fps {decision.predicted['fps']:.1f})")
+
+# -- 4. Run with run-time adaptation ----------------------------------------
+# Start at full CPU; the testbed drops the share to 20% mid-run.  The
+# monitoring agent detects the shortfall and the steering agent downgrades
+# the detail level at a frame boundary.
+
+controller = AdaptationController(
+    scheduler, monitor_kwargs={"window": 0.5, "cooldown": 1.0}
+)
+initial = controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+print(f"\ninitial configuration: detail={initial.config.detail}")
+
+testbed = Testbed(host_specs=app.env.host_specs())
+rt = app.instantiate(
+    testbed, initial.config, limits={"node": ResourceLimits(cpu_share=1.0)}
+)
+controller.attach(rt)
+
+
+def vary():
+    yield testbed.sim.timeout(1.5)
+    print(f"t={testbed.sim.now:.2f}s: CPU share drops to 20%")
+    rt.sandboxes["node"].set_limits(ResourceLimits(cpu_share=0.2))
+
+
+testbed.sim.process(vary())
+testbed.run(until=120)
+
+for t, old, new in rt.controls.history:
+    print(f"t={t:.2f}s: steering applied detail {old.detail} -> {new.detail}")
+print(f"final QoS: {rt.qos.snapshot()}")
+assert rt.controls.current.detail < initial.config.detail, "expected a downgrade"
+print("quickstart OK")

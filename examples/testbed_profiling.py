@@ -1,0 +1,36 @@
+"""Drive the virtual execution environment directly (Figs. 3 and 5/6).
+
+Shows the substrate below the adaptation framework:
+
+1. a sandboxed process under the quantum-feedback CPU limiter, with its
+   measured usage trace following a changing share schedule (Fig. 3a);
+2. the profiling driver sweeping the visualization app's compression
+   configurations over the bandwidth axis, and the resulting performance
+   curves with their crossover (Fig. 6a), rendered as an ASCII plot;
+3. a sensitivity pass proposing where the database needs more samples.
+
+Run:  python examples/testbed_profiling.py
+"""
+
+from repro.experiments import run_fig3a, run_fig6a
+from repro.experiments.fig6 import fig6a_database
+from repro.profiling import propose_refinements
+
+# -- 1. Sandbox CPU control (Fig. 3a) ---------------------------------------
+print("running a tight loop under the quantum CPU limiter")
+print("(share schedule: 80% at 0s, 40% at 20s, 60% at 50s)\n")
+fig3a = run_fig3a()
+print(fig3a.render(width=64, height=12))
+
+# -- 2. Profiling sweep and the compression crossover (Fig. 6a) -------------
+print("\nprofiling lzw vs bzip2 over the bandwidth axis in fresh testbeds...")
+fig6a = run_fig6a()
+print(fig6a.render(width=64, height=12))
+
+# -- 3. Sensitivity analysis -------------------------------------------------
+db, _dims, configs = fig6a_database()
+proposals = propose_refinements(db, ["transmit_time"], top_k=4)
+print("\nsensitivity analysis proposes additional samples at:")
+for p in proposals:
+    print(f"  {p.config.label()} @ {p.point.label()}  (curvature score {p.score:.3f})")
+print("\ntestbed profiling example OK")

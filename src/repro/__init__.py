@@ -1,0 +1,19 @@
+"""Reproduction of Chang & Karamcheti, "Automatic Configuration and
+Run-time Adaptation of Distributed Applications" (HPDC 2000).
+
+Subpackages
+-----------
+- ``repro.sim``        discrete-event simulation kernel
+- ``repro.cluster``    simulated hosts, CPUs, memory, links, network
+- ``repro.sandbox``    the virtual execution environment (resource limits)
+- ``repro.codecs``     wavelets, LZW/bzip2/RLE codecs, synthetic images
+- ``repro.tunable``    application tunability specification (the core API)
+- ``repro.profiling``  profile-based modeling and the performance database
+- ``repro.runtime``    monitoring agent, resource scheduler, steering agent
+- ``repro.apps``       evaluation applications (toy, visualization, streaming)
+- ``repro.experiments`` one module per paper figure + ablations
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Evaluation applications: toy loop, active visualization, streaming."""
+
+from .membound import MemWorkload, make_membound_app
+from .streaming import QUALITY_BYTES, StreamWorkload, make_streaming_app
+from .toy import TOY_HOST, make_toy_app
+
+__all__ = [
+    "make_toy_app",
+    "TOY_HOST",
+    "make_streaming_app",
+    "make_membound_app",
+    "MemWorkload",
+    "StreamWorkload",
+    "QUALITY_BYTES",
+]

@@ -1,0 +1,198 @@
+"""A tunable video-streaming application (bonus workload).
+
+The paper's introduction motivates adaptation with "a distributed
+application conveying a video stream from a server to a client machine
+[that] can respond to network bandwidth reduction by compressing the
+stream or selectively dropping frames".  This app realizes that example
+through the same framework as the visualization application, demonstrating
+generality: control parameters are frame rate, quality (bytes per frame),
+and compression; QoS metrics are delivered frame rate, mean frame lag, and
+quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..codecs import get_codec
+from ..tunable import (
+    ConfigSpace,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TransitionSpec,
+    TunableApp,
+)
+
+__all__ = ["make_streaming_app", "StreamWorkload", "QUALITY_BYTES"]
+
+FRAME_PORT = "stream.frames"
+CTL_PORT = "stream.ctl"
+
+#: Raw bytes per frame at each quality setting (QCIF-to-CIF-ish at 1 B/px).
+QUALITY_BYTES = {"low": 25_000.0, "medium": 100_000.0, "high": 400_000.0}
+
+#: Effective wire-compression ratios per codec for video frames.
+_STREAM_RATIOS = {"none": 1.0, "lzw": 1.8, "bzip2": 3.0}
+
+
+@dataclass
+class StreamWorkload:
+    """Inputs and outputs of one streaming session."""
+
+    duration: float = 30.0
+    decode_cost: float = 2e-5  # client work units per raw byte
+    encode_cost: float = 1e-5  # server work units per raw byte
+    #: (send_time, deliver_time, frame_id) for every displayed frame.
+    frame_log: List[Tuple[float, float, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _Frame:
+    frame_id: int
+    sent_at: float
+    raw_bytes: float
+
+
+def _notify_stream_params(rt, old, new):
+    """Transition: tell the server about new rate/quality/codec settings."""
+    if (old["fps"], old["quality"], old["c"]) != (new["fps"], new["quality"], new["c"]):
+        yield rt.sandbox("client").send(
+            "server", CTL_PORT, dict(new), size=48.0
+        )
+
+
+def make_streaming_app(
+    fps_domain=(10, 15, 30),
+    quality_domain=("low", "medium", "high"),
+    codec_domain=("none", "lzw"),
+    client_speed: float = 450.0,
+    server_speed: float = 450.0,
+    link_bandwidth: float = 100e6 / 8,
+    link_latency: float = 0.002,
+) -> TunableApp:
+    """Build the tunable streaming application."""
+    space = ConfigSpace(
+        [
+            ControlParameter("fps", tuple(fps_domain), "frames per second"),
+            ControlParameter("quality", tuple(quality_domain), "frame quality"),
+            ControlParameter("c", tuple(codec_domain), "frame compression"),
+        ]
+    )
+    env = ExecutionEnv(
+        [
+            HostComponent("client", cpu_speed=client_speed),
+            HostComponent("server", cpu_speed=server_speed),
+        ],
+        [LinkComponent("client", "server", bandwidth=link_bandwidth, latency=link_latency)],
+    )
+    metrics = [
+        QoSMetric("fps_delivered", better="higher", unit="frames/s"),
+        QoSMetric("frame_lag", better="lower", unit="s",
+                  description="mean send-to-display latency"),
+        QoSMetric("quality_bytes", better="higher", unit="bytes/frame"),
+    ]
+    tasks = TaskGraph(
+        [
+            TaskSpec(
+                "stream",
+                params=("fps", "quality", "c"),
+                resources=(
+                    "client.cpu",
+                    "client.network",
+                    "server.cpu",
+                    "server.network",
+                ),
+                metrics=("fps_delivered", "frame_lag", "quality_bytes"),
+            )
+        ]
+    )
+    transitions = (TransitionSpec(handler=_notify_stream_params, name="notify-stream"),)
+
+    def launcher(rt):
+        workload: StreamWorkload = rt.workload or StreamWorkload()
+        rt.workload = workload
+
+        def server():
+            sandbox = rt.sandbox("server")
+            sim = rt.sim
+            params = dict(rt.config)
+            frame_id = 0
+            t_end = sim.now + workload.duration
+            next_deadline = sim.now
+            while sim.now < t_end:
+                # Pick up any control updates that have arrived.
+                while True:
+                    update = sandbox.host.mailbox(CTL_PORT).try_get()
+                    if update is None:
+                        break
+                    params = dict(update.payload)
+                period = 1.0 / float(params["fps"])
+                raw = QUALITY_BYTES[params["quality"]]
+                codec = get_codec(params["c"])
+                yield sandbox.compute(
+                    workload.encode_cost * raw + codec.compress_work(raw)
+                )
+                wire = raw / _STREAM_RATIOS[params["c"]]
+                frame = _Frame(frame_id=frame_id, sent_at=sim.now, raw_bytes=raw)
+                yield sandbox.send("client", FRAME_PORT, frame, size=wire)
+                frame_id += 1
+                # Deadline pacing: encode/transfer time counts against the
+                # frame period instead of stretching it.
+                next_deadline += period
+                if sim.now < next_deadline:
+                    yield sandbox.sleep(next_deadline - sim.now)
+                else:
+                    next_deadline = sim.now  # fell behind: resynchronize
+            yield sandbox.send("client", FRAME_PORT, None, size=16.0)  # EOS
+
+        def client():
+            sandbox = rt.sandbox("client")
+            sim = rt.sim
+            start = sim.now
+            displayed = 0
+            lag_sum = 0.0
+            quality_sum = 0.0
+            while True:
+                yield from rt.controls.apply(rt, sim.now)
+                msg = yield sandbox.recv(FRAME_PORT)
+                frame = msg.payload
+                if frame is None:
+                    break
+                codec = get_codec(rt.config.c)
+                yield sandbox.compute(
+                    codec.decompress_work(frame.raw_bytes)
+                    + workload.decode_cost * frame.raw_bytes
+                )
+                displayed += 1
+                lag_sum += sim.now - frame.sent_at
+                quality_sum += frame.raw_bytes
+                workload.frame_log.append((frame.sent_at, sim.now, frame.frame_id))
+            elapsed = max(sim.now - start, 1e-9)
+            rt.qos.update("fps_delivered", displayed / elapsed, time=sim.now)
+            rt.qos.update(
+                "frame_lag", lag_sum / displayed if displayed else float("inf"),
+                time=sim.now,
+            )
+            rt.qos.update(
+                "quality_bytes", quality_sum / displayed if displayed else 0.0,
+                time=sim.now,
+            )
+
+        rt.sim.process(server(), name="stream-server")
+        return rt.sim.process(client(), name="stream-client")
+
+    return TunableApp(
+        name="streaming",
+        space=space,
+        env=env,
+        metrics=metrics,
+        tasks=tasks,
+        transitions=transitions,
+        launcher=launcher,
+    )

@@ -1,0 +1,73 @@
+"""The "simple toy application" of Section 5.1 (Figs. 3 and 4a).
+
+A tight compute loop "running out of registers": pure CPU work in small
+rounds, with no network or memory activity.  Its execution time scales
+exactly with clock rate, which is why the paper emulates slower machines
+for it with clock-ratio CPU shares.
+"""
+
+from __future__ import annotations
+
+from ..tunable import (
+    ConfigSpace,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+__all__ = ["make_toy_app", "TOY_HOST"]
+
+TOY_HOST = "node"
+
+
+def make_toy_app(
+    cpu_speed: float = 450.0,
+    total_work: float = 4500.0,
+    round_work: float = 4.5,
+) -> TunableApp:
+    """Tight-loop app: ``total_work`` units in rounds of ``round_work``.
+
+    On an unconstrained host of speed 450 the default runs 10 s.  The small
+    rounds let the sandbox's quantum controller interleave suspensions, as
+    priority manipulation does to a real spinning thread.
+    """
+    space = ConfigSpace([ControlParameter("scale", (1.0, 2.0, 4.0))])
+    env = ExecutionEnv([HostComponent(TOY_HOST, cpu_speed=cpu_speed)])
+    metrics = [QoSMetric("elapsed", better="lower", unit="s")]
+    tasks = TaskGraph(
+        [
+            TaskSpec(
+                "spin",
+                params=("scale",),
+                resources=(f"{TOY_HOST}.cpu",),
+                metrics=("elapsed",),
+            )
+        ]
+    )
+
+    def launcher(rt):
+        def main():
+            sandbox = rt.sandbox(TOY_HOST)
+            work = total_work * float(rt.config.scale)
+            t0 = rt.sim.now
+            remaining = work
+            while remaining > 0:
+                chunk = min(round_work, remaining)
+                yield sandbox.compute(chunk)
+                remaining -= chunk
+            rt.qos.update("elapsed", rt.sim.now - t0, time=rt.sim.now)
+
+        return rt.sim.process(main(), name="toy-main")
+
+    return TunableApp(
+        name="toy",
+        space=space,
+        env=env,
+        metrics=metrics,
+        tasks=tasks,
+        launcher=launcher,
+    )

@@ -1,0 +1,40 @@
+"""The active visualization application (Section 2.1 / Fig. 2)."""
+
+from .app import DEFAULT_CODECS, DEFAULT_DR, DEFAULT_LEVELS, make_viz_app
+from .interaction import random_walk_user, scripted_moves, static_user
+from .images import AnalyticImageModel, RealImageModel, measured_codec_ratios
+from .protocol import (
+    CTL_PORT,
+    DATA_PORT,
+    REQ_PORT,
+    CloseConnection,
+    FovealReply,
+    FovealRequest,
+    SetCompression,
+)
+from .server import CLIENT_HOST, SERVER_HOST
+from .workload import VizCosts, VizWorkload
+
+__all__ = [
+    "make_viz_app",
+    "VizWorkload",
+    "VizCosts",
+    "static_user",
+    "scripted_moves",
+    "random_walk_user",
+    "AnalyticImageModel",
+    "RealImageModel",
+    "measured_codec_ratios",
+    "FovealRequest",
+    "FovealReply",
+    "SetCompression",
+    "CloseConnection",
+    "REQ_PORT",
+    "DATA_PORT",
+    "CTL_PORT",
+    "CLIENT_HOST",
+    "SERVER_HOST",
+    "DEFAULT_DR",
+    "DEFAULT_CODECS",
+    "DEFAULT_LEVELS",
+]

@@ -1,0 +1,112 @@
+"""Tunability specification of the active visualization application.
+
+This is Fig. 2's annotated program expressed through the framework:
+control parameters (``dR``, ``c``, ``l``), a two-host execution
+environment, the three QoS metrics, one tunable module covering the data
+transmission task, and a transition that notifies the server when the
+compression method changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ...tunable import (
+    ConfigSpace,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TransitionSpec,
+    TunableApp,
+)
+from .client import client_process
+from .protocol import REQ_PORT, SetCompression
+from .server import SERVER_HOST, server_process
+from .workload import VizWorkload
+
+__all__ = ["make_viz_app", "DEFAULT_DR", "DEFAULT_CODECS", "DEFAULT_LEVELS"]
+
+DEFAULT_DR: Tuple[int, ...] = (80, 160, 320)
+DEFAULT_CODECS: Tuple[str, ...] = ("lzw", "bzip2")
+DEFAULT_LEVELS: Tuple[int, ...] = (3, 4)
+
+
+def _notify_compression(rt, old, new):
+    """Fig. 2: ``if (new_control.c != control.c) notify(env.server, ...)``."""
+    if new["c"] != old["c"]:
+        yield rt.sandbox("client").send(
+            SERVER_HOST, REQ_PORT, SetCompression(new["c"]), size=32.0
+        )
+
+
+def make_viz_app(
+    dr_domain: Sequence[int] = DEFAULT_DR,
+    codec_domain: Sequence[str] = DEFAULT_CODECS,
+    level_domain: Sequence[int] = DEFAULT_LEVELS,
+    client_speed: float = 450.0,
+    server_speed: float = 450.0,
+    link_bandwidth: float = 100e6 / 8,
+    link_latency: float = 0.0005,
+    default_workload: Optional[VizWorkload] = None,
+) -> TunableApp:
+    """Build the tunable active-visualization application."""
+    space = ConfigSpace(
+        [
+            ControlParameter("dR", tuple(dr_domain), "incremental fovea size"),
+            ControlParameter("c", tuple(codec_domain), "compression type"),
+            ControlParameter("l", tuple(level_domain), "level of image resolution"),
+        ]
+    )
+    env = ExecutionEnv(
+        [
+            HostComponent("client", cpu_speed=client_speed),
+            HostComponent(SERVER_HOST, cpu_speed=server_speed),
+        ],
+        [
+            LinkComponent(
+                "client", SERVER_HOST, bandwidth=link_bandwidth, latency=link_latency
+            )
+        ],
+    )
+    metrics = [
+        QoSMetric("transmit_time", better="lower", unit="s",
+                  description="total image transmission time (per-image avg)"),
+        QoSMetric("response_time", better="lower", unit="s",
+                  description="average response time of a single round"),
+        QoSMetric("resolution", better="higher",
+                  description="the resolution of the image"),
+    ]
+    tasks = TaskGraph(
+        [
+            TaskSpec(
+                "module",
+                params=("l", "dR", "c"),
+                resources=("client.cpu", "client.network"),
+                metrics=("transmit_time", "response_time", "resolution"),
+            )
+        ]
+    )
+    transitions = (TransitionSpec(handler=_notify_compression, name="notify-server"),)
+
+    def launcher(rt):
+        workload = rt.workload if rt.workload is not None else (
+            default_workload if default_workload is not None else VizWorkload()
+        )
+        rt.workload = workload
+        model = workload.build_model()
+        rt.sim.process(server_process(rt, workload, model), name="viz-server")
+        return rt.sim.process(client_process(rt, workload, model), name="viz-client")
+
+    return TunableApp(
+        name="active-visualization",
+        space=space,
+        env=env,
+        metrics=metrics,
+        tasks=tasks,
+        transitions=transitions,
+        launcher=launcher,
+    )

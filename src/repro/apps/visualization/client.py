@@ -1,0 +1,104 @@
+"""The visualization client process — the tunable loop of Fig. 2.
+
+Pseudocode from the paper, with the tunability hooks realized through the
+framework objects:
+
+- ``control.dR / control.c / control.l`` -> ``rt.controls.current``,
+  re-read every round so steering changes take effect at round boundaries;
+- the ``transition (new_control)`` construct -> ``rt.controls.apply`` at
+  the top of each round (a transition handler notifies the server of
+  compression changes);
+- the ``QoS_monitor`` blocks -> ``rt.qos`` updates of ``response_time``,
+  ``transmit_time``, and ``resolution``.
+"""
+
+from __future__ import annotations
+
+from ...codecs import get_codec
+from ...tunable import AppRuntime
+from .protocol import (
+    DATA_PORT,
+    REQ_PORT,
+    REQUEST_WIRE_BYTES,
+    CloseConnection,
+    FovealRequest,
+    SetCompression,
+)
+from .server import SERVER_HOST
+from .workload import VizWorkload
+
+__all__ = ["client_process"]
+
+
+def client_process(rt: AppRuntime, workload: VizWorkload, model):
+    """Generator: download ``workload.n_images`` images progressively."""
+    sandbox = rt.sandbox("client")
+    sim = rt.sim
+    qos = rt.qos
+    controls = rt.controls
+
+    # establish_connection(); notify_server_compression_type(control.c);
+    yield sandbox.send(
+        SERVER_HOST, REQ_PORT, SetCompression(controls.current.c), size=32.0
+    )
+
+    for image_id in range(workload.n_images):
+        image_start = sim.now
+        level = controls.current.l
+        side = model.level_side(level)
+        x = y = side // 2
+        r = 0
+        seq = 0
+        while r < (side + 1) // 2:
+            # Transition point: apply any pending reconfiguration before
+            # reading the control parameters for this round.
+            yield from controls.apply(rt, sim.now)
+            level = controls.current.l
+            d_r = controls.current.dR
+            codec = get_codec(controls.current.c)
+            side = model.level_side(level)
+            x, y = min(x, side - 1), min(y, side - 1)
+            r_max = (side + 1) // 2
+
+            t0 = sim.now
+            r0, r = r, min(r + d_r, r_max)
+            yield sandbox.compute(workload.costs.client_round_overhead)
+            yield sandbox.send(
+                SERVER_HOST,
+                REQ_PORT,
+                FovealRequest(
+                    image_id=image_id, x=x, y=y, r0=r0, r1=r, level=level, seq=seq
+                ),
+                size=REQUEST_WIRE_BYTES,
+            )
+            reply_msg = yield sandbox.recv(
+                DATA_PORT,
+                filter=lambda m: m.payload.image_id == image_id,
+            )
+            reply = reply_msg.payload
+            # decompress(control.c, &data); update_display(...)
+            yield sandbox.compute(
+                get_codec(reply.codec).decompress_work(reply.raw_bytes)
+                * workload.costs.codec_cost_scale
+                + workload.costs.display_cost * reply.raw_bytes
+            )
+            # QoS_monitor: response/transmit accounting.
+            dt = sim.now - t0
+            qos.running_avg("response_time", dt, time=sim.now)
+            workload.round_times.append((sim.now, dt))
+            seq += 1
+            # check_for_user_interaction(&x, &y, &r, &dR);
+            if workload.interaction is not None:
+                moved = workload.interaction(image_id, seq, x, y)
+                if moved is not None:
+                    x, y = moved
+                    r = 0  # progressive transmission restarts at a new fovea
+        image_time = sim.now - image_start
+        workload.image_times.append((sim.now, image_time))
+        qos.running_avg("transmit_time", image_time, time=sim.now)
+        qos.update("resolution", float(level), time=sim.now)
+        if workload.inter_image_delay > 0 and image_id + 1 < workload.n_images:
+            yield sandbox.sleep(workload.inter_image_delay)
+
+    # ... close_connection();
+    yield sandbox.send(SERVER_HOST, REQ_PORT, CloseConnection(), size=16.0)

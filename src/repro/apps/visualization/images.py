@@ -1,0 +1,165 @@
+"""Image models for the visualization server.
+
+Two fidelity levels share one interface:
+
+- :class:`RealImageModel` stores an actual Haar wavelet pyramid of a
+  synthetic image and compresses actual region bytes with the real codecs —
+  ground truth, used in tests and examples on small images.
+- :class:`AnalyticImageModel` tracks only byte *counts*: region sizes come
+  from clipped-rectangle geometry and compressed sizes from per-codec
+  ratios **measured once on real pyramid data** (so the analytic model is
+  calibrated by the real one).  This keeps the big profiling sweeps fast
+  while preserving genuine codec behaviour.
+
+Geometry conventions: the fovea is a square of half-width ``r`` centred at
+``(x, y)`` in level-``levels`` (full-resolution) coordinates.  A request for
+ring ``[r0, r1)`` carries the pyramid data of that ring at *every* level up
+to the preferred one, scaled by 4 per level step — progressive
+transmission from coarse to fine.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...codecs import CODECS, WaveletPyramid, get_codec, synthetic_image
+
+__all__ = [
+    "measured_codec_ratios",
+    "AnalyticImageModel",
+    "RealImageModel",
+]
+
+
+@lru_cache(maxsize=8)
+def measured_codec_ratios(side: int = 256, seed: int = 0) -> Dict[str, float]:
+    """Compression ratios of every registered codec on real pyramid bytes.
+
+    Measured on the quantized full-resolution bytes of a synthetic image —
+    the same data the real model ships — and cached per (side, seed).
+    """
+    pyramid = WaveletPyramid(synthetic_image(side, seed=seed), levels=3)
+    data = pyramid.region_bytes(3, 0, 0, side, side)
+    return {name: codec.ratio(data) for name, codec in CODECS.items()}
+
+
+def _clipped_box_area(side: int, x: int, y: int, r: int) -> float:
+    """Area of the square of half-width r at (x, y), clipped to the image."""
+    if r <= 0:
+        return 0.0
+    x0, x1 = max(0, x - r), min(side, x + r)
+    y0, y1 = max(0, y - r), min(side, y + r)
+    if x0 >= x1 or y0 >= y1:
+        return 0.0
+    return float((x1 - x0) * (y1 - y0))
+
+
+class AnalyticImageModel:
+    """Byte-count model of one stored image (fast path).
+
+    ``side`` is the full-resolution side; ``levels`` the pyramid depth.
+    """
+
+    def __init__(
+        self,
+        side: int,
+        levels: int,
+        ratios: Optional[Dict[str, float]] = None,
+        bytes_per_pixel: float = 1.0,
+    ):
+        if side <= 0 or levels < 1:
+            raise ValueError(f"bad image geometry side={side!r} levels={levels!r}")
+        self.side = int(side)
+        self.levels = int(levels)
+        self.bytes_per_pixel = float(bytes_per_pixel)
+        self.ratios = dict(ratios) if ratios is not None else measured_codec_ratios()
+
+    def level_side(self, level: int) -> int:
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}], got {level!r}")
+        return self.side >> (self.levels - level)
+
+    def ring_raw_bytes(self, level: int, x: int, y: int, r0: int, r1: int) -> float:
+        """Pyramid payload bytes for ring [r0, r1) up to ``level``.
+
+        Sums the clipped ring area at every level 0..level, each in its own
+        scale (area shrinks 4x per level step down).
+        """
+        side_l = self.level_side(level)
+        outer = _clipped_box_area(side_l, x, y, min(r1, side_l))
+        inner = _clipped_box_area(side_l, x, y, min(r0, side_l))
+        ring_at_l = max(0.0, outer - inner)
+        total_pixels = ring_at_l * sum(
+            0.25**k for k in range(0, level + 1)
+        )
+        return total_pixels * self.bytes_per_pixel
+
+    def image_raw_bytes(self, level: int) -> float:
+        """Whole-image pyramid payload up to ``level``."""
+        side_l = self.level_side(level)
+        return self.ring_raw_bytes(level, side_l // 2, side_l // 2, 0, side_l)
+
+    def compressed_bytes(self, codec_name: str, raw_bytes: float) -> float:
+        ratio = self.ratios.get(codec_name)
+        if ratio is None:
+            raise KeyError(f"no ratio calibrated for codec {codec_name!r}")
+        return raw_bytes / ratio
+
+
+class RealImageModel:
+    """Actual wavelet pyramid + actual codecs (ground-truth path)."""
+
+    def __init__(self, side: int, levels: int, seed: int = 0):
+        self.side = int(side)
+        self.levels = int(levels)
+        self.pyramid = WaveletPyramid(synthetic_image(side, seed=seed), levels=levels)
+
+    def level_side(self, level: int) -> int:
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}], got {level!r}")
+        return self.side >> (self.levels - level)
+
+    def _ring_bytes(self, level: int, x: int, y: int, r0: int, r1: int) -> bytes:
+        chunks = []
+        for lev in range(0, level + 1):
+            scale = 2 ** (level - lev)
+            sx, sy = x // scale, y // scale
+            s_r0, s_r1 = r0 // scale, r1 // scale
+            outer = self.pyramid.region_bytes(
+                lev, sx - s_r1, sy - s_r1, sx + s_r1, sy + s_r1
+            )
+            inner = self.pyramid.region_bytes(
+                lev, sx - s_r0, sy - s_r0, sx + s_r0, sy + s_r0
+            )
+            # Ship the outer box minus the inner box; as a byte-stream model
+            # we ship outer and subtract inner's length (the simulator only
+            # needs sizes, but the bytes are real pyramid content).
+            chunks.append(outer[len(inner):])
+        return b"".join(chunks)
+
+    def ring_raw_bytes(self, level: int, x: int, y: int, r0: int, r1: int) -> float:
+        return float(len(self._ring_bytes(level, x, y, r0, r1)))
+
+    def image_raw_bytes(self, level: int) -> float:
+        side_l = self.level_side(level)
+        return self.ring_raw_bytes(level, side_l // 2, side_l // 2, 0, side_l)
+
+    def compressed_bytes(self, codec_name: str, raw_bytes: float, **geometry) -> float:
+        """Compress the actual ring bytes; ``geometry`` locates the ring."""
+        if geometry:
+            data = self._ring_bytes(
+                geometry["level"],
+                geometry["x"],
+                geometry["y"],
+                geometry["r0"],
+                geometry["r1"],
+            )
+        else:
+            # Fall back to a representative stream of the requested length.
+            full = self.pyramid.region_bytes(self.levels, 0, 0, self.side, self.side)
+            reps = int(np.ceil(raw_bytes / max(1, len(full))))
+            data = (full * reps)[: int(raw_bytes)]
+        return float(len(get_codec(codec_name).compress(data)))

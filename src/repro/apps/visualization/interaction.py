@@ -1,0 +1,71 @@
+"""User-interaction traces for the visualization client.
+
+``check_for_user_interaction`` in the paper's client loop lets the user
+move the fovea mid-download, restarting progressive transmission around
+the new centre.  The experiments keep the fovea static; these traces make
+the responsiveness scenarios realistic and are used by the interactive
+example and responsiveness tests.
+
+A trace is a callable ``(image_id, round_seq, x, y) -> (x, y) | None``
+compatible with :attr:`VizWorkload.interaction`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ...sim import stream
+
+__all__ = ["static_user", "scripted_moves", "random_walk_user"]
+
+Interaction = Callable[[int, int, int, int], Optional[Tuple[int, int]]]
+
+
+def static_user() -> Interaction:
+    """The experiments' user: never moves the fovea."""
+
+    def interact(image_id: int, seq: int, x: int, y: int):
+        return None
+
+    return interact
+
+
+def scripted_moves(moves: List[Tuple[int, int, int, int]]) -> Interaction:
+    """Replay exact moves: (image_id, round_seq, new_x, new_y)."""
+    table = {(img, seq): (x, y) for img, seq, x, y in moves}
+
+    def interact(image_id: int, seq: int, x: int, y: int):
+        return table.get((image_id, seq))
+
+    return interact
+
+
+def random_walk_user(
+    side: int,
+    seed: int = 0,
+    move_probability: float = 0.15,
+    max_step: int = 256,
+    max_moves_per_image: int = 2,
+) -> Interaction:
+    """A seeded impatient user who occasionally drags the fovea.
+
+    Moves happen with ``move_probability`` per round, bounded per image so
+    downloads still finish; steps are uniform within ``max_step`` of the
+    current fovea, clipped to the image.
+    """
+    if not 0.0 <= move_probability <= 1.0:
+        raise ValueError(f"move_probability must be in [0,1], got {move_probability!r}")
+    rng = stream(seed, "viz.interaction")
+    moves_used = {}
+
+    def interact(image_id: int, seq: int, x: int, y: int):
+        if moves_used.get(image_id, 0) >= max_moves_per_image:
+            return None
+        if rng.random() >= move_probability:
+            return None
+        moves_used[image_id] = moves_used.get(image_id, 0) + 1
+        nx = int(min(side - 1, max(0, x + rng.integers(-max_step, max_step + 1))))
+        ny = int(min(side - 1, max(0, y + rng.integers(-max_step, max_step + 1))))
+        return (nx, ny)
+
+    return interact

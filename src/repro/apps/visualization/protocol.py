@@ -1,0 +1,67 @@
+"""Wire protocol of the active visualization application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FovealRequest",
+    "FovealReply",
+    "SetCompression",
+    "CloseConnection",
+    "REQ_PORT",
+    "DATA_PORT",
+    "CTL_PORT",
+    "REQUEST_WIRE_BYTES",
+    "REPLY_HEADER_BYTES",
+]
+
+#: Mailbox ports (server side receives on REQ/CTL; client on DATA).
+REQ_PORT = "viz.req"
+DATA_PORT = "viz.data"
+CTL_PORT = "viz.ctl"
+
+#: Wire size of a foveal request message.
+REQUEST_WIRE_BYTES = 64.0
+#: Fixed header on each data reply.
+REPLY_HEADER_BYTES = 32.0
+
+
+@dataclass(frozen=True)
+class FovealRequest:
+    """Client -> server: send the ring [r0, r1) around (x, y) up to level l."""
+
+    image_id: int
+    x: int
+    y: int
+    r0: int
+    r1: int
+    level: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class FovealReply:
+    """Server -> client: the (compressed) pyramid data for one ring."""
+
+    image_id: int
+    seq: int
+    raw_bytes: float
+    compressed_bytes: float
+    codec: str
+
+
+@dataclass(frozen=True)
+class SetCompression:
+    """Client -> server control: switch the compression method.
+
+    This is what Fig. 2's transition construct sends:
+    ``if (new_control.c != control.c) notify(env.server, new_control.c);``
+    """
+
+    codec: str
+
+
+@dataclass(frozen=True)
+class CloseConnection:
+    """Client -> server control: end of session."""

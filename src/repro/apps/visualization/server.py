@@ -1,0 +1,79 @@
+"""The visualization server process.
+
+Treated as in the paper: "a black-box whose behavior is entirely
+determined by the control messages sent to it from the client."  It holds
+the image pyramids, answers foveal ring requests with (optionally
+compressed) pyramid data, and obeys ``SetCompression`` control messages —
+the server-side effect of the client's transition construct.
+"""
+
+from __future__ import annotations
+
+from ...codecs import get_codec
+from ...tunable import AppRuntime
+from .images import RealImageModel
+from .protocol import (
+    DATA_PORT,
+    REPLY_HEADER_BYTES,
+    REQ_PORT,
+    CloseConnection,
+    FovealReply,
+    FovealRequest,
+    SetCompression,
+)
+from .workload import VizWorkload
+
+__all__ = ["server_process", "CLIENT_HOST", "SERVER_HOST"]
+
+CLIENT_HOST = "client"
+SERVER_HOST = "server"
+
+
+def server_process(rt: AppRuntime, workload: VizWorkload, model):
+    """Generator: the server's request loop (run until CloseConnection)."""
+    sandbox = rt.sandbox(SERVER_HOST)
+    codec = get_codec(rt.config.c)
+    scale = workload.costs.codec_cost_scale
+    while True:
+        msg = yield sandbox.recv(REQ_PORT)
+        payload = msg.payload
+        if isinstance(payload, CloseConnection):
+            return
+        if isinstance(payload, SetCompression):
+            codec = get_codec(payload.codec)
+            continue
+        if not isinstance(payload, FovealRequest):  # pragma: no cover
+            continue
+        req = payload
+        raw = model.ring_raw_bytes(req.level, req.x, req.y, req.r0, req.r1)
+        if workload.server_disk and raw > 0:
+            # Fetch the stored coefficients from disk before encoding.
+            yield sandbox.disk_read(raw)
+        work = (
+            workload.costs.server_round_overhead
+            + workload.costs.server_encode_cost * raw
+            + codec.compress_work(raw) * scale
+        )
+        yield sandbox.compute(work)
+        if isinstance(model, RealImageModel) and raw > 0:
+            compressed = model.compressed_bytes(
+                codec.name,
+                raw,
+                level=req.level,
+                x=req.x,
+                y=req.y,
+                r0=req.r0,
+                r1=req.r1,
+            )
+        else:
+            compressed = model.compressed_bytes(codec.name, raw)
+        reply = FovealReply(
+            image_id=req.image_id,
+            seq=req.seq,
+            raw_bytes=raw,
+            compressed_bytes=compressed,
+            codec=codec.name,
+        )
+        yield sandbox.send(
+            CLIENT_HOST, DATA_PORT, reply, size=compressed + REPLY_HEADER_BYTES
+        )

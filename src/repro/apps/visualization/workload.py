@@ -1,0 +1,72 @@
+"""Workload and cost-model description for one visualization run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from .images import AnalyticImageModel, RealImageModel
+
+__all__ = ["VizCosts", "VizWorkload"]
+
+
+@dataclass(frozen=True)
+class VizCosts:
+    """Client/server CPU cost coefficients (work units; 450 units/s = PII-450).
+
+    The experiments in the paper were run with per-experiment application
+    settings; the two knobs that differ across them are the rendering cost
+    per byte (``display_cost``) and the codec cost scale.  DESIGN.md §5
+    records the calibration.
+    """
+
+    #: Client rendering work per raw byte displayed.
+    display_cost: float = 3e-5
+    #: Server work per raw byte extracted from the pyramid.
+    server_encode_cost: float = 1e-5
+    #: Fixed client work per round (request preparation, display setup).
+    client_round_overhead: float = 2.0
+    #: Fixed server work per request (parsing, pyramid lookup).
+    server_round_overhead: float = 2.0
+    #: Multiplier on the codec compress/decompress cost coefficients.
+    codec_cost_scale: float = 1.0
+
+
+@dataclass
+class VizWorkload:
+    """One run's inputs and collected outputs."""
+
+    n_images: int = 10
+    image_side: int = 2048
+    levels: int = 4
+    costs: VizCosts = field(default_factory=VizCosts)
+    #: "analytic" (calibrated byte counts) or "real" (actual pyramid+codecs).
+    fidelity: str = "analytic"
+    #: Optional fovea-motion hook: (image_id, round_seq, x, y) -> (x, y) or
+    #: None to leave the fovea alone.  A move restarts progressive
+    #: transmission around the new centre.
+    interaction: Optional[Callable[[int, int, int, int], Optional[Tuple[int, int]]]] = None
+    #: Pause between images (user "think time").
+    inter_image_delay: float = 0.0
+    #: When True, the server reads raw pyramid bytes from its disk before
+    #: encoding ("large images stored in the server", Section 2.1) instead
+    #: of assuming an in-memory pyramid.
+    server_disk: bool = False
+    seed: int = 0
+
+    # -- outputs -------------------------------------------------------------
+    #: (completion_time, duration) per downloaded image.
+    image_times: List[Tuple[float, float]] = field(default_factory=list)
+    #: (completion_time, duration) per request round.
+    round_times: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.fidelity not in ("analytic", "real"):
+            raise ValueError(f"fidelity must be analytic/real, got {self.fidelity!r}")
+        if self.n_images < 1:
+            raise ValueError(f"n_images must be >= 1, got {self.n_images!r}")
+
+    def build_model(self) -> Union[AnalyticImageModel, RealImageModel]:
+        if self.fidelity == "real":
+            return RealImageModel(self.image_side, self.levels, seed=self.seed)
+        return AnalyticImageModel(self.image_side, self.levels)

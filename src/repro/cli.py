@@ -1,0 +1,160 @@
+"""Command-line interface: regenerate any paper figure or ablation.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig3a fig6a
+    python -m repro.cli all --out results/
+    python -m repro.cli exp1          # alias for fig7a
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from .experiments import (
+    FigureResult,
+    hysteresis_ablation,
+    isolation_ablation,
+    limiter_mode_ablation,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_fig3a,
+    run_fig3b,
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_fig6a,
+    run_fig6b,
+    sampling_strategy_ablation,
+    scheduler_interpolation_ablation,
+)
+
+__all__ = ["main", "TARGETS"]
+
+
+def _figs(fn: Callable, *names: str):
+    """Adapter: normalize every runner to name -> list[FigureResult|dict]."""
+
+    def run(seed: int) -> List:
+        result = fn(seed=seed) if "seed" in fn.__code__.co_varnames else fn()
+        if isinstance(result, tuple):
+            return [r for r in result if isinstance(r, FigureResult)] or [result]
+        return [result]
+
+    return names, run
+
+
+def _table(fn: Callable, name: str):
+    def run(seed: int) -> List:
+        return [(name, fn(seed=seed))]
+
+    return (name,), run
+
+
+#: target name -> (aliases, runner)
+TARGETS: Dict[str, Callable] = {}
+for names, runner in (
+    _figs(run_fig3a, "fig3a"),
+    _figs(run_fig3b, "fig3b"),
+    _figs(run_fig4a, "fig4a"),
+    _figs(run_fig4b, "fig4b"),
+    _figs(run_fig5, "fig5", "fig5a", "fig5b"),
+    _figs(run_fig6a, "fig6a"),
+    _figs(run_fig6b, "fig6b"),
+    _figs(lambda seed=0: run_experiment1(seed=seed)[0], "fig7a", "exp1"),
+    _figs(lambda seed=0: run_experiment2(seed=seed)[0], "fig7b", "exp2"),
+    _figs(
+        lambda seed=0: run_experiment3(seed=seed)[:2], "fig7cd", "exp3",
+        "fig7c", "fig7d",
+    ),
+    _table(scheduler_interpolation_ablation, "ablation-a1"),
+    _table(sampling_strategy_ablation, "ablation-a2"),
+    _table(hysteresis_ablation, "ablation-a3"),
+    _table(limiter_mode_ablation, "ablation-a4"),
+    _table(isolation_ablation, "ablation-a5"),
+):
+    for name in names:
+        TARGETS[name] = runner
+
+#: Canonical (deduplicated) target list for `all`.
+CANONICAL = [
+    "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6a", "fig6b",
+    "fig7a", "fig7b", "fig7cd",
+    "ablation-a1", "ablation-a2", "ablation-a3", "ablation-a4", "ablation-a5",
+]
+
+
+def _emit(item, out_dir: Path = None, plot: bool = True) -> None:
+    if isinstance(item, FigureResult):
+        text = item.render(plot=plot)
+        print(text)
+        if out_dir is not None:
+            stem = item.figure.lower().replace(" ", "")
+            (out_dir / f"{stem}.txt").write_text(text + "\n")
+            payload = {
+                "figure": item.figure,
+                "title": item.title,
+                "series": {k: s.points for k, s in item.series.items()},
+                "notes": item.notes,
+            }
+            (out_dir / f"{stem}.json").write_text(json.dumps(payload, indent=1))
+    else:
+        name, data = item
+        print(f"== {name} ==")
+        for k, v in data.items():
+            print(f"  {k}: {v:.6g}" if isinstance(v, float) else f"  {k}: {v}")
+        if out_dir is not None:
+            (out_dir / f"{name}.json").write_text(json.dumps(data, indent=1))
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from Chang & Karamcheti (HPDC 2000).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="figure names (fig3a..fig7cd, exp1..exp3, ablation-a1..a5), "
+        "'list', or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--out", type=Path, default=None, help="artifact directory")
+    parser.add_argument(
+        "--no-plot", action="store_true", help="tables only, no ASCII plots"
+    )
+    args = parser.parse_args(argv)
+
+    if args.targets == ["list"]:
+        for name in CANONICAL:
+            print(name)
+        return 0
+
+    targets = CANONICAL if args.targets == ["all"] else args.targets
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        parser.error(
+            f"unknown target(s) {unknown}; run 'python -m repro.cli list'"
+        )
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    seen = set()
+    for target in targets:
+        runner = TARGETS[target]
+        if id(runner) in seen:
+            continue
+        seen.add(id(runner))
+        for item in runner(args.seed):
+            _emit(item, out_dir=args.out, plot=not args.no_plot)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Background (daemon) load generators.
+
+The paper attributes the only visible testbed inaccuracy at 100 % CPU share
+to "daemons and other uncontrollable OS activity" (Fig. 3b footnote).  These
+processes reproduce that effect: they inject small CPU bursts that compete
+with application jobs on the host CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from .host import Host
+
+__all__ = ["BackgroundLoad", "PeriodicDaemon"]
+
+
+class BackgroundLoad:
+    """Poisson bursts of daemon CPU work on a host.
+
+    ``mean_interval`` seconds between bursts (exponential), each burst
+    costing ``burst_work`` work units (exponential around the mean).  The
+    long-run CPU fraction stolen is roughly
+    ``burst_work / (mean_interval * cpu_speed)`` when the host is loaded.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        rng: np.random.Generator,
+        mean_interval: float = 0.25,
+        burst_work: Optional[float] = None,
+        weight: float = 1.0,
+    ):
+        self.host = host
+        self.rng = rng
+        self.mean_interval = float(mean_interval)
+        # Default: ~2% of the CPU when busy.
+        self.burst_work = (
+            float(burst_work)
+            if burst_work is not None
+            else 0.02 * host.cpu.speed * mean_interval
+        )
+        self.weight = float(weight)
+        self.total_work_injected = 0.0
+        self._stopped = False
+        self.process = host.sim.process(self._run(), name=f"daemon@{host.name}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        sim: Simulator = self.host.sim
+        while not self._stopped:
+            gap = self.rng.exponential(self.mean_interval)
+            yield sim.timeout(gap)
+            if self._stopped:
+                return
+            work = self.rng.exponential(self.burst_work)
+            self.total_work_injected += work
+            job = self.host.cpu.execute(work, weight=self.weight, owner=self)
+            yield job.done
+
+
+class PeriodicDaemon:
+    """Deterministic periodic daemon (e.g. a timer interrupt handler)."""
+
+    def __init__(
+        self,
+        host: Host,
+        period: float,
+        work_per_tick: float,
+        weight: float = 1.0,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.host = host
+        self.period = float(period)
+        self.work_per_tick = float(work_per_tick)
+        self.weight = float(weight)
+        self.total_work_injected = 0.0
+        self._stopped = False
+        self.process = host.sim.process(self._run(), name=f"tick@{host.name}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        sim = self.host.sim
+        while not self._stopped:
+            yield sim.timeout(self.period)
+            if self._stopped:
+                return
+            self.total_work_injected += self.work_per_tick
+            job = self.host.cpu.execute(
+                self.work_per_tick, weight=self.weight, owner=self
+            )
+            yield job.done

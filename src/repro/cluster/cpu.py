@@ -1,0 +1,58 @@
+"""Processor model: a fluid-shared CPU with usage accounting.
+
+Speed is expressed in abstract *work units per second*.  The machine catalog
+(:mod:`repro.cluster.machines`) maps real processors onto this scale two
+ways — raw clock rate for register-bound loops, SpecInt index for general
+code — mirroring how the paper picks emulation CPU shares (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import FluidJob, FluidShare, Simulator
+
+__all__ = ["CPU"]
+
+
+class CPU:
+    """A host processor shared by competing jobs (proportional share)."""
+
+    def __init__(self, sim: Simulator, speed: float, name: str = "cpu"):
+        self.sim = sim
+        self.name = name
+        self.share = FluidShare(sim, speed, name=name)
+
+    @property
+    def speed(self) -> float:
+        return self.share.speed
+
+    def set_speed(self, speed: float) -> None:
+        self.share.set_speed(speed)
+
+    def execute(
+        self,
+        work: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner: Optional[object] = None,
+    ) -> FluidJob:
+        """Submit ``work`` units of computation; returns the fluid job.
+
+        ``yield job.done`` to wait for completion.  ``cap`` is an absolute
+        rate ceiling in work units/second (sandbox CPU-share limits divide a
+        share fraction by the speed before calling this).
+        """
+        return self.share.submit(work, weight=weight, cap=cap, owner=owner)
+
+    def snapshot(self) -> tuple:
+        return self.share.snapshot()
+
+    def utilization_since(self, t0: float, served0: float) -> float:
+        return self.share.utilization_since(t0, served0)
+
+    def sync(self) -> None:
+        self.share.sync()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CPU {self.name!r} speed={self.speed}>"

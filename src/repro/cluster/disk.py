@@ -1,0 +1,106 @@
+"""Disk model: fluid-shared transfer bandwidth plus per-operation seek.
+
+The paper's sandbox "constrains application utilization (in terms of
+capacity) of system resources such as the CPU, memory, **disk**, and
+network"; the experiments never vary disk, but the substrate supports it
+the same way as the others: concurrent operations share the disk's
+transfer bandwidth fluidly (weighted, cappable), and every operation pays
+a fixed seek/rotational latency up front.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..sim import Event, FluidJob, FluidShare, Simulator
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """A host's disk: ``bandwidth`` bytes/s shared across operations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = 20e6,
+        seek_time: float = 0.008,
+        name: str = "disk",
+    ):
+        if seek_time < 0:
+            raise ValueError(f"seek_time must be non-negative, got {seek_time!r}")
+        self.sim = sim
+        self.name = name
+        self.seek_time = float(seek_time)
+        self.share = FluidShare(sim, bandwidth, name=name)
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.operations = 0
+
+    @property
+    def bandwidth(self) -> float:
+        return self.share.speed
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        self.share.set_speed(bandwidth)
+
+    def _transfer(
+        self,
+        nbytes: float,
+        weight: float,
+        cap: Optional[float],
+        owner,
+        kind: str,
+    ) -> Event:
+        if nbytes < 0:
+            raise ValueError(f"size must be non-negative, got {nbytes!r}")
+        done = Event(self.sim)
+        self.operations += 1
+
+        def start_transfer() -> None:
+            job = self.share.submit(nbytes, weight=weight, cap=cap, owner=owner)
+
+            def finish(event: Event) -> None:
+                if not event._ok:  # pragma: no cover - cancel path
+                    done.defused = True
+                    done.fail(event._value)
+                    return
+                if kind == "read":
+                    self.bytes_read += nbytes
+                else:
+                    self.bytes_written += nbytes
+                done.succeed(self.sim.now)
+
+            if job.done.callbacks is not None:
+                job.done.callbacks.append(finish)
+            else:
+                finish(job.done)
+
+        if self.seek_time > 0:
+            self.sim.schedule_callback(self.seek_time, start_transfer)
+        else:
+            start_transfer()
+        return done
+
+    def read(
+        self,
+        nbytes: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner=None,
+    ) -> Event:
+        """Read ``nbytes``; the event fires when the data is in memory."""
+        return self._transfer(nbytes, weight, cap, owner, "read")
+
+    def write(
+        self,
+        nbytes: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner=None,
+    ) -> Event:
+        """Write ``nbytes``; the event fires when the data is durable."""
+        return self._transfer(nbytes, weight, cap, owner, "write")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Disk {self.name!r} bw={self.bandwidth} seek={self.seek_time}>"

@@ -1,0 +1,67 @@
+"""Host model: CPU + memory + mailboxes, attached to a network."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim import Simulator, Store
+from .cpu import CPU
+from .disk import Disk
+from .memory import Memory
+from .network import NICStats
+
+__all__ = ["Host"]
+
+
+class Host:
+    """A machine in the simulated execution environment.
+
+    ``cpu_speed`` is in abstract work units per second (see
+    :mod:`repro.cluster.machines`), ``mem_pages`` is physical memory size.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_speed: float,
+        mem_pages: int = 32768,
+        disk_bandwidth: float = 20e6,
+        disk_seek: float = 0.008,
+    ):
+        self.sim = sim
+        self.name = name
+        self.cpu = CPU(sim, cpu_speed, name=f"{name}.cpu")
+        self.memory = Memory(mem_pages)
+        self.disk = Disk(sim, disk_bandwidth, disk_seek, name=f"{name}.disk")
+        self.nic_stats = NICStats(sim)
+        self.network = None  # set by Network.register
+        self._mailboxes: Dict[str, Store] = {}
+
+    def mailbox(self, port: str) -> Store:
+        """Get (or lazily create) the message queue for ``port``."""
+        box = self._mailboxes.get(port)
+        if box is None:
+            box = Store(self.sim)
+            self._mailboxes[port] = box
+        return box
+
+    def send(
+        self,
+        dst: str,
+        port: str,
+        payload,
+        size: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner=None,
+    ):
+        """Send a message from this host; returns the delivery event."""
+        if self.network is None:
+            raise RuntimeError(f"host {self.name!r} is not attached to a network")
+        return self.network.send(
+            self.name, dst, port, payload, size, weight=weight, cap=cap, owner=owner
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name!r} cpu={self.cpu.speed}>"

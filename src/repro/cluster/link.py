@@ -1,0 +1,101 @@
+"""Network link model: fluid-shared bandwidth plus propagation latency.
+
+A :class:`Link` is unidirectional; :func:`duplex` builds the usual pair.
+Concurrent transfers share the bandwidth fluidly (weighted, cappable), so a
+sandboxed flow can be rate-limited without affecting other traffic —
+exactly the "delaying sending and receiving of messages" control of the
+paper's virtual execution environment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..sim import Event, FluidJob, FluidShare, Simulator
+
+__all__ = ["Link", "duplex"]
+
+
+class Link:
+    """Unidirectional link with fluid-shared bandwidth (bytes/second)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "link",
+    ):
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency!r}")
+        self.sim = sim
+        self.name = name
+        self.latency = float(latency)
+        self.share = FluidShare(sim, bandwidth, name=name)
+        self.bytes_carried = 0.0
+
+    @property
+    def bandwidth(self) -> float:
+        return self.share.speed
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        self.share.set_speed(bandwidth)
+
+    def transfer(
+        self,
+        size: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner: Optional[object] = None,
+    ) -> Tuple[FluidJob, Event]:
+        """Start a transfer of ``size`` bytes.
+
+        Returns ``(job, delivered)``: the fluid job draining the bytes onto
+        the wire, and an event firing when the last byte *arrives* (transfer
+        completion + propagation latency).
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size!r}")
+        job = self.share.submit(size, weight=weight, cap=cap, owner=owner)
+        delivered = Event(self.sim)
+
+        def on_drained(done_event: Event) -> None:
+            if not done_event._ok:
+                delivered.defused = True
+                delivered.fail(done_event._value)
+                return
+            self.bytes_carried += size
+            if self.latency > 0:
+                self.sim.schedule_callback(
+                    self.latency, lambda: delivered.succeed(self.sim.now)
+                )
+            else:
+                delivered.succeed(self.sim.now)
+
+        if job.done.callbacks is not None:
+            job.done.callbacks.append(on_drained)
+        else:  # zero-size transfer already completed
+            on_drained(job.done)
+        return job, delivered
+
+    def snapshot(self) -> tuple:
+        return self.share.snapshot()
+
+    def utilization_since(self, t0: float, served0: float) -> float:
+        return self.share.utilization_since(t0, served0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name!r} bw={self.bandwidth} lat={self.latency}>"
+
+
+def duplex(
+    sim: Simulator,
+    bandwidth: float,
+    latency: float = 0.0,
+    name: str = "link",
+) -> Tuple[Link, Link]:
+    """A pair of independent unidirectional links (forward, reverse)."""
+    return (
+        Link(sim, bandwidth, latency, name=f"{name}:fwd"),
+        Link(sim, bandwidth, latency, name=f"{name}:rev"),
+    )

@@ -1,0 +1,62 @@
+"""Catalog of the paper's experimental machines (Section 5.1).
+
+The experiments use four PCs: two Pentium II 450 MHz, one Pentium II
+333 MHz, one Pentium Pro 200 MHz, all with 128 MB memory, on 100 Mbps
+Ethernet.  The paper's testbed emulates slower machines on a PII-450 by
+setting the sandbox CPU share to
+
+- the *clock ratio* for the register-bound toy loop (Fig. 4a), and
+- the *SpecInt95 ratio* for the general visualization client (Fig. 4b).
+
+We carry both indexes so experiments can pick the appropriate scale.
+SpecInt95 values are period-typical published figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MachineSpec",
+    "PII_450",
+    "PII_333",
+    "PPRO_200",
+    "MACHINES",
+    "PAGE_BYTES",
+    "ETHERNET_100_BPS",
+]
+
+#: Simulated page size (bytes).
+PAGE_BYTES = 4096
+
+#: 100 Mbps Ethernet in bytes/second (as in the paper's LAN).
+ETHERNET_100_BPS = 100e6 / 8
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a physical machine model."""
+
+    name: str
+    clock_mhz: float
+    specint95: float
+    mem_mb: int = 128
+
+    @property
+    def mem_pages(self) -> int:
+        return int(self.mem_mb * 1024 * 1024 // PAGE_BYTES)
+
+    def clock_ratio(self, other: "MachineSpec") -> float:
+        """This machine's clock as a fraction of ``other``'s."""
+        return self.clock_mhz / other.clock_mhz
+
+    def specint_ratio(self, other: "MachineSpec") -> float:
+        """This machine's SpecInt95 index as a fraction of ``other``'s."""
+        return self.specint95 / other.specint95
+
+
+PII_450 = MachineSpec(name="PentiumII-450", clock_mhz=450.0, specint95=17.2)
+PII_333 = MachineSpec(name="PentiumII-333", clock_mhz=333.0, specint95=12.8)
+PPRO_200 = MachineSpec(name="PentiumPro-200", clock_mhz=200.0, specint95=8.2)
+
+MACHINES = {m.name: m for m in (PII_450, PII_333, PPRO_200)}

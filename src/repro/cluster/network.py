@@ -1,0 +1,154 @@
+"""Host-to-host message passing over explicit links.
+
+The :class:`Network` keeps a directed link table between named hosts and
+delivers :class:`Message` objects into per-port mailboxes on the destination
+host.  Transfers contend for link bandwidth fluidly; a per-message ``cap``
+implements sandbox bandwidth limits on individual flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim import Event, Simulator
+from .link import Link
+
+__all__ = ["Message", "Network", "NetworkError"]
+
+
+class NetworkError(Exception):
+    """Raised on routing/registration problems."""
+
+
+_msg_ids = count(1)
+
+
+@dataclass
+class Message:
+    """One network message.
+
+    ``size`` is the wire size in bytes; ``payload`` is arbitrary and costs
+    nothing by itself.  Timing fields are filled in by the network.
+    """
+
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    size: float
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+
+    @property
+    def transfer_duration(self) -> float:
+        return self.deliver_time - self.send_time
+
+
+class Network:
+    """Topology of hosts and directed links with message delivery."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.hosts: Dict[str, "Host"] = {}  # noqa: F821 - forward ref
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.messages_delivered = 0
+
+    # -- topology -----------------------------------------------------------
+    def register(self, host) -> None:
+        if host.name in self.hosts:
+            raise NetworkError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        host.network = self
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth: float,
+        latency: float = 0.0,
+    ) -> Tuple[Link, Link]:
+        """Create a duplex link between registered hosts ``a`` and ``b``."""
+        for name in (a, b):
+            if name not in self.hosts:
+                raise NetworkError(f"unknown host {name!r}")
+        fwd = Link(self.sim, bandwidth, latency, name=f"{a}->{b}")
+        rev = Link(self.sim, bandwidth, latency, name=f"{b}->{a}")
+        self._links[(a, b)] = fwd
+        self._links[(b, a)] = rev
+        return fwd, rev
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"no link {src!r} -> {dst!r}") from None
+
+    # -- messaging ------------------------------------------------------------
+    def send(
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        size: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner: Optional[object] = None,
+    ) -> Event:
+        """Transmit a message; returns an event firing at delivery.
+
+        The event's value is the delivered :class:`Message`.  Delivery also
+        enqueues the message into the destination host's mailbox for ``port``.
+        """
+        link = self.link(src, dst)
+        msg = Message(src=src, dst=dst, port=port, payload=payload, size=size)
+        msg.send_time = self.sim.now
+        _job, arrived = link.transfer(size, weight=weight, cap=cap, owner=owner)
+        done = Event(self.sim)
+
+        def on_arrival(event: Event) -> None:
+            if not event._ok:
+                done.defused = True
+                done.fail(event._value)
+                return
+            msg.deliver_time = self.sim.now
+            self.messages_delivered += 1
+            dst_host = self.hosts[dst]
+            dst_host.mailbox(port).put(msg)
+            dst_host.nic_stats.record_recv(msg)
+            self.hosts[src].nic_stats.record_send(msg)
+            done.succeed(msg)
+
+        if arrived.callbacks is not None:
+            arrived.callbacks.append(on_arrival)
+        else:  # pragma: no cover - zero-size, zero-latency fast path
+            on_arrival(arrived)
+        return done
+
+
+class NICStats:
+    """Per-host traffic counters used by the monitoring agent."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+        self.sends = 0
+        self.recvs = 0
+        #: (deliver_time, size, duration) of recent receptions.
+        self.recv_log: list = []
+        self.recv_log_limit = 4096
+
+    def record_send(self, msg: Message) -> None:
+        self.bytes_sent += msg.size
+        self.sends += 1
+
+    def record_recv(self, msg: Message) -> None:
+        self.bytes_received += msg.size
+        self.recvs += 1
+        self.recv_log.append((msg.deliver_time, msg.size, msg.transfer_duration))
+        if len(self.recv_log) > self.recv_log_limit:
+            del self.recv_log[: self.recv_log_limit // 2]

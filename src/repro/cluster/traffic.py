@@ -1,0 +1,67 @@
+"""Background cross-traffic on network links.
+
+The dual of :class:`~repro.cluster.background.BackgroundLoad` for the
+network: competing flows that contend with the application for link
+bandwidth.  Used to test the monitoring agent against *competition-induced*
+bandwidth changes (as opposed to sandbox-enforced ones), the scenario the
+paper's shared-environment motivation describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from .link import Link
+
+__all__ = ["CrossTraffic"]
+
+
+class CrossTraffic:
+    """Poisson bursts of bulk transfers injected on a link.
+
+    ``mean_interval`` seconds between bursts; each burst transfers
+    ``burst_bytes`` (exponential around the mean) at fair share with weight
+    ``weight``.  The long-run fraction of the link consumed is roughly
+    ``burst_bytes / (mean_interval * bandwidth)`` while active.
+    """
+
+    def __init__(
+        self,
+        link: Link,
+        rng: np.random.Generator,
+        mean_interval: float = 1.0,
+        burst_bytes: Optional[float] = None,
+        weight: float = 1.0,
+    ):
+        if mean_interval <= 0:
+            raise ValueError(f"mean_interval must be positive, got {mean_interval!r}")
+        self.link = link
+        self.rng = rng
+        self.mean_interval = float(mean_interval)
+        self.burst_bytes = (
+            float(burst_bytes)
+            if burst_bytes is not None
+            else 0.5 * link.bandwidth * mean_interval
+        )
+        self.weight = float(weight)
+        self.bytes_injected = 0.0
+        self._stopped = False
+        self.process = link.sim.process(self._run(), name=f"xtraffic@{link.name}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        sim: Simulator = self.link.sim
+        while not self._stopped:
+            gap = self.rng.exponential(self.mean_interval)
+            yield sim.timeout(gap)
+            if self._stopped:
+                return
+            size = self.rng.exponential(self.burst_bytes)
+            self.bytes_injected += size
+            _job, delivered = self.link.transfer(size, weight=self.weight, owner=self)
+            yield delivered

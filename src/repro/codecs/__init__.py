@@ -1,0 +1,36 @@
+"""Codecs: wavelet pyramids, real compressors, and virtual-cost models."""
+
+from .images import image_series, synthetic_image
+from .lzw import lzw_compress, lzw_decompress
+from .model import BZ2, CODECS, LZW, MTF_RLE, NULL, Codec, get_codec
+from .rle import mtf_decode, mtf_encode, rle_compress, rle_decompress
+from .wavelet import (
+    WaveletPyramid,
+    haar2d_decompose,
+    haar2d_forward,
+    haar2d_inverse,
+    haar2d_reconstruct,
+)
+
+__all__ = [
+    "WaveletPyramid",
+    "haar2d_forward",
+    "haar2d_inverse",
+    "haar2d_decompose",
+    "haar2d_reconstruct",
+    "lzw_compress",
+    "lzw_decompress",
+    "rle_compress",
+    "rle_decompress",
+    "mtf_encode",
+    "mtf_decode",
+    "Codec",
+    "CODECS",
+    "get_codec",
+    "NULL",
+    "LZW",
+    "BZ2",
+    "MTF_RLE",
+    "synthetic_image",
+    "image_series",
+]

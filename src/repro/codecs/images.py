@@ -1,0 +1,55 @@
+"""Synthetic image generation for the visualization workload.
+
+The paper's server hosts "large images".  We synthesize images with natural
+spatial statistics (smooth gradients + band-limited texture + edges) so
+that wavelet coefficients and compression ratios behave like real imagery:
+LZW reaching roughly 2:1 and bzip2 roughly 3-4:1 on the quantized pixel
+streams, matching the relationships that drive Fig. 6(a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["synthetic_image", "image_series"]
+
+
+def synthetic_image(side: int, seed: int = 0, texture: float = 0.5) -> np.ndarray:
+    """A ``side x side`` grayscale image in [0, 255] with natural statistics.
+
+    Composition: a smooth illumination gradient, low-frequency blobs, a few
+    hard-edged rectangles (text/figure-like content), and mild pixel noise.
+    The default ``texture`` keeps the quantized pixels compressible like the
+    document/figure imagery the application targets (LZW ~2:1, bzip2 ~3-4:1
+    — the paper's "compression A"/"compression B" regime).
+    """
+    if side < 8 or side & (side - 1):
+        raise ValueError(f"side must be a power of two >= 8, got {side!r}")
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:side, 0:side].astype(np.float64) / side
+
+    img = 96.0 + 64.0 * x + 32.0 * y  # illumination gradient
+
+    # Low-frequency blobs: sum of random 2-D cosines.
+    for _ in range(6):
+        fx, fy = rng.uniform(0.5, 3.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi, size=2)
+        amp = rng.uniform(8.0, 24.0)
+        img += amp * np.cos(2 * np.pi * fx * x + phase[0]) * np.cos(
+            2 * np.pi * fy * y + phase[1]
+        )
+
+    # Hard-edged rectangles.
+    for _ in range(8):
+        x0, y0 = rng.integers(0, side - side // 8, size=2)
+        w, h = rng.integers(side // 16, side // 4, size=2)
+        delta = rng.uniform(-48.0, 48.0)
+        img[x0 : x0 + w, y0 : y0 + h] += delta
+
+    img += rng.normal(0.0, texture / 4.0, size=img.shape)
+    return np.clip(img, 0.0, 255.0)
+
+
+def image_series(count: int, side: int, seed: int = 0) -> list:
+    """``count`` distinct synthetic images (the experiments download ten)."""
+    return [synthetic_image(side, seed=seed * 1000 + i) for i in range(count)]

@@ -1,0 +1,165 @@
+"""2-D Haar wavelet transform and multiresolution image pyramids.
+
+The active visualization server stores images "as wavelet coefficients,
+enabling the construction of images at different levels of resolution".
+This module implements that substrate for real: a vectorized 2-D Haar
+analysis/synthesis pair and a :class:`WaveletPyramid` that reconstructs any
+resolution level or sub-region from the coefficient tree.
+
+Conventions
+-----------
+- Images are 2-D ``float64`` arrays with side lengths divisible by
+  ``2**levels``.
+- Level 0 is the *coarsest* approximation; level ``L`` is the original
+  image, so level ``l`` has side ``side / 2**(L - l)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "haar2d_forward",
+    "haar2d_inverse",
+    "haar2d_decompose",
+    "haar2d_reconstruct",
+    "WaveletPyramid",
+]
+
+
+def haar2d_forward(image: np.ndarray) -> Tuple[np.ndarray, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """One analysis step: image -> (LL, (LH, HL, HH)).
+
+    Uses the orthonormal Haar filters, so ``haar2d_inverse`` reconstructs
+    exactly (up to float rounding).
+    """
+    a = np.asarray(image, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {a.shape}")
+    if a.shape[0] % 2 or a.shape[1] % 2:
+        raise ValueError(f"both sides must be even, got {a.shape}")
+    # Rows.
+    lo = (a[:, 0::2] + a[:, 1::2]) / np.sqrt(2.0)
+    hi = (a[:, 0::2] - a[:, 1::2]) / np.sqrt(2.0)
+    # Columns.
+    ll = (lo[0::2, :] + lo[1::2, :]) / np.sqrt(2.0)
+    lh = (lo[0::2, :] - lo[1::2, :]) / np.sqrt(2.0)
+    hl = (hi[0::2, :] + hi[1::2, :]) / np.sqrt(2.0)
+    hh = (hi[0::2, :] - hi[1::2, :]) / np.sqrt(2.0)
+    return ll, (lh, hl, hh)
+
+
+def haar2d_inverse(
+    ll: np.ndarray, details: Tuple[np.ndarray, np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """One synthesis step: (LL, (LH, HL, HH)) -> image."""
+    lh, hl, hh = details
+    h, w = ll.shape
+    lo = np.empty((2 * h, w), dtype=np.float64)
+    hi = np.empty((2 * h, w), dtype=np.float64)
+    lo[0::2, :] = (ll + lh) / np.sqrt(2.0)
+    lo[1::2, :] = (ll - lh) / np.sqrt(2.0)
+    hi[0::2, :] = (hl + hh) / np.sqrt(2.0)
+    hi[1::2, :] = (hl - hh) / np.sqrt(2.0)
+    out = np.empty((2 * h, 2 * w), dtype=np.float64)
+    out[:, 0::2] = (lo + hi) / np.sqrt(2.0)
+    out[:, 1::2] = (lo - hi) / np.sqrt(2.0)
+    return out
+
+
+def haar2d_decompose(image: np.ndarray, levels: int) -> List:
+    """Full decomposition: ``[LL_coarsest, details_1, ..., details_levels]``.
+
+    ``details_k`` are the (LH, HL, HH) triple added when moving from
+    resolution level ``k-1`` to level ``k`` (fine scales last).
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels!r}")
+    a = np.asarray(image, dtype=np.float64)
+    side = min(a.shape)
+    if side // (2**levels) < 1 or a.shape[0] % (2**levels) or a.shape[1] % (2**levels):
+        raise ValueError(
+            f"image shape {a.shape} does not support {levels} halvings"
+        )
+    details = []
+    current = a
+    for _ in range(levels):
+        current, d = haar2d_forward(current)
+        details.append(d)
+    details.reverse()  # coarsest-first
+    return [current] + details
+
+
+def haar2d_reconstruct(decomposition: List, upto_level: int = -1) -> np.ndarray:
+    """Rebuild the image from a decomposition, optionally stopping early.
+
+    ``upto_level = 0`` returns the coarsest approximation, ``k`` applies the
+    first ``k`` detail bands, ``-1`` (default) applies all of them.
+    """
+    ll = decomposition[0]
+    details = decomposition[1:]
+    if upto_level == -1:
+        upto_level = len(details)
+    if not 0 <= upto_level <= len(details):
+        raise ValueError(
+            f"upto_level must be in [0, {len(details)}], got {upto_level!r}"
+        )
+    current = ll
+    for d in details[:upto_level]:
+        current = haar2d_inverse(current, d)
+    return current
+
+
+class WaveletPyramid:
+    """Server-side multiresolution store for one image.
+
+    The pyramid caches the reconstructed approximation at every level so the
+    server can cheaply answer "give me region (x, y, r) at level l" requests,
+    and exposes byte encodings of regions for transmission.
+    """
+
+    def __init__(self, image: np.ndarray, levels: int):
+        self.levels = int(levels)
+        self.decomposition = haar2d_decompose(image, levels)
+        self._approx: Dict[int, np.ndarray] = {}
+        current = self.decomposition[0]
+        self._approx[0] = current
+        for k, d in enumerate(self.decomposition[1:], start=1):
+            current = haar2d_inverse(current, d)
+            self._approx[k] = current
+
+    @property
+    def full_resolution(self) -> np.ndarray:
+        return self._approx[self.levels]
+
+    def side(self, level: int) -> int:
+        """Image side length at ``level``."""
+        return self.level_image(level).shape[0]
+
+    def level_image(self, level: int) -> np.ndarray:
+        if level not in self._approx:
+            raise ValueError(f"level must be in [0, {self.levels}], got {level!r}")
+        return self._approx[level]
+
+    def region(self, level: int, x0: int, y0: int, x1: int, y1: int) -> np.ndarray:
+        """Rectangular region [x0:x1) x [y0:y1) of the level-``level`` image.
+
+        Coordinates are clipped to the image bounds.
+        """
+        img = self.level_image(level)
+        h, w = img.shape
+        x0, x1 = max(0, x0), min(h, x1)
+        y0, y1 = max(0, y0), min(w, y1)
+        if x0 >= x1 or y0 >= y1:
+            return np.zeros((0, 0))
+        return img[x0:x1, y0:y1]
+
+    def region_bytes(self, level: int, x0: int, y0: int, x1: int, y1: int) -> bytes:
+        """Quantized byte encoding of a region (1 byte/pixel, as on the wire)."""
+        region = self.region(level, x0, y0, x1, y1)
+        if region.size == 0:
+            return b""
+        clipped = np.clip(np.round(region), 0, 255).astype(np.uint8)
+        return clipped.tobytes()

@@ -1,0 +1,53 @@
+"""Experiment harness: one module per paper figure, plus ablations."""
+
+from .ablations import (
+    hysteresis_ablation,
+    isolation_ablation,
+    limiter_mode_ablation,
+    sampling_strategy_ablation,
+    scheduler_interpolation_ablation,
+)
+from .common import FigureResult, Series, ascii_plot, render_table
+from .extension_memory import memory_database, run_memory_adaptation
+from .fig3 import run_fig3a, run_fig3b
+from .fig4 import run_fig4a, run_fig4b
+from .fig5 import fig5_database, run_fig5
+from .fig6 import fig6a_database, fig6b_database, run_fig6a, run_fig6b
+from .fig7 import (
+    AdaptiveRun,
+    ResourceVariation,
+    run_adaptive_viz,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+)
+
+__all__ = [
+    "Series",
+    "FigureResult",
+    "render_table",
+    "ascii_plot",
+    "run_fig3a",
+    "memory_database",
+    "run_memory_adaptation",
+    "run_fig3b",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5",
+    "fig5_database",
+    "run_fig6a",
+    "run_fig6b",
+    "fig6a_database",
+    "fig6b_database",
+    "run_experiment1",
+    "run_experiment2",
+    "run_experiment3",
+    "run_adaptive_viz",
+    "AdaptiveRun",
+    "ResourceVariation",
+    "scheduler_interpolation_ablation",
+    "sampling_strategy_ablation",
+    "hysteresis_ablation",
+    "limiter_mode_ablation",
+    "isolation_ablation",
+]

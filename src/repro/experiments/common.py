@@ -1,0 +1,139 @@
+"""Shared experiment harness: series containers and terminal rendering.
+
+Every figure module returns a :class:`FigureResult` holding named
+:class:`Series`; benchmarks assert on the series' qualitative shape and the
+harness prints them as aligned tables plus an ASCII sketch, so the paper's
+plots can be eyeballed straight from the terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "FigureResult", "render_table", "ascii_plot"]
+
+
+@dataclass
+class Series:
+    """One plotted curve: (x, y) points plus a label."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    @property
+    def xs(self) -> List[float]:
+        return [x for x, _ in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float, tol: float = 1e-9) -> float:
+        for px, py in self.points:
+            if abs(px - x) <= tol:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x!r}")
+
+    def monotone(self) -> str:
+        """"increasing" / "decreasing" / "mixed" over x order."""
+        ys = [y for _, y in sorted(self.points)]
+        inc = all(a <= b + 1e-12 for a, b in zip(ys, ys[1:]))
+        dec = all(a >= b - 1e-12 for a, b in zip(ys, ys[1:]))
+        if inc and not dec:
+            return "increasing"
+        if dec and not inc:
+            return "decreasing"
+        if inc and dec:
+            return "constant"
+        return "mixed"
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure, plus free-form notes."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series[label] = s
+        return s
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self, plot: bool = True, width: int = 72, height: int = 16) -> str:
+        out = [f"== {self.figure}: {self.title} =="]
+        out.append(render_table(self))
+        if plot and any(s.points for s in self.series.values()):
+            out.append(ascii_plot(self, width=width, height=height))
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+
+def render_table(result: FigureResult) -> str:
+    """Aligned x/series table of every curve in the figure."""
+    xs: List[float] = sorted({x for s in result.series.values() for x, _ in s.points})
+    labels = list(result.series)
+    header = [result.xlabel] + labels
+    rows = [header]
+    for x in xs:
+        row = [f"{x:g}"]
+        for label in labels:
+            try:
+                row.append(f"{result.series[label].y_at(x):.3f}")
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for r in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_plot(result: FigureResult, width: int = 72, height: int = 16) -> str:
+    """Minimal terminal scatter of every series (one mark per series)."""
+    pts = [(x, y) for s in result.series.values() for x, y in s.points]
+    if not pts:
+        return "(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, (label, series) in enumerate(result.series.items()):
+        mark = _MARKS[i % len(_MARKS)]
+        for x, y in series.points:
+            col = int((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - int((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{y1:10.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y0:10.3g} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x0:<12g}{result.xlabel:^{max(0, width - 24)}}{x1:>12g}"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]}={label}" for i, label in enumerate(result.series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

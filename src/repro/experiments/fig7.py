@@ -1,0 +1,318 @@
+"""Figure 7: run-time adaptation experiments (Section 7).
+
+Each experiment runs the adaptive application against a mid-run resource
+variation and also runs the two relevant static configurations, plotting
+per-image metrics versus time:
+
+- Experiment 1 (Fig. 7a): network bandwidth 500 KB/s -> 50 KB/s at t=25 s;
+  objective: minimize transmission time; adaptation switches compression
+  A -> B mid-image.
+- Experiment 2 (Fig. 7b): CPU share 90 % -> 40 % at t=30 s; constraint:
+  transmission time <= 10 s, maximize resolution; adaptation degrades the
+  resolution level 4 -> 3.
+- Experiment 3 (Fig. 7c/d): CPU share 90 % -> 40 % at t=40 s; constraint:
+  average response time <= 1 s, minimize transmission time; adaptation
+  shrinks the fovea 320 -> 80.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.visualization import VizWorkload, make_viz_app
+from ..profiling import PerformanceDatabase, ResourcePoint
+from ..runtime import (
+    AdaptationController,
+    Objective,
+    ResourceScheduler,
+    UserPreference,
+)
+from ..sandbox import ResourceLimits, Testbed
+from ..tunable import Configuration, MetricRange, Preprocessor
+from .common import FigureResult
+from .fig5 import EXP3_BW, EXP3_COSTS, fig5_database
+from .fig6 import EXP1_COSTS, EXP2_BW, EXP2_COSTS, fig6a_database, fig6b_database
+
+__all__ = [
+    "AdaptiveRun",
+    "run_adaptive_viz",
+    "run_experiment1",
+    "run_experiment2",
+    "run_experiment3",
+    "ResourceVariation",
+]
+
+
+@dataclass(frozen=True)
+class ResourceVariation:
+    """Change the client sandbox limits at a point in time."""
+
+    at: float
+    limits: ResourceLimits
+
+
+@dataclass
+class AdaptiveRun:
+    """Everything observed in one (adaptive or static) run."""
+
+    label: str
+    workload: VizWorkload
+    qos: Dict[str, float]
+    switches: List[Tuple[float, Configuration, Configuration]] = field(
+        default_factory=list
+    )
+    events: list = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def image_series(self) -> List[Tuple[float, float]]:
+        return list(self.workload.image_times)
+
+    @property
+    def response_series(self) -> List[Tuple[float, float]]:
+        return list(self.workload.round_times)
+
+
+def run_adaptive_viz(
+    db: PerformanceDatabase,
+    preference: UserPreference,
+    initial_point: ResourcePoint,
+    initial_limits: Dict[str, ResourceLimits],
+    variations: Tuple[ResourceVariation, ...],
+    workload_costs,
+    n_images: int = 10,
+    adaptive: bool = True,
+    forced_config: Optional[Configuration] = None,
+    scheduler_mode: str = "interpolate",
+    label: str = "",
+    seed: int = 0,
+    until: float = 10_000.0,
+    monitor_kwargs: Optional[dict] = None,
+    optimality_slack: float = 0.1,
+) -> AdaptiveRun:
+    """Run the visualization app under a resource-variation scenario.
+
+    With ``adaptive=False`` and ``forced_config``, runs a static
+    configuration for the comparison curves of Fig. 7.
+    """
+    app = make_viz_app()
+    scheduler = ResourceScheduler(
+        db, preference, mode=scheduler_mode, optimality_slack=optimality_slack
+    )
+    controller = AdaptationController(
+        scheduler,
+        monitoring_plan=Preprocessor(app).monitoring_plan(),
+        monitor_kwargs=monitor_kwargs
+        or {"window": 2.0, "cooldown": 5.0, "period": 0.01},
+    )
+    if forced_config is not None:
+        config = forced_config
+    else:
+        config = controller.select_initial(initial_point).config
+
+    testbed = Testbed(
+        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(), seed=seed
+    )
+    workload = VizWorkload(n_images=n_images, costs=workload_costs, seed=seed)
+    rt = app.instantiate(testbed, config, limits=initial_limits, workload=workload)
+    if adaptive:
+        if forced_config is not None:
+            controller.current_decision = scheduler.select(initial_point)
+        controller.attach(rt)
+
+    def vary():
+        for variation in variations:
+            yield testbed.sim.timeout(variation.at - testbed.sim.now)
+            rt.sandboxes["client"].set_limits(variation.limits)
+
+    if variations:
+        testbed.sim.process(vary())
+    testbed.run(until=until)
+    testbed.shutdown()
+    if not rt.finished.triggered:
+        raise RuntimeError(f"run {label!r} did not finish by t={until}")
+    return AdaptiveRun(
+        label=label or (config.label() if not adaptive else "adaptive"),
+        workload=workload,
+        qos=rt.qos.snapshot(),
+        switches=list(rt.controls.history),
+        events=list(controller.events) if adaptive else [],
+        total_time=workload.image_times[-1][0] if workload.image_times else 0.0,
+    )
+
+
+# ------------------------------------------------------------ experiment 1
+
+
+def run_experiment1(
+    seed: int = 0,
+    n_images: int = 10,
+    switch_at: float = 25.0,
+    db: Optional[PerformanceDatabase] = None,
+) -> Tuple[FigureResult, Dict[str, AdaptiveRun]]:
+    """Adapting the compression method to network conditions (Fig. 7a)."""
+    if db is None:
+        db, _dims, _configs = fig6a_database(seed=seed)
+    preference = UserPreference.single(Objective("transmit_time", "minimize"))
+    initial_point = ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
+    initial_limits = {"client": ResourceLimits(net_bw=500e3)}
+    variations = (ResourceVariation(switch_at, ResourceLimits(net_bw=50e3)),)
+
+    runs: Dict[str, AdaptiveRun] = {}
+    runs["adaptive"] = run_adaptive_viz(
+        db, preference, initial_point, initial_limits, variations,
+        EXP1_COSTS, n_images=n_images, label="adaptive", seed=seed,
+    )
+    for codec in ("lzw", "bzip2"):
+        runs[codec] = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP1_COSTS, n_images=n_images, adaptive=False,
+            forced_config=Configuration({"dR": 320, "c": codec, "l": 4}),
+            label=f"static {codec}", seed=seed,
+        )
+
+    result = FigureResult(
+        figure="Fig 7a",
+        title="Adapting compression method when bandwidth drops "
+        f"500 KB/s -> 50 KB/s at t={switch_at:g}s",
+        xlabel="time (s)",
+        ylabel="image transmission time (s)",
+    )
+    for key, label in (("adaptive", "adaptive"), ("lzw", "static A (LZW)"),
+                       ("bzip2", "static B (bzip2)")):
+        series = result.new_series(label)
+        for t, duration in runs[key].image_series:
+            series.add(t, duration)
+    if runs["adaptive"].switches:
+        t_switch, old, new = runs["adaptive"].switches[0]
+        result.note(
+            f"adaptive switched {old.c} -> {new.c} at t={t_switch:.1f}s"
+        )
+    result.note(
+        f"total: adaptive={runs['adaptive'].total_time:.0f}s, "
+        f"static A={runs['lzw'].total_time:.0f}s, "
+        f"static B={runs['bzip2'].total_time:.0f}s"
+    )
+    return result, runs
+
+
+# ------------------------------------------------------------ experiment 2
+
+
+def run_experiment2(
+    seed: int = 0,
+    n_images: int = 10,
+    switch_at: float = 30.0,
+    deadline: float = 10.0,
+    db: Optional[PerformanceDatabase] = None,
+) -> Tuple[FigureResult, Dict[str, AdaptiveRun]]:
+    """Adapting image resolution to CPU conditions (Fig. 7b)."""
+    if db is None:
+        db, _dims, _configs = fig6b_database(seed=seed)
+    preference = UserPreference.single(
+        Objective("resolution", "maximize"),
+        [MetricRange("transmit_time", hi=deadline)],
+    )
+    initial_point = ResourcePoint({"client.cpu": 0.9, "client.network": EXP2_BW})
+    initial_limits = {
+        "client": ResourceLimits(cpu_share=0.9, net_bw=EXP2_BW)
+    }
+    variations = (
+        ResourceVariation(switch_at, ResourceLimits(cpu_share=0.4, net_bw=EXP2_BW)),
+    )
+
+    runs: Dict[str, AdaptiveRun] = {}
+    runs["adaptive"] = run_adaptive_viz(
+        db, preference, initial_point, initial_limits, variations,
+        EXP2_COSTS, n_images=n_images, label="adaptive", seed=seed,
+    )
+    for level in (4, 3):
+        runs[f"l{level}"] = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP2_COSTS, n_images=n_images, adaptive=False,
+            forced_config=Configuration({"dR": 320, "c": "lzw", "l": level}),
+            label=f"static level {level}", seed=seed,
+        )
+
+    result = FigureResult(
+        figure="Fig 7b",
+        title="Degrading image resolution when CPU share drops 90% -> 40% "
+        f"at t={switch_at:g}s (deadline {deadline:g}s)",
+        xlabel="time (s)",
+        ylabel="image transmission time (s)",
+    )
+    for key, label in (("adaptive", "adaptive"), ("l4", "static level 4"),
+                       ("l3", "static level 3")):
+        series = result.new_series(label)
+        for t, duration in runs[key].image_series:
+            series.add(t, duration)
+    if runs["adaptive"].switches:
+        t_switch, old, new = runs["adaptive"].switches[0]
+        result.note(f"adaptive switched level {old.l} -> {new.l} at t={t_switch:.1f}s")
+    return result, runs
+
+
+# ------------------------------------------------------------ experiment 3
+
+
+def run_experiment3(
+    seed: int = 0,
+    n_images: int = 16,
+    switch_at: float = 40.0,
+    response_bound: float = 1.0,
+    db: Optional[PerformanceDatabase] = None,
+) -> Tuple[FigureResult, FigureResult, Dict[str, AdaptiveRun]]:
+    """Adapting fovea size to CPU conditions (Figs. 7c and 7d)."""
+    if db is None:
+        db, _dims, _configs = fig5_database(seed=seed)
+    preference = UserPreference.single(
+        Objective("transmit_time", "minimize"),
+        [MetricRange("response_time", hi=response_bound)],
+    )
+    initial_point = ResourcePoint({"client.cpu": 0.9, "client.network": EXP3_BW})
+    initial_limits = {
+        "client": ResourceLimits(cpu_share=0.9, net_bw=EXP3_BW)
+    }
+    variations = (
+        ResourceVariation(switch_at, ResourceLimits(cpu_share=0.4, net_bw=EXP3_BW)),
+    )
+
+    runs: Dict[str, AdaptiveRun] = {}
+    runs["adaptive"] = run_adaptive_viz(
+        db, preference, initial_point, initial_limits, variations,
+        EXP3_COSTS, n_images=n_images, label="adaptive", seed=seed,
+    )
+    for dr in (320, 80):
+        runs[f"dR{dr}"] = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP3_COSTS, n_images=n_images, adaptive=False,
+            forced_config=Configuration({"dR": dr, "c": "lzw", "l": 4}),
+            label=f"static fovea {dr}", seed=seed,
+        )
+
+    fig_c = FigureResult(
+        figure="Fig 7c",
+        title="Response time while adapting fovea size (CPU 90% -> 40% "
+        f"at t={switch_at:g}s, bound {response_bound:g}s)",
+        xlabel="time (s)",
+        ylabel="round response time (s)",
+    )
+    fig_d = FigureResult(
+        figure="Fig 7d",
+        title="Transmission time while adapting fovea size",
+        xlabel="time (s)",
+        ylabel="image transmission time (s)",
+    )
+    for key, label in (("adaptive", "adaptive"), ("dR320", "static fovea 320"),
+                       ("dR80", "static fovea 80")):
+        sc = fig_c.new_series(label)
+        for t, duration in runs[key].response_series:
+            sc.add(t, duration)
+        sd = fig_d.new_series(label)
+        for t, duration in runs[key].image_series:
+            sd.add(t, duration)
+    if runs["adaptive"].switches:
+        t_switch, old, new = runs["adaptive"].switches[0]
+        fig_c.note(f"adaptive switched fovea {old.dR} -> {new.dR} at t={t_switch:.1f}s")
+    return fig_c, fig_d, runs

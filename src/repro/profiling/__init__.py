@@ -1,0 +1,34 @@
+"""Profile-based modeling: sampling, measurement, and the performance DB."""
+
+from .autoprofile import AutoProfileReport, autoprofile
+from .database import DatabaseError, PerformanceDatabase, Record
+from .driver import ProfilingDriver
+from .interpolate import InterpolationError, Interpolator
+from .prune import maximal_subset, merge_similar, prune_database
+from .resource_space import ResourceDimension, ResourcePoint, limits_for_point
+from .sampling import grid_plan, latin_hypercube_plan, random_plan, vary_one_plan
+from .sensitivity import RefinementProposal, curvature_scores, propose_refinements
+
+__all__ = [
+    "ResourceDimension",
+    "ResourcePoint",
+    "limits_for_point",
+    "grid_plan",
+    "random_plan",
+    "latin_hypercube_plan",
+    "vary_one_plan",
+    "Interpolator",
+    "InterpolationError",
+    "PerformanceDatabase",
+    "Record",
+    "DatabaseError",
+    "ProfilingDriver",
+    "autoprofile",
+    "AutoProfileReport",
+    "maximal_subset",
+    "merge_similar",
+    "prune_database",
+    "curvature_scores",
+    "propose_refinements",
+    "RefinementProposal",
+]

@@ -1,0 +1,84 @@
+"""One-call modeling pipeline: annotations -> pruned performance database.
+
+Section 5 describes the full chain: the preprocessor emits configuration
+files and database templates, a driver samples each configuration in the
+testbed, sensitivity analysis decides where more samples are needed, and
+the stored database keeps only "a maximal subset of the configurations"
+with similar ones merged.  :func:`autoprofile` runs that whole chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..tunable import Configuration, Preprocessor, TunableApp
+from .database import PerformanceDatabase
+from .driver import ProfilingDriver
+from .prune import merge_similar, prune_database
+from .resource_space import ResourceDimension, ResourcePoint
+
+__all__ = ["AutoProfileReport", "autoprofile"]
+
+
+@dataclass
+class AutoProfileReport:
+    """Everything the modeling pipeline produced."""
+
+    database: PerformanceDatabase
+    pruned: PerformanceDatabase
+    configurations_declared: int
+    configurations_kept: int
+    samples_total: int
+    refinement_rounds: int
+    #: Configuration -> its representative after similar-config merging.
+    merged_into: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.configurations_declared} configurations declared, "
+            f"{self.configurations_kept} kept after pruning/merging; "
+            f"{self.samples_total} samples "
+            f"({self.refinement_rounds} refinement rounds)"
+        )
+
+
+def autoprofile(
+    app: TunableApp,
+    dims: Sequence[ResourceDimension],
+    workload_factory: Optional[Callable[[Configuration, ResourcePoint, int], object]] = None,
+    configs: Optional[Sequence[Configuration]] = None,
+    adaptive_rounds: int = 2,
+    per_round: int = 8,
+    merge_rtol: float = 0.05,
+    seed: int = 0,
+    mode: str = "ideal",
+) -> AutoProfileReport:
+    """Model ``app`` over ``dims`` and return a pruned database.
+
+    Runs the preprocessor (to enumerate configurations), grid profiling,
+    ``adaptive_rounds`` of sensitivity-driven refinement, maximal-subset
+    pruning, and similar-config merging.  The full database is also kept in
+    the report for inspection.
+    """
+    pre = Preprocessor(app)
+    config_file = pre.config_file()
+    if configs is None:
+        configs = config_file.configurations
+    driver = ProfilingDriver(
+        app, dims, workload_factory=workload_factory, seed=seed, mode=mode
+    )
+    db = driver.profile_adaptive(
+        configs=configs, rounds=adaptive_rounds, per_round=per_round
+    )
+    pruned = prune_database(db, app.metrics, merge_rtol=merge_rtol)
+    rep_map = merge_similar(db, app.metrics, rtol=merge_rtol)
+    return AutoProfileReport(
+        database=db,
+        pruned=pruned,
+        configurations_declared=len(configs),
+        configurations_kept=len(pruned.configurations()),
+        samples_total=len(db),
+        refinement_rounds=adaptive_rounds,
+        merged_into={c: rep_map[c] for c in rep_map if rep_map[c] != c},
+    )

@@ -1,0 +1,208 @@
+"""The performance database (Section 5 / 5.2).
+
+Each record maps (configuration, resource point) to the measured quality
+metrics.  Queries interpolate the records of one configuration over the
+resource space (:meth:`PerformanceDatabase.predict`), or return the nearest
+discrete sample (:meth:`lookup_nearest` — the behaviour of the paper's
+implemented scheduler, kept for the ablation study).  The database
+serializes to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tunable import Configuration
+from .interpolate import InterpolationError, Interpolator
+from .resource_space import ResourcePoint
+
+__all__ = ["Record", "PerformanceDatabase", "DatabaseError"]
+
+
+class DatabaseError(Exception):
+    """Raised on malformed database operations."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """One profiling measurement."""
+
+    config: Configuration
+    point: ResourcePoint
+    metrics: Dict[str, float]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+class PerformanceDatabase:
+    """Profiles of application behaviour across the resource space."""
+
+    def __init__(self, app_name: str = "", resource_dims: Sequence[str] = ()):
+        self.app_name = app_name
+        #: Canonical ordering of the resource-space axes.
+        self.resource_dims: List[str] = sorted(resource_dims)
+        self._records: Dict[tuple, Dict[tuple, Record]] = {}
+        self._interp_cache: Dict[tuple, Interpolator] = {}
+
+    # -- ingest ---------------------------------------------------------
+    def add(self, record: Record) -> None:
+        """Insert (or replace) the measurement at (config, point)."""
+        if self.resource_dims:
+            missing = set(self.resource_dims) - set(record.point)
+            extra = set(record.point) - set(self.resource_dims)
+            if missing or extra:
+                raise DatabaseError(
+                    f"point dims mismatch: missing={sorted(missing)}, "
+                    f"extra={sorted(extra)}"
+                )
+        else:
+            self.resource_dims = sorted(record.point)
+        self._records.setdefault(record.config.key, {})[record.point.key] = record
+        self._interp_cache.clear()
+
+    def __len__(self) -> int:
+        return sum(len(pts) for pts in self._records.values())
+
+    # -- inspection -------------------------------------------------------
+    def configurations(self) -> List[Configuration]:
+        return [Configuration(dict(key)) for key in self._records]
+
+    def points_for(self, config: Configuration) -> List[ResourcePoint]:
+        return [
+            ResourcePoint(dict(key))
+            for key in self._records.get(config.key, {})
+        ]
+
+    def records_for(self, config: Configuration) -> List[Record]:
+        return list(self._records.get(config.key, {}).values())
+
+    def record_at(
+        self, config: Configuration, point: ResourcePoint
+    ) -> Optional[Record]:
+        return self._records.get(config.key, {}).get(point.key)
+
+    def metric_names(self) -> List[str]:
+        names: Dict[str, None] = {}
+        for pts in self._records.values():
+            for rec in pts.values():
+                for m in rec.metrics:
+                    names.setdefault(m, None)
+        return list(names)
+
+    def remove_config(self, config: Configuration) -> None:
+        self._records.pop(config.key, None)
+        self._interp_cache.clear()
+
+    # -- queries ---------------------------------------------------------
+    def _point_vector(self, point: ResourcePoint) -> np.ndarray:
+        try:
+            return np.array([point[d] for d in self.resource_dims])
+        except KeyError as exc:
+            raise DatabaseError(f"query point missing dimension {exc}") from None
+
+    def _interpolator(self, config: Configuration, metric: str) -> Interpolator:
+        key = (config.key, metric)
+        interp = self._interp_cache.get(key)
+        if interp is None:
+            records = self.records_for(config)
+            samples = [
+                (r.point, r.metrics[metric]) for r in records if metric in r.metrics
+            ]
+            if not samples:
+                raise DatabaseError(
+                    f"no samples of metric {metric!r} for {config.label()}"
+                )
+            X = [[p[d] for d in self.resource_dims] for p, _ in samples]
+            y = [v for _, v in samples]
+            try:
+                interp = Interpolator(X, y)
+            except InterpolationError as exc:  # pragma: no cover - defensive
+                raise DatabaseError(str(exc)) from exc
+            self._interp_cache[key] = interp
+        return interp
+
+    def predict(
+        self,
+        config: Configuration,
+        point: ResourcePoint,
+        metric: Optional[str] = None,
+    ):
+        """Interpolated metric value(s) for ``config`` at ``point``.
+
+        With ``metric`` given, returns a float; otherwise a dict over all
+        metrics recorded for the configuration.
+        """
+        if config.key not in self._records:
+            raise DatabaseError(f"no records for configuration {config.label()}")
+        q = self._point_vector(point)
+        if metric is not None:
+            return self._interpolator(config, metric)(q)
+        metrics: Dict[str, float] = {}
+        for rec in self.records_for(config):
+            for m in rec.metrics:
+                metrics.setdefault(m, 0.0)
+        return {m: self._interpolator(config, m)(q) for m in metrics}
+
+    def lookup_nearest(
+        self, config: Configuration, point: ResourcePoint
+    ) -> Record:
+        """Discrete nearest-sample lookup (normalized Euclidean distance).
+
+        This reproduces the paper's *implemented* scheduler, which "does not
+        do any interpolation ... a new configuration is selected by examining
+        discrete points in the performance database that provide the best
+        match to the measured resource condition".
+        """
+        records = self.records_for(config)
+        if not records:
+            raise DatabaseError(f"no records for configuration {config.label()}")
+        q = self._point_vector(point)
+        X = np.array(
+            [[r.point[d] for d in self.resource_dims] for r in records]
+        )
+        span = X.max(axis=0) - X.min(axis=0)
+        span[span == 0] = 1.0
+        dist = np.linalg.norm((X - q) / span, axis=1)
+        return records[int(np.argmin(dist))]
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app_name,
+            "resource_dims": self.resource_dims,
+            "records": [
+                {
+                    "config": dict(rec.config),
+                    "point": dict(rec.point),
+                    "metrics": rec.metrics,
+                    "meta": rec.meta,
+                }
+                for pts in self._records.values()
+                for rec in pts.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerformanceDatabase":
+        db = cls(app_name=data.get("app", ""), resource_dims=data.get("resource_dims", ()))
+        for raw in data.get("records", []):
+            db.add(
+                Record(
+                    config=Configuration(raw["config"]),
+                    point=ResourcePoint(raw["point"]),
+                    metrics={k: float(v) for k, v in raw["metrics"].items()},
+                    meta=raw.get("meta", {}),
+                )
+            )
+        return db
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "PerformanceDatabase":
+        return cls.from_dict(json.loads(Path(path).read_text()))

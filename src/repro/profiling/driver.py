@@ -1,0 +1,132 @@
+"""The profiling driver.
+
+"A driver program executes each configuration repeatedly in a virtual
+execution environment for different levels of allocated resources."  The
+:class:`ProfilingDriver` does exactly that: for every (configuration,
+resource point) pair of a sampling plan it builds a *fresh* testbed,
+instantiates the application inside sandboxes configured for that point,
+runs it to completion, and stores the measured QoS metrics in a
+:class:`PerformanceDatabase`.  An adaptive mode closes the loop with
+sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..sandbox import LimiterMode, Testbed
+from ..sim import derive_seed
+from ..tunable import Configuration, TunableApp
+from .database import PerformanceDatabase, Record
+from .resource_space import ResourceDimension, ResourcePoint, limits_for_point
+from .sampling import grid_plan
+from .sensitivity import propose_refinements
+
+__all__ = ["ProfilingDriver"]
+
+
+class ProfilingDriver:
+    """Populates a performance database by controlled execution."""
+
+    def __init__(
+        self,
+        app: TunableApp,
+        dims: Sequence[ResourceDimension],
+        workload_factory: Optional[Callable[[Configuration, ResourcePoint, int], object]] = None,
+        mode: str = LimiterMode.IDEAL,
+        seed: int = 0,
+        max_run_time: float = 3600.0,
+    ):
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate resource dimensions: {names!r}")
+        env_resources = set(app.env.resource_names())
+        for d in dims:
+            if d.name not in env_resources:
+                raise ValueError(
+                    f"dimension {d.name!r} is not a resource of app {app.name!r}"
+                )
+        self.app = app
+        self.dims = list(dims)
+        self.workload_factory = workload_factory
+        self.mode = mode
+        self.seed = seed
+        self.max_run_time = max_run_time
+        self.runs = 0
+
+    def measure(self, config: Configuration, point: ResourcePoint) -> Record:
+        """One controlled execution; returns the measurement record."""
+        run_seed = derive_seed(self.seed, f"{config.label()}|{point.label()}")
+        testbed = Testbed(
+            host_specs=self.app.env.host_specs(),
+            link_specs=self.app.env.link_specs(),
+            mode=self.mode,
+            seed=run_seed,
+        )
+        workload = None
+        if self.workload_factory is not None:
+            workload = self.workload_factory(config, point, run_seed)
+        rt = self.app.instantiate(
+            testbed,
+            config,
+            limits=limits_for_point(point),
+            workload=workload,
+            seed=run_seed,
+        )
+        testbed.run(until=self.max_run_time)
+        if not rt.finished.triggered:
+            raise RuntimeError(
+                f"profiling run did not finish within {self.max_run_time}s: "
+                f"{config.label()} @ {point.label()}"
+            )
+        testbed.shutdown()
+        self.runs += 1
+        return Record(
+            config=config,
+            point=point,
+            metrics=rt.qos.snapshot(),
+            meta={"seed": run_seed, "virtual_duration": testbed.sim.now},
+        )
+
+    def profile(
+        self,
+        configs: Optional[Sequence[Configuration]] = None,
+        plan: Optional[Sequence[ResourcePoint]] = None,
+        db: Optional[PerformanceDatabase] = None,
+    ) -> PerformanceDatabase:
+        """Measure every configuration at every plan point."""
+        if configs is None:
+            configs = self.app.configurations()
+        if plan is None:
+            plan = grid_plan(self.dims)
+        if db is None:
+            db = PerformanceDatabase(
+                self.app.name, [d.name for d in self.dims]
+            )
+        for config in configs:
+            for point in plan:
+                db.add(self.measure(config, point))
+        return db
+
+    def profile_adaptive(
+        self,
+        configs: Optional[Sequence[Configuration]] = None,
+        initial_plan: Optional[Sequence[ResourcePoint]] = None,
+        rounds: int = 2,
+        per_round: int = 8,
+        min_score: float = 0.02,
+    ) -> PerformanceDatabase:
+        """Grid profiling followed by sensitivity-driven refinement rounds."""
+        if configs is None:
+            configs = self.app.configurations()
+        db = self.profile(configs=configs, plan=initial_plan)
+        metrics = [m.name for m in self.app.metrics]
+        for _ in range(rounds):
+            proposals = propose_refinements(
+                db, metrics, top_k=per_round, min_score=min_score, configs=configs
+            )
+            if not proposals:
+                break
+            for prop in proposals:
+                db.add(self.measure(prop.config, prop.point))
+        return db

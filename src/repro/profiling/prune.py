@@ -1,0 +1,121 @@
+"""Database post-processing: maximal subsets and similar-config merging.
+
+Footnote 1 of the paper: the database stores "a maximal subset of the
+configurations ... that outperform other configurations under at least one
+resource situation.  Additionally, configurations that exhibit similar
+execution behavior can be merged (with only one of them being stored)."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..tunable import Configuration, QoSMetric
+from .database import PerformanceDatabase
+from .resource_space import ResourcePoint
+
+__all__ = ["maximal_subset", "merge_similar", "prune_database"]
+
+
+def _all_points(db: PerformanceDatabase) -> List[ResourcePoint]:
+    points: Dict[tuple, ResourcePoint] = {}
+    for config in db.configurations():
+        for p in db.points_for(config):
+            points.setdefault(p.key, p)
+    return list(points.values())
+
+
+def maximal_subset(
+    db: PerformanceDatabase,
+    metric: QoSMetric,
+) -> List[Configuration]:
+    """Configurations that win ``metric`` at >= 1 sampled resource point.
+
+    "Winning" means being within a hair of the best predicted value at that
+    point, so ties keep all co-winners.
+    """
+    configs = db.configurations()
+    points = _all_points(db)
+    if not configs or not points:
+        return []
+    winners: Dict[tuple, Configuration] = {}
+    for point in points:
+        values = []
+        for config in configs:
+            values.append((db.predict(config, point, metric.name), config))
+        best_value = (
+            min(v for v, _ in values)
+            if metric.better == "lower"
+            else max(v for v, _ in values)
+        )
+        tol = 1e-9 * max(1.0, abs(best_value))
+        for value, config in values:
+            if abs(value - best_value) <= tol:
+                winners.setdefault(config.key, config)
+    return list(winners.values())
+
+
+def merge_similar(
+    db: PerformanceDatabase,
+    metrics: Sequence[QoSMetric],
+    rtol: float = 0.05,
+) -> Dict[Configuration, Configuration]:
+    """Group configurations with near-identical behaviour.
+
+    Two configurations are "similar" when every metric agrees within
+    relative tolerance ``rtol`` at every common sampled point.  Returns a
+    mapping from each configuration to its group representative (the first
+    member encountered); representatives map to themselves.
+    """
+    configs = db.configurations()
+    points = _all_points(db)
+    vectors: Dict[tuple, np.ndarray] = {}
+    for config in configs:
+        vec = []
+        for point in points:
+            for metric in metrics:
+                vec.append(db.predict(config, point, metric.name))
+        vectors[config.key] = np.array(vec)
+
+    representative: Dict[Configuration, Configuration] = {}
+    reps: List[Configuration] = []
+    for config in configs:
+        vec = vectors[config.key]
+        assigned = None
+        for rep in reps:
+            rv = vectors[rep.key]
+            scale = np.maximum(np.abs(rv), 1e-12)
+            if np.all(np.abs(vec - rv) / scale <= rtol):
+                assigned = rep
+                break
+        if assigned is None:
+            reps.append(config)
+            assigned = config
+        representative[config] = assigned
+    return representative
+
+
+def prune_database(
+    db: PerformanceDatabase,
+    metrics: Sequence[QoSMetric],
+    merge_rtol: float = 0.05,
+) -> PerformanceDatabase:
+    """Maximal subset (union over all metrics) + similar-config merging.
+
+    Returns a new database containing only representative, non-dominated
+    configurations.  The original database is unchanged.
+    """
+    keep: Dict[tuple, Configuration] = {}
+    for metric in metrics:
+        for config in maximal_subset(db, metric):
+            keep.setdefault(config.key, config)
+    rep_map = merge_similar(db, metrics, rtol=merge_rtol)
+    pruned = PerformanceDatabase(db.app_name, db.resource_dims)
+    kept_reps = {rep_map[c].key for c in keep.values()}
+    for config in db.configurations():
+        if config.key in kept_reps and rep_map[config] == config:
+            for rec in db.records_for(config):
+                pruned.add(rec)
+    return pruned

@@ -1,0 +1,133 @@
+"""The multidimensional resource space and points within it.
+
+Profiling samples each application configuration "at different points in a
+multidimensional resource space".  A :class:`ResourceDimension` names one
+axis (e.g. ``client.cpu`` as a share, ``client.network`` in bytes/s); a
+:class:`ResourcePoint` is one concrete assignment, convertible to the
+per-host :class:`~repro.sandbox.ResourceLimits` the testbed enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..sandbox import ResourceLimits
+
+__all__ = ["ResourceDimension", "ResourcePoint", "limits_for_point"]
+
+
+@dataclass(frozen=True)
+class ResourceDimension:
+    """One axis of the resource space.
+
+    ``name`` is ``host.kind`` with kind in {cpu, network, memory, disk};
+    ``levels``
+    are the default sampling levels (shares for cpu, bytes/s for network,
+    pages for memory).  ``lo``/``hi`` bound the physically meaningful range
+    (used to clip extrapolation queries).
+    """
+
+    name: str
+    levels: Tuple[float, ...]
+    lo: float = 0.0
+    hi: float = float("inf")
+
+    def __post_init__(self) -> None:
+        host, _, kind = self.name.partition(".")
+        if not host or kind not in ("cpu", "network", "memory", "disk"):
+            raise ValueError(
+                f"dimension name must be 'host.kind' with kind in cpu/network/"
+                f"memory, got {self.name!r}"
+            )
+        if not self.levels:
+            raise ValueError(f"dimension {self.name!r} has no levels")
+        if list(self.levels) != sorted(set(self.levels)):
+            raise ValueError(
+                f"dimension {self.name!r} levels must be strictly increasing"
+            )
+        if any(not (self.lo <= v <= self.hi) for v in self.levels):
+            raise ValueError(f"dimension {self.name!r} levels outside [lo, hi]")
+
+    @property
+    def host(self) -> str:
+        return self.name.partition(".")[0]
+
+    @property
+    def kind(self) -> str:
+        return self.name.partition(".")[2]
+
+    def clip(self, value: float) -> float:
+        return min(self.hi, max(self.lo, value))
+
+
+class ResourcePoint(Mapping):
+    """Immutable assignment of values to resource dimensions."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Mapping[str, float]):
+        object.__setattr__(self, "_values", {k: float(v) for k, v in values.items()})
+        object.__setattr__(
+            self, "_key", tuple(sorted(self._values.items(), key=lambda kv: kv[0]))
+        )
+
+    def __getitem__(self, name: str) -> float:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResourcePoint):
+            return self._key == other._key
+        if isinstance(other, Mapping):
+            return dict(self._values) == {k: float(v) for k, v in other.items()}
+        return NotImplemented
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise TypeError("ResourcePoint is immutable")
+
+    @property
+    def key(self) -> tuple:
+        return self._key
+
+    def with_(self, **changes: float) -> "ResourcePoint":
+        merged = dict(self._values)
+        merged.update(changes)
+        return ResourcePoint(merged)
+
+    def label(self) -> str:
+        return ",".join(f"{k}={v:g}" for k, v in self._key)
+
+    def __repr__(self) -> str:
+        return f"ResourcePoint({self.label()})"
+
+
+def limits_for_point(point: ResourcePoint) -> Dict[str, ResourceLimits]:
+    """Convert a resource point into per-host sandbox limits.
+
+    cpu values are shares in (0, 1]; network values are bytes/second;
+    memory values are resident page counts.
+    """
+    per_host: Dict[str, dict] = {}
+    for name, value in point.items():
+        host, _, kind = name.partition(".")
+        slot = per_host.setdefault(host, {})
+        if kind == "cpu":
+            slot["cpu_share"] = value
+        elif kind == "network":
+            slot["net_bw"] = value
+        elif kind == "memory":
+            slot["mem_pages"] = int(value)
+        elif kind == "disk":
+            slot["disk_bw"] = value
+        else:
+            raise ValueError(f"unknown resource kind in {name!r}")
+    return {host: ResourceLimits(**kw) for host, kw in per_host.items()}

@@ -1,0 +1,93 @@
+"""Sampling plans over the resource space.
+
+The paper's driver samples configuration behaviour at a set of resource
+points; a separate sensitivity-analysis step decides "configurations and
+regions of the resource space that require additional samples".  This
+module provides the initial plans (grid, random, Latin hypercube); the
+adaptive refinement loop lives in :mod:`repro.profiling.sensitivity`.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sim import stream
+from .resource_space import ResourceDimension, ResourcePoint
+
+__all__ = ["grid_plan", "random_plan", "latin_hypercube_plan", "vary_one_plan"]
+
+
+def grid_plan(dims: Sequence[ResourceDimension]) -> List[ResourcePoint]:
+    """Full cartesian product of every dimension's levels."""
+    if not dims:
+        raise ValueError("need at least one dimension")
+    names = [d.name for d in dims]
+    return [
+        ResourcePoint(dict(zip(names, combo)))
+        for combo in product(*(d.levels for d in dims))
+    ]
+
+
+def vary_one_plan(
+    dims: Sequence[ResourceDimension],
+    vary: str,
+    base: ResourcePoint,
+) -> List[ResourcePoint]:
+    """Sweep one dimension's levels while pinning the rest to ``base``.
+
+    This is how the paper's figures are produced ("as CPU share varies",
+    "keeping other resources at a fixed level").
+    """
+    target = next((d for d in dims if d.name == vary), None)
+    if target is None:
+        raise ValueError(f"unknown dimension {vary!r}")
+    return [base.with_(**{vary: level}) for level in target.levels]
+
+
+def random_plan(
+    dims: Sequence[ResourceDimension],
+    count: int,
+    seed: int = 0,
+) -> List[ResourcePoint]:
+    """Uniform random points within each dimension's level range."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    rng = stream(seed, "sampling.random")
+    points = []
+    for _ in range(count):
+        values = {}
+        for d in dims:
+            lo, hi = d.levels[0], d.levels[-1]
+            values[d.name] = float(rng.uniform(lo, hi))
+        points.append(ResourcePoint(values))
+    return points
+
+
+def latin_hypercube_plan(
+    dims: Sequence[ResourceDimension],
+    count: int,
+    seed: int = 0,
+) -> List[ResourcePoint]:
+    """Latin hypercube: stratified coverage with ``count`` samples.
+
+    Each dimension's range is cut into ``count`` equal strata and each
+    stratum is hit exactly once, with the per-dimension orderings shuffled
+    independently — much better space coverage than plain random sampling
+    for the same budget.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    rng = stream(seed, "sampling.lhs")
+    columns = {}
+    for d in dims:
+        lo, hi = d.levels[0], d.levels[-1]
+        strata = (np.arange(count) + rng.uniform(0.0, 1.0, size=count)) / count
+        rng.shuffle(strata)
+        columns[d.name] = lo + strata * (hi - lo)
+    return [
+        ResourcePoint({name: float(col[i]) for name, col in columns.items()})
+        for i in range(count)
+    ]

@@ -1,0 +1,127 @@
+"""Sensitivity analysis: where does the database need more samples?
+
+The paper describes "a separate tool [that] analyzes this performance data,
+performs sensitivity analysis to determine configurations and regions of
+the resource space that require additional samples" (the tool itself was
+unfinished at publication — Section 7.1 — so this module also serves as
+the reproduction of that missing piece; ablation A2 evaluates it).
+
+Method: along each resource dimension, for each configuration and metric,
+examine consecutive sample triples on grid lines.  The *curvature score* of
+an interior sample is the absolute difference between its measured value
+and the linear interpolation of its neighbours, normalized by the local
+value scale.  High scores mean piecewise-linear interpolation is likely to
+be wrong nearby, so the surrounding intervals' midpoints are proposed as
+refinement points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..tunable import Configuration
+from .database import PerformanceDatabase
+from .resource_space import ResourcePoint
+
+__all__ = ["RefinementProposal", "curvature_scores", "propose_refinements"]
+
+
+@dataclass(frozen=True)
+class RefinementProposal:
+    """A suggested additional measurement."""
+
+    config: Configuration
+    point: ResourcePoint
+    score: float
+    dim: str
+    metric: str
+
+
+def _grid_lines(
+    db: PerformanceDatabase, config: Configuration, dim: str
+) -> List[List[ResourcePoint]]:
+    """Sampled points grouped into lines that vary only along ``dim``."""
+    other_dims = [d for d in db.resource_dims if d != dim]
+    lines: Dict[tuple, List[ResourcePoint]] = {}
+    for point in db.points_for(config):
+        key = tuple(point[d] for d in other_dims)
+        lines.setdefault(key, []).append(point)
+    result = []
+    for pts in lines.values():
+        if len(pts) >= 3:
+            result.append(sorted(pts, key=lambda p: p[dim]))
+    return result
+
+
+def curvature_scores(
+    db: PerformanceDatabase,
+    config: Configuration,
+    metric: str,
+    dim: str,
+) -> List[Tuple[ResourcePoint, float]]:
+    """(interior point, normalized curvature) along ``dim`` lines."""
+    scores = []
+    for line in _grid_lines(db, config, dim):
+        xs = np.array([p[dim] for p in line])
+        ys = np.array(
+            [db.record_at(config, p).metrics[metric] for p in line]
+        )
+        scale = max(np.max(np.abs(ys)), 1e-12)
+        for i in range(1, len(line) - 1):
+            frac = (xs[i] - xs[i - 1]) / (xs[i + 1] - xs[i - 1])
+            linear = ys[i - 1] + frac * (ys[i + 1] - ys[i - 1])
+            scores.append((line[i], float(abs(ys[i] - linear) / scale)))
+    return scores
+
+
+def propose_refinements(
+    db: PerformanceDatabase,
+    metrics: Sequence[str],
+    top_k: int = 8,
+    min_score: float = 0.02,
+    configs: Optional[Sequence[Configuration]] = None,
+) -> List[RefinementProposal]:
+    """Midpoints of the intervals flanking the highest-curvature samples.
+
+    Returns at most ``top_k`` proposals (across all configurations, metrics,
+    and dimensions), each at a resource point not yet in the database.
+    """
+    if configs is None:
+        configs = db.configurations()
+    proposals: Dict[tuple, RefinementProposal] = {}
+    for config in configs:
+        existing = {p.key for p in db.points_for(config)}
+        for metric in metrics:
+            for dim in db.resource_dims:
+                for line in _grid_lines(db, config, dim):
+                    xs = np.array([p[dim] for p in line])
+                    ys = np.array(
+                        [db.record_at(config, p).metrics[metric] for p in line]
+                    )
+                    scale = max(np.max(np.abs(ys)), 1e-12)
+                    for i in range(1, len(line) - 1):
+                        frac = (xs[i] - xs[i - 1]) / (xs[i + 1] - xs[i - 1])
+                        linear = ys[i - 1] + frac * (ys[i + 1] - ys[i - 1])
+                        score = float(abs(ys[i] - linear) / scale)
+                        if score < min_score:
+                            continue
+                        for lo, hi in ((i - 1, i), (i, i + 1)):
+                            mid = 0.5 * (xs[lo] + xs[hi])
+                            point = line[i].with_(**{dim: float(mid)})
+                            if point.key in existing:
+                                continue
+                            key = (config.key, point.key)
+                            prev = proposals.get(key)
+                            if prev is None or prev.score < score:
+                                proposals[key] = RefinementProposal(
+                                    config=config,
+                                    point=point,
+                                    score=score,
+                                    dim=dim,
+                                    metric=metric,
+                                )
+    ranked = sorted(proposals.values(), key=lambda p: -p.score)
+    return ranked[:top_k]

@@ -1,0 +1,36 @@
+"""Run-time application adaptation: monitoring, scheduling, steering."""
+
+from .admission import AdmissionController, AdmissionError, Reservation
+from .controller import AdaptationController, AdaptationEvent
+from .exchange import EstimateUpdate, MonitorExchange
+from .history import EWMA, HistoryWindow
+from .monitor import MonitoringAgent, SystemMonitor
+from .preferences import Constraint, Objective, UserPreference
+from .scheduler import Decision, ResourceScheduler, SchedulerError
+from .steering import ControlMessage, SteeringAgent
+from .system_scheduler import Placement, PlacementError, SystemScheduler
+
+__all__ = [
+    "HistoryWindow",
+    "EWMA",
+    "MonitoringAgent",
+    "SystemMonitor",
+    "Objective",
+    "Constraint",
+    "UserPreference",
+    "ResourceScheduler",
+    "Decision",
+    "SchedulerError",
+    "AdmissionController",
+    "AdmissionError",
+    "Reservation",
+    "SteeringAgent",
+    "ControlMessage",
+    "AdaptationController",
+    "AdaptationEvent",
+    "MonitorExchange",
+    "EstimateUpdate",
+    "SystemScheduler",
+    "Placement",
+    "PlacementError",
+]

@@ -1,0 +1,105 @@
+"""Admission control and resource reservation (Section 6.2).
+
+"...we can reserve a specific CPU share (as well as network bandwidth and
+amount of physical memory) with simple admission control.  For example, the
+application can be admitted if the total request for CPU share across all
+applications is less than a certain threshold.  Once admitted, the
+resource-constrained execution environment monitors and controls
+application progress, assuring applications the required resource capacity
+and sandboxing them so that they do not overuse resources."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..cluster import Host
+from ..sandbox import ResourceLimits, Sandbox
+
+__all__ = ["AdmissionController", "Reservation", "AdmissionError"]
+
+
+class AdmissionError(Exception):
+    """Raised when a reservation cannot be granted."""
+
+
+@dataclass
+class Reservation:
+    """A granted allocation on one host, realized as a sandbox."""
+
+    host: Host
+    limits: ResourceLimits
+    sandbox: Sandbox
+    active: bool = True
+
+
+class AdmissionController:
+    """Threshold admission over CPU share, bandwidth, and memory per host."""
+
+    def __init__(
+        self,
+        cpu_threshold: float = 0.95,
+        bw_capacity: Optional[Mapping[str, float]] = None,
+    ):
+        if not 0.0 < cpu_threshold <= 1.0:
+            raise ValueError(f"cpu_threshold must be in (0, 1], got {cpu_threshold!r}")
+        self.cpu_threshold = float(cpu_threshold)
+        #: Optional per-host outbound bandwidth capacity (bytes/s).
+        self.bw_capacity: Dict[str, float] = dict(bw_capacity or {})
+        self.reservations: List[Reservation] = []
+        self.rejections = 0
+
+    # -- accounting ------------------------------------------------------------
+    def cpu_reserved(self, host: Host) -> float:
+        return sum(
+            r.limits.cpu_share or 0.0
+            for r in self.reservations
+            if r.active and r.host is host
+        )
+
+    def bw_reserved(self, host: Host) -> float:
+        return sum(
+            r.limits.net_bw or 0.0
+            for r in self.reservations
+            if r.active and r.host is host
+        )
+
+    def can_admit(self, host: Host, limits: ResourceLimits) -> bool:
+        if limits.cpu_share is not None:
+            if self.cpu_reserved(host) + limits.cpu_share > self.cpu_threshold + 1e-12:
+                return False
+        if limits.net_bw is not None and host.name in self.bw_capacity:
+            if self.bw_reserved(host) + limits.net_bw > self.bw_capacity[host.name] + 1e-9:
+                return False
+        if limits.mem_pages is not None:
+            if limits.mem_pages > host.memory.free_pages:
+                return False
+        return True
+
+    # -- admission -----------------------------------------------------------
+    def admit(
+        self,
+        host: Host,
+        limits: ResourceLimits,
+        name: str = "reserved",
+        **sandbox_kwargs,
+    ) -> Reservation:
+        """Admit a request, creating the enforcing sandbox; raise if over
+        threshold."""
+        if not self.can_admit(host, limits):
+            self.rejections += 1
+            raise AdmissionError(
+                f"host {host.name!r} cannot admit {limits} "
+                f"(cpu reserved {self.cpu_reserved(host):.2f}, "
+                f"threshold {self.cpu_threshold})"
+            )
+        sandbox = Sandbox(host, limits, name=name, **sandbox_kwargs)
+        reservation = Reservation(host=host, limits=limits, sandbox=sandbox)
+        self.reservations.append(reservation)
+        return reservation
+
+    def release(self, reservation: Reservation) -> None:
+        if reservation.active:
+            reservation.active = False
+            reservation.sandbox.close()

@@ -1,0 +1,193 @@
+"""The adaptation controller: monitor -> scheduler -> steering glue.
+
+"Run-time adaptation is triggered whenever the [monitoring agent] detects
+that the currently active application configuration no longer meets user
+preferences of application quality, and is guided by the [performance
+database]."
+
+The controller owns one application instance's adaptation loop:
+
+1. ``select_initial`` picks the starting configuration for the measured
+   resource characteristics (automatic configuration in diverse
+   environments);
+2. once the app is running, ``attach``/``start`` arms the monitoring agent
+   with the decision's validity region;
+3. a violation re-invokes the scheduler at the *measured* resource point;
+   a new decision goes to the steering agent and, after the switch is
+   acknowledged, the monitor is retargeted to the new configuration;
+4. a guard-rejected switch triggers negotiation: the scheduler re-selects
+   with the rejected configuration excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..profiling import ResourcePoint
+from ..tunable import AppRuntime, Configuration, MonitoringPlan
+from .monitor import MonitoringAgent
+from .scheduler import Decision, ResourceScheduler
+from .steering import ControlMessage, SteeringAgent
+
+__all__ = ["AdaptationController", "AdaptationEvent"]
+
+
+@dataclass
+class AdaptationEvent:
+    """One entry in the controller's event log."""
+
+    time: float
+    kind: str  # "initial" | "trigger" | "decision" | "applied" | "rejected" | "no-candidate"
+    config: Optional[Configuration] = None
+    estimates: Dict[str, float] = field(default_factory=dict)
+
+
+class AdaptationController:
+    """Wires the run-time components together for one application."""
+
+    def __init__(
+        self,
+        scheduler: ResourceScheduler,
+        monitoring_plan: Optional[MonitoringPlan] = None,
+        control_latency: float = 0.001,
+        monitor_kwargs: Optional[dict] = None,
+        settle_delay: Optional[float] = None,
+    ):
+        self.scheduler = scheduler
+        self.monitoring_plan = monitoring_plan
+        self.control_latency = float(control_latency)
+        self.monitor_kwargs = dict(monitor_kwargs or {})
+        #: After a violation, wait this long before re-reading estimates and
+        #: deciding, so the monitoring window fully covers the post-change
+        #: regime instead of a transient mix.  Defaults to the monitor's
+        #: history window.
+        self.settle_delay = settle_delay
+        self._settling = False
+        self.rt: Optional[AppRuntime] = None
+        self.monitor: Optional[MonitoringAgent] = None
+        self.steering: Optional[SteeringAgent] = None
+        self.current_decision: Optional[Decision] = None
+        self.events: List[AdaptationEvent] = []
+        self._reconfiguring = False
+
+    # -- phase 1: initial configuration ------------------------------------
+    def select_initial(self, point: ResourcePoint) -> Decision:
+        """Choose the starting configuration for the measured resources."""
+        decision = self.scheduler.select(point)
+        if decision is None:
+            raise RuntimeError(
+                f"no configuration satisfies any preference at {point.label()}"
+            )
+        self.current_decision = decision
+        self.events.append(
+            AdaptationEvent(time=0.0, kind="initial", config=decision.config)
+        )
+        return decision
+
+    # -- phase 2: run-time loop -----------------------------------------------
+    def attach(self, rt: AppRuntime) -> "AdaptationController":
+        """Bind to a running application instance and start monitoring."""
+        if self.current_decision is None:
+            raise RuntimeError("call select_initial() before attach()")
+        self.rt = rt
+        self.steering = SteeringAgent(rt, control_latency=self.control_latency)
+        watch = self._watch_list(self.current_decision.config)
+        self.monitor = MonitoringAgent(
+            rt,
+            watch=watch,
+            on_violation=self._on_violation,
+            **self.monitor_kwargs,
+        )
+        self.monitor.retarget(conditions=self.current_decision.conditions)
+        self.monitor.start()
+        return self
+
+    def _watch_list(self, config: Configuration) -> List[str]:
+        if self.monitoring_plan is not None:
+            resources = self.monitoring_plan.resources_for(config)
+            if resources:
+                return resources
+        return list(self.scheduler.db.resource_dims)
+
+    # -- violation handling -------------------------------------------------
+    def _on_violation(self, estimates: Dict[str, float]) -> None:
+        assert self.rt is not None and self.monitor is not None
+        now = self.rt.sim.now
+        self.events.append(
+            AdaptationEvent(time=now, kind="trigger", estimates=dict(estimates))
+        )
+        delay = (
+            self.settle_delay
+            if self.settle_delay is not None
+            else self.monitor.window
+        )
+        if delay <= 0:
+            self._reschedule(estimates, exclude=set())
+            return
+        if self._settling:
+            return
+        self._settling = True
+
+        def decide() -> None:
+            self._settling = False
+            fresh = self.monitor.estimates()
+            fresh = {**estimates, **fresh}
+            self._reschedule(fresh, exclude=set())
+
+        self.rt.sim.schedule_callback(delay, decide)
+
+    def _measured_point(self, estimates: Dict[str, float]) -> ResourcePoint:
+        """Fill unmeasured dimensions from the last decision's point."""
+        base = dict(self.current_decision.point) if self.current_decision else {}
+        base.update(estimates)
+        return ResourcePoint(
+            {d: base[d] for d in self.scheduler.db.resource_dims if d in base}
+        )
+
+    def _reschedule(
+        self, estimates: Dict[str, float], exclude: Set[Configuration]
+    ) -> None:
+        assert self.rt is not None and self.steering is not None
+        now = self.rt.sim.now
+        point = self._measured_point(estimates)
+        decision = self.scheduler.select(point, exclude=exclude)
+        if decision is None:
+            self.events.append(AdaptationEvent(time=now, kind="no-candidate"))
+            return
+        self.events.append(
+            AdaptationEvent(time=now, kind="decision", config=decision.config)
+        )
+        if decision.config == self.rt.controls.current:
+            # Same configuration remains best; just refresh the validity
+            # region so the monitor re-arms around the new conditions.
+            self.current_decision = decision
+            self.monitor.retarget(conditions=decision.conditions)
+            return
+
+        def on_applied(ok: bool, decision=decision, exclude=exclude) -> None:
+            t = self.rt.sim.now
+            if ok:
+                self.current_decision = decision
+                self.events.append(
+                    AdaptationEvent(time=t, kind="applied", config=decision.config)
+                )
+                self.monitor.retarget(
+                    watch=self._watch_list(decision.config),
+                    conditions=decision.conditions,
+                )
+            else:
+                self.events.append(
+                    AdaptationEvent(time=t, kind="rejected", config=decision.config)
+                )
+                # Negotiation: ask for the next best configuration.
+                self._reschedule(
+                    dict(decision.point), exclude=exclude | {decision.config}
+                )
+
+        self.steering.deliver(ControlMessage(decision=decision, on_applied=on_applied))
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def switch_times(self) -> List[Tuple[float, Configuration]]:
+        return [(e.time, e.config) for e in self.events if e.kind == "applied"]

@@ -1,0 +1,137 @@
+"""Distributed monitoring: estimate exchange between application instances.
+
+Section 6.1: the monitoring agent's resource-availability estimate "is
+supplied to the resource scheduler *and other monitoring agents in remote
+instances of this application*", and notifications go out "only when
+resource availability falls out of a range".
+
+A :class:`MonitorExchange` wires the monitoring agents of an application's
+hosts together over the simulated network: each agent publishes its local
+estimates to its peers when they change materially, so the scheduler (which
+runs beside one of the agents) sees a global resource picture — e.g. the
+client-side scheduler learns the server host's available CPU without
+measuring it across the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..tunable import AppRuntime
+from .monitor import MonitoringAgent
+
+__all__ = ["MonitorExchange", "EstimateUpdate"]
+
+_PORT = "monitor.exchange"
+
+
+@dataclass(frozen=True)
+class EstimateUpdate:
+    """One published estimate: (origin host, resource, value, time)."""
+
+    origin: str
+    resource: str
+    value: float
+    time: float
+
+
+class MonitorExchange:
+    """Publishes one host's monitoring estimates to the app's other hosts.
+
+    ``significance`` is the relative change that warrants a publication —
+    the paper's "only when resource availability falls out of a range"
+    filtering, applied to peer updates.
+    """
+
+    def __init__(
+        self,
+        rt: AppRuntime,
+        agent: MonitoringAgent,
+        host_name: str,
+        peers: List[str],
+        period: float = 0.25,
+        significance: float = 0.10,
+        message_bytes: float = 64.0,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.rt = rt
+        self.agent = agent
+        self.host_name = host_name
+        self.peers = [p for p in peers if p != host_name]
+        self.period = float(period)
+        self.significance = float(significance)
+        self.message_bytes = float(message_bytes)
+        #: resource -> last published value.
+        self._published: Dict[str, float] = {}
+        #: estimates received from remote agents: resource -> (value, time).
+        self.remote_estimates: Dict[str, Tuple[float, float]] = {}
+        self.updates_sent = 0
+        self.updates_received = 0
+        self._stopped = False
+        self.sim = rt.sim
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "MonitorExchange":
+        self.sim.process(self._publisher(), name=f"exchange-pub@{self.host_name}")
+        self.sim.process(self._receiver(), name=f"exchange-recv@{self.host_name}")
+        if self.rt.finished is not None and self.rt.finished.callbacks is not None:
+            self.rt.finished.callbacks.append(lambda _e: self.stop())
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- global view ------------------------------------------------------------
+    def global_estimates(self) -> Dict[str, float]:
+        """Local estimates merged with the freshest remote ones."""
+        merged = {r: v for r, (v, _t) in self.remote_estimates.items()}
+        merged.update(self.agent.estimates())
+        return merged
+
+    # -- internals ------------------------------------------------------------
+    def _significant(self, resource: str, value: float) -> bool:
+        last = self._published.get(resource)
+        if last is None:
+            return True
+        scale = max(abs(last), 1e-12)
+        return abs(value - last) / scale >= self.significance
+
+    def _publisher(self):
+        sandbox = self.rt.sandboxes.get(self.host_name)
+        if sandbox is None:
+            return
+        while not self._stopped:
+            yield self.sim.timeout(self.period)
+            if self._stopped:
+                return
+            estimates = self.agent.estimates()
+            changed = {
+                r: v for r, v in estimates.items() if self._significant(r, v)
+            }
+            if not changed:
+                continue
+            for r, v in changed.items():
+                self._published[r] = v
+            updates = [
+                EstimateUpdate(self.host_name, r, v, self.sim.now)
+                for r, v in changed.items()
+            ]
+            for peer in self.peers:
+                self.updates_sent += 1
+                yield sandbox.send(
+                    peer, _PORT, updates, size=self.message_bytes * len(updates)
+                )
+
+    def _receiver(self):
+        sandbox = self.rt.sandboxes.get(self.host_name)
+        if sandbox is None:
+            return
+        while not self._stopped:
+            msg = yield sandbox.host.mailbox(_PORT).get()
+            if self._stopped:
+                return
+            for update in msg.payload:
+                self.updates_received += 1
+                self.remote_estimates[update.resource] = (update.value, update.time)

@@ -1,0 +1,81 @@
+"""History windows for the monitoring agent's raw-data processing.
+
+"The monitoring agent runs periodically (every 10 ms) and processes raw
+data within a history window."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["HistoryWindow", "EWMA"]
+
+
+class HistoryWindow:
+    """Time-windowed scalar samples with mean/min/max/last queries."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.window = float(window)
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def record(self, time: float, value: float) -> None:
+        if self._samples and time < self._samples[-1][0] - 1e-12:
+            raise ValueError("samples must arrive in time order")
+        self._samples.append((time, value))
+        self._trim(time)
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        return not self._samples
+
+    def last(self) -> Optional[float]:
+        return self._samples[-1][1] if self._samples else None
+
+    def mean(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+    def minimum(self) -> Optional[float]:
+        return min((v for _, v in self._samples), default=None)
+
+    def maximum(self) -> Optional[float]:
+        return max((v for _, v in self._samples), default=None)
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
+class EWMA:
+    """Exponentially weighted moving average (alpha per update)."""
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = float(alpha)
+        self._value: Optional[float] = None
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None

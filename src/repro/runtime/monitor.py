@@ -1,0 +1,253 @@
+"""The monitoring agent (Section 6.1).
+
+Runs as a periodic process beside the application (default every 10 ms, as
+in the paper), estimating the fraction of each relevant resource actually
+available to the application:
+
+- **cpu**: allotted CPU work vs. wall-clock time, *factoring in periods
+  where the application is waiting* (the sandbox's runnable-time
+  accounting);
+- **network**: observed effective rate of recent transfers (bytes over
+  transfer duration, which includes any shaping the environment applies);
+- **memory**: resident-limit fraction of the sandbox's allocated pages.
+
+The agent is configuration-specific: it watches only the resources the
+active configuration's execution path uses (the preprocessor's
+:class:`~repro.tunable.MonitoringPlan`), and it notifies the scheduler only
+when an estimate leaves the current decision's validity region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sandbox import Sandbox
+from ..sim import Event, Process, Simulator
+from ..tunable import AppRuntime
+from .history import HistoryWindow
+
+__all__ = ["SystemMonitor", "MonitoringAgent"]
+
+
+class SystemMonitor:
+    """System-wide resource capacity registry.
+
+    "...relying on a system-wide monitor to provide information about
+    maximum capacities of system resources (CPU speed, physical memory
+    pages, network bandwidth, etc.)."
+    """
+
+    def __init__(self) -> None:
+        self._capacities: Dict[str, float] = {}
+
+    def register(self, resource: str, capacity: float) -> None:
+        self._capacities[resource] = float(capacity)
+
+    def capacity(self, resource: str) -> float:
+        try:
+            return self._capacities[resource]
+        except KeyError:
+            raise KeyError(f"no registered capacity for {resource!r}") from None
+
+    @staticmethod
+    def from_runtime(rt: AppRuntime) -> "SystemMonitor":
+        """Capacities of every host the application runs on."""
+        monitor = SystemMonitor()
+        for host_name, sandbox in rt.sandboxes.items():
+            host = sandbox.host
+            monitor.register(f"{host_name}.cpu", host.cpu.speed)
+            monitor.register(f"{host_name}.memory", float(host.memory.total_pages))
+            monitor.register(f"{host_name}.disk", host.disk.bandwidth)
+            # Network capacity: the fastest outbound link of the host.
+            best_bw = 0.0
+            if host.network is not None:
+                for (a, _b), link in host.network._links.items():
+                    if a == host_name:
+                        best_bw = max(best_bw, link.bandwidth)
+            monitor.register(f"{host_name}.network", best_bw)
+        return monitor
+
+
+class MonitoringAgent:
+    """Application-specific periodic resource-availability estimation."""
+
+    def __init__(
+        self,
+        rt: AppRuntime,
+        watch: List[str],
+        period: float = 0.010,
+        window: float = 0.5,
+        hysteresis: float = 0.05,
+        cooldown: float = 0.5,
+        on_violation: Optional[Callable[[Dict[str, float]], None]] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.rt = rt
+        self.sim: Simulator = rt.sim
+        self.watch = list(watch)
+        self.period = float(period)
+        self.window = float(window)
+        #: Relative margin the estimate must cross beyond the validity bound
+        #: before a violation fires (suppresses noise-induced thrash).
+        self.hysteresis = float(hysteresis)
+        #: Minimum time between violation notifications.
+        self.cooldown = float(cooldown)
+        self.on_violation = on_violation
+        #: Messages smaller than this do not contribute bandwidth samples.
+        self.min_sample_bytes = 4096.0
+        self.system = SystemMonitor.from_runtime(rt)
+
+        #: resource -> (lo, hi) validity bounds from the current decision.
+        self.conditions: Dict[str, Tuple[float, float]] = {}
+        self._histories: Dict[str, HistoryWindow] = {
+            r: HistoryWindow(window) for r in self.watch
+        }
+        self._cpu_anchor: Dict[str, Tuple[float, float]] = {}
+        self._net_seen: Dict[str, int] = {}
+        self._last_trigger = -float("inf")
+        self._stopped = False
+        self.violations = 0
+        self.process: Optional[Process] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "MonitoringAgent":
+        self.process = self.sim.process(self._run(), name="monitoring-agent")
+        if self.rt.finished is not None and self.rt.finished.callbacks is not None:
+            self.rt.finished.callbacks.append(lambda _e: self.stop())
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def retarget(
+        self,
+        watch: Optional[List[str]] = None,
+        conditions: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> None:
+        """Customize the agent to a new active configuration/decision."""
+        if watch is not None:
+            self.watch = list(watch)
+            for r in self.watch:
+                self._histories.setdefault(r, HistoryWindow(self.window))
+        if conditions is not None:
+            self.conditions = dict(conditions)
+
+    # -- estimation ------------------------------------------------------------
+    def estimates(self) -> Dict[str, float]:
+        """Latest windowed availability estimate per watched resource."""
+        out = {}
+        for resource in self.watch:
+            hist = self._histories.get(resource)
+            if hist is not None and not hist.empty:
+                out[resource] = hist.mean()
+        return out
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for resource in self.watch:
+            host, _, kind = resource.partition(".")
+            sandbox = self.rt.sandboxes.get(host)
+            if sandbox is None:
+                continue
+            if kind == "cpu":
+                self._sample_cpu(resource, sandbox, now)
+            elif kind == "network":
+                self._sample_network(resource, sandbox)
+            elif kind == "memory":
+                self._sample_memory(resource, sandbox, now)
+            elif kind == "disk":
+                self._sample_disk(resource, sandbox)
+
+    def _sample_cpu(self, resource: str, sandbox: Sandbox, now: float) -> None:
+        consumed = sandbox.cpu_consumed()
+        runnable = sandbox.runnable_time()
+        anchor = self._cpu_anchor.get(resource)
+        self._cpu_anchor[resource] = (consumed, runnable)
+        if anchor is None:
+            return
+        d_consumed = consumed - anchor[0]
+        d_runnable = runnable - anchor[1]
+        if d_runnable <= 1e-9:
+            return  # app was blocked the whole interval: no signal
+        speed = self.system.capacity(resource)
+        if speed <= 0:
+            return
+        share = min(1.0, d_consumed / (speed * d_runnable))
+        self._histories[resource].record(now, share)
+
+    def _sample_network(self, resource: str, sandbox: Sandbox) -> None:
+        """Effective bandwidth from transfers finished since the last tick.
+
+        Packet-train estimator: for back-to-back deliveries the meaningful
+        interval is the time since the *previous* delivery (the pipe drains
+        continuously), not this message's own queueing delay — otherwise
+        backlog debt is double-counted and the estimate biases low.
+        """
+        for direction, log in (("recv", sandbox.recv_log), ("send", sandbox.send_log)):
+            key = f"{resource}:{direction}"
+            seen = self._net_seen.get(key, 0)
+            prev_end = log[seen - 1][1] if seen > 0 else float("-inf")
+            for start, end, size in log[seen:]:
+                duration = end - max(start, prev_end)
+                # Skip control-sized messages: their timing is dominated by
+                # per-message latency, not bandwidth.
+                if duration > 1e-9 and size >= self.min_sample_bytes:
+                    self._histories[resource].record(end, size / duration)
+                prev_end = end
+            self._net_seen[key] = len(log)
+
+    def _sample_disk(self, resource: str, sandbox: Sandbox) -> None:
+        """Effective disk bandwidth from completed operations."""
+        key = f"{resource}:ops"
+        seen = self._net_seen.get(key, 0)
+        log = sandbox.disk_log
+        prev_end = log[seen - 1][1] if seen > 0 else float("-inf")
+        for start, end, size in log[seen:]:
+            duration = end - max(start, prev_end)
+            if duration > 1e-9 and size >= self.min_sample_bytes:
+                self._histories[resource].record(end, size / duration)
+            prev_end = end
+        self._net_seen[key] = len(log)
+
+    def _sample_memory(self, resource: str, sandbox: Sandbox, now: float) -> None:
+        space = sandbox.mem_space
+        if space is None or space.allocated_pages == 0:
+            return
+        self._histories[resource].record(
+            now, float(space.resident_limit)
+        )
+
+    # -- violation detection ----------------------------------------------------
+    def _check_conditions(self) -> Optional[Dict[str, float]]:
+        estimates = self.estimates()
+        for resource, (lo, hi) in self.conditions.items():
+            est = estimates.get(resource)
+            if est is None:
+                continue
+            # True hysteresis: the estimate must cross the bound by the
+            # margin before we bother the scheduler.
+            lo_margin = self.hysteresis * max(abs(lo), 1e-12)
+            hi_margin = self.hysteresis * max(abs(hi), 1e-12)
+            if (math.isfinite(lo) and est < lo - lo_margin) or (
+                math.isfinite(hi) and est > hi + hi_margin
+            ):
+                return estimates
+        return None
+
+    def _run(self):
+        while not self._stopped:
+            yield self.sim.timeout(self.period)
+            if self._stopped:
+                return
+            self._sample()
+            if self.on_violation is None or not self.conditions:
+                continue
+            if self.sim.now - self._last_trigger < self.cooldown:
+                continue
+            violation = self._check_conditions()
+            if violation is not None:
+                self.violations += 1
+                self._last_trigger = self.sim.now
+                self.on_violation(violation)

@@ -1,0 +1,84 @@
+"""User preference constraints (Section 6).
+
+"Each user preference constraint is expressed as value ranges on a subset
+of output quality metrics and is accompanied with an objective function to
+be optimized. ... Multiple user preference constraints can be specified.
+The system examines them in decreasing order of preference."
+
+Like the paper, the objective is restricted to maximizing or minimizing a
+single quality metric (footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..tunable import MetricRange
+
+__all__ = ["Objective", "Constraint", "UserPreference"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Optimize one metric in one direction."""
+
+    metric: str
+    direction: str = "minimize"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("minimize", "maximize"):
+            raise ValueError(
+                f"direction must be minimize/maximize, got {self.direction!r}"
+            )
+
+    def better(self, a: float, b: float) -> bool:
+        """Is objective value ``a`` strictly better than ``b``?"""
+        return a < b if self.direction == "minimize" else a > b
+
+    def score(self, value: float) -> float:
+        """Higher-is-better scalarization (for sorting)."""
+        return -value if self.direction == "minimize" else value
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One preference level: metric ranges + an objective."""
+
+    objective: Objective
+    ranges: Tuple[MetricRange, ...] = ()
+    name: str = ""
+
+    def satisfied_by(self, metrics: Dict[str, float]) -> bool:
+        """Do predicted/observed ``metrics`` fall inside every range?"""
+        for rng in self.ranges:
+            value = metrics.get(rng.metric)
+            if value is None or not rng.contains(value):
+                return False
+        return True
+
+
+class UserPreference:
+    """Ordered list of constraints, most preferred first."""
+
+    def __init__(self, constraints: Sequence[Constraint]):
+        if not constraints:
+            raise ValueError("need at least one constraint")
+        self.constraints: List[Constraint] = list(constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def primary(self) -> Constraint:
+        return self.constraints[0]
+
+    @staticmethod
+    def single(
+        objective: Objective, ranges: Sequence[MetricRange] = (), name: str = ""
+    ) -> "UserPreference":
+        """Convenience constructor for the common one-level case."""
+        return UserPreference([Constraint(objective, tuple(ranges), name)])

@@ -1,0 +1,206 @@
+"""The resource scheduler (Section 6.2).
+
+Given the performance database, measured resource characteristics, and the
+user preference list, the scheduler
+
+1. prunes candidate configurations to those whose predicted quality metrics
+   satisfy the active constraint's value ranges at the measured resource
+   point (interpolating — or, in ``nearest`` mode, using the discrete best
+   database match, which is what the paper's implementation did);
+2. of the survivors, picks the one optimizing the objective;
+3. on failure, falls through to the next preferred constraint;
+4. computes the *validity region* — the range of each monitored resource
+   within which the decision stands (constraints keep holding and the
+   choice stays near-optimal).  The monitoring agent triggers the scheduler
+   again exactly when measurements leave this region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..profiling import PerformanceDatabase, ResourcePoint
+from ..tunable import Configuration
+from .preferences import Constraint, UserPreference
+
+__all__ = ["Decision", "ResourceScheduler", "SchedulerError"]
+
+
+class SchedulerError(Exception):
+    """Raised on scheduler misconfiguration."""
+
+
+@dataclass
+class Decision:
+    """Outcome of one scheduling pass."""
+
+    config: Configuration
+    predicted: Dict[str, float]
+    constraint: Constraint
+    constraint_index: int
+    point: ResourcePoint
+    #: dim name -> (lo, hi): the region in which this decision stays valid.
+    conditions: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+class ResourceScheduler:
+    """Configuration selection against the performance database."""
+
+    def __init__(
+        self,
+        db: PerformanceDatabase,
+        preference: UserPreference,
+        mode: str = "interpolate",
+        optimality_slack: float = 0.1,
+        candidates: Optional[Sequence[Configuration]] = None,
+    ):
+        if mode not in ("interpolate", "nearest"):
+            raise SchedulerError(f"mode must be interpolate/nearest, got {mode!r}")
+        self.db = db
+        self.preference = preference
+        self.mode = mode
+        #: Relative slack on "still optimal" when computing validity regions
+        #: (prevents thrash between near-tied configurations).
+        self.optimality_slack = float(optimality_slack)
+        self.candidates: List[Configuration] = (
+            list(candidates) if candidates is not None else db.configurations()
+        )
+        if not self.candidates:
+            raise SchedulerError("no candidate configurations")
+        #: Log of every decision made (experiment introspection).
+        self.decisions: List[Decision] = []
+
+    # -- prediction ---------------------------------------------------------
+    def predict(self, config: Configuration, point: ResourcePoint) -> Dict[str, float]:
+        if self.mode == "interpolate":
+            return self.db.predict(config, point)
+        return dict(self.db.lookup_nearest(config, point).metrics)
+
+    # -- selection -----------------------------------------------------------
+    def select(
+        self,
+        point: ResourcePoint,
+        exclude: Set[Configuration] = frozenset(),
+    ) -> Optional[Decision]:
+        """Pick the best feasible configuration at ``point``.
+
+        Walks the preference list in order; returns None when no candidate
+        satisfies any constraint level (caller decides the fallback).
+        """
+        for idx, constraint in enumerate(self.preference):
+            best: Optional[Tuple[float, Configuration, Dict[str, float]]] = None
+            for config in self.candidates:
+                if config in exclude:
+                    continue
+                predicted = self.predict(config, point)
+                if not constraint.satisfied_by(predicted):
+                    continue
+                value = predicted.get(constraint.objective.metric)
+                if value is None:
+                    continue
+                score = constraint.objective.score(value)
+                if best is None or score > best[0]:
+                    best = (score, config, predicted)
+            if best is not None:
+                _, config, predicted = best
+                decision = Decision(
+                    config=config,
+                    predicted=predicted,
+                    constraint=constraint,
+                    constraint_index=idx,
+                    point=point,
+                    conditions=self._validity_region(config, constraint, point, exclude),
+                )
+                self.decisions.append(decision)
+                return decision
+        return None
+
+    # -- validity regions -------------------------------------------------------
+    def _candidate_levels(self, dim: str) -> List[float]:
+        levels: Set[float] = set()
+        for config in self.candidates:
+            for p in self.db.points_for(config):
+                levels.add(p[dim])
+        return sorted(levels)
+
+    def _acceptable_at(
+        self,
+        config: Configuration,
+        constraint: Constraint,
+        point: ResourcePoint,
+        exclude: Set[Configuration],
+    ) -> bool:
+        """Constraints hold AND config is within slack of the best choice."""
+        predicted = self.predict(config, point)
+        if not constraint.satisfied_by(predicted):
+            return False
+        value = predicted.get(constraint.objective.metric)
+        if value is None:
+            return False
+        best_value: Optional[float] = None
+        for other in self.candidates:
+            if other in exclude:
+                continue
+            other_pred = self.predict(other, point)
+            if not constraint.satisfied_by(other_pred):
+                continue
+            other_value = other_pred.get(constraint.objective.metric)
+            if other_value is None:
+                continue
+            if best_value is None or constraint.objective.better(other_value, best_value):
+                best_value = other_value
+        if best_value is None:
+            return False
+        slack = self.optimality_slack * max(abs(best_value), 1e-12)
+        if constraint.objective.direction == "minimize":
+            return value <= best_value + slack
+        return value >= best_value - slack
+
+    def _validity_region(
+        self,
+        config: Configuration,
+        constraint: Constraint,
+        point: ResourcePoint,
+        exclude: Set[Configuration],
+    ) -> Dict[str, Tuple[float, float]]:
+        """Per-dimension interval around ``point`` where the choice stands.
+
+        Scans the database's sampled levels of each dimension (others pinned
+        at the measured point) outward from the current value until the
+        configuration stops being acceptable; the bound is placed at the
+        midpoint between the last acceptable and first unacceptable level —
+        the natural decision boundary between the two samples.
+        """
+        region: Dict[str, Tuple[float, float]] = {}
+        for dim in self.db.resource_dims:
+            current = point[dim]
+            levels = self._candidate_levels(dim)
+            if not levels:
+                region[dim] = (-np.inf, np.inf)
+                continue
+            lo, hi = -np.inf, np.inf
+            below = [v for v in levels if v < current]
+            above = [v for v in levels if v > current]
+            last_ok = current
+            for v in reversed(below):
+                if self._acceptable_at(
+                    config, constraint, point.with_(**{dim: v}), exclude
+                ):
+                    last_ok = v
+                    continue
+                lo = 0.5 * (last_ok + v)
+                break
+            last_ok = current
+            for v in above:
+                if self._acceptable_at(
+                    config, constraint, point.with_(**{dim: v}), exclude
+                ):
+                    last_ok = v
+                    continue
+                hi = 0.5 * (last_ok + v)
+                break
+            region[dim] = (lo, hi)
+        return region

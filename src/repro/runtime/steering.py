@@ -1,0 +1,75 @@
+"""The steering agent (Section 6.3).
+
+Receives control messages from the resource scheduler (new control-parameter
+values plus the resource conditions under which they are valid), posts them
+to the application's :class:`~repro.tunable.ControlBox`, and acknowledges
+once the change takes effect at a task boundary / transition point.  When a
+transition guard rejects the switch, the steering agent reports failure so
+the scheduler can negotiate an alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..tunable import AppRuntime, Configuration, PendingChange
+from .scheduler import Decision
+
+__all__ = ["SteeringAgent", "ControlMessage"]
+
+
+@dataclass
+class ControlMessage:
+    """Scheduler -> steering agent reconfiguration request."""
+
+    decision: Decision
+    #: Called with True once applied at a safe point; False when superseded
+    #: or rejected by a transition guard.
+    on_applied: Optional[Callable[[bool], None]] = None
+
+
+class SteeringAgent:
+    """Applies configuration switches for one application instance."""
+
+    def __init__(self, rt: AppRuntime, control_latency: float = 0.0):
+        self.rt = rt
+        #: Virtual-time delay before a control message reaches the agent
+        #: (models the scheduler running off-host).
+        self.control_latency = float(control_latency)
+        #: (time_posted, config) of every message received.
+        self.received: List[Tuple[float, Configuration]] = []
+        #: (time_applied, config) acknowledgements.
+        self.acks: List[Tuple[float, Configuration]] = []
+
+    def deliver(self, message: ControlMessage) -> None:
+        """Accept a control message; the change lands at a safe point."""
+        if self.control_latency > 0:
+            self.rt.sim.schedule_callback(
+                self.control_latency, lambda: self._post(message)
+            )
+        else:
+            self._post(message)
+
+    def _post(self, message: ControlMessage) -> None:
+        config = message.decision.config
+        self.received.append((self.rt.sim.now, config))
+
+        def on_applied(ok: bool) -> None:
+            if ok:
+                self.acks.append((self.rt.sim.now, config))
+            if message.on_applied is not None:
+                message.on_applied(ok)
+
+        self.rt.controls.request(
+            PendingChange(
+                new_config=config,
+                conditions=message.decision.conditions,
+                on_applied=on_applied,
+            )
+        )
+
+    @property
+    def switches(self) -> List[Tuple[float, Configuration, Configuration]]:
+        """(time, old, new) history of applied switches."""
+        return list(self.rt.controls.history)

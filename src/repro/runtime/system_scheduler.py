@@ -1,0 +1,159 @@
+"""System-wide scheduling of multiple competing tunable applications.
+
+Section 6.2: "Scheduling distributed applications requires placing a set
+of competing applications, each with multiple distributed instances, on a
+collection of interconnected machines with the purpose of optimizing
+application and system performance.  Scheduling tunable applications adds
+another dimension ... the availability of multiple application
+configurations increases the likelihood that application user preference
+constraints will be satisfied over a range of resource situations."
+
+The :class:`SystemScheduler` realizes the paper's approach for co-located
+applications: every arriving application asks its per-app
+:class:`~repro.runtime.ResourceScheduler` for configurations in preference
+order, translates each candidate's resource needs into a reservation
+request, and admits the first one that passes admission control.  Admitted
+applications run inside enforcing sandboxes, so they cannot use more than
+their share ("policing"); tunability lets later arrivals degrade to
+configurations that still fit the leftover capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cluster import Host
+from ..profiling import ResourcePoint
+from ..sandbox import ResourceLimits
+from ..tunable import Configuration
+from .admission import AdmissionController, AdmissionError, Reservation
+from .scheduler import Decision, ResourceScheduler
+
+__all__ = ["Placement", "SystemScheduler", "PlacementError"]
+
+
+class PlacementError(Exception):
+    """No configuration of the application fits the remaining capacity."""
+
+
+@dataclass
+class Placement:
+    """An admitted application: its decision and its reservations."""
+
+    app_name: str
+    decision: Decision
+    reservations: Dict[str, Reservation] = field(default_factory=dict)
+
+    @property
+    def config(self) -> Configuration:
+        return self.decision.config
+
+    def limits(self) -> Dict[str, ResourceLimits]:
+        return {host: r.limits for host, r in self.reservations.items()}
+
+
+class SystemScheduler:
+    """Admission-controlled placement of tunable applications on hosts."""
+
+    def __init__(
+        self,
+        hosts: Dict[str, Host],
+        cpu_threshold: float = 0.95,
+        bw_capacity: Optional[Dict[str, float]] = None,
+    ):
+        self.hosts = dict(hosts)
+        self.admission = AdmissionController(
+            cpu_threshold=cpu_threshold, bw_capacity=bw_capacity
+        )
+        self.placements: List[Placement] = []
+
+    # -- capacity view ------------------------------------------------------
+    def free_cpu(self, host_name: str) -> float:
+        host = self.hosts[host_name]
+        return self.admission.cpu_threshold - self.admission.cpu_reserved(host)
+
+    def available_point(self, dims: List[str]) -> ResourcePoint:
+        """Resource point describing what a new arrival could get.
+
+        cpu dimensions report the unreserved share; network dimensions the
+        unreserved bandwidth (when capacities are declared) or the fastest
+        outbound link.
+        """
+        values = {}
+        for dim in dims:
+            host_name, _, kind = dim.partition(".")
+            host = self.hosts[host_name]
+            if kind == "cpu":
+                values[dim] = max(0.01, self.free_cpu(host_name))
+            elif kind == "network":
+                cap = self.admission.bw_capacity.get(host_name)
+                if cap is not None:
+                    values[dim] = max(1.0, cap - self.admission.bw_reserved(host))
+                else:
+                    best = 0.0
+                    if host.network is not None:
+                        for (a, _b), link in host.network._links.items():
+                            if a == host_name:
+                                best = max(best, link.bandwidth)
+                    values[dim] = best
+            elif kind == "memory":
+                values[dim] = float(host.memory.free_pages)
+            elif kind == "disk":
+                values[dim] = host.disk.bandwidth
+        return ResourcePoint(values)
+
+    # -- placement --------------------------------------------------------------
+    def place(
+        self,
+        app_name: str,
+        scheduler: ResourceScheduler,
+        needs: Callable[[Decision], Dict[str, ResourceLimits]],
+        sandbox_names: Optional[Dict[str, str]] = None,
+    ) -> Placement:
+        """Admit ``app_name`` with the best configuration that fits.
+
+        ``needs(decision)`` translates a scheduling decision into per-host
+        resource limits (how much the configuration must reserve).  The
+        scheduler is consulted at the *currently available* resource point;
+        configurations whose reservations fail admission are excluded and
+        the scheduler is asked again — the negotiation loop of Section 6.3,
+        driven by capacity rather than transition guards.
+        """
+        exclude = set()
+        dims = scheduler.db.resource_dims
+        while True:
+            point = self.available_point(list(dims))
+            decision = scheduler.select(point, exclude=exclude)
+            if decision is None:
+                raise PlacementError(
+                    f"no configuration of {app_name!r} fits the remaining "
+                    f"capacity at {point.label()}"
+                )
+            requested = needs(decision)
+            granted: Dict[str, Reservation] = {}
+            try:
+                for host_name, limits in requested.items():
+                    granted[host_name] = self.admission.admit(
+                        self.hosts[host_name],
+                        limits,
+                        name=(sandbox_names or {}).get(
+                            host_name, f"{app_name}.{host_name}"
+                        ),
+                    )
+            except AdmissionError:
+                for reservation in granted.values():
+                    self.admission.release(reservation)
+                exclude.add(decision.config)
+                continue
+            placement = Placement(
+                app_name=app_name, decision=decision, reservations=granted
+            )
+            self.placements.append(placement)
+            return placement
+
+    def release(self, placement: Placement) -> None:
+        for reservation in placement.reservations.values():
+            self.admission.release(reservation)
+        if placement in self.placements:
+            self.placements.remove(placement)

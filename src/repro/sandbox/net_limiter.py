@@ -1,0 +1,55 @@
+"""Token-bucket network limiter.
+
+Implements the paper's "delaying sending ... of messages to ensure that the
+application sees the desired bandwidth": a send is held back until enough
+tokens (bytes) have accrued at the configured rate.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Byte token bucket with lazy refill in virtual time.
+
+    ``reserve(size, now)`` books ``size`` bytes and returns how long the
+    caller must wait before injecting them.  Oversized messages (bigger than
+    the burst) are supported by letting the balance go negative.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def set_rate(self, rate: float, now: float) -> None:
+        """Change the refill rate; the balance is settled at the old rate."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self._refill(now)
+        self.rate = float(rate)
+
+    def peek_tokens(self, now: float) -> float:
+        self._refill(now)
+        return self._tokens
+
+    def reserve(self, size: float, now: float) -> float:
+        """Debit ``size`` bytes; return the required delay (>= 0)."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size!r}")
+        self._refill(now)
+        self._tokens -= size
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate

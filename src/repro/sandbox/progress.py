@@ -1,0 +1,86 @@
+"""Progress-metric estimation over a sliding history window.
+
+The paper's injected sandbox code "continually monitors application requests
+for operating system resources and estimates a 'progress' metric (e.g. what
+fraction of the CPU share has the application been receiving)".  This module
+provides that estimator: it ingests (time, cumulative-quantity) samples and
+answers windowed-average rate/fraction queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["ProgressEstimator"]
+
+
+class ProgressEstimator:
+    """Windowed rate estimator over a cumulative counter.
+
+    Samples are ``(time, cumulative_value)`` with both non-decreasing.  The
+    estimated rate over the trailing ``window`` is
+    ``(value_now - value_then) / (now - then)``.
+    """
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.window = float(window)
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def record(self, time: float, cumulative: float) -> None:
+        if self._samples and time < self._samples[-1][0] - 1e-12:
+            raise ValueError("samples must be recorded in time order")
+        self._samples.append((time, cumulative))
+        self._trim(time)
+
+    def _trim(self, now: float) -> None:
+        # Keep one sample older than the window edge so interpolation at the
+        # edge stays possible.
+        cutoff = now - self.window
+        while len(self._samples) >= 2 and self._samples[1][0] <= cutoff:
+            self._samples.popleft()
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def rate(self, now: Optional[float] = None) -> Optional[float]:
+        """Average rate over the trailing window; None with <2 samples."""
+        if len(self._samples) < 2:
+            return None
+        t_end, v_end = self._samples[-1]
+        if now is not None and now > t_end:
+            t_end = now  # counter unchanged since the last sample
+        start = t_end - self.window
+        t0, v0 = self._samples[0]
+        # Interpolate the cumulative value at the window start.
+        if t0 < start:
+            for (ta, va), (tb, vb) in zip(self._samples, list(self._samples)[1:]):
+                if tb >= start:
+                    if tb == ta:
+                        v_start = vb
+                    else:
+                        frac = (start - ta) / (tb - ta)
+                        v_start = va + frac * (vb - va)
+                    t_start = start
+                    break
+            else:  # pragma: no cover - defensive
+                t_start, v_start = t0, v0
+        else:
+            t_start, v_start = t0, v0
+        span = t_end - t_start
+        if span <= 1e-12:
+            return None
+        return (v_end - v_start) / span
+
+    def fraction(self, capacity_rate: float, now: Optional[float] = None) -> Optional[float]:
+        """Windowed rate as a fraction of ``capacity_rate``."""
+        r = self.rate(now)
+        if r is None or capacity_rate <= 0:
+            return None
+        return r / capacity_rate
+
+    def reset(self) -> None:
+        self._samples.clear()

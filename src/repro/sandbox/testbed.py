@@ -1,0 +1,119 @@
+"""The virtual testbed: a fresh controlled environment per measurement.
+
+The paper populates its performance database by running each application
+configuration "in a virtual execution environment for different levels of
+allocated resources".  A :class:`Testbed` assembles exactly that: a
+simulator, hosts, links, optional background daemons, and one sandbox per
+application component with the requested resource limits.
+
+Each profiling run uses a *fresh* testbed so measurements are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import BackgroundLoad, Host, Network
+from ..sim import Simulator, stream
+from .limits import LimiterMode, ResourceLimits
+from .sandbox import Sandbox
+
+__all__ = ["HostSpec", "LinkSpec", "Testbed"]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of one host in the execution environment."""
+
+    name: str
+    cpu_speed: float
+    mem_pages: int = 32768
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Duplex link between two hosts."""
+
+    a: str
+    b: str
+    bandwidth: float
+    latency: float = 0.0
+
+
+@dataclass
+class DaemonSpec:
+    """Background OS activity on a host (Fig. 3b's 100 %-share gap)."""
+
+    host: str
+    mean_interval: float = 0.25
+    cpu_fraction: float = 0.02
+
+    def burst_work(self, cpu_speed: float) -> float:
+        return self.cpu_fraction * cpu_speed * self.mean_interval
+
+
+class Testbed:
+    """One controlled execution environment instance."""
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    def __init__(
+        self,
+        host_specs: List[HostSpec],
+        link_specs: List[LinkSpec] = (),
+        mode: str = LimiterMode.IDEAL,
+        seed: int = 0,
+        daemons: List[DaemonSpec] = (),
+    ):
+        self.mode = mode
+        self.seed = seed
+        self.sim = Simulator()
+        self.network = Network(self.sim)
+        self.hosts: Dict[str, Host] = {}
+        self.sandboxes: Dict[str, Sandbox] = {}
+        self.daemons: List[BackgroundLoad] = []
+        for spec in host_specs:
+            host = Host(self.sim, spec.name, spec.cpu_speed, spec.mem_pages)
+            self.network.register(host)
+            self.hosts[spec.name] = host
+        for link in link_specs:
+            self.network.connect(link.a, link.b, link.bandwidth, link.latency)
+        for i, dspec in enumerate(daemons):
+            host = self.hosts[dspec.host]
+            self.daemons.append(
+                BackgroundLoad(
+                    host,
+                    rng=stream(seed, f"daemon.{dspec.host}.{i}"),
+                    mean_interval=dspec.mean_interval,
+                    burst_work=dspec.burst_work(host.cpu.speed),
+                )
+            )
+
+    def sandbox(
+        self,
+        host_name: str,
+        limits: ResourceLimits = ResourceLimits(),
+        name: Optional[str] = None,
+        **kwargs,
+    ) -> Sandbox:
+        """Create a sandbox on ``host_name`` with the given limits."""
+        host = self.hosts[host_name]
+        sb = Sandbox(
+            host,
+            limits=limits,
+            mode=self.mode,
+            name=name or f"{host_name}.sandbox",
+            **kwargs,
+        )
+        self.sandboxes[sb.name] = sb
+        return sb
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def shutdown(self) -> None:
+        for daemon in self.daemons:
+            daemon.stop()
+        for sb in self.sandboxes.values():
+            sb.close()

@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel (virtual time, processes, fluid sharing)."""
+
+from .conditions import AllOf, AnyOf, Condition, ConditionValue
+from .core import (
+    NORMAL,
+    URGENT,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+from .fluid import FluidJob, FluidShare
+from .primitives import Container, Request, Resource, Store, StoreGet, StorePut
+from .rng import derive_seed, stream
+from .trace import Probe, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+    "AnyOf",
+    "AllOf",
+    "Condition",
+    "ConditionValue",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "Resource",
+    "Request",
+    "Container",
+    "FluidShare",
+    "FluidJob",
+    "stream",
+    "Tracer",
+    "Probe",
+    "derive_seed",
+]

@@ -1,0 +1,109 @@
+"""Composite events: wait for *any* or *all* of a set of events."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Condition", "AnyOf", "AllOf", "ConditionValue"]
+
+
+class ConditionValue:
+    """Ordered mapping of the triggered events of a condition to their values.
+
+    Preserves the order in which the events were passed to the condition so
+    callers can write ``value[first_event]`` or iterate deterministically.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, event: Event):
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def todict(self) -> Dict[Event, object]:
+        return {e: e.value for e in self.events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Fires once ``evaluate(events, n_triggered)`` becomes true.
+
+    A failure of any constituent event fails the whole condition immediately
+    (the constituent is defused so the failure surfaces exactly once).
+    """
+
+    def __init__(self, sim: Simulator, evaluate, events: Iterable[Event]):
+        super().__init__(sim)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_value(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Use `processed` rather than `triggered`: Timeout events carry
+            # their value from construction, but have not *fired* until their
+            # callbacks ran.
+            if event.processed and event._ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_value())
+
+
+class AnyOf(Condition):
+    """Fires when the first of ``events`` fires."""
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
+        super().__init__(sim, lambda events, count: count >= 1, events)
+
+
+class AllOf(Condition):
+    """Fires when every one of ``events`` has fired."""
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
+        super().__init__(sim, lambda events, count: count == len(events), events)

@@ -1,0 +1,403 @@
+"""Discrete-event simulation kernel.
+
+This module provides the virtual-time substrate on which every other part of
+the reproduction runs: the cluster model, the sandboxed virtual execution
+environment, and the applications themselves are all coroutine processes
+scheduled by a :class:`Simulator`.
+
+The design follows the classic event/process style (as popularized by SimPy,
+reimplemented here from scratch): a :class:`Simulator` owns a priority queue
+of :class:`Event` objects; application logic is written as Python generator
+functions that ``yield`` events and are resumed when those events fire.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+# Event scheduling priorities (lower fires first at equal times).
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the process was interrupted (e.g. a reconfiguration request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupt({self.cause!r})"
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events start *pending*; calling :meth:`succeed` or :meth:`fail` schedules
+    them on the simulator queue, and once the queue processes them their
+    callbacks run.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        #: If True, a failure of this event that nobody handles will not
+        #: crash the simulation run.
+        self.defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Mark the event failed; waiters receive ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used by condition events)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- plumbing ---------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self.defused:
+            exc = self._value
+            raise exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay, NORMAL)
+
+
+class _Initialize(Event):
+    """Kick-starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._enqueue(self, 0.0, URGENT)
+
+
+class Process(Event):
+    """A coroutine driven by the events it yields.
+
+    The process object is itself an event that fires when the generator
+    terminates: its value is the generator's return value, or the unhandled
+    exception if it crashed.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() requires a generator, got {generator!r}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and must not interrupt itself.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on so that the stale
+        # event no longer resumes it.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        interruption = Event(self.sim)
+        interruption._ok = False
+        interruption._value = Interrupt(cause)
+        interruption.defused = True
+        interruption.callbacks.append(self._resume)
+        self.sim._enqueue(interruption, 0.0, URGENT)
+
+    # -- plumbing ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.sim._active = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        result = self.generator.send(event._value)
+                    else:
+                        event.defused = True
+                        result = self.generator.throw(event._value)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    break
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    break
+
+                if not isinstance(result, Event):
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {result!r}"
+                    )
+                    self._ok = False
+                    self._value = exc
+                    break
+                if result.sim is not self.sim:
+                    exc = SimulationError("yielded event belongs to another simulator")
+                    self._ok = False
+                    self._value = exc
+                    break
+
+                if result.callbacks is not None:
+                    # Pending (or triggered but unprocessed) event: wait for it.
+                    result.callbacks.append(self._resume)
+                    self._target = result
+                    self.sim._active = None
+                    return
+                # Already processed: feed its outcome straight back in.
+                event = result
+        finally:
+            if self.sim._active is self:
+                self.sim._active = None
+        # Generator finished (or crashed): fire the process event.
+        self._target = None
+        self.sim._enqueue(self, 0.0, URGENT)
+        if not self._ok and not self.callbacks:
+            # Nobody is waiting for the crash; let it propagate via
+            # _run_callbacks unless defused.
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Simulator:
+    """Owns virtual time and the pending-event queue."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list = []
+        self._seq = count()
+        self._active: Optional[Process] = None
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def is_idle(self) -> bool:
+        return not self._heap
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> "Event":
+        from .conditions import AnyOf
+
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> "Event":
+        from .conditions import AllOf
+
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> Event:
+        """Run ``fn()`` after ``delay``; returns the underlying event."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _e: fn())
+        return ev
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self._now - 1e-12:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = t
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or virtual time reaches ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until!r}) is in the past (now={self._now!r})"
+            )
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None:
+            self._now = until
+
+    def run_process(self, generator: Generator, until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator``, run, and return its result."""
+        proc = self.process(generator)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish by t={self._now}"
+            )
+        if not proc.ok:
+            raise proc._value
+        return proc._value
+
+    def stop(self) -> None:
+        """Halt :meth:`run` at the current time (callable from callbacks)."""
+        raise StopSimulation()

@@ -1,0 +1,308 @@
+"""Fluid (generalized-processor-sharing) resource model.
+
+A :class:`FluidShare` serves a set of concurrent *jobs*, each with a fixed
+amount of work.  At every instant, the total service rate ``speed`` is
+divided among active jobs in proportion to their weights, subject to
+per-job rate *caps* (water-filling).  This single abstraction models both
+
+- a CPU shared by competing processes under proportional-share scheduling
+  (weights ≈ priorities; caps ≈ sandbox CPU-share limits), and
+- a network link shared by concurrent flows (weights ≈ flow fairness;
+  caps ≈ sandbox bandwidth limits).
+
+The implementation is an event-driven fluid simulation: whenever the job
+set, a weight, a cap, or the speed changes, all remaining-work figures are
+advanced to "now" and the next completion is rescheduled.  Between change
+points rates are constant, so the evolution is exact (no time-stepping).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from .core import Event, NORMAL, SimulationError, Simulator
+
+__all__ = ["FluidShare", "FluidJob"]
+
+_EPS = 1e-12
+
+
+class FluidJob:
+    """One unit of work in service at a :class:`FluidShare`.
+
+    Attributes
+    ----------
+    remaining:
+        Work still to be done (same unit as ``FluidShare.speed`` per second).
+    consumed:
+        Work completed so far (monotone; used for usage accounting).
+    weight:
+        Scheduling weight; 0 suspends the job.
+    cap:
+        Optional absolute rate ceiling (work units / second).
+    done:
+        Event fired when the job's work reaches zero.
+    """
+
+    __slots__ = (
+        "share",
+        "remaining",
+        "consumed",
+        "weight",
+        "cap",
+        "done",
+        "owner",
+        "_rate",
+    )
+
+    def __init__(
+        self,
+        share: "FluidShare",
+        work: float,
+        weight: float,
+        cap: Optional[float],
+        owner: Optional[object] = None,
+    ):
+        self.share = share
+        self.remaining = float(work)
+        self.consumed = 0.0
+        self.weight = float(weight)
+        self.cap = cap
+        self.owner = owner
+        self.done: Event = Event(share.sim)
+        self._rate = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Current instantaneous service rate (valid until the next change)."""
+        return self._rate
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def set_weight(self, weight: float) -> None:
+        self.share.set_weight(self, weight)
+
+    def set_cap(self, cap: Optional[float]) -> None:
+        self.share.set_cap(self, cap)
+
+    def cancel(self) -> None:
+        self.share.cancel(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FluidJob remaining={self.remaining:.6g} weight={self.weight}"
+            f" cap={self.cap} rate={self._rate:.6g}>"
+        )
+
+
+class FluidShare:
+    """Weighted fair sharing of a rated resource with per-job caps."""
+
+    def __init__(self, sim: Simulator, speed: float, name: str = "fluid"):
+        if speed < 0:
+            raise SimulationError(f"speed must be non-negative, got {speed!r}")
+        self.sim = sim
+        self.name = name
+        self._speed = float(speed)
+        self._jobs: Dict[FluidJob, None] = {}
+        self._last_update = sim.now
+        self._timer_gen = 0
+        #: Cumulative busy work served (for utilization accounting).
+        self.total_served = 0.0
+
+    # -- public API -------------------------------------------------------
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def busy(self) -> bool:
+        return any(j.weight > 0 or (j.cap or 0) > 0 for j in self._jobs)
+
+    def submit(
+        self,
+        work: float,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner: Optional[object] = None,
+    ) -> FluidJob:
+        """Enter ``work`` units of demand; returns the job handle.
+
+        Zero-work jobs complete immediately.
+        """
+        if work < 0:
+            raise SimulationError(f"work must be non-negative, got {work!r}")
+        if weight < 0:
+            raise SimulationError(f"weight must be non-negative, got {weight!r}")
+        if cap is not None and cap < 0:
+            raise SimulationError(f"cap must be non-negative, got {cap!r}")
+        self._advance()
+        job = FluidJob(self, work, weight, cap, owner)
+        if work <= _EPS:
+            job.remaining = 0.0
+            job.done.succeed(self.sim.now)
+        else:
+            self._jobs[job] = None
+        self._reschedule()
+        return job
+
+    def set_weight(self, job: FluidJob, weight: float) -> None:
+        if weight < 0:
+            raise SimulationError(f"weight must be non-negative, got {weight!r}")
+        if job not in self._jobs:
+            return
+        self._advance()
+        job.weight = float(weight)
+        self._reschedule()
+
+    def set_cap(self, job: FluidJob, cap: Optional[float]) -> None:
+        if cap is not None and cap < 0:
+            raise SimulationError(f"cap must be non-negative, got {cap!r}")
+        if job not in self._jobs:
+            return
+        self._advance()
+        job.cap = cap
+        self._reschedule()
+
+    def set_speed(self, speed: float) -> None:
+        if speed < 0:
+            raise SimulationError(f"speed must be non-negative, got {speed!r}")
+        self._advance()
+        self._speed = float(speed)
+        self._reschedule()
+
+    def cancel(self, job: FluidJob) -> None:
+        """Abort a job; its ``done`` event fails with :class:`SimulationError`."""
+        if job not in self._jobs:
+            return
+        self._advance()
+        del self._jobs[job]
+        job._rate = 0.0
+        job.done.defused = True
+        job.done.fail(SimulationError("job cancelled"))
+        self._reschedule()
+
+    def utilization_since(self, t0: float, served0: float) -> float:
+        """Average utilization over [t0, now] given a prior snapshot.
+
+        Callers snapshot ``(sim.now, total_served)`` and later compute the
+        achieved fraction of capacity.  Requires an up-to-date accumulator,
+        so we advance first.
+        """
+        self._advance()
+        self._reschedule()
+        dt = self.sim.now - t0
+        if dt <= _EPS or self._speed <= _EPS:
+            return 0.0
+        return (self.total_served - served0) / (self._speed * dt)
+
+    def snapshot(self) -> tuple:
+        """(now, total_served) pair for :meth:`utilization_since`."""
+        self.sync()
+        return (self.sim.now, self.total_served)
+
+    def sync(self) -> None:
+        """Bring lazy work accumulators up to the current time.
+
+        Progress advances lazily at event boundaries; call this before
+        reading ``consumed``/``total_served`` between events.
+        """
+        self._advance()
+        self._reschedule()
+
+    # -- fluid mechanics ----------------------------------------------------
+    def _rates(self) -> Dict[FluidJob, float]:
+        """Water-filling: weighted shares with per-job ceilings."""
+        rates: Dict[FluidJob, float] = {}
+        pending = []
+        budget = self._speed
+        for job in self._jobs:
+            if job.weight <= _EPS:
+                # Suspended jobs may still be allowed a capped trickle of 0.
+                rates[job] = 0.0
+            else:
+                pending.append(job)
+        while pending and budget > _EPS:
+            total_w = sum(j.weight for j in pending)
+            capped = []
+            for job in pending:
+                fair = budget * job.weight / total_w
+                if job.cap is not None and job.cap < fair - _EPS:
+                    capped.append(job)
+            if not capped:
+                for job in pending:
+                    rates[job] = budget * job.weight / total_w
+                pending = []
+                break
+            for job in capped:
+                rates[job] = job.cap or 0.0
+                budget -= rates[job]
+                pending.remove(job)
+            budget = max(0.0, budget)
+        for job in pending:
+            rates[job] = 0.0
+        return rates
+
+    def _advance(self) -> None:
+        """Progress every job's remaining work to the current time."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        # dt can legitimately be as small as the Zeno-guard step in
+        # _reschedule; it must still advance, or a near-finished job would
+        # spin its timer forever without completing.
+        if dt <= 0.0 or not self._jobs:
+            return
+        finished = []
+        for job in self._jobs:
+            delta = job._rate * dt
+            if delta > 0:
+                done_amount = min(delta, job.remaining)
+                job.remaining -= done_amount
+                job.consumed += done_amount
+                self.total_served += done_amount
+                if job.remaining <= _EPS * max(1.0, job.consumed):
+                    job.remaining = 0.0
+                    finished.append(job)
+        for job in finished:
+            del self._jobs[job]
+            job._rate = 0.0
+            job.done.succeed(now)
+
+    def _reschedule(self) -> None:
+        """Recompute rates and arm a timer for the next completion."""
+        rates = self._rates()
+        horizon = math.inf
+        for job, rate in rates.items():
+            job._rate = rate
+            if rate > _EPS:
+                horizon = min(horizon, job.remaining / rate)
+        self._timer_gen += 1
+        if horizon is math.inf:
+            return
+        # Zeno guard: with a near-finished job the exact horizon can be so
+        # small that now + horizon == now in float arithmetic, which would
+        # re-fire the timer forever at a frozen clock.  Bump the horizon to
+        # at least one representable step; the overshoot just completes the
+        # job (delta is clamped to `remaining` in _advance).
+        now = self.sim.now
+        horizon = max(horizon, 1e-12, abs(now) * 1e-12)
+        gen = self._timer_gen
+
+        def fire() -> None:
+            if gen != self._timer_gen:
+                return  # stale timer; a newer change superseded it
+            self._advance()
+            self._reschedule()
+
+        self.sim.schedule_callback(horizon, fire, priority=NORMAL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FluidShare {self.name!r} speed={self._speed} jobs={len(self._jobs)}>"

@@ -1,0 +1,90 @@
+"""Simulation tracing: probes and counters for experiment introspection.
+
+A :class:`Tracer` attaches lightweight periodic probes to a simulator and
+collects named time series — e.g. CPU utilization, queue lengths, or any
+user-supplied gauge.  The figure modules use ad-hoc collection; the tracer
+generalizes it for users building their own experiments, and serializes to
+plain dicts for JSON export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .core import Simulator
+
+__all__ = ["Tracer", "Probe"]
+
+
+@dataclass
+class Probe:
+    """One periodic gauge: samples ``fn()`` every ``period`` seconds."""
+
+    name: str
+    fn: Callable[[], Optional[float]]
+    period: float
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"probe period must be positive, got {self.period!r}")
+
+
+class Tracer:
+    """Collects named time series from a running simulation."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.probes: Dict[str, Probe] = {}
+        self.marks: List[Tuple[float, str]] = []
+        self._stopped = False
+
+    def add_probe(
+        self,
+        name: str,
+        fn: Callable[[], Optional[float]],
+        period: float = 0.1,
+    ) -> Probe:
+        """Register a gauge; ``fn`` returning None skips that sample."""
+        if name in self.probes:
+            raise ValueError(f"duplicate probe name {name!r}")
+        probe = Probe(name=name, fn=fn, period=period)
+        self.probes[name] = probe
+        self.sim.process(self._run_probe(probe), name=f"probe:{name}")
+        return probe
+
+    def mark(self, label: str) -> None:
+        """Record a point event (e.g. 'bandwidth dropped')."""
+        self.marks.append((self.sim.now, label))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run_probe(self, probe: Probe):
+        while not self._stopped:
+            yield self.sim.timeout(probe.period)
+            if self._stopped:
+                return
+            value = probe.fn()
+            if value is not None:
+                probe.samples.append((self.sim.now, float(value)))
+
+    # -- queries -----------------------------------------------------------
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        try:
+            return list(self.probes[name].samples)
+        except KeyError:
+            raise KeyError(f"unknown probe {name!r}") from None
+
+    def mean(self, name: str, t0: float = 0.0, t1: float = float("inf")) -> Optional[float]:
+        values = [v for t, v in self.series(name) if t0 <= t <= t1]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def to_dict(self) -> dict:
+        return {
+            "probes": {name: p.samples for name, p in self.probes.items()},
+            "marks": list(self.marks),
+        }

@@ -1,0 +1,35 @@
+"""Application tunability: the paper's specification framework (Section 4)."""
+
+from .app import AppRuntime, TunableApp
+from .environment import RESOURCE_KINDS, ExecutionEnv, HostComponent, LinkComponent
+from .metrics import MetricError, MetricRange, QoSMetric, QoSRecorder
+from .parameters import ConfigSpace, Configuration, ControlParameter, TunabilityError
+from .preprocess import ConfigFile, DatabaseTemplate, MonitoringPlan, Preprocessor
+from .tasks import TaskGraph, TaskSpec
+from .transitions import ControlBox, PendingChange, TransitionSpec
+
+__all__ = [
+    "ControlParameter",
+    "Configuration",
+    "ConfigSpace",
+    "TunabilityError",
+    "QoSMetric",
+    "QoSRecorder",
+    "MetricRange",
+    "MetricError",
+    "ExecutionEnv",
+    "HostComponent",
+    "LinkComponent",
+    "RESOURCE_KINDS",
+    "TaskSpec",
+    "TaskGraph",
+    "TransitionSpec",
+    "ControlBox",
+    "PendingChange",
+    "TunableApp",
+    "AppRuntime",
+    "Preprocessor",
+    "ConfigFile",
+    "DatabaseTemplate",
+    "MonitoringPlan",
+]

@@ -1,0 +1,102 @@
+"""Execution-environment specification (the ``execution_env`` annotation).
+
+Declares the system components — hosts and links — an application runs on,
+and which resources each encapsulates.  The profiling driver uses this to
+derive the dimensions of the resource space; the testbed uses it to build
+the simulated platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..sandbox.testbed import HostSpec, LinkSpec
+
+__all__ = ["HostComponent", "LinkComponent", "ExecutionEnv", "RESOURCE_KINDS"]
+
+#: Resource kinds a host encapsulates.  Section 4.1 characterizes a host
+#: by CPU, memory, and network; Section 5.1 adds disk to what the sandbox
+#: can constrain, so it is a first-class kind here too.
+RESOURCE_KINDS = ("cpu", "memory", "network", "disk")
+
+
+@dataclass(frozen=True)
+class HostComponent:
+    """One host in the execution environment.
+
+    ``cpu_speed`` is the nominal full-capacity speed used when the testbed
+    instantiates this host (work units/second; see the machine catalog).
+    """
+
+    name: str
+    cpu_speed: float = 450.0
+    mem_pages: int = 32768
+    resources: Tuple[str, ...] = RESOURCE_KINDS
+
+    def __post_init__(self) -> None:
+        for r in self.resources:
+            if r not in RESOURCE_KINDS:
+                raise ValueError(f"unknown resource kind {r!r} on host {self.name!r}")
+
+    def to_spec(self) -> HostSpec:
+        return HostSpec(name=self.name, cpu_speed=self.cpu_speed, mem_pages=self.mem_pages)
+
+
+@dataclass(frozen=True)
+class LinkComponent:
+    """A network link between two declared hosts.
+
+    The visualization app leaves the link implicit ("link resource
+    constraints can be captured in terms of constraints on host network
+    resources"), but the framework supports declaring links explicitly.
+    """
+
+    a: str
+    b: str
+    bandwidth: float = 100e6 / 8
+    latency: float = 0.0005
+
+    def to_spec(self) -> LinkSpec:
+        return LinkSpec(a=self.a, b=self.b, bandwidth=self.bandwidth, latency=self.latency)
+
+
+class ExecutionEnv:
+    """The set of hosts and links an application executes on."""
+
+    def __init__(
+        self,
+        hosts: Sequence[HostComponent],
+        links: Sequence[LinkComponent] = (),
+    ):
+        names = [h.name for h in hosts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate host names: {names!r}")
+        if not hosts:
+            raise ValueError("an execution environment needs at least one host")
+        self.hosts: Dict[str, HostComponent] = {h.name: h for h in hosts}
+        for link in links:
+            for end in (link.a, link.b):
+                if end not in self.hosts:
+                    raise ValueError(f"link endpoint {end!r} is not a declared host")
+        self.links: List[LinkComponent] = list(links)
+
+    def host_specs(self) -> List[HostSpec]:
+        return [h.to_spec() for h in self.hosts.values()]
+
+    def link_specs(self) -> List[LinkSpec]:
+        return [l.to_spec() for l in self.links]
+
+    def resource_names(self) -> List[str]:
+        """Fully qualified resource dimension names, e.g. ``client.cpu``."""
+        names = []
+        for host in self.hosts.values():
+            for kind in host.resources:
+                names.append(f"{host.name}.{kind}")
+        return names
+
+    def validate_resource(self, qualified: str) -> None:
+        if qualified not in self.resource_names():
+            raise ValueError(
+                f"unknown resource {qualified!r}; known: {self.resource_names()}"
+            )

@@ -1,0 +1,128 @@
+"""Application quality (QoS) metrics and their run-time recording.
+
+Mirrors the paper's ``QoS_metric`` declaration and ``QoS_monitor`` code
+blocks (Fig. 2): a metric declares *what* quality means and which direction
+is better; a :class:`QoSRecorder` is the per-run object the instrumented
+application updates, keeping both final values and time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["QoSMetric", "MetricRange", "QoSRecorder", "MetricError"]
+
+
+class MetricError(Exception):
+    """Raised on invalid metric declarations or updates."""
+
+
+@dataclass(frozen=True)
+class QoSMetric:
+    """Declaration of one application output-quality metric.
+
+    ``better`` is "lower" (e.g. transmission time) or "higher" (e.g.
+    resolution); the paper requires that values of the same metric be
+    comparable, which this encodes.
+    """
+
+    name: str
+    better: str = "lower"
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.better not in ("lower", "higher"):
+            raise MetricError(
+                f"metric {self.name!r}: better must be 'lower' or 'higher', "
+                f"got {self.better!r}"
+            )
+
+    def is_better(self, a: float, b: float) -> bool:
+        """True if value ``a`` is strictly better than ``b``."""
+        return a < b if self.better == "lower" else a > b
+
+    def best(self, values: Sequence[float]) -> float:
+        if not values:
+            raise MetricError(f"no values for metric {self.name!r}")
+        return min(values) if self.better == "lower" else max(values)
+
+
+@dataclass(frozen=True)
+class MetricRange:
+    """User-preference value range on one metric (inclusive bounds)."""
+
+    metric: str
+    lo: float = float("-inf")
+    hi: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise MetricError(f"empty range for {self.metric!r}: [{self.lo}, {self.hi}]")
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+class QoSRecorder:
+    """Per-run QoS bookkeeping — the run-time form of ``QoS_monitor``.
+
+    Records current metric values, running averages, and a timestamped
+    series of every update (used to draw the Fig. 7 time plots).
+    """
+
+    def __init__(self, metrics: Sequence[QoSMetric]):
+        self.metrics: Dict[str, QoSMetric] = {m.name: m for m in metrics}
+        if len(self.metrics) != len(metrics):
+            raise MetricError("duplicate metric names")
+        self.values: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self.series: List[Tuple[float, str, float]] = []
+
+    def _check(self, name: str) -> None:
+        if name not in self.metrics:
+            raise MetricError(
+                f"unknown metric {name!r}; declared: {sorted(self.metrics)}"
+            )
+
+    def update(self, name: str, value: float, time: float = 0.0) -> None:
+        """Set the current value of a metric."""
+        self._check(name)
+        self.values[name] = value
+        self.series.append((time, name, value))
+
+    def accumulate(self, name: str, delta: float, time: float = 0.0) -> None:
+        """Add to a running total (e.g. ``QoS.transmit_time += t1 - t0``)."""
+        self._check(name)
+        self.values[name] = self.values.get(name, 0.0) + delta
+        self.series.append((time, name, self.values[name]))
+
+    def running_avg(self, name: str, sample: float, time: float = 0.0) -> None:
+        """Fold a sample into a running average (``avg(response_time, ...)``)."""
+        self._check(name)
+        n = self._counts.get(name, 0)
+        prev = self.values.get(name, 0.0)
+        self.values[name] = (prev * n + sample) / (n + 1)
+        self._counts[name] = n + 1
+        self.series.append((time, name, self.values[name]))
+
+    def get(self, name: str) -> Optional[float]:
+        self._check(name)
+        return self.values.get(name)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self.values)
+
+    def series_for(self, name: str) -> List[Tuple[float, float]]:
+        """(time, value) points of one metric's update history."""
+        self._check(name)
+        return [(t, v) for (t, m, v) in self.series if m == name]
+
+    def satisfies(self, constraint_ranges: Sequence[MetricRange]) -> bool:
+        """Do current values satisfy every range (missing metric = fail)?"""
+        for rng in constraint_ranges:
+            value = self.values.get(rng.metric)
+            if value is None or not rng.contains(value):
+                return False
+        return True

@@ -1,0 +1,176 @@
+"""Control parameters and configurations.
+
+The paper's ``control_parameters`` annotation declares the "knobs" that
+select among alternate execution paths (Fig. 2: ``dR``, ``c``, ``l``).  A
+:class:`Configuration` is one concrete assignment of values to all knobs —
+the unit the performance database indexes and the scheduler switches
+between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ControlParameter", "Configuration", "ConfigSpace", "TunabilityError"]
+
+
+class TunabilityError(Exception):
+    """Raised on invalid tunability specifications or configurations."""
+
+
+@dataclass(frozen=True)
+class ControlParameter:
+    """One knob: a named, finite, ordered domain of values."""
+
+    name: str
+    domain: Tuple[Any, ...]
+    description: str = ""
+
+    def __init__(self, name: str, domain: Sequence[Any], description: str = ""):
+        if not name or not name.isidentifier():
+            raise TunabilityError(f"parameter name must be an identifier, got {name!r}")
+        domain = tuple(domain)
+        if not domain:
+            raise TunabilityError(f"parameter {name!r} has an empty domain")
+        if len(set(domain)) != len(domain):
+            raise TunabilityError(f"parameter {name!r} has duplicate domain values")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "domain", domain)
+        object.__setattr__(self, "description", description)
+
+    def validate(self, value: Any) -> None:
+        if value not in self.domain:
+            raise TunabilityError(
+                f"{value!r} not in domain of parameter {self.name!r}: {self.domain!r}"
+            )
+
+
+class Configuration(Mapping):
+    """Immutable, hashable assignment of control-parameter values.
+
+    Accessed both mapping-style (``config["dR"]``) and attribute-style
+    (``config.dR``), echoing the paper's ``control.dR`` notation.
+    """
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Mapping[str, Any]):
+        object.__setattr__(self, "_values", dict(values))
+        object.__setattr__(
+            self, "_key", tuple(sorted(self._values.items(), key=lambda kv: kv[0]))
+        )
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[name]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise TunabilityError("Configuration is immutable; use with_()")
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Configuration):
+            return self._key == other._key
+        if isinstance(other, Mapping):
+            return dict(self._values) == dict(other)
+        return NotImplemented
+
+    @property
+    def key(self) -> tuple:
+        """Canonical sorted-items tuple (stable database key)."""
+        return self._key
+
+    def with_(self, **changes: Any) -> "Configuration":
+        merged = dict(self._values)
+        merged.update(changes)
+        return Configuration(merged)
+
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``c=lzw,dR=80,l=4``."""
+        return ",".join(f"{k}={v}" for k, v in self._key)
+
+    def __repr__(self) -> str:
+        return f"Configuration({self.label()})"
+
+
+class ConfigSpace:
+    """The guarded cartesian product of all control-parameter domains.
+
+    ``guard`` mirrors the paper's guard expressions on tasks: assignments it
+    rejects are not valid application configurations.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[ControlParameter],
+        guard: Optional[Callable[[Configuration], bool]] = None,
+    ):
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise TunabilityError(f"duplicate parameter names in {names!r}")
+        if not parameters:
+            raise TunabilityError("a config space needs at least one parameter")
+        self.parameters: List[ControlParameter] = list(parameters)
+        self.guard = guard
+        self._by_name: Dict[str, ControlParameter] = {p.name: p for p in parameters}
+
+    def __contains__(self, config: Configuration) -> bool:
+        try:
+            self.validate(config)
+        except TunabilityError:
+            return False
+        return True
+
+    def parameter(self, name: str) -> ControlParameter:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TunabilityError(f"unknown parameter {name!r}") from None
+
+    def validate(self, config: Configuration) -> None:
+        """Raise unless ``config`` assigns every knob a legal value."""
+        missing = set(self._by_name) - set(config)
+        extra = set(config) - set(self._by_name)
+        if missing or extra:
+            raise TunabilityError(
+                f"configuration keys mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        for name, value in config.items():
+            self._by_name[name].validate(value)
+        if self.guard is not None and not self.guard(config):
+            raise TunabilityError(f"configuration {config.label()} violates the guard")
+
+    def enumerate(self) -> List[Configuration]:
+        """All valid configurations, in deterministic domain order."""
+        names = [p.name for p in self.parameters]
+        configs = []
+        for combo in product(*(p.domain for p in self.parameters)):
+            config = Configuration(dict(zip(names, combo)))
+            if self.guard is None or self.guard(config):
+                configs.append(config)
+        if not configs:
+            raise TunabilityError("guard rejects every configuration")
+        return configs
+
+    def size(self) -> int:
+        return len(self.enumerate())
+
+    def default(self) -> Configuration:
+        """First valid configuration (each knob at its first domain value)."""
+        return self.enumerate()[0]

@@ -1,0 +1,115 @@
+"""The preprocessor: turns a tunability specification into artifacts.
+
+In the paper, a source-to-source preprocessor converts the annotated
+program into (a) the executable application modules, (b) steering and
+monitoring agents, and (c) performance-database templates.  Here the
+executable form already exists (the :class:`TunableApp` launcher), so the
+preprocessor's outputs are the declarative artifacts:
+
+- :class:`ConfigFile` — the enumeration of valid configurations the
+  profiling driver loops over ("a driver program ... looks up a
+  configuration file listing the various application configurations");
+- :class:`DatabaseTemplate` — the dimensions of the performance database
+  (parameters × resources × metrics);
+- :class:`MonitoringPlan` — which resources the monitoring agent should
+  watch under each configuration (derived from task resource annotations).
+
+All three serialize to plain dicts (JSON-ready).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .app import TunableApp
+from .parameters import Configuration
+
+__all__ = ["ConfigFile", "DatabaseTemplate", "MonitoringPlan", "Preprocessor"]
+
+
+@dataclass
+class ConfigFile:
+    """Enumerated configurations of one application."""
+
+    app_name: str
+    parameters: Dict[str, Tuple[Any, ...]]
+    configurations: List[Configuration]
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app_name,
+            "parameters": {k: list(v) for k, v in self.parameters.items()},
+            "configurations": [dict(c) for c in self.configurations],
+        }
+
+
+@dataclass
+class DatabaseTemplate:
+    """Schema of the performance database for one application."""
+
+    app_name: str
+    param_names: List[str]
+    resource_dims: List[str]
+    metric_names: List[str]
+    metric_directions: Dict[str, str]
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app_name,
+            "params": list(self.param_names),
+            "resources": list(self.resource_dims),
+            "metrics": list(self.metric_names),
+            "directions": dict(self.metric_directions),
+        }
+
+
+@dataclass
+class MonitoringPlan:
+    """Per-configuration monitoring directives.
+
+    "The behavior of the monitoring agent is customized to the currently
+    active configuration, affecting ... which resources are monitored."
+    """
+
+    app_name: str
+    #: Configuration key -> resources to monitor while it is active.
+    watch: Dict[tuple, List[str]] = field(default_factory=dict)
+
+    def resources_for(self, config: Configuration) -> List[str]:
+        return self.watch.get(config.key, [])
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app_name,
+            "watch": {str(dict(k)): v for k, v in self.watch.items()},
+        }
+
+
+class Preprocessor:
+    """Generates the declarative artifacts from a :class:`TunableApp`."""
+
+    def __init__(self, app: TunableApp):
+        self.app = app
+
+    def config_file(self) -> ConfigFile:
+        return ConfigFile(
+            app_name=self.app.name,
+            parameters={p.name: p.domain for p in self.app.space.parameters},
+            configurations=self.app.configurations(),
+        )
+
+    def database_template(self) -> DatabaseTemplate:
+        return DatabaseTemplate(
+            app_name=self.app.name,
+            param_names=[p.name for p in self.app.space.parameters],
+            resource_dims=self.app.env.resource_names(),
+            metric_names=[m.name for m in self.app.metrics],
+            metric_directions={m.name: m.better for m in self.app.metrics},
+        )
+
+    def monitoring_plan(self) -> MonitoringPlan:
+        plan = MonitoringPlan(app_name=self.app.name)
+        for config in self.app.configurations():
+            plan.watch[config.key] = self.app.tasks.resources_used(config)
+        return plan

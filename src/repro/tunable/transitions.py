@@ -1,0 +1,123 @@
+"""Configuration transitions and the run-time control box.
+
+``TransitionSpec`` is the paper's ``transition (new_control) { ... }``
+construct: application-specific code run when a reconfiguration takes
+effect (e.g. notifying the server of a new compression method), with an
+optional guard deciding whether a particular old→new switch is possible.
+
+``ControlBox`` is the run-time object that makes reconfiguration *safe*:
+the steering agent posts a pending configuration, and the application
+applies it only at task boundaries / declared transition points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from .parameters import Configuration, TunabilityError
+
+__all__ = ["TransitionSpec", "ControlBox", "PendingChange"]
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """Reconfiguration hook with an optional guard.
+
+    ``handler(ctx, old, new)`` may be a plain function or a generator
+    function (when the transition must, e.g., send a control message and
+    wait for it); the application drives it via ``ControlBox.apply``.
+    """
+
+    handler: Optional[Callable[[Any, Configuration, Configuration], Any]] = None
+    guard: Optional[Callable[[Configuration, Configuration], bool]] = None
+    name: str = "transition"
+
+    def allows(self, old: Configuration, new: Configuration) -> bool:
+        return self.guard is None or self.guard(old, new)
+
+
+@dataclass
+class PendingChange:
+    """A reconfiguration waiting for the next safe point."""
+
+    new_config: Configuration
+    #: Opaque validity descriptor (the scheduler's resource conditions under
+    #: which this configuration was selected).
+    conditions: Any = None
+    #: Called with (applied: bool) once the change is applied or rejected.
+    on_applied: Optional[Callable[[bool], None]] = None
+
+
+class ControlBox:
+    """Live control-parameter state shared by the app and steering agent."""
+
+    def __init__(
+        self,
+        initial: Configuration,
+        transitions: Tuple[TransitionSpec, ...] = (),
+    ):
+        self.current = initial
+        self.transitions: Tuple[TransitionSpec, ...] = tuple(transitions)
+        self.pending: Optional[PendingChange] = None
+        #: (time, old_config, new_config) log of applied switches.
+        self.history: List[Tuple[float, Configuration, Configuration]] = []
+
+    @property
+    def has_pending(self) -> bool:
+        return self.pending is not None
+
+    def request(self, change: PendingChange) -> None:
+        """Post a reconfiguration (steering agent side).
+
+        A newer request supersedes an unapplied older one — the scheduler's
+        latest decision wins.
+        """
+        if change.new_config == self.current:
+            # No-op change: report applied immediately.
+            if change.on_applied is not None:
+                change.on_applied(True)
+            return
+        superseded = self.pending
+        self.pending = change
+        if superseded is not None and superseded.on_applied is not None:
+            superseded.on_applied(False)
+
+    def guards_allow(self, new_config: Configuration) -> bool:
+        return all(t.allows(self.current, new_config) for t in self.transitions)
+
+    def apply(self, ctx: Any, time: float = 0.0) -> Generator:
+        """Apply any pending change at a safe point (application side).
+
+        A generator the application yields from at task boundaries /
+        transition points::
+
+            yield from controls.apply(ctx, sim.now)
+
+        Runs every transition handler whose guard passes; handlers that are
+        generator functions are driven inline (so they can send messages).
+        If any guard rejects the switch, the change is refused and the
+        steering agent is informed via ``on_applied(False)`` (triggering
+        renegotiation).
+        """
+        change = self.pending
+        if change is None:
+            return None
+        self.pending = None
+        new = change.new_config
+        if not self.guards_allow(new):
+            if change.on_applied is not None:
+                change.on_applied(False)
+            return None
+        old = self.current
+        for t in self.transitions:
+            if t.handler is None:
+                continue
+            result = t.handler(ctx, old, new)
+            if result is not None and hasattr(result, "send"):
+                yield from result
+        self.current = new
+        self.history.append((time, old, new))
+        if change.on_applied is not None:
+            change.on_applied(True)
+        return new

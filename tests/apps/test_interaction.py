@@ -1,0 +1,83 @@
+"""Tests for user-interaction traces in the visualization client."""
+
+import pytest
+
+from repro.apps.visualization import (
+    VizWorkload,
+    make_viz_app,
+    random_walk_user,
+    scripted_moves,
+    static_user,
+)
+from repro.sandbox import Testbed
+from repro.tunable import Configuration
+
+
+def run_with(interaction, n_images=1, dR=320):
+    app = make_viz_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    wl = VizWorkload(n_images=n_images, interaction=interaction)
+    rt = app.instantiate(
+        tb, Configuration({"dR": dR, "c": "lzw", "l": 4}), workload=wl
+    )
+    tb.run(until=5000)
+    assert rt.finished.triggered
+    return rt, wl
+
+
+def test_static_user_changes_nothing():
+    _, wl_static = run_with(static_user())
+    _, wl_none = run_with(None)
+    assert len(wl_static.round_times) == len(wl_none.round_times)
+
+
+def test_scripted_move_restarts_progressive_transmission():
+    trace = scripted_moves([(0, 2, 512, 512)])
+    _, wl = run_with(trace)
+    # The restart adds rounds beyond the nominal 4 (1024/320 -> 4).
+    assert len(wl.round_times) > 4
+
+
+def test_scripted_move_only_fires_at_its_slot():
+    fired = []
+
+    def wrapped(image_id, seq, x, y):
+        result = scripted_moves([(0, 2, 100, 100)])(image_id, seq, x, y)
+        if result is not None:
+            fired.append((image_id, seq))
+        return result
+
+    run_with(wrapped)
+    assert fired == [(0, 2)]
+
+
+def test_random_walk_user_is_seeded_and_bounded():
+    _, wl_a = run_with(random_walk_user(side=2048, seed=4, move_probability=0.5))
+    _, wl_b = run_with(random_walk_user(side=2048, seed=4, move_probability=0.5))
+    assert len(wl_a.round_times) == len(wl_b.round_times)
+    # Moves happened (more rounds than the static 4) but stayed bounded
+    # (max_moves_per_image=2 keeps the download finite).
+    assert 4 < len(wl_a.round_times) <= 4 + 2 * 4  # restarts add <= 4 rounds each
+
+
+def test_random_walk_different_seed_differs():
+    _, wl_a = run_with(random_walk_user(side=2048, seed=1, move_probability=0.5))
+    _, wl_b = run_with(random_walk_user(side=2048, seed=2, move_probability=0.5))
+    # Almost surely different round counts or timings.
+    assert (
+        len(wl_a.round_times) != len(wl_b.round_times)
+        or wl_a.round_times != wl_b.round_times
+    )
+
+
+def test_random_walk_validation():
+    with pytest.raises(ValueError):
+        random_walk_user(side=2048, move_probability=1.5)
+
+
+def test_interaction_increases_total_transmission_time():
+    rt_static, _ = run_with(None)
+    rt_moving, _ = run_with(random_walk_user(side=2048, seed=9, move_probability=0.6))
+    assert (
+        rt_moving.qos.get("transmit_time") > rt_static.qos.get("transmit_time")
+    )

@@ -1,0 +1,88 @@
+"""Tests for the memory-bound extension application."""
+
+import pytest
+
+from repro.apps import MemWorkload, make_membound_app
+from repro.profiling import ProfilingDriver, ResourceDimension, ResourcePoint
+from repro.runtime import Objective, ResourceScheduler, UserPreference
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import Configuration
+
+#: Disk-backed page-fault cost (2 ms) — makes residency matter.
+FAULT_COST = 2e-3
+
+
+def run_mem(tile, mem_pages=None, fault_cost=FAULT_COST):
+    app = make_membound_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    limits = {}
+    if mem_pages is not None:
+        limits["node"] = ResourceLimits(mem_pages=mem_pages)
+    rt = app.instantiate(
+        tb,
+        Configuration({"tile": tile}),
+        limits=limits,
+        workload=MemWorkload(),
+        sandbox_kwargs={"fault_cost": fault_cost},
+    )
+    tb.run(until=3600)
+    assert rt.finished.triggered
+    return rt
+
+
+def test_unconstrained_prefers_large_tiles():
+    """Without memory pressure, bigger tiles = less recomputation = faster."""
+    elapsed = {t: run_mem(t).qos.get("elapsed") for t in (32, 128, 512)}
+    assert elapsed[512] < elapsed[128] < elapsed[32]
+    # And no faults at all (everything stays resident).
+    assert run_mem(512).qos.get("faults") == 0.0
+
+
+def test_memory_pressure_flips_the_preference():
+    """Under a tight resident limit, the huge tile thrashes."""
+    t512 = run_mem(512, mem_pages=200)
+    t128 = run_mem(128, mem_pages=200)
+    assert t512.qos.get("faults") > t128.qos.get("faults")
+    assert t128.qos.get("elapsed") < t512.qos.get("elapsed")
+
+
+def test_fault_counts_match_lru_analysis():
+    """tile <= limit: one cold fault per page per sweep; tile > limit:
+    every visit faults (sequential LRU sweep)."""
+    small = run_mem(32, mem_pages=200)
+    # 512 data pages x 4 sweeps, faulting once per page per sweep (tiles
+    # evict each other between sweeps but are warm within a tile pass).
+    assert small.qos.get("faults") == 512 * 4
+    big = run_mem(512, mem_pages=200)
+    # Both visits of the 512-page tile fault every time: 2 x 512 x 4.
+    assert big.qos.get("faults") == 2 * 512 * 4
+
+
+def test_fault_log_per_sweep():
+    rt = run_mem(128, mem_pages=200)
+    wl = rt.workload
+    assert len(wl.fault_log) == 4
+    assert all(f == 512 for _, f in wl.fault_log)
+
+
+def test_profiling_over_memory_dimension():
+    """The framework handles node.memory as a first-class dimension."""
+    app = make_membound_app()
+    dims = [ResourceDimension("node.memory", (150, 600, 4000), lo=1)]
+    driver = ProfilingDriver(
+        app, dims, workload_factory=lambda c, p, s: MemWorkload()
+    )
+    db = driver.profile()
+    assert len(db) == 9  # 3 tiles x 3 memory levels
+    # Scheduler picks large tiles when memory is plentiful, smaller when
+    # it is scarce.
+    sched = ResourceScheduler(db, UserPreference.single(Objective("elapsed")))
+    rich = sched.select(ResourcePoint({"node.memory": 4000}))
+    assert rich.config.tile == 512
+
+
+def test_default_fault_cost_keeps_soft_faults_cheap():
+    """With the default (soft) fault cost, faults barely matter."""
+    soft = run_mem(512, mem_pages=200, fault_cost=5e-5)
+    hard = run_mem(512, mem_pages=200, fault_cost=FAULT_COST)
+    assert soft.qos.get("elapsed") < hard.qos.get("elapsed") / 4

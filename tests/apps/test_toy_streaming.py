@@ -1,0 +1,100 @@
+"""Tests for the toy and streaming applications."""
+
+import pytest
+
+from repro.apps import StreamWorkload, make_streaming_app, make_toy_app
+from repro.sandbox import LimiterMode, ResourceLimits, Testbed
+from repro.tunable import Configuration
+
+
+# -------------------------------------------------------------------- toy
+
+
+def run_toy(share=None, mode=LimiterMode.IDEAL, scale=1.0, speed=450.0):
+    app = make_toy_app(cpu_speed=speed)
+    tb = Testbed(host_specs=app.env.host_specs(), mode=mode)
+    limits = {}
+    if share is not None:
+        limits["node"] = ResourceLimits(cpu_share=share)
+    rt = app.instantiate(tb, Configuration({"scale": scale}), limits=limits)
+    tb.run(until=3600)
+    assert rt.finished.triggered
+    return rt.qos.get("elapsed")
+
+
+def test_toy_baseline_10s():
+    assert run_toy() == pytest.approx(10.0, rel=1e-6)
+
+
+def test_toy_time_scales_inversely_with_share():
+    assert run_toy(share=0.5) == pytest.approx(20.0, rel=1e-3)
+    assert run_toy(share=0.25) == pytest.approx(40.0, rel=1e-3)
+
+
+def test_toy_scale_parameter():
+    assert run_toy(scale=2.0) == pytest.approx(20.0, rel=1e-6)
+
+
+def test_toy_quantum_mode_close_to_ideal():
+    ideal = run_toy(share=0.5)
+    quantum = run_toy(share=0.5, mode=LimiterMode.QUANTUM)
+    assert quantum == pytest.approx(ideal, rel=0.05)
+
+
+def test_toy_emulates_slower_machine_with_clock_ratio():
+    """Fig 4a: PII-450 sandboxed at 333/450 share ~ a physical PII-333."""
+    physical = run_toy(speed=333.0)
+    emulated = run_toy(speed=450.0, share=333.0 / 450.0)
+    assert emulated == pytest.approx(physical, rel=1e-3)
+
+
+# -------------------------------------------------------------- streaming
+
+
+def run_stream(config, limits=None, duration=10.0):
+    app = make_streaming_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    wl = StreamWorkload(duration=duration)
+    rt = app.instantiate(tb, Configuration(config), limits=limits or {}, workload=wl)
+    tb.run(until=3600)
+    assert rt.finished.triggered
+    return rt, wl
+
+
+def test_stream_delivers_near_nominal_fps_unconstrained():
+    rt, wl = run_stream({"fps": 15, "quality": "medium", "c": "none"})
+    assert rt.qos.get("fps_delivered") == pytest.approx(15.0, rel=0.1)
+    assert rt.qos.get("frame_lag") < 0.1
+    assert rt.qos.get("quality_bytes") == pytest.approx(100_000.0)
+
+
+def test_stream_bandwidth_starvation_raises_lag():
+    nominal_wire = 100_000.0 * 15  # bytes/s needed uncompressed
+    rt, _ = run_stream(
+        {"fps": 15, "quality": "medium", "c": "none"},
+        limits={"server": ResourceLimits(net_bw=nominal_wire / 3)},
+    )
+    # The stream cannot keep up: delivered fps collapses.
+    assert rt.qos.get("fps_delivered") < 7.0
+
+
+def test_stream_compression_recovers_fps_on_thin_pipe():
+    thin = {"server": ResourceLimits(net_bw=100_000.0 * 15 / 1.6)}
+    raw_rt, _ = run_stream({"fps": 15, "quality": "medium", "c": "none"}, limits=thin)
+    lzw_rt, _ = run_stream({"fps": 15, "quality": "medium", "c": "lzw"}, limits=thin)
+    # LZW (ratio 1.8) fits through the 1/1.6-rate pipe; raw does not.
+    assert lzw_rt.qos.get("fps_delivered") > raw_rt.qos.get("fps_delivered") * 1.2
+
+
+def test_stream_quality_knob_trades_bytes():
+    lo, _ = run_stream({"fps": 10, "quality": "low", "c": "none"}, duration=5.0)
+    hi, _ = run_stream({"fps": 10, "quality": "high", "c": "none"}, duration=5.0)
+    assert hi.qos.get("quality_bytes") > lo.qos.get("quality_bytes") * 10
+
+
+def test_stream_frame_log_ordered():
+    _, wl = run_stream({"fps": 30, "quality": "low", "c": "none"}, duration=3.0)
+    sent = [s for s, _, _ in wl.frame_log]
+    assert sent == sorted(sent)
+    ids = [i for _, _, i in wl.frame_log]
+    assert ids == sorted(ids)

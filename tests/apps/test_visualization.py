@@ -1,0 +1,259 @@
+"""Tests for the active visualization application."""
+
+import pytest
+
+from repro.apps.visualization import (
+    AnalyticImageModel,
+    RealImageModel,
+    SERVER_HOST,
+    VizCosts,
+    VizWorkload,
+    make_viz_app,
+    measured_codec_ratios,
+)
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import Configuration, PendingChange
+
+
+def cfg(dR=320, c="lzw", l=4):
+    return Configuration({"dR": dR, "c": c, "l": l})
+
+
+def run_viz(config, limits=None, workload=None, until=5000.0, app=None):
+    app = app or make_viz_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    wl = workload or VizWorkload(n_images=2)
+    rt = app.instantiate(tb, config, limits=limits or {}, workload=wl)
+    tb.run(until=until)
+    assert rt.finished.triggered, "client did not finish"
+    return rt, wl, tb
+
+
+# ------------------------------------------------------------ image models
+
+
+def test_analytic_level_sides():
+    m = AnalyticImageModel(side=2048, levels=4)
+    assert m.level_side(4) == 2048
+    assert m.level_side(3) == 1024
+    assert m.level_side(0) == 128
+    with pytest.raises(ValueError):
+        m.level_side(5)
+
+
+def test_analytic_full_image_bytes_include_pyramid_overhead():
+    m = AnalyticImageModel(side=2048, levels=4)
+    raw = m.image_raw_bytes(4)
+    base = 2048.0**2
+    # Pyramid sum: base * (1 + 1/4 + ... + 1/256)
+    assert raw == pytest.approx(base * sum(0.25**k for k in range(5)))
+
+
+def test_analytic_rings_partition_image():
+    m = AnalyticImageModel(side=512, levels=3)
+    total = m.image_raw_bytes(3)
+    x = y = 256
+    pieces = sum(
+        m.ring_raw_bytes(3, x, y, r, r + 64) for r in range(0, 256, 64)
+    )
+    assert pieces == pytest.approx(total)
+
+
+def test_analytic_ring_clipping_off_center():
+    m = AnalyticImageModel(side=512, levels=3)
+    corner = m.ring_raw_bytes(3, 0, 0, 0, 64)
+    center = m.ring_raw_bytes(3, 256, 256, 0, 64)
+    # A corner fovea's box is clipped to a quarter.
+    assert corner == pytest.approx(center / 4)
+
+
+def test_analytic_compressed_uses_measured_ratios():
+    m = AnalyticImageModel(side=512, levels=3)
+    ratios = measured_codec_ratios()
+    assert m.compressed_bytes("lzw", 1000.0) == pytest.approx(1000.0 / ratios["lzw"])
+    with pytest.raises(KeyError):
+        m.compressed_bytes("zstd", 1.0)
+
+
+def test_analytic_validation():
+    with pytest.raises(ValueError):
+        AnalyticImageModel(side=0, levels=2)
+
+
+def test_real_model_bytes_close_to_analytic():
+    real = RealImageModel(side=128, levels=3, seed=1)
+    analytic = AnalyticImageModel(side=128, levels=3)
+    r_real = real.image_raw_bytes(3)
+    r_analytic = analytic.image_raw_bytes(3)
+    assert r_real == pytest.approx(r_analytic, rel=0.05)
+
+
+def test_real_model_compression_is_real():
+    real = RealImageModel(side=64, levels=2, seed=2)
+    raw = real.ring_raw_bytes(2, 32, 32, 0, 32)
+    comp = real.compressed_bytes("lzw", raw, level=2, x=32, y=32, r0=0, r1=32)
+    assert 0 < comp < raw
+
+
+def test_measured_ratios_sane():
+    ratios = measured_codec_ratios()
+    assert ratios["none"] == 1.0
+    assert 1.5 < ratios["lzw"] < 3.5
+    assert ratios["bzip2"] > ratios["lzw"]
+
+
+# ----------------------------------------------------------------- the app
+
+
+def test_viz_runs_and_reports_metrics():
+    rt, wl, _ = run_viz(cfg())
+    snap = rt.qos.snapshot()
+    assert set(snap) == {"transmit_time", "response_time", "resolution"}
+    assert snap["resolution"] == 4.0
+    assert len(wl.image_times) == 2
+    # Both images identical -> identical durations.
+    assert wl.image_times[0][1] == pytest.approx(wl.image_times[1][1])
+
+
+def test_viz_round_count_matches_fovea_size():
+    _, wl320, _ = run_viz(cfg(dR=320), workload=VizWorkload(n_images=1))
+    _, wl80, _ = run_viz(cfg(dR=80), workload=VizWorkload(n_images=1))
+    assert len(wl320.round_times) == 4   # 1024 / 320 -> 4 rounds
+    assert len(wl80.round_times) == 13   # 1024 / 80 -> 13 rounds
+
+
+def test_viz_fovea_tradeoff_directions():
+    """Fig 5: larger fovea -> shorter transmission, longer response.
+
+    The transmission-time direction comes from per-round costs (request
+    round trips, server pyramid extraction), so realistic per-round
+    overheads are part of the scenario.
+    """
+    costs = VizCosts(client_round_overhead=9.0, server_round_overhead=20.0)
+    rt320, _, _ = run_viz(
+        cfg(dR=320), limits=_bw(1e6), workload=VizWorkload(n_images=2, costs=costs)
+    )
+    rt80, _, _ = run_viz(
+        cfg(dR=80), limits=_bw(1e6), workload=VizWorkload(n_images=2, costs=costs)
+    )
+    assert rt320.qos.get("transmit_time") < rt80.qos.get("transmit_time")
+    assert rt320.qos.get("response_time") > rt80.qos.get("response_time")
+
+
+def _bw(bw):
+    return {"client": ResourceLimits(net_bw=bw)}
+
+
+def test_viz_resolution_scales_bytes_and_time():
+    """Fig 6b: level 3 transmits ~4x less data than level 4."""
+    rt4, _, _ = run_viz(cfg(l=4), limits=_bw(500e3))
+    rt3, _, _ = run_viz(cfg(l=3), limits=_bw(500e3))
+    ratio = rt4.qos.get("transmit_time") / rt3.qos.get("transmit_time")
+    assert 3.0 < ratio < 5.0
+
+
+def test_viz_cpu_share_slows_transmission():
+    rt_full, _, _ = run_viz(cfg())
+    rt_slow, _, _ = run_viz(
+        cfg(), limits={"client": ResourceLimits(cpu_share=0.2)}
+    )
+    assert rt_slow.qos.get("transmit_time") > rt_full.qos.get("transmit_time")
+
+
+def test_viz_compression_crossover():
+    """Fig 6a: LZW wins at high bandwidth, bzip2 at low bandwidth."""
+    lzw_hi, _, _ = run_viz(cfg(c="lzw"), limits=_bw(500e3))
+    bz_hi, _, _ = run_viz(cfg(c="bzip2"), limits=_bw(500e3))
+    lzw_lo, _, _ = run_viz(cfg(c="lzw"), limits=_bw(50e3))
+    bz_lo, _, _ = run_viz(cfg(c="bzip2"), limits=_bw(50e3))
+    assert lzw_hi.qos.get("transmit_time") < bz_hi.qos.get("transmit_time")
+    assert bz_lo.qos.get("transmit_time") < lzw_lo.qos.get("transmit_time")
+
+
+def test_viz_reconfiguration_midrun_switches_codec():
+    """A pending change applies at a round boundary and notifies the server."""
+    app = make_viz_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    wl = VizWorkload(n_images=3)
+    rt = app.instantiate(tb, cfg(c="lzw"), limits=_bw(50e3), workload=wl)
+    applied = []
+
+    def reconfigure():
+        yield tb.sim.timeout(10.0)
+        rt.controls.request(
+            PendingChange(cfg(c="bzip2"), on_applied=applied.append)
+        )
+
+    tb.sim.process(reconfigure())
+    tb.run(until=5000)
+    assert rt.finished.triggered
+    assert applied == [True]
+    assert rt.controls.current.c == "bzip2"
+    assert len(rt.controls.history) == 1
+    # Per-image times differ before/after the switch.
+    durations = [d for _, d in wl.image_times]
+    assert durations[0] != pytest.approx(durations[-1], rel=0.01)
+
+
+def test_viz_interaction_restarts_fovea():
+    moves = []
+
+    def interaction(image_id, seq, x, y):
+        if image_id == 0 and seq == 2 and not moves:
+            moves.append(True)
+            return (100, 100)
+        return None
+
+    wl = VizWorkload(n_images=1, interaction=interaction)
+    _, wl, _ = run_viz(cfg(dR=320), workload=wl)
+    # The restart adds extra rounds beyond the nominal 4.
+    assert len(wl.round_times) > 4
+
+
+def test_viz_real_fidelity_small_image():
+    app = make_viz_app(dr_domain=(16, 32), level_domain=(1, 2))
+    wl = VizWorkload(n_images=1, image_side=64, levels=2, fidelity="real")
+    rt, wl, _ = run_viz(
+        Configuration({"dR": 16, "c": "lzw", "l": 2}), workload=wl, app=app
+    )
+    assert rt.qos.get("transmit_time") > 0
+    assert len(wl.round_times) == 2  # 32/16
+
+
+def test_viz_workload_validation():
+    with pytest.raises(ValueError):
+        VizWorkload(fidelity="imaginary")
+    with pytest.raises(ValueError):
+        VizWorkload(n_images=0)
+
+
+def test_viz_costs_affect_time():
+    heavy = VizWorkload(n_images=1, costs=VizCosts(display_cost=4.5e-4))
+    light = VizWorkload(n_images=1, costs=VizCosts(display_cost=3e-5))
+    rt_heavy, _, _ = run_viz(cfg(), workload=heavy)
+    rt_light, _, _ = run_viz(cfg(), workload=light)
+    assert rt_heavy.qos.get("transmit_time") > rt_light.qos.get("transmit_time") * 2
+
+
+def test_viz_server_disk_storage_slows_transmission():
+    """With disk-backed image storage, a slow server disk becomes visible
+    in transmission time (Section 2.1's "images stored in the server")."""
+    mem_wl = VizWorkload(n_images=1)
+    disk_wl = VizWorkload(n_images=1, server_disk=True)
+    rt_mem, _, _ = run_viz(cfg(), workload=mem_wl)
+
+    app = make_viz_app(server_speed=450.0)
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    # Throttle the server's disk to 2 MB/s via its sandbox limit.
+    rt_disk = app.instantiate(
+        tb, cfg(),
+        limits={"server": ResourceLimits(disk_bw=2e6)},
+        workload=disk_wl,
+    )
+    tb.run(until=5000)
+    assert rt_disk.finished.triggered
+    # Reading ~5.6 MB of pyramid data at 2 MB/s adds seconds.
+    assert (
+        rt_disk.qos.get("transmit_time")
+        > rt_mem.qos.get("transmit_time") + 2.0
+    )

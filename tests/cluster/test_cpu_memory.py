@@ -1,0 +1,154 @@
+"""Tests for the CPU and memory models."""
+
+import pytest
+
+from repro.cluster import CPU, Memory, MemoryError_
+from repro.sim import Simulator
+
+
+# ------------------------------------------------------------------- CPU
+
+
+def test_cpu_executes_work_at_speed():
+    sim = Simulator()
+    cpu = CPU(sim, speed=200.0)
+    job = cpu.execute(100.0)
+    sim.run()
+    assert job.done.value == pytest.approx(0.5)
+
+
+def test_cpu_contention_halves_rate():
+    sim = Simulator()
+    cpu = CPU(sim, speed=100.0)
+    a = cpu.execute(100.0)
+    b = cpu.execute(100.0)
+    sim.run()
+    assert a.done.value == pytest.approx(2.0)
+    assert b.done.value == pytest.approx(2.0)
+
+
+def test_cpu_cap_models_sandbox_share():
+    sim = Simulator()
+    cpu = CPU(sim, speed=100.0)
+    # A 40% share cap: even alone, the job gets 40 units/s.
+    job = cpu.execute(80.0, cap=0.4 * cpu.speed)
+    sim.run()
+    assert job.done.value == pytest.approx(2.0)
+
+
+def test_cpu_set_speed():
+    sim = Simulator()
+    cpu = CPU(sim, speed=100.0)
+    cpu.set_speed(50.0)
+    job = cpu.execute(100.0)
+    sim.run()
+    assert job.done.value == pytest.approx(2.0)
+
+
+def test_cpu_utilization_accounting():
+    sim = Simulator()
+    cpu = CPU(sim, speed=100.0)
+    snap = cpu.snapshot()
+    cpu.execute(30.0)
+
+    def observe():
+        yield sim.timeout(1.0)
+        return cpu.utilization_since(*snap)
+
+    proc = sim.process(observe())
+    sim.run()
+    assert proc.value == pytest.approx(0.3)
+
+
+# ---------------------------------------------------------------- Memory
+
+
+def test_memory_space_reservation():
+    mem = Memory(total_pages=100)
+    a = mem.create_space(resident_limit=60)
+    assert mem.reserved_pages == 60
+    assert mem.free_pages == 40
+    with pytest.raises(MemoryError_):
+        mem.create_space(resident_limit=50)
+    mem.release_space(a)
+    assert mem.free_pages == 100
+
+
+def test_memory_validation():
+    with pytest.raises(MemoryError_):
+        Memory(total_pages=0)
+    mem = Memory(total_pages=10)
+    with pytest.raises(MemoryError_):
+        mem.create_space(resident_limit=0)
+
+
+def test_touch_within_limit_faults_once_per_page():
+    mem = Memory(total_pages=100)
+    space = mem.create_space(resident_limit=10)
+    space.alloc_range(0, 5)
+    assert space.touch_range(0, 5) == 5  # cold faults
+    assert space.touch_range(0, 5) == 0  # warm
+    assert space.resident_pages == 5
+
+
+def test_touch_beyond_limit_evicts_lru():
+    mem = Memory(total_pages=100)
+    space = mem.create_space(resident_limit=3)
+    space.alloc_range(0, 5)
+    assert space.touch([0, 1, 2]) == 3
+    # Touching page 3 evicts page 0 (LRU).
+    assert space.touch([3]) == 1
+    assert space.touch([0]) == 1  # page 0 faulted back in, evicting 1
+    assert space.touch([2, 3]) == 0  # still resident
+    assert space.resident_pages == 3
+
+
+def test_repeated_sweep_over_working_set_larger_than_limit():
+    """Sequential sweeps over N pages with limit < N fault on every page."""
+    mem = Memory(total_pages=100)
+    space = mem.create_space(resident_limit=4)
+    space.alloc_range(0, 8)
+    assert space.touch_range(0, 8) == 8
+    # LRU + sequential sweep = pathological: all faults again.
+    assert space.touch_range(0, 8) == 8
+    assert space.fault_count == 16
+
+
+def test_touch_unallocated_page_raises():
+    mem = Memory(total_pages=100)
+    space = mem.create_space(resident_limit=4)
+    with pytest.raises(MemoryError_):
+        space.touch([7])
+
+
+def test_shrink_resident_limit_evicts():
+    mem = Memory(total_pages=100)
+    space = mem.create_space(resident_limit=5)
+    space.alloc_range(0, 5)
+    space.touch_range(0, 5)
+    space.set_resident_limit(2)
+    assert space.resident_pages == 2
+    assert mem.reserved_pages == 2
+
+
+def test_grow_resident_limit_bounded_by_physical():
+    mem = Memory(total_pages=10)
+    space = mem.create_space(resident_limit=5)
+    mem.create_space(resident_limit=4)
+    with pytest.raises(MemoryError_):
+        space.set_resident_limit(7)
+    space.set_resident_limit(6)
+    assert mem.free_pages == 0
+
+
+def test_free_pages_removes_resident():
+    mem = Memory(total_pages=100)
+    space = mem.create_space(resident_limit=5)
+    space.alloc_range(0, 3)
+    space.touch_range(0, 3)
+    space.free([0, 1])
+    assert space.resident_pages == 1
+    assert space.allocated_pages == 1
+    # Freed pages must be re-allocated before touching.
+    with pytest.raises(MemoryError_):
+        space.touch([0])

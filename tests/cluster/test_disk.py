@@ -1,0 +1,149 @@
+"""Tests for the disk model and disk-limited sandboxes."""
+
+import pytest
+
+from repro.cluster import Disk, Host
+from repro.runtime import MonitoringAgent
+from repro.sandbox import ResourceLimits, Sandbox, Testbed
+from repro.sim import Simulator
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+
+def test_read_time_is_seek_plus_transfer():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=10e6, seek_time=0.01)
+    done = disk.read(1e6)
+    sim.run()
+    assert done.value == pytest.approx(0.01 + 0.1)
+    assert disk.bytes_read == 1e6
+    assert disk.operations == 1
+
+
+def test_write_accounting_separate():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=10e6, seek_time=0.0)
+    disk.write(5e5)
+    sim.run()
+    assert disk.bytes_written == 5e5
+    assert disk.bytes_read == 0.0
+
+
+def test_concurrent_operations_share_bandwidth():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=10e6, seek_time=0.0)
+    a = disk.read(1e6)
+    b = disk.read(1e6)
+    sim.run()
+    # Each runs at 5 MB/s -> 0.2 s.
+    assert a.value == pytest.approx(0.2)
+    assert b.value == pytest.approx(0.2)
+
+
+def test_seek_dominates_small_operations():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth=20e6, seek_time=0.008)
+    times = []
+
+    def reader():
+        for _ in range(10):
+            t0 = sim.now
+            yield disk.read(4096)
+            times.append(sim.now - t0)
+
+    sim.process(reader())
+    sim.run()
+    for t in times:
+        assert t == pytest.approx(0.008 + 4096 / 20e6)
+
+
+def test_disk_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Disk(sim, seek_time=-1.0)
+    disk = Disk(sim)
+    with pytest.raises(ValueError):
+        disk.read(-5.0)
+
+
+def test_sandbox_disk_cap():
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0, disk_bandwidth=20e6, disk_seek=0.0)
+    sandbox = Sandbox(host, ResourceLimits(disk_bw=1e6))
+
+    def app():
+        yield sandbox.disk_read(2e6)
+        return sim.now
+
+    # Capped at 1 MB/s -> 2 s even though the disk could do 20.
+    assert sim.run_process(app()) == pytest.approx(2.0)
+    assert len(sandbox.disk_log) == 1
+
+
+def test_sandboxes_share_disk_with_caps():
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0, disk_bandwidth=10e6, disk_seek=0.0)
+    a = Sandbox(host, ResourceLimits(disk_bw=2e6), name="a")
+    b = Sandbox(host, ResourceLimits(disk_bw=2e6), name="b")
+    done = {}
+
+    def app(tag, sandbox):
+        yield sandbox.disk_read(2e6)
+        done[tag] = sim.now
+
+    sim.process(app("a", a))
+    sim.process(app("b", b))
+    sim.run()
+    assert done["a"] == pytest.approx(1.0)
+    assert done["b"] == pytest.approx(1.0)
+
+
+def test_limits_validation_disk():
+    with pytest.raises(ValueError):
+        ResourceLimits(disk_bw=0.0)
+
+
+def disk_app(reads=40, read_bytes=1e6):
+    space = ConfigSpace([ControlParameter("mode", ("x",))])
+    env = ExecutionEnv([HostComponent("node", cpu_speed=450.0)])
+
+    def launcher(rt):
+        def main():
+            sb = rt.sandbox("node")
+            for _ in range(reads):
+                yield sb.disk_read(read_bytes)
+                yield sb.compute(1.0)
+            rt.qos.update("done", 1.0)
+
+        return rt.sim.process(main())
+
+    return TunableApp(
+        "diskapp", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("io", resources=("node.disk", "node.cpu"))]),
+        launcher=launcher,
+    )
+
+
+def test_monitor_estimates_disk_bandwidth():
+    app = disk_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(
+        tb, Configuration({"mode": "x"}),
+        limits={"node": ResourceLimits(disk_bw=4e6)},
+    )
+    agent = MonitoringAgent(rt, watch=["node.disk"], window=3.0).start()
+    tb.run(until=3600)
+    est = agent.estimates()["node.disk"]
+    # Effective rate ~= the 4 MB/s cap (seek adds a small haircut).
+    assert est == pytest.approx(4e6, rel=0.15)
+    assert agent.system.capacity("node.disk") == 20e6

@@ -1,0 +1,78 @@
+"""Property-based tests for the LRU memory model."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Memory
+
+
+@given(
+    limit=st.integers(min_value=1, max_value=64),
+    accesses=st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=300),
+)
+@settings(max_examples=100, deadline=None)
+def test_faults_bounded_by_accesses_and_floor_by_distinct(limit, accesses):
+    mem = Memory(total_pages=1000)
+    space = mem.create_space(resident_limit=limit)
+    space.alloc_range(0, 100)
+    faults = space.touch(accesses)
+    distinct = len(set(accesses))
+    # Can't fault more than once per access, nor fewer than cold misses
+    # for pages beyond capacity.
+    assert faults <= len(accesses)
+    assert faults >= min(distinct, distinct)  # every first touch faults
+    assert faults >= distinct - 0  # cold misses at least
+    assert space.resident_pages <= limit
+
+
+@given(
+    limit=st.integers(min_value=4, max_value=64),
+    pages=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_working_set_within_limit_faults_once(limit, pages):
+    assume(pages <= limit)
+    mem = Memory(total_pages=1000)
+    space = mem.create_space(resident_limit=limit)
+    space.alloc_range(0, pages)
+    assert space.touch_range(0, pages) == pages
+    for _ in range(3):
+        assert space.touch_range(0, pages) == 0
+
+
+@given(
+    limit=st.integers(min_value=1, max_value=32),
+    pages=st.integers(min_value=2, max_value=64),
+    sweeps=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_sequential_sweep_beyond_limit_always_faults(limit, pages, sweeps):
+    assume(pages > limit)
+    mem = Memory(total_pages=1000)
+    space = mem.create_space(resident_limit=limit)
+    space.alloc_range(0, pages)
+    total = 0
+    for _ in range(sweeps):
+        total += space.touch_range(0, pages)
+    # LRU + sequential sweep with working set > limit: every touch misses.
+    assert total == pages * sweeps
+
+
+@given(
+    limit=st.integers(min_value=1, max_value=32),
+    accesses=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_lru_inclusion_property(limit, accesses):
+    """A larger cache never faults more than a smaller one (LRU is a
+    stack algorithm)."""
+    def run(lim):
+        mem = Memory(total_pages=1000)
+        space = mem.create_space(resident_limit=lim)
+        space.alloc_range(0, 64)
+        return space.touch(accesses)
+
+    small = run(limit)
+    big = run(limit + 8)
+    assert big <= small

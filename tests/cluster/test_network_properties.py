@@ -1,0 +1,102 @@
+"""Property-based tests for network delivery invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Host, Network
+from repro.sim import Simulator
+
+sizes = st.lists(
+    st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+    min_size=1,
+    max_size=15,
+)
+
+
+def make_pair(sim, bandwidth=1e5, latency=0.001):
+    net = Network(sim)
+    a, b = Host(sim, "a", 100.0), Host(sim, "b", 100.0)
+    net.register(a)
+    net.register(b)
+    net.connect("a", "b", bandwidth=bandwidth, latency=latency)
+    return net, a, b
+
+
+@given(payload_sizes=sizes)
+@settings(max_examples=60, deadline=None)
+def test_every_message_delivered_exactly_once(payload_sizes):
+    sim = Simulator()
+    net, a, b = make_pair(sim)
+    received = []
+
+    def sender():
+        for i, size in enumerate(payload_sizes):
+            yield a.send("b", "p", i, size=size)
+
+    def receiver():
+        for _ in payload_sizes:
+            msg = yield b.mailbox("p").get()
+            received.append(msg.payload)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert received == list(range(len(payload_sizes)))
+    assert net.messages_delivered == len(payload_sizes)
+
+
+@given(payload_sizes=sizes)
+@settings(max_examples=60, deadline=None)
+def test_sequential_sends_fifo_per_port(payload_sizes):
+    """Messages sent back-to-back on one port arrive in order with
+    non-decreasing delivery times."""
+    sim = Simulator()
+    net, a, b = make_pair(sim)
+    deliveries = []
+
+    def sender():
+        for i, size in enumerate(payload_sizes):
+            msg = yield a.send("b", "p", i, size=size)
+            deliveries.append((msg.payload, msg.deliver_time))
+
+    sim.process(sender())
+    sim.run()
+    order = [p for p, _ in deliveries]
+    times = [t for _, t in deliveries]
+    assert order == sorted(order)
+    assert times == sorted(times)
+
+
+@given(payload_sizes=sizes, bandwidth=st.floats(min_value=1e3, max_value=1e6))
+@settings(max_examples=60, deadline=None)
+def test_total_transfer_time_bounded_by_serial_time(payload_sizes, bandwidth):
+    """Sequential sends: completion >= total bytes / bandwidth + latency,
+    and fluid sharing never beats the serial lower bound."""
+    sim = Simulator()
+    latency = 0.001
+    net, a, b = make_pair(sim, bandwidth=bandwidth, latency=latency)
+
+    def sender():
+        for i, size in enumerate(payload_sizes):
+            yield a.send("b", "p", i, size=size)
+
+    proc = sim.process(sender())
+    sim.run()
+    serial = sum(payload_sizes) / bandwidth + latency * len(payload_sizes)
+    assert sim.now == pytest.approx(serial, rel=1e-9)
+
+
+@given(payload_sizes=sizes)
+@settings(max_examples=40, deadline=None)
+def test_concurrent_sends_conserve_bytes(payload_sizes):
+    """All-at-once sends share the link but every byte is carried."""
+    sim = Simulator()
+    net, a, b = make_pair(sim, bandwidth=1e5, latency=0.0)
+    for i, size in enumerate(payload_sizes):
+        a.send("b", "p", i, size=size)
+    sim.run()
+    link = net.link("a", "b")
+    assert link.bytes_carried == pytest.approx(sum(payload_sizes))
+    # Fluid sharing is work-conserving: last delivery at total/bandwidth.
+    assert sim.now == pytest.approx(sum(payload_sizes) / 1e5, rel=1e-9)

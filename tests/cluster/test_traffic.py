@@ -1,0 +1,116 @@
+"""Tests for cross-traffic generation and competition-induced monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CrossTraffic, Host, Link, Network
+from repro.runtime import MonitoringAgent
+from repro.sandbox import ResourceLimits, Testbed
+from repro.sim import Simulator, stream
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+
+def test_cross_traffic_consumes_bandwidth():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e6)
+    traffic = CrossTraffic(
+        link, stream(1, "xt"), mean_interval=0.2, burst_bytes=1e5
+    )
+    _, delivered = link.transfer(2e6)
+    sim.run(until=60.0)
+    traffic.stop()
+    assert delivered.triggered
+    # Alone the transfer takes 2 s; with competition it must take longer.
+    assert delivered.value > 2.2
+    assert traffic.bytes_injected > 0
+
+
+def test_cross_traffic_deterministic_with_seed():
+    results = []
+    for _ in range(2):
+        sim = Simulator()
+        link = Link(sim, bandwidth=1e6)
+        traffic = CrossTraffic(link, stream(7, "xt"), mean_interval=0.1)
+        sim.run(until=10.0)
+        traffic.stop()
+        results.append(traffic.bytes_injected)
+    assert results[0] == results[1]
+
+
+def test_cross_traffic_validation():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e6)
+    with pytest.raises(ValueError):
+        CrossTraffic(link, stream(0, "xt"), mean_interval=0.0)
+
+
+def test_monitor_sees_competition_induced_bandwidth_loss():
+    """The monitoring agent detects less available bandwidth when
+    cross-traffic competes — without any sandbox limit change."""
+    space = ConfigSpace([ControlParameter("mode", ("x",))])
+    env = ExecutionEnv(
+        [HostComponent("client", cpu_speed=450.0), HostComponent("server", cpu_speed=450.0)],
+        [LinkComponent("client", "server", bandwidth=1e6, latency=0.0005)],
+    )
+
+    def launcher(rt):
+        def server():
+            sb = rt.sandbox("server")
+            while True:
+                msg = yield sb.recv("req")
+                if msg.payload is None:
+                    return
+                yield sb.send("client", "data", None, size=100_000.0)
+
+        def client():
+            sb = rt.sandbox("client")
+            for _ in range(60):
+                yield sb.send("server", "req", True, size=64.0)
+                yield sb.recv("data")
+            yield sb.send("server", "req", None, size=64.0)
+            rt.qos.update("done", 1.0)
+
+        rt.sim.process(server())
+        return rt.sim.process(client())
+
+    app = TunableApp(
+        "netprobe", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("xfer", resources=("client.network",))]),
+        launcher=launcher,
+    )
+    tb = Testbed(host_specs=env.host_specs(), link_specs=env.link_specs())
+    rt = app.instantiate(tb, Configuration({"mode": "x"}))
+    agent = MonitoringAgent(rt, watch=["client.network"], window=2.0).start()
+
+    # Inject competing traffic on the server->client link after 2 s.
+    link = tb.network.link("server", "client")
+    traffic = {}
+
+    def inject():
+        yield tb.sim.timeout(2.0)
+        traffic["t"] = CrossTraffic(
+            link, stream(3, "xt"), mean_interval=0.05, burst_bytes=50_000.0
+        )
+
+    tb.sim.process(inject())
+    tb.run(until=1.9)
+    before = agent.estimates()["client.network"]
+    tb.run(until=12.0)
+    after = agent.estimates()["client.network"]
+    if "t" in traffic:
+        traffic["t"].stop()
+    agent.stop()
+    assert before == pytest.approx(1e6, rel=0.15)
+    assert after < before * 0.75

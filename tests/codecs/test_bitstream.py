@@ -1,0 +1,72 @@
+"""White-box tests for the LZW bit-level reader/writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.lzw import _BitReader, _BitWriter
+
+
+def test_writer_packs_msb_first():
+    w = _BitWriter()
+    w.write(0b1, 1)
+    w.write(0b0000000, 7)
+    assert w.getvalue() == bytes([0b10000000])
+
+
+def test_writer_pads_final_byte_with_zeros():
+    w = _BitWriter()
+    w.write(0b101, 3)
+    assert w.getvalue() == bytes([0b10100000])
+
+
+def test_reader_roundtrip_fixed_width():
+    w = _BitWriter()
+    values = [3, 511, 0, 256, 100]
+    for v in values:
+        w.write(v, 9)
+    r = _BitReader(w.getvalue())
+    assert [r.read(9) for _ in values] == values
+
+
+def test_reader_truncated_stream_raises():
+    r = _BitReader(b"\xff")
+    with pytest.raises(ValueError):
+        r.read(9)
+
+
+def test_reader_exhausted_accounts_partial_bits():
+    w = _BitWriter()
+    w.write(0x1FF, 9)
+    r = _BitReader(w.getvalue())  # 2 bytes on the wire (9 bits + padding)
+    assert not r.exhausted(9)
+    r.read(9)
+    assert r.exhausted(9)  # 7 padding bits remain, fewer than 9
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=9, max_value=16), st.data()),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_mixed_width_roundtrip_property(spec):
+    """Any sequence of (width, value) pairs round-trips bit-exactly."""
+    w = _BitWriter()
+    expected = []
+    for width, data in spec:
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        w.write(value, width)
+        expected.append((width, value))
+    r = _BitReader(w.getvalue())
+    for width, value in expected:
+        assert r.read(width) == value
+
+
+def test_writer_output_length_is_ceil_of_bits():
+    w = _BitWriter()
+    for _ in range(5):
+        w.write(0, 9)  # 45 bits -> 6 bytes
+    assert len(w.getvalue()) == 6

@@ -1,0 +1,156 @@
+"""Tests for LZW, RLE/MTF, and codec models (incl. property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs import (
+    BZ2,
+    CODECS,
+    LZW,
+    MTF_RLE,
+    NULL,
+    WaveletPyramid,
+    get_codec,
+    lzw_compress,
+    lzw_decompress,
+    mtf_decode,
+    mtf_encode,
+    rle_compress,
+    rle_decompress,
+    synthetic_image,
+)
+
+
+# ------------------------------------------------------------------- LZW
+
+
+def test_lzw_empty():
+    assert lzw_compress(b"") == b""
+    assert lzw_decompress(b"") == b""
+
+
+def test_lzw_single_byte():
+    assert lzw_decompress(lzw_compress(b"x")) == b"x"
+
+
+def test_lzw_repetitive_data_compresses_well():
+    data = b"abcabcabc" * 1000
+    compressed = lzw_compress(data)
+    assert len(compressed) < len(data) / 4
+    assert lzw_decompress(compressed) == data
+
+
+def test_lzw_kwkwk_case():
+    # The classic pathological pattern that exercises the code==next_code
+    # branch.
+    data = b"ababababa" * 10
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+def test_lzw_random_data_roundtrip():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=10000, dtype=np.uint8).tobytes()
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+def test_lzw_large_input_crosses_width_boundaries():
+    # >65536 dictionary entries worth of input exercises width growth and
+    # the dictionary freeze.
+    rng = np.random.default_rng(1)
+    # Mildly compressible: limited alphabet.
+    data = rng.integers(0, 16, size=300000, dtype=np.uint8).tobytes()
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+def test_lzw_invalid_stream_raises():
+    with pytest.raises(ValueError):
+        # 0xFFFF as a 9-bit-first stream yields an out-of-range code.
+        lzw_decompress(b"\xff\xff\xff\xff")
+
+
+@given(st.binary(max_size=2000))
+@settings(max_examples=150, deadline=None)
+def test_lzw_roundtrip_property(data):
+    assert lzw_decompress(lzw_compress(data)) == data
+
+
+# ------------------------------------------------------------------- RLE
+
+
+def test_rle_empty():
+    assert rle_compress(b"") == b""
+    assert rle_decompress(b"") == b""
+
+
+def test_rle_runs():
+    data = b"\x00" * 300 + b"\x01" * 5
+    compressed = rle_compress(data)
+    assert len(compressed) == 6  # runs: 255+45 zeros, 5 ones
+    assert rle_decompress(compressed) == data
+
+
+def test_rle_invalid_stream():
+    with pytest.raises(ValueError):
+        rle_decompress(b"\x01")
+    with pytest.raises(ValueError):
+        rle_decompress(b"\x00\x41")
+
+
+@given(st.binary(max_size=1500))
+@settings(max_examples=150, deadline=None)
+def test_rle_roundtrip_property(data):
+    assert rle_decompress(rle_compress(data)) == data
+
+
+@given(st.binary(max_size=1000))
+@settings(max_examples=100, deadline=None)
+def test_mtf_roundtrip_property(data):
+    assert mtf_decode(mtf_encode(data)) == data
+
+
+def test_mtf_stabilizes_repeated_bytes():
+    encoded = mtf_encode(b"aaaaab")
+    # After the first 'a', repeats encode as index 0.
+    assert encoded[1:5] == b"\x00\x00\x00\x00"
+
+
+# ----------------------------------------------------------------- models
+
+
+def test_all_registered_codecs_roundtrip_on_image_bytes():
+    pyr = WaveletPyramid(synthetic_image(64, seed=1), levels=3)
+    data = pyr.region_bytes(3, 0, 0, 64, 64)
+    for codec in CODECS.values():
+        assert codec.roundtrip_ok(data), codec.name
+
+
+def test_bz2_beats_lzw_ratio_on_image_data():
+    """The relationship that drives the paper's Fig. 6(a) crossover."""
+    pyr = WaveletPyramid(synthetic_image(128, seed=2), levels=3)
+    data = pyr.region_bytes(3, 0, 0, 128, 128)
+    assert BZ2.ratio(data) > LZW.ratio(data) > 1.0
+
+
+def test_bz2_costs_more_cpu_than_lzw():
+    assert BZ2.compress_cost > LZW.compress_cost
+    assert BZ2.decompress_cost > LZW.decompress_cost
+
+
+def test_codec_work_scaling():
+    assert LZW.compress_work(2e6) == pytest.approx(2e6 * LZW.compress_cost)
+    assert NULL.compress_work(1e9) == 0.0
+
+
+def test_codec_ratio_edge_cases():
+    assert NULL.ratio(b"") == 1.0
+    assert NULL.ratio(b"abc") == pytest.approx(1.0)
+
+
+def test_get_codec():
+    assert get_codec("lzw") is LZW
+    assert get_codec("bzip2") is BZ2
+    assert get_codec("mtf-rle") is MTF_RLE
+    with pytest.raises(KeyError):
+        get_codec("zstd")

@@ -1,0 +1,144 @@
+"""Tests for the Haar wavelet transform and pyramids."""
+
+import numpy as np
+import pytest
+
+from repro.codecs import (
+    WaveletPyramid,
+    haar2d_decompose,
+    haar2d_forward,
+    haar2d_inverse,
+    haar2d_reconstruct,
+    synthetic_image,
+)
+
+
+def test_forward_shapes():
+    img = np.arange(64, dtype=float).reshape(8, 8)
+    ll, (lh, hl, hh) = haar2d_forward(img)
+    assert ll.shape == lh.shape == hl.shape == hh.shape == (4, 4)
+
+
+def test_forward_inverse_roundtrip():
+    rng = np.random.default_rng(0)
+    img = rng.uniform(0, 255, size=(16, 16))
+    ll, details = haar2d_forward(img)
+    back = haar2d_inverse(ll, details)
+    np.testing.assert_allclose(back, img, atol=1e-10)
+
+
+def test_constant_image_has_zero_details():
+    img = np.full((8, 8), 50.0)
+    ll, (lh, hl, hh) = haar2d_forward(img)
+    np.testing.assert_allclose(lh, 0.0, atol=1e-12)
+    np.testing.assert_allclose(hl, 0.0, atol=1e-12)
+    np.testing.assert_allclose(hh, 0.0, atol=1e-12)
+    # Orthonormal scaling: LL of a constant image is 2x the constant.
+    np.testing.assert_allclose(ll, 100.0, atol=1e-12)
+
+
+def test_energy_preservation():
+    """The orthonormal Haar transform preserves total energy (Parseval)."""
+    rng = np.random.default_rng(1)
+    img = rng.uniform(-1, 1, size=(32, 32))
+    ll, (lh, hl, hh) = haar2d_forward(img)
+    energy_in = np.sum(img**2)
+    energy_out = sum(np.sum(band**2) for band in (ll, lh, hl, hh))
+    assert energy_out == pytest.approx(energy_in)
+
+
+def test_forward_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        haar2d_forward(np.zeros(16))
+    with pytest.raises(ValueError):
+        haar2d_forward(np.zeros((7, 8)))
+
+
+def test_decompose_reconstruct_roundtrip():
+    rng = np.random.default_rng(2)
+    img = rng.uniform(0, 255, size=(64, 64))
+    dec = haar2d_decompose(img, levels=4)
+    assert len(dec) == 5
+    back = haar2d_reconstruct(dec)
+    np.testing.assert_allclose(back, img, atol=1e-9)
+
+
+def test_partial_reconstruction_shapes():
+    img = synthetic_image(64, seed=3)
+    dec = haar2d_decompose(img, levels=3)
+    assert haar2d_reconstruct(dec, upto_level=0).shape == (8, 8)
+    assert haar2d_reconstruct(dec, upto_level=1).shape == (16, 16)
+    assert haar2d_reconstruct(dec, upto_level=3).shape == (64, 64)
+
+
+def test_decompose_validation():
+    img = np.zeros((16, 16))
+    with pytest.raises(ValueError):
+        haar2d_decompose(img, levels=0)
+    with pytest.raises(ValueError):
+        haar2d_decompose(img, levels=5)  # 16 / 2^5 < 1
+    dec = haar2d_decompose(img, levels=2)
+    with pytest.raises(ValueError):
+        haar2d_reconstruct(dec, upto_level=3)
+
+
+def test_pyramid_levels_and_sides():
+    img = synthetic_image(128, seed=4)
+    pyr = WaveletPyramid(img, levels=4)
+    assert pyr.side(4) == 128
+    assert pyr.side(3) == 64
+    assert pyr.side(0) == 8
+    np.testing.assert_allclose(pyr.full_resolution, img, atol=1e-9)
+
+
+def test_pyramid_level_validation():
+    pyr = WaveletPyramid(synthetic_image(32), levels=2)
+    with pytest.raises(ValueError):
+        pyr.level_image(5)
+
+
+def test_pyramid_region_clipping():
+    pyr = WaveletPyramid(synthetic_image(32), levels=2)
+    full = pyr.region(2, -10, -10, 100, 100)
+    assert full.shape == (32, 32)
+    empty = pyr.region(2, 40, 40, 50, 50)
+    assert empty.size == 0
+    assert pyr.region_bytes(2, 40, 40, 50, 50) == b""
+
+
+def test_pyramid_region_bytes_size():
+    pyr = WaveletPyramid(synthetic_image(64), levels=3)
+    data = pyr.region_bytes(3, 0, 0, 16, 16)
+    assert len(data) == 256
+
+
+def test_pyramid_coarse_level_approximates_image():
+    """The coarse approximation tracks the local mean of the original."""
+    img = synthetic_image(64, seed=5)
+    pyr = WaveletPyramid(img, levels=2)
+    coarse = pyr.level_image(0)  # 16x16, scaled by 2 per level (orthonormal)
+    block_means = img.reshape(16, 4, 16, 4).mean(axis=(1, 3))
+    np.testing.assert_allclose(coarse / 4.0, block_means, atol=1e-9)
+
+
+def test_synthetic_image_properties():
+    img = synthetic_image(64, seed=6)
+    assert img.shape == (64, 64)
+    assert img.min() >= 0.0
+    assert img.max() <= 255.0
+    assert img.std() > 10.0  # has actual content
+
+
+def test_synthetic_image_validation():
+    with pytest.raises(ValueError):
+        synthetic_image(63)
+    with pytest.raises(ValueError):
+        synthetic_image(4)
+
+
+def test_synthetic_image_deterministic():
+    a = synthetic_image(32, seed=9)
+    b = synthetic_image(32, seed=9)
+    np.testing.assert_array_equal(a, b)
+    c = synthetic_image(32, seed=10)
+    assert not np.array_equal(a, c)

@@ -1,0 +1,84 @@
+"""Tests for the experiment-harness containers and rendering."""
+
+import pytest
+
+from repro.experiments import FigureResult, Series, ascii_plot, render_table
+
+
+def make_result():
+    result = FigureResult(
+        figure="Fig X", title="test", xlabel="x", ylabel="y"
+    )
+    a = result.new_series("a")
+    for x in (1.0, 2.0, 3.0):
+        a.add(x, x * 2)
+    b = result.new_series("b")
+    b.add(1.0, 9.0)
+    b.add(3.0, 1.0)
+    return result
+
+
+def test_series_accessors():
+    s = Series("s")
+    s.add(2, 4)
+    s.add(1, 3)
+    assert s.xs == [2.0, 1.0]
+    assert s.ys == [4.0, 3.0]
+    assert s.y_at(1) == 3.0
+    with pytest.raises(KeyError):
+        s.y_at(5)
+
+
+def test_series_monotone():
+    inc = Series("i")
+    for x, y in ((1, 1), (2, 2), (3, 3)):
+        inc.add(x, y)
+    assert inc.monotone() == "increasing"
+    dec = Series("d")
+    for x, y in ((1, 3), (2, 2), (3, 1)):
+        dec.add(x, y)
+    assert dec.monotone() == "decreasing"
+    mixed = Series("m")
+    for x, y in ((1, 1), (2, 3), (3, 2)):
+        mixed.add(x, y)
+    assert mixed.monotone() == "mixed"
+    const = Series("c")
+    for x in (1, 2):
+        const.add(x, 5)
+    assert const.monotone() == "constant"
+
+
+def test_render_table_aligns_all_series():
+    table = render_table(make_result())
+    lines = table.splitlines()
+    assert "a" in lines[0] and "b" in lines[0]
+    assert len(lines) == 4  # header + 3 x values
+    # Missing values render as '-'.
+    assert "-" in table
+
+
+def test_ascii_plot_contains_marks_and_legend():
+    plot = ascii_plot(make_result(), width=40, height=8)
+    assert "*" in plot  # first series mark
+    assert "o" in plot  # second series mark
+    assert "*=a" in plot
+    assert "o=b" in plot
+
+
+def test_ascii_plot_empty():
+    empty = FigureResult(figure="f", title="t", xlabel="x", ylabel="y")
+    empty.new_series("nothing")
+    assert ascii_plot(empty) == "(no data)"
+
+
+def test_figure_render_includes_notes():
+    result = make_result()
+    result.note("hello note")
+    rendered = result.render(plot=False)
+    assert "hello note" in rendered
+    assert "Fig X" in rendered
+
+
+def test_figure_render_with_plot():
+    rendered = make_result().render(plot=True, width=30, height=6)
+    assert "x" in rendered

@@ -1,0 +1,99 @@
+"""Smoke tests for the figure modules (cheap settings).
+
+The full qualitative assertions live in benchmarks/; these verify the
+experiment plumbing — structure of the results, determinism, and the key
+decision in each adaptive scenario — at reduced cost.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    run_fig3a,
+    run_fig4a,
+    run_fig6a,
+)
+from repro.experiments.fig6 import fig6a_database
+
+
+def test_fig3a_structure():
+    result = run_fig3a(
+        schedule=((0.0, 0.8), (5.0, 0.4)), duration=10.0, bucket=0.5
+    )
+    assert set(result.series) == {"measured", "specified"}
+    measured = result.series["measured"]
+    assert len(measured.points) >= 10
+    assert all(0.0 <= y <= 1.2 for y in measured.ys)
+    # Spec staircase covers both levels.
+    assert set(result.series["specified"].ys) == {0.8, 0.4}
+
+
+def test_fig4a_notes_record_errors():
+    result = run_fig4a()
+    assert len(result.notes) == 2
+    assert all("error=" in n for n in result.notes)
+
+
+@pytest.fixture(scope="module")
+def small_fig6a_db():
+    return fig6a_database(bandwidths=(50e3, 200e3, 500e3))
+
+
+def test_fig6a_small_sweep(small_fig6a_db):
+    db, dims, configs = small_fig6a_db
+    assert len(db) == 6
+    assert len(configs) == 2
+
+
+def test_experiment1_with_shared_db(small_fig6a_db):
+    db, _dims, _configs = small_fig6a_db
+    result, runs = run_experiment1(n_images=6, switch_at=15.0, db=db)
+    adaptive = runs["adaptive"]
+    assert adaptive.switches
+    _, old, new = adaptive.switches[0]
+    assert (old.c, new.c) == ("lzw", "bzip2")
+    assert set(runs) == {"adaptive", "lzw", "bzip2"}
+    # Every run downloaded all 6 images.
+    for run in runs.values():
+        assert len(run.image_series) == 6
+    assert "adaptive" in result.series
+
+
+def test_experiment1_deterministic(small_fig6a_db):
+    db, _dims, _configs = small_fig6a_db
+    _, runs_a = run_experiment1(n_images=4, switch_at=10.0, db=db, seed=5)
+    _, runs_b = run_experiment1(n_images=4, switch_at=10.0, db=db, seed=5)
+    assert runs_a["adaptive"].image_series == runs_b["adaptive"].image_series
+    assert runs_a["adaptive"].switches == runs_b["adaptive"].switches
+
+
+def test_experiment2_decision_structure():
+    result, runs = run_experiment2(n_images=6, switch_at=20.0)
+    adaptive = runs["adaptive"]
+    # Initial config is the high resolution; degraded after the drop.
+    assert adaptive.switches
+    _, old, new = adaptive.switches[0]
+    assert (old.l, new.l) == (4, 3)
+    assert result.figure == "Fig 7b"
+
+
+def test_experiment3_decision_structure():
+    fig_c, fig_d, runs = run_experiment3(n_images=10, switch_at=20.0)
+    adaptive = runs["adaptive"]
+    assert adaptive.switches
+    _, old, new = adaptive.switches[0]
+    assert old.dR == 320
+    assert new.dR in (80, 160)  # smaller fovea
+    assert fig_c.figure == "Fig 7c"
+    assert fig_d.figure == "Fig 7d"
+
+
+def test_adaptive_run_accessors():
+    db, _dims, _configs = fig6a_database(bandwidths=(50e3, 500e3))
+    _, runs = run_experiment1(n_images=3, switch_at=8.0, db=db)
+    run = runs["adaptive"]
+    assert run.total_time > 0
+    assert run.qos["transmit_time"] > 0
+    assert len(run.response_series) >= len(run.image_series)

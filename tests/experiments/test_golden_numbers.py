@@ -1,0 +1,75 @@
+"""Golden regression tests: pin the headline reproduction numbers.
+
+EXPERIMENTS.md quotes specific measured values; these tests fail if a code
+change silently shifts them, keeping the documentation honest.  (Loose
+qualitative shape checks live in benchmarks/; these are tight quantitative
+pins of deterministic, seeded runs.)
+"""
+
+import pytest
+
+from repro.experiments import run_experiment2
+from repro.experiments.fig6 import fig6a_database, fig6b_database
+from repro.profiling import ResourcePoint
+from repro.tunable import Configuration
+
+
+@pytest.fixture(scope="module")
+def db6a():
+    db, _, _ = fig6a_database()
+    return db
+
+
+@pytest.fixture(scope="module")
+def db6b():
+    db, _, _ = fig6b_database()
+    return db
+
+
+def q6a(db, codec, bw):
+    return db.predict(
+        Configuration({"dR": 320, "c": codec, "l": 4}),
+        ResourcePoint({"client.cpu": 1.0, "client.network": bw}),
+        "transmit_time",
+    )
+
+
+def test_fig6a_anchor_values(db6a):
+    """The numbers quoted in EXPERIMENTS.md for the crossover."""
+    assert q6a(db6a, "lzw", 50e3) == pytest.approx(53.2, abs=0.5)
+    assert q6a(db6a, "bzip2", 50e3) == pytest.approx(36.2, abs=0.5)
+    assert q6a(db6a, "lzw", 500e3) == pytest.approx(6.8, abs=0.2)
+    assert q6a(db6a, "bzip2", 500e3) == pytest.approx(10.3, abs=0.3)
+
+
+def q6b(db, level, cpu):
+    return db.predict(
+        Configuration({"dR": 320, "c": "lzw", "l": level}),
+        ResourcePoint({"client.cpu": cpu, "client.network": 1e6}),
+        "transmit_time",
+    )
+
+
+def test_fig6b_anchor_values(db6b):
+    """Experiment 2's decision anchors (paper: <10 / ~18 / ~4 seconds)."""
+    assert q6b(db6b, 4, 0.9) == pytest.approx(9.7, abs=0.3)
+    assert q6b(db6b, 4, 0.4) == pytest.approx(17.5, abs=0.5)
+    assert q6b(db6b, 3, 0.4) == pytest.approx(4.4, abs=0.3)
+
+
+def test_experiment2_switch_time_pinned(db6b):
+    _, runs = run_experiment2(db=db6b)
+    t_switch, old, new = runs["adaptive"].switches[0]
+    assert (old.l, new.l) == (4, 3)
+    assert t_switch == pytest.approx(35.5, abs=1.0)
+    durations = [round(d, 1) for _, d in runs["adaptive"].image_series]
+    assert durations[0] == pytest.approx(9.7, abs=0.2)
+    assert durations[-1] == pytest.approx(4.4, abs=0.2)
+
+
+def test_measured_codec_ratios_pinned():
+    from repro.apps.visualization import measured_codec_ratios
+
+    ratios = measured_codec_ratios()
+    assert ratios["lzw"] == pytest.approx(2.17, abs=0.05)
+    assert ratios["bzip2"] == pytest.approx(3.89, abs=0.1)

@@ -1,0 +1,207 @@
+"""Integration: the complete pipeline through the public API only.
+
+annotations -> preprocessor -> autoprofile (testbed measurements,
+sensitivity refinement, pruning) -> JSON persistence -> scheduler ->
+adaptive execution with monitoring + steering.  This mirrors the paper's
+Figure 1 data flow end to end.
+"""
+
+import pytest
+
+from repro.profiling import (
+    PerformanceDatabase,
+    ResourceDimension,
+    ResourcePoint,
+    autoprofile,
+)
+from repro.runtime import (
+    AdaptationController,
+    Objective,
+    ResourceScheduler,
+    UserPreference,
+)
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    MetricRange,
+    Preprocessor,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TransitionSpec,
+    TunableApp,
+)
+
+# A small client/server "report generator": the client requests batches,
+# the server renders them; `batch` trades per-batch latency against total
+# time, `detail` trades output quality against CPU.
+
+BATCH_ITEMS = 400
+ITEM_BYTES = {1: 2_000.0, 2: 8_000.0}
+ITEM_WORK = {1: 0.3, 2: 1.2}
+
+
+def make_app():
+    space = ConfigSpace(
+        [
+            ControlParameter("batch", (5, 20)),
+            ControlParameter("detail", (1, 2)),
+        ]
+    )
+    env = ExecutionEnv(
+        [HostComponent("client", cpu_speed=100.0), HostComponent("server", cpu_speed=100.0)],
+        [LinkComponent("client", "server", bandwidth=1e6, latency=0.001)],
+    )
+    metrics = [
+        QoSMetric("total_time", better="lower", unit="s"),
+        QoSMetric("batch_latency", better="lower", unit="s"),
+        QoSMetric("detail_level", better="higher"),
+    ]
+    tasks = TaskGraph(
+        [
+            TaskSpec(
+                "generate",
+                params=("batch", "detail"),
+                resources=("client.cpu", "client.network", "server.cpu"),
+                metrics=("total_time", "batch_latency", "detail_level"),
+            )
+        ]
+    )
+    notified = []
+
+    def notify_server(rt, old, new):
+        if old["detail"] != new["detail"]:
+            notified.append((old["detail"], new["detail"]))
+            yield rt.sandbox("client").send("server", "ctl", dict(new), size=32.0)
+
+    def launcher(rt):
+        def server():
+            sb = rt.sandbox("server")
+            while True:
+                msg = yield sb.recv("req")
+                if msg.payload is None:
+                    return
+                count, detail = msg.payload
+                yield sb.compute(ITEM_WORK[detail] * count)
+                yield sb.send(
+                    "client", "data", None, size=ITEM_BYTES[detail] * count
+                )
+
+        def client():
+            sb = rt.sandbox("client")
+            start = rt.sim.now
+            done = 0
+            while done < BATCH_ITEMS:
+                yield from rt.controls.apply(rt, rt.sim.now)
+                batch = min(rt.config.batch, BATCH_ITEMS - done)
+                detail = rt.config.detail
+                t0 = rt.sim.now
+                yield sb.send("server", "req", (batch, detail), size=64.0)
+                yield sb.recv("data")
+                yield sb.compute(0.1 * batch)
+                rt.qos.running_avg("batch_latency", rt.sim.now - t0, time=rt.sim.now)
+                done += batch
+            rt.qos.update("total_time", rt.sim.now - start, time=rt.sim.now)
+            rt.qos.update("detail_level", float(rt.config.detail), time=rt.sim.now)
+            yield sb.send("server", "req", None, size=16.0)
+
+        rt.sim.process(server())
+        return rt.sim.process(client())
+
+    app = TunableApp(
+        "reportgen", space, env, metrics, tasks,
+        transitions=(TransitionSpec(handler=notify_server, name="notify"),),
+        launcher=launcher,
+    )
+    return app, notified
+
+
+DIMS = [
+    ResourceDimension("client.cpu", (0.2, 0.6, 1.0), lo=0.01, hi=1.0),
+    ResourceDimension("client.network", (50e3, 1e6), lo=1.0),
+]
+
+
+@pytest.fixture(scope="module")
+def modeled():
+    app, notified = make_app()
+    report = autoprofile(app, DIMS, adaptive_rounds=1, per_round=4)
+    return app, notified, report
+
+
+def test_preprocessor_artifacts_consistent(modeled):
+    app, _, report = modeled
+    pre = Preprocessor(app)
+    cf = pre.config_file()
+    assert len(cf.configurations) == 4
+    tpl = pre.database_template()
+    assert set(tpl.param_names) == {"batch", "detail"}
+    assert set(report.database.configurations()) == set(cf.configurations)
+
+
+def test_database_persistence_roundtrip(modeled, tmp_path):
+    _, _, report = modeled
+    path = tmp_path / "reportgen.json"
+    report.database.save(path)
+    loaded = PerformanceDatabase.load(path)
+    point = ResourcePoint({"client.cpu": 0.6, "client.network": 1e6})
+    for config in report.database.configurations():
+        assert loaded.predict(config, point) == pytest.approx(
+            report.database.predict(config, point), rel=1e-12
+        )
+
+
+def test_scheduler_trades_detail_for_deadline(modeled):
+    _, _, report = modeled
+    pref = UserPreference.single(
+        Objective("detail_level", "maximize"),
+        [MetricRange("total_time", hi=60.0)],
+    )
+    sched = ResourceScheduler(report.database, pref)
+    rich = sched.select(ResourcePoint({"client.cpu": 1.0, "client.network": 1e6}))
+    poor = sched.select(ResourcePoint({"client.cpu": 1.0, "client.network": 50e3}))
+    assert rich.config.detail == 2
+    assert poor.config.detail == 1
+
+
+def test_adaptive_run_switches_and_notifies_server(modeled):
+    app, notified, report = modeled
+    notified.clear()
+    pref = UserPreference.single(
+        Objective("detail_level", "maximize"),
+        [MetricRange("total_time", hi=60.0)],
+    )
+    sched = ResourceScheduler(report.database, pref)
+    controller = AdaptationController(
+        sched,
+        monitoring_plan=Preprocessor(app).monitoring_plan(),
+        monitor_kwargs={"window": 1.0, "cooldown": 2.0},
+    )
+    decision = controller.select_initial(
+        ResourcePoint({"client.cpu": 1.0, "client.network": 1e6})
+    )
+    assert decision.config.detail == 2
+
+    testbed = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    rt = app.instantiate(
+        testbed, decision.config,
+        limits={"client": ResourceLimits(net_bw=1e6)},
+    )
+    controller.attach(rt)
+
+    def vary():
+        yield testbed.sim.timeout(3.0)
+        rt.sandboxes["client"].set_limits(ResourceLimits(net_bw=50e3))
+
+    testbed.sim.process(vary())
+    testbed.run(until=600)
+    assert rt.finished.triggered
+    # Adaptation downgraded detail, and the transition told the server.
+    assert rt.controls.current.detail == 1
+    assert (2, 1) in notified
+    assert rt.qos.get("total_time") is not None

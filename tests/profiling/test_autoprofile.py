@@ -1,0 +1,73 @@
+"""Tests for the one-call autoprofile pipeline."""
+
+import pytest
+
+from repro.profiling import ResourceDimension, ResourcePoint, autoprofile
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+
+def app_with_redundancy():
+    """Three configs: 'fast', 'slow' (dominated), and 'fast_twin' (merged)."""
+    WORK = {"fast": 50.0, "slow": 200.0, "fast_twin": 50.5}
+    space = ConfigSpace([ControlParameter("variant", tuple(WORK))])
+    env = ExecutionEnv([HostComponent("node", cpu_speed=100.0)])
+
+    def launcher(rt):
+        def main():
+            sb = rt.sandbox("node")
+            t0 = rt.sim.now
+            yield sb.compute(WORK[rt.config.variant])
+            rt.qos.update("elapsed", rt.sim.now - t0, time=rt.sim.now)
+
+        return rt.sim.process(main())
+
+    return TunableApp(
+        "redundant", space, env,
+        metrics=[QoSMetric("elapsed")],
+        tasks=TaskGraph([TaskSpec("work", params=("variant",), resources=("node.cpu",))]),
+        launcher=launcher,
+    )
+
+
+def dims():
+    return [ResourceDimension("node.cpu", (0.2, 0.6, 1.0), lo=0.01, hi=1.0)]
+
+
+def test_autoprofile_prunes_dominated_and_merges_twins():
+    report = autoprofile(app_with_redundancy(), dims(), adaptive_rounds=1)
+    assert report.configurations_declared == 3
+    kept = {c.variant for c in report.pruned.configurations()}
+    # 'slow' is dominated everywhere; 'fast_twin' merges into 'fast'.
+    assert kept == {"fast"}
+    assert report.configurations_kept == 1
+    assert Configuration({"variant": "fast_twin"}) in report.merged_into
+    assert report.samples_total >= 9
+    assert "configurations declared" in report.summary()
+
+
+def test_autoprofile_full_database_retained():
+    report = autoprofile(app_with_redundancy(), dims(), adaptive_rounds=0)
+    # The unpruned database still answers for every configuration.
+    assert len(report.database.configurations()) == 3
+    slow = Configuration({"variant": "slow"})
+    assert report.database.predict(
+        slow, ResourcePoint({"node.cpu": 1.0}), "elapsed"
+    ) == pytest.approx(2.0)
+
+
+def test_autoprofile_refinement_adds_samples():
+    base = autoprofile(app_with_redundancy(), dims(), adaptive_rounds=0)
+    refined = autoprofile(
+        app_with_redundancy(), dims(), adaptive_rounds=2, per_round=4
+    )
+    assert refined.samples_total > base.samples_total

@@ -1,0 +1,187 @@
+"""Tests for the performance database: queries, pruning, persistence."""
+
+import pytest
+
+from repro.profiling import (
+    DatabaseError,
+    PerformanceDatabase,
+    Record,
+    ResourcePoint,
+    curvature_scores,
+    maximal_subset,
+    merge_similar,
+    propose_refinements,
+    prune_database,
+)
+from repro.tunable import Configuration, QoSMetric
+
+
+def cfg(**kw):
+    return Configuration(kw)
+
+
+def pt(**kw):
+    return ResourcePoint({k.replace("_", "."): v for k, v in kw.items()})
+
+
+def build_db():
+    """Two configs over a 1-D cpu axis with a crossover at cpu=0.5."""
+    db = PerformanceDatabase("app", ["client.cpu"])
+    for cpu in (0.2, 0.5, 1.0):
+        # Config A: cheap fixed cost, poor scaling: t = 2 + 4*(1-cpu)
+        db.add(
+            Record(cfg(c="A"), pt(client_cpu=cpu), {"t": 2 + 4 * (1 - cpu)})
+        )
+        # Config B: t = 4 - cpu (better at low cpu, worse at high cpu)
+        db.add(Record(cfg(c="B"), pt(client_cpu=cpu), {"t": 4 - cpu}))
+    return db
+
+
+def test_add_and_len():
+    db = build_db()
+    assert len(db) == 6
+    assert len(db.configurations()) == 2
+    assert len(db.points_for(cfg(c="A"))) == 3
+
+
+def test_add_replaces_same_key():
+    db = build_db()
+    db.add(Record(cfg(c="A"), pt(client_cpu=0.2), {"t": 99.0}))
+    assert len(db) == 6
+    assert db.record_at(cfg(c="A"), pt(client_cpu=0.2)).metrics["t"] == 99.0
+
+
+def test_dims_mismatch_rejected():
+    db = build_db()
+    with pytest.raises(DatabaseError):
+        db.add(Record(cfg(c="A"), pt(client_network=1.0), {"t": 1.0}))
+
+
+def test_predict_interpolates():
+    db = build_db()
+    # A at cpu=0.35: linear between 0.2 (5.2) and 0.5 (4.0) -> 4.6
+    assert db.predict(cfg(c="A"), pt(client_cpu=0.35), "t") == pytest.approx(4.6)
+
+
+def test_predict_all_metrics():
+    db = build_db()
+    out = db.predict(cfg(c="B"), pt(client_cpu=0.5))
+    assert out == {"t": pytest.approx(3.5)}
+
+
+def test_predict_unknown_config_or_metric():
+    db = build_db()
+    with pytest.raises(DatabaseError):
+        db.predict(cfg(c="Z"), pt(client_cpu=0.5), "t")
+    with pytest.raises(DatabaseError):
+        db.predict(cfg(c="A"), pt(client_cpu=0.5), "nope")
+    with pytest.raises(DatabaseError):
+        db.predict(cfg(c="A"), pt(client_network=1.0), "t")
+
+
+def test_lookup_nearest_discrete():
+    db = build_db()
+    rec = db.lookup_nearest(cfg(c="A"), pt(client_cpu=0.55))
+    assert rec.point == pt(client_cpu=0.5)
+    rec = db.lookup_nearest(cfg(c="A"), pt(client_cpu=0.9))
+    assert rec.point == pt(client_cpu=1.0)
+
+
+def test_metric_names_and_remove():
+    db = build_db()
+    assert db.metric_names() == ["t"]
+    db.remove_config(cfg(c="A"))
+    assert len(db.configurations()) == 1
+
+
+def test_roundtrip_persistence(tmp_path):
+    db = build_db()
+    path = tmp_path / "db.json"
+    db.save(path)
+    loaded = PerformanceDatabase.load(path)
+    assert len(loaded) == 6
+    assert loaded.resource_dims == ["client.cpu"]
+    assert loaded.predict(cfg(c="A"), pt(client_cpu=0.35), "t") == pytest.approx(4.6)
+
+
+# ---------------------------------------------------------------- pruning
+
+
+def test_maximal_subset_keeps_both_crossover_configs():
+    db = build_db()
+    metric = QoSMetric("t", better="lower")
+    subset = maximal_subset(db, metric)
+    # A wins at cpu=1.0 (2 < 3), B wins at cpu=0.2 (3.8 < 5.2).
+    assert {c.label() for c in subset} == {"c=A", "c=B"}
+
+
+def test_maximal_subset_drops_dominated_config():
+    db = build_db()
+    # C is strictly worse than both everywhere.
+    for cpu in (0.2, 0.5, 1.0):
+        db.add(Record(cfg(c="C"), pt(client_cpu=cpu), {"t": 100.0}))
+    subset = maximal_subset(db, QoSMetric("t", better="lower"))
+    assert {c.label() for c in subset} == {"c=A", "c=B"}
+
+
+def test_merge_similar_groups_twins():
+    db = build_db()
+    # D behaves within 1% of A everywhere.
+    for cpu in (0.2, 0.5, 1.0):
+        base = 2 + 4 * (1 - cpu)
+        db.add(Record(cfg(c="D"), pt(client_cpu=cpu), {"t": base * 1.005}))
+    rep = merge_similar(db, [QoSMetric("t")], rtol=0.05)
+    assert rep[cfg(c="D")] == rep[cfg(c="A")]
+    assert rep[cfg(c="B")] == cfg(c="B")
+
+
+def test_prune_database_end_to_end():
+    db = build_db()
+    for cpu in (0.2, 0.5, 1.0):
+        db.add(Record(cfg(c="C"), pt(client_cpu=cpu), {"t": 100.0}))  # dominated
+        db.add(
+            Record(cfg(c="D"), pt(client_cpu=cpu), {"t": (2 + 4 * (1 - cpu)) * 1.001})
+        )  # twin of A
+    pruned = prune_database(db, [QoSMetric("t", better="lower")])
+    labels = {c.label() for c in pruned.configurations()}
+    assert labels == {"c=A", "c=B"}
+    # Original untouched.
+    assert len(db.configurations()) == 4
+
+
+# ------------------------------------------------------------- sensitivity
+
+
+def test_curvature_zero_for_linear_data():
+    db = build_db()  # both configs are linear in cpu
+    scores = curvature_scores(db, cfg(c="A"), "t", "client.cpu")
+    assert scores
+    assert all(s == pytest.approx(0.0, abs=1e-12) for _, s in scores)
+
+
+def test_curvature_flags_kink():
+    db = PerformanceDatabase("app", ["client.cpu"])
+    # Piecewise: flat then steep (a knee at 0.5).
+    for cpu, t in [(0.1, 10.0), (0.5, 10.0), (0.9, 2.0)]:
+        db.add(Record(cfg(c="K"), pt(client_cpu=cpu), {"t": t}))
+    scores = curvature_scores(db, cfg(c="K"), "t", "client.cpu")
+    (point, score), = scores
+    assert point == pt(client_cpu=0.5)
+    assert score > 0.3
+
+
+def test_propose_refinements_targets_kink_neighborhood():
+    db = PerformanceDatabase("app", ["client.cpu"])
+    for cpu, t in [(0.1, 10.0), (0.5, 10.0), (0.9, 2.0)]:
+        db.add(Record(cfg(c="K"), pt(client_cpu=cpu), {"t": t}))
+        db.add(Record(cfg(c="L"), pt(client_cpu=cpu), {"t": 5.0}))  # flat
+    proposals = propose_refinements(db, ["t"], top_k=4)
+    assert proposals
+    assert all(p.config == cfg(c="K") for p in proposals)
+    mids = {p.point["client.cpu"] for p in proposals}
+    assert mids == {0.3, 0.7}
+
+
+def test_propose_refinements_no_curvature_no_proposals():
+    db = build_db()
+    assert propose_refinements(db, ["t"], min_score=0.02) == []

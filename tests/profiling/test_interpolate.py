@@ -1,0 +1,115 @@
+"""Tests for the interpolation engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiling import InterpolationError, Interpolator
+
+
+def test_constant_single_sample():
+    interp = Interpolator([[1.0]], [5.0])
+    assert interp.kind == "constant"
+    assert interp([99.0]) == 5.0
+
+
+def test_1d_linear_between_samples():
+    interp = Interpolator([[0.0], [10.0]], [0.0, 100.0])
+    assert interp.kind == "linear-1d"
+    assert interp([5.0]) == pytest.approx(50.0)
+
+
+def test_1d_extrapolation_linear():
+    interp = Interpolator([[0.0], [1.0], [2.0]], [0.0, 1.0, 4.0])
+    # Low end: slope 1 -> f(-1) = -1.  High end: slope 3 -> f(3) = 7.
+    assert interp([-1.0]) == pytest.approx(-1.0)
+    assert interp([3.0]) == pytest.approx(7.0)
+
+
+def test_1d_exact_at_samples():
+    xs = [[0.0], [1.0], [2.5], [7.0]]
+    ys = [3.0, -1.0, 4.0, 0.5]
+    interp = Interpolator(xs, ys)
+    for x, y in zip(xs, ys):
+        assert interp(x) == pytest.approx(y)
+
+
+def test_2d_grid_multilinear():
+    # f(x, y) = 2x + 3y sampled on a 3x3 grid is recovered exactly.
+    X, y = [], []
+    for a in (0.0, 1.0, 2.0):
+        for b in (0.0, 5.0, 10.0):
+            X.append([a, b])
+            y.append(2 * a + 3 * b)
+    interp = Interpolator(X, y)
+    assert interp.kind == "multilinear-grid"
+    assert interp([0.5, 2.5]) == pytest.approx(2 * 0.5 + 3 * 2.5)
+    assert interp([1.5, 7.5]) == pytest.approx(2 * 1.5 + 3 * 7.5)
+
+
+def test_2d_grid_query_outside_clips_to_box():
+    X = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]]
+    y = [0.0, 1.0, 2.0, 3.0]
+    interp = Interpolator(X, y)
+    assert interp([5.0, 5.0]) == pytest.approx(3.0)
+    assert interp([-5.0, -5.0]) == pytest.approx(0.0)
+
+
+def test_2d_scattered_linear_inside_hull():
+    X = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.3]]
+    y = [x[0] + x[1] for x in X]
+    interp = Interpolator(X, y)
+    assert interp.kind == "scattered"
+    assert interp([0.4, 0.4]) == pytest.approx(0.8, abs=1e-9)
+
+
+def test_2d_scattered_nearest_outside_hull():
+    X = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.4, 0.4]]
+    y = [1.0, 2.0, 3.0, 4.0]
+    interp = Interpolator(X, y)
+    # Far outside the hull: nearest neighbour is (1, 0).
+    assert interp([3.0, 0.0]) == pytest.approx(2.0)
+
+
+def test_duplicate_sample_locations_averaged():
+    interp = Interpolator([[0.0], [0.0], [1.0]], [2.0, 4.0, 10.0])
+    assert interp([0.0]) == pytest.approx(3.0)
+
+
+def test_bad_shapes_rejected():
+    with pytest.raises(InterpolationError):
+        Interpolator([], [])
+    with pytest.raises(InterpolationError):
+        Interpolator([[1.0], [2.0]], [1.0])
+    interp = Interpolator([[0.0], [1.0]], [0.0, 1.0])
+    with pytest.raises(InterpolationError):
+        interp([0.0, 1.0])  # wrong query dimensionality
+
+
+def test_collinear_scattered_points_fall_back_to_nearest():
+    # All points on the line x=y: LinearND cannot triangulate.
+    X = [[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]
+    y = [0.0, 1.0, 2.0]
+    interp = Interpolator(X, y)
+    assert interp([1.9, 2.1]) == pytest.approx(2.0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+        unique_by=lambda t: t[0],
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_1d_interpolation_exact_at_samples_property(samples):
+    X = [[x] for x, _ in samples]
+    y = [v for _, v in samples]
+    interp = Interpolator(X, y)
+    for (x, v) in samples:
+        assert interp([x]) == pytest.approx(v, abs=1e-6 * (1 + abs(v)))

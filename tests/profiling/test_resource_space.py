@@ -1,0 +1,119 @@
+"""Tests for resource dimensions, points, and sampling plans."""
+
+import pytest
+
+from repro.profiling import (
+    ResourceDimension,
+    ResourcePoint,
+    grid_plan,
+    latin_hypercube_plan,
+    limits_for_point,
+    random_plan,
+    vary_one_plan,
+)
+
+
+def dims_2d():
+    return [
+        ResourceDimension("client.cpu", (0.2, 0.5, 1.0), lo=0.01, hi=1.0),
+        ResourceDimension("client.network", (50e3, 500e3), lo=1.0),
+    ]
+
+
+def test_dimension_properties():
+    d = ResourceDimension("client.cpu", (0.1, 0.5))
+    assert d.host == "client"
+    assert d.kind == "cpu"
+    assert d.clip(2.0) == 2.0  # default hi is inf
+
+
+def test_dimension_validation():
+    with pytest.raises(ValueError):
+        ResourceDimension("nodot", (1.0,))
+    with pytest.raises(ValueError):
+        ResourceDimension("h.gpu", (1.0,))
+    with pytest.raises(ValueError):
+        ResourceDimension("h.cpu", ())
+    with pytest.raises(ValueError):
+        ResourceDimension("h.cpu", (0.5, 0.2))  # not increasing
+    with pytest.raises(ValueError):
+        ResourceDimension("h.cpu", (0.5, 0.5))  # duplicates
+    with pytest.raises(ValueError):
+        ResourceDimension("h.cpu", (0.5, 2.0), lo=0.0, hi=1.0)
+
+
+def test_point_mapping_semantics():
+    p = ResourcePoint({"client.cpu": 0.5, "client.network": 100.0})
+    assert p["client.cpu"] == 0.5
+    assert len(p) == 2
+    assert p == {"client.cpu": 0.5, "client.network": 100.0}
+    assert hash(p) == hash(ResourcePoint({"client.network": 100, "client.cpu": 0.5}))
+
+
+def test_point_with_():
+    p = ResourcePoint({"a.cpu": 0.5})
+    q = p.with_(**{"a.cpu": 0.9})
+    assert q["a.cpu"] == 0.9
+    assert p["a.cpu"] == 0.5
+
+
+def test_point_immutable():
+    p = ResourcePoint({"a.cpu": 0.5})
+    with pytest.raises(TypeError):
+        p.anything = 1
+
+
+def test_limits_for_point():
+    p = ResourcePoint(
+        {"client.cpu": 0.4, "client.network": 500e3, "server.memory": 2048}
+    )
+    limits = limits_for_point(p)
+    assert limits["client"].cpu_share == 0.4
+    assert limits["client"].net_bw == 500e3
+    assert limits["client"].mem_pages is None
+    assert limits["server"].mem_pages == 2048
+    assert limits["server"].cpu_share is None
+
+
+def test_grid_plan_cartesian():
+    plan = grid_plan(dims_2d())
+    assert len(plan) == 6
+    assert len(set(plan)) == 6
+    assert ResourcePoint({"client.cpu": 0.2, "client.network": 50e3}) in plan
+
+
+def test_grid_plan_empty_dims():
+    with pytest.raises(ValueError):
+        grid_plan([])
+
+
+def test_vary_one_plan():
+    base = ResourcePoint({"client.cpu": 0.5, "client.network": 500e3})
+    plan = vary_one_plan(dims_2d(), "client.cpu", base)
+    assert [p["client.cpu"] for p in plan] == [0.2, 0.5, 1.0]
+    assert all(p["client.network"] == 500e3 for p in plan)
+    with pytest.raises(ValueError):
+        vary_one_plan(dims_2d(), "nope.cpu", base)
+
+
+def test_random_plan_within_bounds_and_deterministic():
+    plan1 = random_plan(dims_2d(), count=20, seed=1)
+    plan2 = random_plan(dims_2d(), count=20, seed=1)
+    assert plan1 == plan2
+    for p in plan1:
+        assert 0.2 <= p["client.cpu"] <= 1.0
+        assert 50e3 <= p["client.network"] <= 500e3
+    assert random_plan(dims_2d(), count=20, seed=2) != plan1
+    with pytest.raises(ValueError):
+        random_plan(dims_2d(), count=0)
+
+
+def test_latin_hypercube_stratification():
+    dims = [ResourceDimension("h.cpu", (0.0, 1.0))]
+    plan = latin_hypercube_plan(dims, count=10, seed=3)
+    values = sorted(p["h.cpu"] for p in plan)
+    # Exactly one sample per stratum of width 0.1.
+    for i, v in enumerate(values):
+        assert i * 0.1 <= v <= (i + 1) * 0.1
+    with pytest.raises(ValueError):
+        latin_hypercube_plan(dims, count=0)

@@ -1,0 +1,167 @@
+"""Unit tests for controller negotiation, no-candidate handling, and
+steering-agent corner cases."""
+
+import pytest
+
+from repro.profiling import PerformanceDatabase, Record, ResourcePoint
+from repro.runtime import (
+    AdaptationController,
+    Objective,
+    ResourceScheduler,
+    UserPreference,
+)
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    MetricRange,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TransitionSpec,
+    TunableApp,
+)
+
+
+def guarded_app(forbidden_modes=()):
+    """App whose transition guard refuses switches into `forbidden_modes`."""
+    space = ConfigSpace([ControlParameter("mode", ("a", "b", "c"))])
+    env = ExecutionEnv([HostComponent("node", cpu_speed=100.0)])
+    transitions = (
+        TransitionSpec(
+            guard=lambda old, new: new["mode"] not in forbidden_modes,
+            name="refuse-forbidden",
+        ),
+    )
+
+    def launcher(rt):
+        def main():
+            sb = rt.sandbox("node")
+            for _ in range(4000):
+                yield from rt.controls.apply(rt, rt.sim.now)
+                yield sb.compute(0.5)
+            rt.qos.update("done", 1.0)
+
+        return rt.sim.process(main())
+
+    return TunableApp(
+        "guarded", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("spin", params=("mode",), resources=("node.cpu",))]),
+        transitions=transitions,
+        launcher=launcher,
+    )
+
+
+def mode_db():
+    """'a' best at high cpu; 'b' best at low cpu; 'c' slightly worse than b."""
+    db = PerformanceDatabase("guarded", ["node.cpu"])
+    perf = {
+        "a": lambda s: 1.0 / s,          # 1.0 at s=1, 10 at s=0.1
+        "b": lambda s: 3.0 + 0.2 / s,    # 3.2..5
+        "c": lambda s: 3.3 + 0.2 / s,
+    }
+    for mode, fn in perf.items():
+        for s in (0.1, 0.3, 0.6, 1.0):
+            db.add(Record(Configuration({"mode": mode}),
+                          ResourcePoint({"node.cpu": s}), {"t": fn(s)}))
+    return db
+
+
+def run_guarded(forbidden, drop_to=0.1, until=40.0):
+    app = guarded_app(forbidden_modes=forbidden)
+    scheduler = ResourceScheduler(db := mode_db(), UserPreference.single(Objective("t")))
+    controller = AdaptationController(
+        scheduler, monitor_kwargs={"window": 0.5, "cooldown": 2.0}
+    )
+    decision = controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(
+        tb, decision.config, limits={"node": ResourceLimits(cpu_share=1.0)}
+    )
+    controller.attach(rt)
+
+    def vary():
+        yield tb.sim.timeout(5.0)
+        rt.sandboxes["node"].set_limits(ResourceLimits(cpu_share=drop_to))
+
+    tb.sim.process(vary())
+    tb.run(until=until)
+    return controller, rt
+
+
+def test_negotiation_falls_back_when_guard_rejects():
+    """Guard refuses 'b'; negotiation must land on 'c' (next best)."""
+    controller, rt = run_guarded(forbidden={"b"})
+    kinds = [e.kind for e in controller.events]
+    assert "rejected" in kinds
+    assert rt.controls.current == Configuration({"mode": "c"})
+    # The rejected decision was for 'b'.
+    rejected = [e for e in controller.events if e.kind == "rejected"]
+    assert rejected[0].config == Configuration({"mode": "b"})
+
+
+def test_no_negotiation_needed_without_guards():
+    controller, rt = run_guarded(forbidden=set())
+    assert rt.controls.current == Configuration({"mode": "b"})
+    assert all(e.kind != "rejected" for e in controller.events)
+
+
+def test_all_alternatives_rejected_keeps_current():
+    controller, rt = run_guarded(forbidden={"b", "c"})
+    # Both alternatives refused; the app keeps running with 'a'.
+    assert rt.controls.current == Configuration({"mode": "a"})
+    kinds = [e.kind for e in controller.events]
+    assert kinds.count("rejected") >= 2
+
+
+def test_attach_requires_initial_decision():
+    app = guarded_app()
+    scheduler = ResourceScheduler(mode_db(), UserPreference.single(Objective("t")))
+    controller = AdaptationController(scheduler)
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, Configuration({"mode": "a"}))
+    with pytest.raises(RuntimeError, match="select_initial"):
+        controller.attach(rt)
+
+
+def test_select_initial_raises_when_nothing_feasible():
+    db = mode_db()
+    pref = UserPreference.single(
+        Objective("t"), [MetricRange("t", hi=0.01)]  # impossible
+    )
+    controller = AdaptationController(ResourceScheduler(db, pref))
+    with pytest.raises(RuntimeError, match="no configuration"):
+        controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+
+
+def test_no_candidate_event_logged_when_preferences_unsatisfiable():
+    """After the drop, a too-strict range leaves no candidate; the
+    controller logs it and keeps the current configuration."""
+    app = guarded_app()
+    pref = UserPreference.single(
+        Objective("t"), [MetricRange("t", hi=1.5)]  # only 'a' at high cpu
+    )
+    scheduler = ResourceScheduler(mode_db(), pref)
+    controller = AdaptationController(
+        scheduler, monitor_kwargs={"window": 0.5, "cooldown": 2.0}
+    )
+    decision = controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(
+        tb, decision.config, limits={"node": ResourceLimits(cpu_share=1.0)}
+    )
+    controller.attach(rt)
+
+    def vary():
+        yield tb.sim.timeout(5.0)
+        rt.sandboxes["node"].set_limits(ResourceLimits(cpu_share=0.1))
+
+    tb.sim.process(vary())
+    tb.run(until=30.0)
+    kinds = [e.kind for e in controller.events]
+    assert "no-candidate" in kinds
+    assert rt.controls.current == Configuration({"mode": "a"})

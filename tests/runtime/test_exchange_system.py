@@ -1,0 +1,206 @@
+"""Tests for distributed monitor exchange and system-wide scheduling."""
+
+import pytest
+
+from repro.profiling import PerformanceDatabase, Record, ResourcePoint
+from repro.runtime import (
+    MonitorExchange,
+    MonitoringAgent,
+    Objective,
+    Placement,
+    PlacementError,
+    ResourceScheduler,
+    SystemScheduler,
+    UserPreference,
+)
+from repro.sandbox import HostSpec, LinkSpec, ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+
+def two_host_app(rounds=5000):
+    """Client and server both burn CPU in small rounds (so both sides'
+    monitoring agents produce estimates)."""
+    space = ConfigSpace([ControlParameter("mode", ("x",))])
+    env = ExecutionEnv(
+        [HostComponent("client", cpu_speed=100.0), HostComponent("server", cpu_speed=100.0)],
+        [LinkComponent("client", "server", bandwidth=1e6, latency=0.0005)],
+    )
+
+    def launcher(rt):
+        def spin(host):
+            sb = rt.sandbox(host)
+            for _ in range(rounds):
+                yield sb.compute(0.5)
+
+        rt.sim.process(spin("server"))
+
+        def client_main():
+            yield from spin("client")
+            rt.qos.update("done", 1.0)
+
+        return rt.sim.process(client_main())
+
+    return TunableApp(
+        "twohost", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("spin", resources=("client.cpu", "server.cpu"))]),
+        launcher=launcher,
+    )
+
+
+# ------------------------------------------------------------- exchange
+
+
+def test_exchange_propagates_remote_estimates():
+    app = two_host_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    rt = app.instantiate(
+        tb,
+        Configuration({"mode": "x"}),
+        limits={
+            "client": ResourceLimits(cpu_share=0.8),
+            "server": ResourceLimits(cpu_share=0.3),
+        },
+    )
+    client_agent = MonitoringAgent(rt, watch=["client.cpu"]).start()
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"]).start()
+    client_ex = MonitorExchange(rt, client_agent, "client", ["server"]).start()
+    server_ex = MonitorExchange(rt, server_agent, "server", ["client"]).start()
+    tb.run(until=5.0)
+    client_agent.stop(); server_agent.stop()
+    client_ex.stop(); server_ex.stop()
+    # The client-side exchange learned the server's CPU availability.
+    merged = client_ex.global_estimates()
+    assert merged["client.cpu"] == pytest.approx(0.8, abs=0.05)
+    assert merged["server.cpu"] == pytest.approx(0.3, abs=0.05)
+    assert client_ex.updates_received > 0
+    assert server_ex.updates_sent > 0
+
+
+def test_exchange_filters_insignificant_updates():
+    app = two_host_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    rt = app.instantiate(
+        tb, Configuration({"mode": "x"}),
+        limits={"server": ResourceLimits(cpu_share=0.5)},
+    )
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"]).start()
+    exchange = MonitorExchange(
+        rt, server_agent, "server", ["client"], period=0.1, significance=0.10
+    ).start()
+    tb.run(until=5.0)
+    server_agent.stop(); exchange.stop()
+    # A steady estimate publishes once (plus at most a couple of warm-up
+    # updates while the window fills), not every period (50 periods).
+    assert 1 <= exchange.updates_sent <= 5
+
+
+def test_exchange_validation():
+    app = two_host_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    rt = app.instantiate(tb, Configuration({"mode": "x"}))
+    agent = MonitoringAgent(rt, watch=["client.cpu"])
+    with pytest.raises(ValueError):
+        MonitorExchange(rt, agent, "client", ["server"], period=0.0)
+
+
+# ------------------------------------------------------ system scheduler
+
+
+def crossover_db():
+    """Two configs: 'big' needs 0.6 CPU for t=2; 'small' needs 0.2 for t=5."""
+    db = PerformanceDatabase("app", ["node.cpu"])
+    for cpu in (0.1, 0.3, 0.6, 0.9):
+        db.add(Record(Configuration({"size": "big"}),
+                      ResourcePoint({"node.cpu": cpu}), {"t": 1.2 / cpu}))
+        db.add(Record(Configuration({"size": "small"}),
+                      ResourcePoint({"node.cpu": cpu}), {"t": 1.0 / cpu + 3.0}))
+    return db
+
+
+def needs_for(decision):
+    share = 0.6 if decision.config.size == "big" else 0.2
+    return {"node": ResourceLimits(cpu_share=share)}
+
+
+def make_system():
+    tb = Testbed(host_specs=[HostSpec("node", 100.0)])
+    system = SystemScheduler(tb.hosts, cpu_threshold=0.9)
+    return tb, system
+
+
+def scheduler():
+    return ResourceScheduler(
+        crossover_db(), UserPreference.single(Objective("t"))
+    )
+
+
+def test_first_arrival_gets_best_config():
+    tb, system = make_system()
+    placement = system.place("app1", scheduler(), needs_for)
+    assert placement.config.size == "big"
+    assert system.free_cpu("node") == pytest.approx(0.3)
+
+
+def test_later_arrival_degrades_to_fit():
+    """Tunability lets the second app run where a rigid app could not."""
+    tb, system = make_system()
+    system.place("app1", scheduler(), needs_for)
+    second = system.place("app2", scheduler(), needs_for)
+    # 0.3 CPU left: 'big' (needs 0.6) is excluded, 'small' (0.2) fits.
+    assert second.config.size == "small"
+    assert system.free_cpu("node") == pytest.approx(0.1)
+
+
+def test_placement_error_when_nothing_fits():
+    tb, system = make_system()
+    system.place("app1", scheduler(), needs_for)
+    system.place("app2", scheduler(), needs_for)
+    with pytest.raises(PlacementError):
+        system.place("app3", scheduler(), needs_for)
+
+
+def test_release_frees_capacity():
+    tb, system = make_system()
+    p1 = system.place("app1", scheduler(), needs_for)
+    system.release(p1)
+    assert system.free_cpu("node") == pytest.approx(0.9)
+    again = system.place("app2", scheduler(), needs_for)
+    assert again.config.size == "big"
+
+
+def test_placement_reservations_enforce_shares():
+    """Admitted sandboxes actually constrain execution."""
+    tb, system = make_system()
+    p1 = system.place("app1", scheduler(), needs_for)
+    p2 = system.place("app2", scheduler(), needs_for)
+    done = {}
+
+    def run(tag, sandbox, work):
+        yield sandbox.compute(work)
+        done[tag] = tb.sim.now
+
+    tb.sim.process(run("big", p1.reservations["node"].sandbox, 60.0))
+    tb.sim.process(run("small", p2.reservations["node"].sandbox, 20.0))
+    tb.run()
+    assert done["big"] == pytest.approx(1.0)    # 60 work at 0.6*100
+    assert done["small"] == pytest.approx(1.0)  # 20 work at 0.2*100
+
+
+def test_available_point_reflects_reservations():
+    tb, system = make_system()
+    dims = ["node.cpu"]
+    assert system.available_point(dims)["node.cpu"] == pytest.approx(0.9)
+    system.place("app1", scheduler(), needs_for)
+    assert system.available_point(dims)["node.cpu"] == pytest.approx(0.3)

@@ -1,0 +1,116 @@
+"""Tests for history windows, EWMA, and user preferences."""
+
+import pytest
+
+from repro.runtime import EWMA, Constraint, HistoryWindow, Objective, UserPreference
+from repro.tunable import MetricRange
+
+
+# ---------------------------------------------------------------- history
+
+
+def test_history_mean_and_last():
+    h = HistoryWindow(window=10.0)
+    assert h.empty
+    assert h.mean() is None
+    h.record(0.0, 1.0)
+    h.record(1.0, 3.0)
+    assert h.mean() == pytest.approx(2.0)
+    assert h.last() == 3.0
+    assert h.minimum() == 1.0
+    assert h.maximum() == 3.0
+
+
+def test_history_trims_outside_window():
+    h = HistoryWindow(window=1.0)
+    h.record(0.0, 100.0)
+    h.record(2.0, 1.0)
+    h.record(2.5, 3.0)
+    assert len(h) == 2
+    assert h.mean() == pytest.approx(2.0)
+
+
+def test_history_rejects_out_of_order():
+    h = HistoryWindow(window=1.0)
+    h.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        h.record(4.0, 1.0)
+
+
+def test_history_invalid_window():
+    with pytest.raises(ValueError):
+        HistoryWindow(window=0.0)
+
+
+def test_history_clear():
+    h = HistoryWindow(window=1.0)
+    h.record(0.0, 1.0)
+    h.clear()
+    assert h.empty
+
+
+def test_ewma_converges():
+    e = EWMA(alpha=0.5)
+    assert e.value is None
+    e.update(10.0)
+    assert e.value == 10.0
+    e.update(0.0)
+    assert e.value == 5.0
+    for _ in range(50):
+        e.update(0.0)
+    assert e.value == pytest.approx(0.0, abs=1e-10)
+
+
+def test_ewma_validation_and_reset():
+    with pytest.raises(ValueError):
+        EWMA(alpha=0.0)
+    with pytest.raises(ValueError):
+        EWMA(alpha=1.5)
+    e = EWMA()
+    e.update(5.0)
+    e.reset()
+    assert e.value is None
+
+
+# -------------------------------------------------------------- preferences
+
+
+def test_objective_direction():
+    mini = Objective("t", "minimize")
+    maxi = Objective("r", "maximize")
+    assert mini.better(1.0, 2.0)
+    assert maxi.better(2.0, 1.0)
+    assert mini.score(3.0) == -3.0
+    assert maxi.score(3.0) == 3.0
+    with pytest.raises(ValueError):
+        Objective("t", "sideways")
+
+
+def test_constraint_satisfaction():
+    c = Constraint(
+        Objective("t"),
+        ranges=(MetricRange("t", hi=10.0), MetricRange("r", lo=3.0)),
+    )
+    assert c.satisfied_by({"t": 5.0, "r": 4.0})
+    assert not c.satisfied_by({"t": 15.0, "r": 4.0})
+    assert not c.satisfied_by({"t": 5.0})  # missing metric fails
+
+
+def test_preference_ordering():
+    first = Constraint(Objective("t"), name="strict")
+    second = Constraint(Objective("t"), name="relaxed")
+    pref = UserPreference([first, second])
+    assert pref.primary.name == "strict"
+    assert [c.name for c in pref] == ["strict", "relaxed"]
+    assert len(pref) == 2
+
+
+def test_preference_requires_constraints():
+    with pytest.raises(ValueError):
+        UserPreference([])
+
+
+def test_preference_single_helper():
+    pref = UserPreference.single(Objective("t"), [MetricRange("t", hi=1.0)])
+    assert len(pref) == 1
+    assert pref.primary.ranges[0].hi == 1.0

@@ -1,0 +1,74 @@
+"""Monitoring-agent coverage for the memory resource and retargeting."""
+
+import pytest
+
+from repro.apps import MemWorkload, make_membound_app
+from repro.runtime import MonitoringAgent
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import Configuration
+
+
+def start_membound(mem_pages=1000):
+    app = make_membound_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(
+        tb,
+        Configuration({"tile": 128}),
+        limits={"node": ResourceLimits(mem_pages=mem_pages)},
+        workload=MemWorkload(sweeps=64),
+        sandbox_kwargs={"fault_cost": 1e-3},
+    )
+    return app, tb, rt
+
+
+def test_memory_estimate_reports_resident_limit():
+    app, tb, rt = start_membound(mem_pages=1000)
+    agent = MonitoringAgent(rt, watch=["node.memory"]).start()
+    tb.run(until=1.0)
+    assert agent.estimates()["node.memory"] == pytest.approx(1000.0)
+    agent.stop()
+
+
+def test_memory_limit_change_is_detected():
+    app, tb, rt = start_membound(mem_pages=1000)
+    triggers = []
+    agent = MonitoringAgent(
+        rt,
+        watch=["node.memory"],
+        window=0.2,
+        on_violation=lambda est: triggers.append(est["node.memory"]),
+    ).start()
+    agent.retarget(conditions={"node.memory": (500.0, float("inf"))})
+
+    def vary():
+        yield tb.sim.timeout(1.0)
+        rt.sandboxes["node"].set_limits(ResourceLimits(mem_pages=200))
+
+    tb.sim.process(vary())
+    tb.run(until=3.0)
+    agent.stop()
+    assert triggers and triggers[0] < 500.0
+
+
+def test_retarget_switches_watch_list():
+    app, tb, rt = start_membound()
+    agent = MonitoringAgent(rt, watch=["node.cpu"]).start()
+    tb.run(until=0.5)
+    assert "node.memory" not in agent.estimates()
+    agent.retarget(watch=["node.cpu", "node.memory"])
+    tb.run(until=1.0)
+    estimates = agent.estimates()
+    assert "node.memory" in estimates
+    assert "node.cpu" in estimates
+    agent.stop()
+
+
+def test_monitor_stops_with_finished_app():
+    app, tb, rt = start_membound()
+    rt.workload.sweeps = 64  # already set; the app will finish on its own
+    agent = MonitoringAgent(rt, watch=["node.cpu"]).start()
+    tb.run(until=3600)
+    # The app finished and stopped the agent; the simulation drained (no
+    # runaway periodic process).
+    assert rt.finished.triggered
+    assert tb.sim.is_idle()

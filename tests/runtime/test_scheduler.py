@@ -1,0 +1,164 @@
+"""Tests for the resource scheduler."""
+
+import math
+
+import pytest
+
+from repro.profiling import PerformanceDatabase, Record, ResourcePoint
+from repro.runtime import (
+    Constraint,
+    Objective,
+    ResourceScheduler,
+    SchedulerError,
+    UserPreference,
+)
+from repro.tunable import Configuration, MetricRange
+
+
+def cfg(**kw):
+    return Configuration(kw)
+
+
+def pt(cpu):
+    return ResourcePoint({"client.cpu": cpu})
+
+
+def crossover_db():
+    """A (fast but fragile) vs B (slow but robust) with crossover at ~0.5.
+
+    metric t (minimize):   A: t = 1/cpu        B: t = 2 + 0.5/cpu
+    metric r (maximize):   A: r = 4            B: r = 3
+    """
+    db = PerformanceDatabase("app", ["client.cpu"])
+    for cpu in (0.1, 0.2, 0.4, 0.6, 0.8, 1.0):
+        db.add(Record(cfg(c="A"), pt(cpu), {"t": 1.0 / cpu, "r": 4.0}))
+        db.add(Record(cfg(c="B"), pt(cpu), {"t": 2.0 + 0.5 / cpu, "r": 3.0}))
+    return db
+
+
+def test_select_optimizes_objective():
+    db = crossover_db()
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    # At cpu=1.0: A gives 1.0, B gives 2.5 -> A.
+    decision = sched.select(pt(1.0))
+    assert decision.config == cfg(c="A")
+    # At cpu=0.1: A gives 10, B gives 7 -> B.
+    decision = sched.select(pt(0.1))
+    assert decision.config == cfg(c="B")
+
+
+def test_select_prunes_by_ranges():
+    db = crossover_db()
+    pref = UserPreference.single(
+        Objective("r", "maximize"), [MetricRange("t", hi=3.0)]
+    )
+    sched = ResourceScheduler(db, pref)
+    # At cpu=1.0 both satisfy t<=3; A has higher r.
+    assert sched.select(pt(1.0)).config == cfg(c="A")
+    # At cpu=0.25: A.t = 4 > 3 pruned; B.t = 4 > 3 pruned -> None.
+    assert sched.select(pt(0.2)) is None
+    # At cpu=0.5 (interpolated): A.t = 2, B.t = 3 -> both pass, pick A.
+    assert sched.select(pt(0.4)).config == cfg(c="A")
+
+
+def test_preference_fallback_order():
+    db = crossover_db()
+    strict = Constraint(
+        Objective("r", "maximize"), (MetricRange("t", hi=0.5),), name="strict"
+    )
+    relaxed = Constraint(Objective("t"), name="relaxed")
+    sched = ResourceScheduler(db, UserPreference([strict, relaxed]))
+    decision = sched.select(pt(1.0))
+    # Strict infeasible everywhere (min t is 1.0), falls back to relaxed.
+    assert decision.constraint.name == "relaxed"
+    assert decision.constraint_index == 1
+    assert decision.config == cfg(c="A")
+
+
+def test_exclude_forces_alternative():
+    db = crossover_db()
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    decision = sched.select(pt(1.0), exclude={cfg(c="A")})
+    assert decision.config == cfg(c="B")
+    assert sched.select(pt(1.0), exclude={cfg(c="A"), cfg(c="B")}) is None
+
+
+def test_interpolate_vs_nearest_modes():
+    db = crossover_db()
+    interp = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    nearest = ResourceScheduler(
+        db, UserPreference.single(Objective("t")), mode="nearest"
+    )
+    # Interpolated prediction at cpu=0.5 for A: between 1/0.4=2.5 and
+    # 1/0.6=1.667 -> ~2.08; nearest snaps to a sampled point.
+    q = pt(0.5)
+    interp_t = interp.predict(cfg(c="A"), q)["t"]
+    nearest_t = nearest.predict(cfg(c="A"), q)["t"]
+    assert interp_t == pytest.approx((2.5 + 1 / 0.6) / 2, rel=1e-6)
+    assert nearest_t in (2.5, 1 / 0.6)
+
+
+def test_validity_region_brackets_crossover():
+    db = crossover_db()
+    sched = ResourceScheduler(
+        db, UserPreference.single(Objective("t")), optimality_slack=0.01
+    )
+    decision = sched.select(pt(1.0))
+    lo, hi = decision.conditions["client.cpu"]
+    # A stops being optimal somewhere between 0.2 (B wins: 7 < 10... wait at
+    # 0.2: A=5, B=4.5 -> B) and 0.4 (A=2.5, B=3.25 -> A): bound in [0.2, 0.4].
+    assert 0.2 <= lo <= 0.4
+    assert math.isinf(hi)
+
+
+def test_validity_region_open_when_always_best():
+    db = PerformanceDatabase("app", ["client.cpu"])
+    for cpu in (0.2, 1.0):
+        db.add(Record(cfg(c="only"), pt(cpu), {"t": 1.0 / cpu}))
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    decision = sched.select(pt(0.5))
+    lo, hi = decision.conditions["client.cpu"]
+    assert math.isinf(lo) and lo < 0
+    assert math.isinf(hi) and hi > 0
+
+
+def test_validity_region_constraint_bound():
+    # Single config whose t = 1/cpu; constraint t <= 4 -> invalid below 0.25.
+    db = PerformanceDatabase("app", ["client.cpu"])
+    for cpu in (0.1, 0.2, 0.4, 0.8):
+        db.add(Record(cfg(c="x"), pt(cpu), {"t": 1.0 / cpu}))
+    pref = UserPreference.single(Objective("t"), [MetricRange("t", hi=4.0)])
+    sched = ResourceScheduler(db, pref)
+    decision = sched.select(pt(0.8))
+    lo, hi = decision.conditions["client.cpu"]
+    # 0.4 acceptable (t=2.5), 0.2 not (t=5) -> bound at midpoint 0.3.
+    assert lo == pytest.approx(0.3)
+
+
+def test_scheduler_validation():
+    db = crossover_db()
+    with pytest.raises(SchedulerError):
+        ResourceScheduler(db, UserPreference.single(Objective("t")), mode="psychic")
+    empty = PerformanceDatabase("app", ["client.cpu"])
+    with pytest.raises(SchedulerError):
+        ResourceScheduler(empty, UserPreference.single(Objective("t")))
+
+
+def test_decision_log():
+    db = crossover_db()
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    sched.select(pt(1.0))
+    sched.select(pt(0.1))
+    assert len(sched.decisions) == 2
+    assert sched.decisions[0].config == cfg(c="A")
+    assert sched.decisions[1].config == cfg(c="B")
+
+
+def test_candidates_subset_restricts_choice():
+    db = crossover_db()
+    sched = ResourceScheduler(
+        db,
+        UserPreference.single(Objective("t")),
+        candidates=[cfg(c="B")],
+    )
+    assert sched.select(pt(1.0)).config == cfg(c="B")

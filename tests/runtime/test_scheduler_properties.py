@@ -1,0 +1,109 @@
+"""Property-based tests for the resource scheduler over random databases."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.profiling import PerformanceDatabase, Record, ResourcePoint
+from repro.runtime import Objective, ResourceScheduler, UserPreference
+from repro.tunable import Configuration, MetricRange
+
+LEVELS = (0.1, 0.4, 0.7, 1.0)
+
+db_strategy = st.lists(
+    st.lists(
+        st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        min_size=len(LEVELS),
+        max_size=len(LEVELS),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_db(tables):
+    db = PerformanceDatabase("prop", ["node.cpu"])
+    for i, row in enumerate(tables):
+        for level, value in zip(LEVELS, row):
+            db.add(
+                Record(
+                    Configuration({"variant": i}),
+                    ResourcePoint({"node.cpu": level}),
+                    {"t": value},
+                )
+            )
+    return db
+
+
+@given(tables=db_strategy, level=st.sampled_from(LEVELS))
+@settings(max_examples=100, deadline=None)
+def test_selected_config_minimizes_objective_at_sampled_points(tables, level):
+    db = build_db(tables)
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    decision = sched.select(ResourcePoint({"node.cpu": level}))
+    assert decision is not None
+    chosen = decision.predicted["t"]
+    for config in db.configurations():
+        other = db.predict(config, ResourcePoint({"node.cpu": level}), "t")
+        assert chosen <= other + 1e-9
+
+
+@given(tables=db_strategy, level=st.sampled_from(LEVELS))
+@settings(max_examples=100, deadline=None)
+def test_maximize_mirror(tables, level):
+    db = build_db(tables)
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t", "maximize")))
+    decision = sched.select(ResourcePoint({"node.cpu": level}))
+    chosen = decision.predicted["t"]
+    for config in db.configurations():
+        other = db.predict(config, ResourcePoint({"node.cpu": level}), "t")
+        assert chosen >= other - 1e-9
+
+
+@given(
+    tables=db_strategy,
+    level=st.sampled_from(LEVELS),
+    hi=st.floats(min_value=0.5, max_value=120.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_pruning_never_selects_infeasible(tables, level, hi):
+    db = build_db(tables)
+    pref = UserPreference.single(Objective("t"), [MetricRange("t", hi=hi)])
+    sched = ResourceScheduler(db, pref)
+    decision = sched.select(ResourcePoint({"node.cpu": level}))
+    if decision is None:
+        # Then truly nothing is feasible at this point.
+        for config in db.configurations():
+            predicted = db.predict(config, ResourcePoint({"node.cpu": level}), "t")
+            assert predicted > hi
+    else:
+        assert decision.predicted["t"] <= hi + 1e-9
+
+
+@given(tables=db_strategy)
+@settings(max_examples=60, deadline=None)
+def test_exclusion_is_respected(tables):
+    db = build_db(tables)
+    sched = ResourceScheduler(db, UserPreference.single(Objective("t")))
+    point = ResourcePoint({"node.cpu": 0.7})
+    excluded = set()
+    # Repeatedly exclude the winner: each next decision avoids them all,
+    # and eventually select() returns None.
+    for _ in range(len(db.configurations())):
+        decision = sched.select(point, exclude=excluded)
+        assert decision is not None
+        assert decision.config not in excluded
+        excluded.add(decision.config)
+    assert sched.select(point, exclude=excluded) is None
+
+
+@given(tables=db_strategy, query=st.floats(min_value=0.1, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_interpolated_prediction_within_sample_envelope(tables, query):
+    """1-D linear interpolation stays within each config's min/max samples."""
+    db = build_db(tables)
+    for i, row in enumerate(tables):
+        predicted = db.predict(
+            Configuration({"variant": i}), ResourcePoint({"node.cpu": query}), "t"
+        )
+        assert min(row) - 1e-9 <= predicted <= max(row) + 1e-9

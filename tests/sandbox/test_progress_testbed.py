@@ -1,0 +1,179 @@
+"""Tests for progress estimation, token bucket, and the testbed builder."""
+
+import pytest
+
+from repro.sandbox import (
+    DaemonSpec,
+    HostSpec,
+    LimiterMode,
+    LinkSpec,
+    ProgressEstimator,
+    ResourceLimits,
+    Testbed,
+    TokenBucket,
+)
+
+
+# -------------------------------------------------------------- progress
+
+
+def test_progress_needs_two_samples():
+    est = ProgressEstimator(window=1.0)
+    assert est.rate() is None
+    est.record(0.0, 0.0)
+    assert est.rate() is None
+    est.record(1.0, 10.0)
+    assert est.rate() == pytest.approx(10.0)
+
+
+def test_progress_windowed_average():
+    est = ProgressEstimator(window=2.0)
+    # Rate 10 for 2 s, then rate 0 for 1 s.
+    est.record(0.0, 0.0)
+    est.record(2.0, 20.0)
+    est.record(3.0, 20.0)
+    # Window [1, 3]: 10 units in 2 s -> 5.
+    assert est.rate() == pytest.approx(5.0)
+
+
+def test_progress_fraction():
+    est = ProgressEstimator(window=1.0)
+    est.record(0.0, 0.0)
+    est.record(1.0, 50.0)
+    assert est.fraction(100.0) == pytest.approx(0.5)
+    assert est.fraction(0.0) is None
+
+
+def test_progress_trims_old_samples():
+    est = ProgressEstimator(window=1.0)
+    for i in range(100):
+        est.record(i * 0.1, i * 1.0)
+    assert est.sample_count <= 13
+    assert est.rate() == pytest.approx(10.0)
+
+
+def test_progress_out_of_order_rejected():
+    est = ProgressEstimator(window=1.0)
+    est.record(1.0, 0.0)
+    with pytest.raises(ValueError):
+        est.record(0.5, 1.0)
+
+
+def test_progress_now_extension_decays_rate():
+    est = ProgressEstimator(window=1.0)
+    est.record(0.0, 0.0)
+    est.record(0.5, 50.0)
+    # No progress since t=0.5; by t=1.0 the windowed rate halves.
+    assert est.rate(now=1.0) == pytest.approx(50.0)
+
+
+def test_progress_invalid_window():
+    with pytest.raises(ValueError):
+        ProgressEstimator(window=0.0)
+
+
+# ----------------------------------------------------------- token bucket
+
+
+def test_bucket_burst_passes_immediately():
+    tb = TokenBucket(rate=100.0, burst=500.0)
+    assert tb.reserve(300.0, now=0.0) == 0.0
+
+
+def test_bucket_deficit_delays():
+    tb = TokenBucket(rate=100.0, burst=100.0)
+    assert tb.reserve(100.0, now=0.0) == 0.0
+    # Bucket empty; next 50 bytes need 0.5 s of refill.
+    assert tb.reserve(50.0, now=0.0) == pytest.approx(0.5)
+
+
+def test_bucket_refills_over_time():
+    tb = TokenBucket(rate=100.0, burst=100.0)
+    tb.reserve(100.0, now=0.0)
+    assert tb.peek_tokens(1.0) == pytest.approx(100.0)
+
+
+def test_bucket_oversized_message():
+    tb = TokenBucket(rate=100.0, burst=100.0)
+    delay = tb.reserve(1000.0, now=0.0)
+    assert delay == pytest.approx(9.0)
+
+
+def test_bucket_long_run_average_rate():
+    tb = TokenBucket(rate=100.0, burst=100.0)
+    now = 0.0
+    for _ in range(50):
+        delay = tb.reserve(100.0, now)
+        now += delay
+    # 5000 bytes (incl. free burst) in `now` seconds -> close to rate.
+    assert 5000.0 / now == pytest.approx(100.0, rel=0.05)
+
+
+def test_bucket_set_rate():
+    tb = TokenBucket(rate=100.0, burst=100.0)
+    tb.reserve(100.0, now=0.0)
+    tb.set_rate(10.0, now=0.0)
+    assert tb.reserve(10.0, now=0.0) == pytest.approx(1.0)
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+    tb = TokenBucket(rate=1.0, burst=1.0)
+    with pytest.raises(ValueError):
+        tb.reserve(-1.0, now=0.0)
+    with pytest.raises(ValueError):
+        tb.set_rate(-1.0, now=0.0)
+
+
+# --------------------------------------------------------------- testbed
+
+
+def test_testbed_builds_hosts_and_links():
+    tb = Testbed(
+        host_specs=[HostSpec("client", 450.0), HostSpec("server", 450.0)],
+        link_specs=[LinkSpec("client", "server", bandwidth=1e6, latency=0.001)],
+    )
+    assert set(tb.hosts) == {"client", "server"}
+    link = tb.network.link("client", "server")
+    assert link.bandwidth == 1e6
+
+
+def test_testbed_sandbox_applies_limits():
+    tb = Testbed(host_specs=[HostSpec("h", 100.0)])
+    sb = tb.sandbox("h", ResourceLimits(cpu_share=0.5))
+
+    def app():
+        yield sb.compute(50.0)
+        return tb.sim.now
+
+    assert tb.sim.run_process(app()) == pytest.approx(1.0)
+
+
+def test_testbed_daemons_seeded_and_running():
+    tb1 = Testbed(
+        host_specs=[HostSpec("h", 100.0)],
+        daemons=[DaemonSpec("h", mean_interval=0.05, cpu_fraction=0.05)],
+        seed=7,
+    )
+    tb2 = Testbed(
+        host_specs=[HostSpec("h", 100.0)],
+        daemons=[DaemonSpec("h", mean_interval=0.05, cpu_fraction=0.05)],
+        seed=7,
+    )
+    for tb in (tb1, tb2):
+        tb.run(until=5.0)
+        tb.shutdown()
+    # Same seed -> identical daemon activity.
+    assert tb1.daemons[0].total_work_injected == pytest.approx(
+        tb2.daemons[0].total_work_injected
+    )
+    assert tb1.daemons[0].total_work_injected > 0
+
+
+def test_testbed_quantum_mode_propagates():
+    tb = Testbed(host_specs=[HostSpec("h", 100.0)], mode=LimiterMode.QUANTUM)
+    sb = tb.sandbox("h", ResourceLimits(cpu_share=0.5))
+    assert sb.mode == LimiterMode.QUANTUM

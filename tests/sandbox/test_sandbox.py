@@ -1,0 +1,352 @@
+"""Tests for the sandbox (virtual execution environment)."""
+
+import pytest
+
+from repro.cluster import Host, Network
+from repro.sandbox import LimiterMode, ResourceLimits, Sandbox
+from repro.sim import Simulator
+
+
+def make_host(sim, speed=100.0, pages=1000):
+    return Host(sim, "h", cpu_speed=speed, mem_pages=pages)
+
+
+# ----------------------------------------------------------- CPU, ideal
+
+
+def test_unlimited_compute_runs_at_full_speed():
+    sim = Simulator()
+    sb = Sandbox(make_host(sim))
+
+    def app():
+        yield sb.compute(100.0)
+        return sim.now
+
+    assert sim.run_process(app()) == pytest.approx(1.0)
+
+
+def test_ideal_cpu_share_caps_rate():
+    sim = Simulator()
+    sb = Sandbox(make_host(sim), ResourceLimits(cpu_share=0.25))
+
+    def app():
+        yield sb.compute(100.0)
+        return sim.now
+
+    # 100 work at 25 units/s -> 4 s.
+    assert sim.run_process(app()) == pytest.approx(4.0)
+
+
+def test_ideal_share_change_mid_compute():
+    sim = Simulator()
+    sb = Sandbox(make_host(sim), ResourceLimits(cpu_share=1.0))
+
+    def controller():
+        yield sim.timeout(0.5)
+        sb.set_limits(ResourceLimits(cpu_share=0.1))
+
+    def app():
+        yield sb.compute(100.0)
+        return sim.now
+
+    sim.process(controller())
+    # 50 work in 0.5s, remaining 50 at 10/s -> 0.5 + 5.0.
+    assert sim.run_process(app()) == pytest.approx(5.5)
+
+
+def test_compute_requests_serialized():
+    sim = Simulator()
+    sb = Sandbox(make_host(sim))
+    finish = []
+
+    def submitter(tag, work):
+        yield sb.compute(work)
+        finish.append((tag, sim.now))
+
+    sim.process(submitter("first", 50.0))
+    sim.process(submitter("second", 50.0))
+    sim.run()
+    # Serialized: 0.5 then 1.0 (no fluid sharing between own requests).
+    assert finish == [("first", 0.5), ("second", 1.0)]
+
+
+def test_cpu_consumed_accounting():
+    sim = Simulator()
+    sb = Sandbox(make_host(sim))
+
+    def app():
+        yield sb.compute(30.0)
+        yield sb.compute(20.0)
+
+    sim.run_process(app())
+    assert sb.cpu_consumed() == pytest.approx(50.0)
+
+
+def test_runnable_time_excludes_waits():
+    sim = Simulator()
+    sb = Sandbox(make_host(sim))
+
+    def app():
+        yield sb.compute(50.0)  # 0.5 s runnable
+        yield sb.sleep(2.0)     # waiting, not runnable
+        yield sb.compute(50.0)  # 0.5 s runnable
+
+    sim.run_process(app())
+    assert sb.runnable_time() == pytest.approx(1.0)
+
+
+def test_two_sandboxes_on_one_host_isolated_by_caps():
+    """Section 6.2: co-located sandboxes each get exactly their reservation."""
+    sim = Simulator()
+    host = make_host(sim, speed=100.0)
+    a = Sandbox(host, ResourceLimits(cpu_share=0.3), name="a")
+    b = Sandbox(host, ResourceLimits(cpu_share=0.3), name="b")
+    done = {}
+
+    def app(sb, tag):
+        yield sb.compute(30.0)
+        done[tag] = sim.now
+
+    sim.process(app(a, "a"))
+    sim.process(app(b, "b"))
+    sim.run()
+    # Each gets 30 units/s regardless of the other -> both at t=1.0.
+    assert done["a"] == pytest.approx(1.0)
+    assert done["b"] == pytest.approx(1.0)
+
+
+# -------------------------------------------------------- CPU, quantum
+
+
+def test_quantum_mode_tracks_average_share():
+    sim = Simulator()
+    sb = Sandbox(
+        make_host(sim),
+        ResourceLimits(cpu_share=0.4),
+        mode=LimiterMode.QUANTUM,
+    )
+
+    def app():
+        yield sb.compute(40.0)
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    # 40 work at ~40 units/s average -> ~1s, within quantum jitter.
+    assert elapsed == pytest.approx(1.0, rel=0.1)
+
+
+def test_quantum_mode_usage_sawtooth_hits_target_on_average():
+    sim = Simulator()
+    sb = Sandbox(
+        make_host(sim),
+        ResourceLimits(cpu_share=0.6),
+        mode=LimiterMode.QUANTUM,
+    )
+    sb.trace_usage = True
+
+    def app():
+        yield sb.compute(1000.0)
+
+    sim.process(app())
+    sim.run(until=10.0)
+    samples = [u for (t, u) in sb.usage_trace if t > 0.5]
+    assert samples, "controller produced no usage samples"
+    mean_usage = sum(samples) / len(samples)
+    assert mean_usage == pytest.approx(0.6, abs=0.05)
+    # The mechanism is on/off: instantaneous usage toggles between ~0 and ~1.
+    assert max(samples) > 0.9
+    assert min(samples) < 0.1
+
+
+def test_quantum_share_change_takes_effect():
+    sim = Simulator()
+    sb = Sandbox(
+        make_host(sim),
+        ResourceLimits(cpu_share=0.8),
+        mode=LimiterMode.QUANTUM,
+    )
+    sb.trace_usage = True
+
+    def app():
+        yield sb.compute(10000.0)
+
+    def controller():
+        yield sim.timeout(5.0)
+        sb.set_limits(ResourceLimits(cpu_share=0.2))
+
+    sim.process(app())
+    sim.process(controller())
+    sim.run(until=10.0)
+    early = [u for (t, u) in sb.usage_trace if 1.0 < t < 5.0]
+    late = [u for (t, u) in sb.usage_trace if 6.0 < t < 10.0]
+    assert sum(early) / len(early) == pytest.approx(0.8, abs=0.05)
+    assert sum(late) / len(late) == pytest.approx(0.2, abs=0.05)
+
+
+def test_achieved_share_estimate_in_quantum_mode():
+    sim = Simulator()
+    sb = Sandbox(
+        make_host(sim),
+        ResourceLimits(cpu_share=0.5),
+        mode=LimiterMode.QUANTUM,
+        usage_window=0.5,
+    )
+
+    def app():
+        yield sb.compute(10000.0)
+
+    sim.process(app())
+    sim.run(until=3.0)
+    assert sb.achieved_share() == pytest.approx(0.5, abs=0.07)
+
+
+# --------------------------------------------------------------- network
+
+
+def make_networked_pair(sim, bandwidth=1000.0, **kw):
+    net = Network(sim)
+    a = Host(sim, "a", cpu_speed=100.0)
+    b = Host(sim, "b", cpu_speed=100.0)
+    net.register(a)
+    net.register(b)
+    net.connect("a", "b", bandwidth=bandwidth)
+    return a, b
+
+
+def test_send_unlimited_uses_link_rate():
+    sim = Simulator()
+    a, b = make_networked_pair(sim, bandwidth=1000.0)
+    sb = Sandbox(a)
+
+    def app():
+        msg = yield sb.send("b", "p", None, size=500.0)
+        return (sim.now, msg.size)
+
+    assert sim.run_process(app()) == (pytest.approx(0.5), 500.0)
+
+
+def test_send_with_ideal_bw_cap():
+    sim = Simulator()
+    a, b = make_networked_pair(sim, bandwidth=1000.0)
+    sb = Sandbox(a, ResourceLimits(net_bw=100.0))
+
+    def app():
+        yield sb.send("b", "p", None, size=500.0)
+        return sim.now
+
+    # Flow capped at 100 B/s -> 5 s.
+    assert sim.run_process(app()) == pytest.approx(5.0)
+
+
+def test_send_with_token_bucket_average_rate():
+    sim = Simulator()
+    a, b = make_networked_pair(sim, bandwidth=1e6)
+    sb = Sandbox(a, ResourceLimits(net_bw=1000.0), mode=LimiterMode.QUANTUM)
+
+    def app():
+        for _ in range(10):
+            yield sb.send("b", "p", None, size=1000.0)
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    # 10 kB at ~1 kB/s -> about 10 s (token bucket pacing dominates the
+    # fast link).
+    assert elapsed == pytest.approx(10.0, rel=0.15)
+    assert sb.bytes_sent == 10000.0
+
+
+def test_recv_delivers_and_accounts():
+    sim = Simulator()
+    a, b = make_networked_pair(sim)
+    sa = Sandbox(a)
+    sb_ = Sandbox(b)
+
+    def sender():
+        yield sa.send("b", "req", "hello", size=100.0)
+
+    def receiver():
+        msg = yield sb_.recv("req")
+        return msg.payload
+
+    sim.process(sender())
+    proc = sim.process(receiver())
+    sim.run()
+    assert proc.value == "hello"
+    assert sb_.bytes_received == 100.0
+
+
+# ---------------------------------------------------------------- memory
+
+
+def test_memory_faults_cost_time():
+    sim = Simulator()
+    sb = Sandbox(
+        make_host(sim),
+        ResourceLimits(mem_pages=10),
+        fault_cost=0.01,
+    )
+
+    def app():
+        pages = sb.alloc_pages(10)
+        faults = yield sb.touch_pages(pages)
+        return (faults, sim.now)
+
+    faults, t = sim.run_process(app())
+    assert faults == 10
+    assert t == pytest.approx(0.1)
+
+
+def test_memory_thrash_when_working_set_exceeds_limit():
+    sim = Simulator()
+    sb = Sandbox(
+        make_host(sim),
+        ResourceLimits(mem_pages=5),
+        fault_cost=0.01,
+    )
+
+    def app():
+        pages = sb.alloc_pages(10)
+        total = 0
+        for _ in range(3):
+            total += yield sb.touch_pages(pages)
+        return total
+
+    # LRU + sequential sweep over 2x working set: every touch faults.
+    assert sim.run_process(app()) == 30
+
+
+def test_memory_reservation_released_on_close():
+    sim = Simulator()
+    host = make_host(sim, pages=100)
+    sb = Sandbox(host, ResourceLimits(mem_pages=80))
+    assert host.memory.free_pages == 20
+    sb.close()
+    assert host.memory.free_pages == 100
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_limits_validation():
+    with pytest.raises(ValueError):
+        ResourceLimits(cpu_share=0.0)
+    with pytest.raises(ValueError):
+        ResourceLimits(cpu_share=1.5)
+    with pytest.raises(ValueError):
+        ResourceLimits(mem_pages=0)
+    with pytest.raises(ValueError):
+        ResourceLimits(net_bw=-1.0)
+
+
+def test_limits_with_update():
+    limits = ResourceLimits(cpu_share=0.5, net_bw=100.0)
+    updated = limits.with_(cpu_share=0.9)
+    assert updated.cpu_share == 0.9
+    assert updated.net_bw == 100.0
+    assert limits.cpu_share == 0.5  # original unchanged
+
+
+def test_unknown_mode_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Sandbox(make_host(sim), mode="bogus")

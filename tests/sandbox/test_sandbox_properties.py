@@ -1,0 +1,129 @@
+"""Property-based tests for sandbox resource enforcement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Host
+from repro.sandbox import LimiterMode, ResourceLimits, Sandbox, TokenBucket
+from repro.sim import Simulator
+
+
+@given(share=st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=30, deadline=None)
+def test_ideal_limiter_exact_for_any_share(share):
+    """Ideal mode: elapsed = work / (speed * share), any share."""
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0)
+    sandbox = Sandbox(host, ResourceLimits(cpu_share=share))
+
+    def app():
+        yield sandbox.compute(50.0)
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    assert elapsed == pytest.approx(50.0 / (100.0 * share), rel=1e-9)
+
+
+@given(share=st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=15, deadline=None)
+def test_quantum_limiter_tracks_any_share(share):
+    """Quantum mode: long-run average within 5% of the target share."""
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0)
+    sandbox = Sandbox(
+        host, ResourceLimits(cpu_share=share), mode=LimiterMode.QUANTUM
+    )
+
+    def app():
+        # Enough work for ~10s at the target share.
+        yield sandbox.compute(100.0 * share * 10.0)
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    assert elapsed == pytest.approx(10.0, rel=0.05)
+
+
+@given(
+    share_a=st.floats(min_value=0.1, max_value=0.45),
+    share_b=st.floats(min_value=0.1, max_value=0.45),
+)
+@settings(max_examples=25, deadline=None)
+def test_colocated_sandboxes_isolated_for_any_share_split(share_a, share_b):
+    """Two reservations never interfere (Section 6.2), any split <= 0.9."""
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0)
+    sa = Sandbox(host, ResourceLimits(cpu_share=share_a), name="a")
+    sb = Sandbox(host, ResourceLimits(cpu_share=share_b), name="b")
+    done = {}
+
+    def app(tag, sandbox, share):
+        yield sandbox.compute(100.0 * share)  # sized for exactly 1 s alone
+        done[tag] = sim.now
+
+    sim.process(app("a", sa, share_a))
+    sim.process(app("b", sb, share_b))
+    sim.run()
+    assert done["a"] == pytest.approx(1.0, rel=1e-9)
+    assert done["b"] == pytest.approx(1.0, rel=1e-9)
+
+
+@given(
+    rate=st.floats(min_value=10.0, max_value=1e6),
+    sizes=st.lists(
+        st.floats(min_value=1.0, max_value=5e4), min_size=5, max_size=30
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_token_bucket_long_run_rate_never_exceeded(rate, sizes):
+    """Served bytes over elapsed time never beat rate (plus initial burst)."""
+    burst = rate * 0.01 + 1.0
+    bucket = TokenBucket(rate=rate, burst=burst)
+    now = 0.0
+    total = 0.0
+    for size in sizes:
+        delay = bucket.reserve(size, now)
+        now += delay
+        total += size
+    if now > 0:
+        assert total <= rate * now + burst * (1 + 1e-9)
+
+
+@given(work_chunks=st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_cpu_accounting_sums_chunks(work_chunks):
+    """cpu_consumed equals the sum of all completed compute requests."""
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0)
+    sandbox = Sandbox(host)
+
+    def app():
+        for w in work_chunks:
+            yield sandbox.compute(w)
+
+    sim.run_process(app())
+    assert sandbox.cpu_consumed() == pytest.approx(sum(work_chunks), rel=1e-9)
+
+
+@given(
+    shares=st.lists(st.floats(min_value=0.1, max_value=0.8), min_size=2, max_size=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_limit_changes_preserve_total_work(shares):
+    """Changing the share mid-run neither loses nor duplicates work."""
+    sim = Simulator()
+    host = Host(sim, "h", cpu_speed=100.0)
+    sandbox = Sandbox(host, ResourceLimits(cpu_share=shares[0]))
+    total_work = 60.0
+
+    def app():
+        yield sandbox.compute(total_work)
+
+    def varier():
+        for share in shares[1:]:
+            yield sim.timeout(0.2)
+            sandbox.set_limits(ResourceLimits(cpu_share=share))
+
+    sim.process(varier())
+    sim.run_process(app())
+    assert sandbox.cpu_consumed() == pytest.approx(total_work, rel=1e-9)

@@ -1,0 +1,133 @@
+"""Tests for AnyOf / AllOf condition events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(5.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        return (sim.now, fast in result, slow in result, result[fast])
+
+    now, has_fast, has_slow, val = sim.run_process(proc())
+    assert now == 1.0
+    assert has_fast and not has_slow
+    assert val == "fast"
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(3.0, value="b")
+        result = yield sim.all_of([a, b])
+        return (sim.now, [result[e] for e in result])
+
+    now, values = sim.run_process(proc())
+    assert now == 3.0
+    assert values == ["a", "b"]
+
+
+def test_all_of_preserves_declaration_order():
+    sim = Simulator()
+
+    def proc():
+        late = sim.timeout(2.0, value="late")
+        early = sim.timeout(1.0, value="early")
+        result = yield sim.all_of([late, early])
+        return [result[e] for e in result]
+
+    # Order follows the order events were passed in, not firing order.
+    assert sim.run_process(proc()) == ["late", "early"]
+
+
+def test_empty_condition_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        result = yield sim.all_of([])
+        return (sim.now, len(result))
+
+    assert sim.run_process(proc()) == (0.0, 0)
+
+
+def test_any_of_with_already_triggered_event():
+    sim = Simulator()
+
+    def proc():
+        done = sim.event()
+        done.succeed("pre")
+        yield sim.timeout(1.0)  # let `done` be processed
+        result = yield sim.any_of([done, sim.timeout(10.0)])
+        return (sim.now, result[done])
+
+    assert sim.run_process(proc()) == (1.0, "pre")
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+
+    def proc():
+        bad = sim.event()
+        good = sim.timeout(10.0)
+
+        def fail_later():
+            yield sim.timeout(1.0)
+            bad.fail(ValueError("child failed"))
+
+        sim.process(fail_later())
+        try:
+            yield sim.all_of([bad, good])
+        except ValueError as exc:
+            return str(exc)
+
+    assert sim.run_process(proc()) == "child failed"
+
+
+def test_condition_value_equality_with_dict():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value=1)
+        result = yield sim.all_of([a])
+        assert result == {a: 1}
+        assert result.todict() == {a: 1}
+        return True
+
+    assert sim.run_process(proc())
+
+
+def test_condition_value_missing_key_raises():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value=1)
+        b = sim.timeout(5.0, value=2)
+        result = yield sim.any_of([a, b])
+        with pytest.raises(KeyError):
+            _ = result[b]
+        return True
+
+    assert sim.run_process(proc())
+
+
+def test_nested_conditions():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        c = sim.timeout(9.0, value="c")
+        inner = sim.all_of([a, b])
+        result = yield sim.any_of([inner, c])
+        return (sim.now, inner in result)
+
+    now, inner_won = sim.run_process(proc())
+    assert now == 2.0
+    assert inner_won

@@ -1,0 +1,145 @@
+"""Property-based tests for FluidShare invariants (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FluidShare, Simulator
+
+work_list = st.lists(
+    st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+weight_list = st.lists(
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(works=work_list)
+@settings(max_examples=60, deadline=None)
+def test_work_conservation(works):
+    """Total served work equals total submitted work once everything runs."""
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    jobs = [cpu.submit(w) for w in works]
+    sim.run()
+    assert all(j.finished for j in jobs)
+    assert cpu.total_served == pytest.approx(sum(works), rel=1e-9)
+    for job, w in zip(jobs, works):
+        assert job.consumed == pytest.approx(w, rel=1e-9)
+
+
+@given(works=work_list)
+@settings(max_examples=60, deadline=None)
+def test_makespan_is_total_work_over_speed(works):
+    """With no caps the resource is work-conserving: makespan = sum/speed."""
+    sim = Simulator()
+    speed = 50.0
+    cpu = FluidShare(sim, speed=speed)
+    jobs = [cpu.submit(w) for w in works]
+    sim.run()
+    makespan = max(j.done.value for j in jobs)
+    assert makespan == pytest.approx(sum(works) / speed, rel=1e-9)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_equal_work_finishes_in_weight_order(data):
+    """With equal work, higher-weight jobs never finish later."""
+    weights = data.draw(weight_list)
+    assume(len(weights) >= 2)
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    jobs = [cpu.submit(100.0, weight=w) for w in weights]
+    sim.run()
+    finish = [j.done.value for j in jobs]
+    for (wa, fa) in zip(weights, finish):
+        for (wb, fb) in zip(weights, finish):
+            if wa > wb:
+                assert fa <= fb + 1e-9
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_caps_never_exceeded_on_average(data):
+    """A capped job's average rate never exceeds its cap."""
+    works = data.draw(work_list)
+    caps = [
+        data.draw(st.floats(min_value=1.0, max_value=120.0, allow_nan=False))
+        for _ in works
+    ]
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    jobs = [cpu.submit(w, cap=c) for w, c in zip(works, caps)]
+    sim.run()
+    for job, w, cap in zip(jobs, works, caps):
+        avg_rate = w / job.done.value
+        assert avg_rate <= cap * (1 + 1e-9)
+
+
+@given(works=work_list, speed=st.floats(min_value=1.0, max_value=1000.0))
+@settings(max_examples=60, deadline=None)
+def test_instantaneous_rates_sum_to_at_most_speed(works, speed):
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=speed)
+    jobs = [cpu.submit(w) for w in works]
+    total_rate = sum(j.rate for j in jobs)
+    assert total_rate <= speed * (1 + 1e-9)
+    # Work-conserving: with uncapped jobs the full speed is used.
+    assert total_rate == pytest.approx(speed, rel=1e-9)
+
+
+@given(
+    works=work_list,
+    interrupt_at=st.floats(min_value=0.01, max_value=2.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_suspend_resume_conserves_work(works, interrupt_at):
+    """Suspending and resuming everything midway loses no work."""
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    jobs = [cpu.submit(w) for w in works]
+
+    def toggler():
+        yield sim.timeout(interrupt_at)
+        for j in jobs:
+            if not j.finished:
+                cpu.set_weight(j, 0.0)
+        yield sim.timeout(1.0)
+        for j in jobs:
+            if not j.finished:
+                cpu.set_weight(j, 1.0)
+
+    sim.process(toggler())
+    sim.run()
+    assert all(j.finished for j in jobs)
+    assert cpu.total_served == pytest.approx(sum(works), rel=1e-9)
+
+
+@given(works=work_list)
+@settings(max_examples=40, deadline=None)
+def test_consumed_monotone_under_observation(works):
+    """Syncing mid-run shows monotonically non-decreasing consumption."""
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    jobs = [cpu.submit(w) for w in works]
+    horizon = sum(works) / 100.0
+    last_totals = [0.0] * len(jobs)
+
+    def observer():
+        while True:
+            yield sim.timeout(horizon / 7)
+            cpu.sync()
+            for i, job in enumerate(jobs):
+                current = job.consumed
+                assert current >= last_totals[i] - 1e-12
+                last_totals[i] = current
+
+    proc = sim.process(observer())
+    sim.run(until=horizon * 1.5)
+    assert all(j.finished for j in jobs)

@@ -1,0 +1,310 @@
+"""Tests for Store / Resource / Container primitives."""
+
+import pytest
+
+from repro.sim import Container, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc():
+        yield store.put("msg")
+        item = yield store.get()
+        return item
+
+    assert sim.run_process(proc()) == "msg"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = {}
+
+    def consumer():
+        item = yield store.get()
+        times["got"] = (sim.now, item)
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times["got"] == (3.0, "late")
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    progress = []
+
+    def producer():
+        yield store.put("a")
+        progress.append(("a", sim.now))
+        yield store.put("b")
+        progress.append(("b", sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert progress == [("a", 0.0), ("b", 5.0)]
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(SimulationError):
+        Store(Simulator(), capacity=0)
+
+
+def test_store_filtered_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc():
+        yield store.put({"id": 1})
+        yield store.put({"id": 2})
+        match = yield store.get(filter=lambda m: m["id"] == 2)
+        return (match["id"], len(store))
+
+    assert sim.run_process(proc()) == (2, 1)
+
+
+def test_store_filtered_get_waits_for_matching_item():
+    sim = Simulator()
+    store = Store(sim)
+    result = {}
+
+    def consumer():
+        match = yield store.get(filter=lambda m: m == "wanted")
+        result["t"] = sim.now
+        result["item"] = match
+
+    def producer():
+        yield store.put("other")
+        yield sim.timeout(2.0)
+        yield store.put("wanted")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert result == {"t": 2.0, "item": "wanted"}
+    assert list(store.items) == ["other"]
+
+
+def test_store_none_item_is_deliverable():
+    sim = Simulator()
+    store = Store(sim)
+
+    def proc():
+        yield store.put(None)
+        item = yield store.get()
+        return item is None
+
+    assert sim.run_process(proc()) is True
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    sim.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_multiple_consumers_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield store.put("first")
+        yield store.put("second")
+
+    sim.process(consumer("c1"))
+    sim.process(consumer("c2"))
+    sim.process(producer())
+    sim.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_mutual_exclusion():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    trace = []
+
+    def worker(name, hold):
+        with res.request() as req:
+            yield req
+            trace.append((name, "in", sim.now))
+            yield sim.timeout(hold)
+        trace.append((name, "out", sim.now))
+
+    sim.process(worker("a", 2.0))
+    sim.process(worker("b", 1.0))
+    sim.run()
+    assert trace == [
+        ("a", "in", 0.0),
+        ("a", "out", 2.0),
+        ("b", "in", 2.0),
+        ("b", "out", 3.0),
+    ]
+
+
+def test_resource_capacity_two_admits_two():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    entered = []
+
+    def worker(name):
+        with res.request() as req:
+            yield req
+            entered.append((name, sim.now))
+            yield sim.timeout(1.0)
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(name))
+    sim.run()
+    assert entered == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_counts():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+            assert res.queue_length == 1  # the waiter below
+            yield sim.timeout(1.0)
+
+    def waiter():
+        with res.request() as req:
+            yield req
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert res.count == 0
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10.0)
+
+    def impatient():
+        req = res.request()
+        yield sim.timeout(1.0)
+        req.release()  # cancel while still queued
+        return res.queue_length
+
+    sim.process(holder())
+    proc = sim.process(impatient())
+    sim.run()
+    assert proc.value == 0
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+# ---------------------------------------------------------------- Container
+
+
+def test_container_get_blocks_until_level():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=0.0)
+    times = {}
+
+    def consumer():
+        yield tank.get(5.0)
+        times["got"] = sim.now
+
+    def producer():
+        yield sim.timeout(1.0)
+        yield tank.put(3.0)
+        yield sim.timeout(1.0)
+        yield tank.put(3.0)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times["got"] == 2.0
+    assert tank.level == pytest.approx(1.0)
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    tank = Container(sim, capacity=5.0, init=5.0)
+    times = {}
+
+    def producer():
+        yield tank.put(2.0)
+        times["put"] = sim.now
+
+    def consumer():
+        yield sim.timeout(4.0)
+        yield tank.get(3.0)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert times["put"] == 4.0
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=0)
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=1.0, init=2.0)
+    tank = Container(sim, capacity=1.0)
+    with pytest.raises(SimulationError):
+        tank.put(0)
+    with pytest.raises(SimulationError):
+        tank.get(-1.0)

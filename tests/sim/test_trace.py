@@ -1,0 +1,81 @@
+"""Tests for the simulation tracer."""
+
+import pytest
+
+from repro.sim import FluidShare, Simulator, Tracer
+
+
+def test_probe_samples_periodically():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    counter = {"n": 0}
+
+    def gauge():
+        counter["n"] += 1
+        return float(counter["n"])
+
+    tracer.add_probe("count", gauge, period=0.5)
+    sim.run(until=2.6)
+    tracer.stop()
+    series = tracer.series("count")
+    assert [t for t, _ in series] == pytest.approx([0.5, 1.0, 1.5, 2.0, 2.5])
+    assert [v for _, v in series] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_probe_none_skips_sample():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.add_probe("odd", lambda: None, period=0.1)
+    sim.run(until=1.0)
+    tracer.stop()
+    assert tracer.series("odd") == []
+
+
+def test_probe_tracks_fluid_utilization():
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    tracer = Tracer(sim)
+    snap = {"prev": cpu.snapshot()}
+
+    def utilization():
+        t0, served0 = snap["prev"]
+        u = cpu.utilization_since(t0, served0)
+        snap["prev"] = cpu.snapshot()
+        return u
+
+    tracer.add_probe("util", utilization, period=0.25)
+    cpu.submit(work=50.0, cap=50.0)  # busy at 50% for 1 s
+    sim.run(until=2.0)
+    tracer.stop()
+    assert tracer.mean("util", 0.0, 1.0) == pytest.approx(0.5, abs=0.01)
+    assert tracer.mean("util", 1.26, 2.0) == pytest.approx(0.0, abs=0.01)
+
+
+def test_marks_and_export():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.add_probe("zero", lambda: 0.0, period=1.0)
+
+    def marker():
+        yield sim.timeout(1.5)
+        tracer.mark("resource drop")
+
+    sim.process(marker())
+    sim.run(until=3.0)
+    tracer.stop()
+    data = tracer.to_dict()
+    assert data["marks"] == [(1.5, "resource drop")]
+    assert len(data["probes"]["zero"]) == 3
+
+
+def test_validation():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.add_probe("a", lambda: 1.0)
+    with pytest.raises(ValueError):
+        tracer.add_probe("a", lambda: 2.0)
+    with pytest.raises(ValueError):
+        tracer.add_probe("b", lambda: 1.0, period=0.0)
+    with pytest.raises(KeyError):
+        tracer.series("ghost")
+    assert tracer.mean("a") is None  # no samples yet

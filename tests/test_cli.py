@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import CANONICAL, TARGETS, main
+
+
+def test_list_targets(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert out == CANONICAL
+
+
+def test_all_canonical_targets_resolvable():
+    for name in CANONICAL:
+        assert name in TARGETS
+
+
+def test_aliases_share_runner():
+    assert TARGETS["exp1"] is TARGETS["fig7a"]
+    assert TARGETS["exp3"] is TARGETS["fig7cd"]
+    assert TARGETS["fig5a"] is TARGETS["fig5"]
+
+
+def test_unknown_target_errors():
+    with pytest.raises(SystemExit):
+        main(["figZZ"])
+
+
+def test_run_single_figure_to_dir(tmp_path, capsys):
+    assert main(["fig3a", "--no-plot", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 3a" in out
+    txt = tmp_path / "fig3a.txt"
+    js = tmp_path / "fig3a.json"
+    assert txt.exists() and js.exists()
+    payload = json.loads(js.read_text())
+    assert payload["figure"] == "Fig 3a"
+    assert "measured" in payload["series"]
+
+
+def test_run_ablation_table(tmp_path, capsys):
+    assert main(["ablation-a5", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "worst_deviation" in out
+    data = json.loads((tmp_path / "ablation-a5.json").read_text())
+    assert data["worst_deviation"] < 0.01
+
+
+def test_duplicate_aliases_run_once(capsys):
+    assert main(["fig5a", "fig5b", "--no-plot"]) == 0
+    out = capsys.readouterr().out
+    # fig5a and fig5b share a runner producing both figures; dedup means
+    # each figure header appears exactly once.
+    assert out.count("== Fig 5a:") == 1
+    assert out.count("== Fig 5b:") == 1

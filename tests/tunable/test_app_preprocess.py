@@ -1,0 +1,158 @@
+"""Tests for TunableApp instantiation and the preprocessor."""
+
+import pytest
+
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    Preprocessor,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunabilityError,
+    TunableApp,
+)
+
+
+def simple_app():
+    """A one-host app whose single task burns CPU proportional to `n`."""
+    space = ConfigSpace([ControlParameter("n", (10, 20))])
+    env = ExecutionEnv([HostComponent("node", cpu_speed=100.0)])
+    metrics = [QoSMetric("elapsed", better="lower", unit="s")]
+    tasks = TaskGraph(
+        [TaskSpec("burn", params=("n",), resources=("node.cpu",), metrics=("elapsed",))]
+    )
+
+    def launcher(rt):
+        def main():
+            sb = rt.sandbox("node")
+            t0 = rt.sim.now
+            yield sb.compute(float(rt.config.n))
+            rt.qos.update("elapsed", rt.sim.now - t0, time=rt.sim.now)
+
+        return rt.sim.process(main(), name="burn-main")
+
+    return TunableApp(
+        name="burner",
+        space=space,
+        env=env,
+        metrics=metrics,
+        tasks=tasks,
+        launcher=launcher,
+    )
+
+
+def test_instantiate_and_run():
+    app = simple_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, Configuration({"n": 20}))
+    tb.run()
+    assert rt.finished.triggered
+    assert rt.qos.get("elapsed") == pytest.approx(0.2)
+
+
+def test_instantiate_applies_limits():
+    app = simple_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(
+        tb,
+        Configuration({"n": 20}),
+        limits={"node": ResourceLimits(cpu_share=0.5)},
+    )
+    tb.run()
+    assert rt.qos.get("elapsed") == pytest.approx(0.4)
+
+
+def test_instantiate_rejects_invalid_config():
+    app = simple_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    with pytest.raises(TunabilityError):
+        app.instantiate(tb, Configuration({"n": 15}))
+
+
+def test_instantiate_requires_hosts_in_testbed():
+    app = simple_app()
+    tb = Testbed(host_specs=[])
+    with pytest.raises(TunabilityError, match="lacks host"):
+        app.instantiate(tb, Configuration({"n": 10}))
+
+
+def test_app_cross_checks_task_annotations():
+    space = ConfigSpace([ControlParameter("n", (1,))])
+    env = ExecutionEnv([HostComponent("node")])
+    metrics = [QoSMetric("m")]
+
+    def launcher(rt):  # pragma: no cover - never invoked
+        raise AssertionError
+
+    with pytest.raises(TunabilityError, match="unknown parameter"):
+        TunableApp(
+            "x", space, env, metrics,
+            TaskGraph([TaskSpec("t", params=("zz",))]),
+            launcher=launcher,
+        )
+    with pytest.raises(TunabilityError, match="unknown metric"):
+        TunableApp(
+            "x", space, env, metrics,
+            TaskGraph([TaskSpec("t", metrics=("zz",))]),
+            launcher=launcher,
+        )
+    with pytest.raises(TunabilityError, match="unknown resource"):
+        TunableApp(
+            "x", space, env, metrics,
+            TaskGraph([TaskSpec("t", resources=("node.gpu",))]),
+            launcher=launcher,
+        )
+    with pytest.raises(TunabilityError, match="no launcher"):
+        TunableApp("x", space, env, metrics, TaskGraph([TaskSpec("t")]))
+
+
+def test_app_metric_lookup():
+    app = simple_app()
+    assert app.metric("elapsed").better == "lower"
+    with pytest.raises(TunabilityError):
+        app.metric("zzz")
+
+
+def test_runtime_sandbox_lookup_error():
+    app = simple_app()
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, Configuration({"n": 10}))
+    with pytest.raises(TunabilityError):
+        rt.sandbox("ghost")
+
+
+# ------------------------------------------------------------ preprocessor
+
+
+def test_preprocessor_config_file():
+    pre = Preprocessor(simple_app())
+    cf = pre.config_file()
+    assert cf.app_name == "burner"
+    assert cf.parameters == {"n": (10, 20)}
+    assert len(cf.configurations) == 2
+    d = cf.to_dict()
+    assert d["parameters"] == {"n": [10, 20]}
+    assert {"n": 10} in d["configurations"]
+
+
+def test_preprocessor_database_template():
+    pre = Preprocessor(simple_app())
+    tpl = pre.database_template()
+    assert tpl.param_names == ["n"]
+    assert "node.cpu" in tpl.resource_dims
+    assert tpl.metric_names == ["elapsed"]
+    assert tpl.metric_directions == {"elapsed": "lower"}
+    assert tpl.to_dict()["app"] == "burner"
+
+
+def test_preprocessor_monitoring_plan():
+    pre = Preprocessor(simple_app())
+    plan = pre.monitoring_plan()
+    config = Configuration({"n": 10})
+    assert plan.resources_for(config) == ["node.cpu"]
+    assert plan.to_dict()["app"] == "burner"

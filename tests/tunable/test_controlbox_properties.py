@@ -1,0 +1,71 @@
+"""Property-based tests for ControlBox reconfiguration semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tunable import Configuration, ControlBox, PendingChange
+
+values = st.sampled_from(["a", "b", "c", "d"])
+
+
+def drain(gen):
+    try:
+        while True:
+            next(gen)
+    except StopIteration:
+        pass
+
+
+@given(requests=st.lists(values, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_last_request_wins(requests):
+    """Any burst of requests between safe points applies only the last."""
+    box = ControlBox(Configuration({"v": "init"}))
+    outcomes = {}
+    for i, v in enumerate(requests):
+        box.request(
+            PendingChange(
+                Configuration({"v": v}),
+                on_applied=lambda ok, i=i: outcomes.setdefault(i, ok),
+            )
+        )
+    drain(box.apply(ctx=None, time=1.0))
+    assert box.current == Configuration({"v": requests[-1]})
+    # Exactly the last request succeeded; superseded ones reported False
+    # (a request equal to the then-current config applies immediately and
+    # also reports True).
+    assert outcomes[len(requests) - 1] is True
+    assert len(box.history) <= len(requests)
+
+
+@given(
+    sequence=st.lists(st.tuples(values, st.booleans()), min_size=1, max_size=15)
+)
+@settings(max_examples=100, deadline=None)
+def test_history_reconstructs_current(sequence):
+    """Replaying the switch history from the initial config always lands
+    on the current config (no lost or phantom switches)."""
+    box = ControlBox(Configuration({"v": "init"}))
+    for v, apply_now in sequence:
+        box.request(PendingChange(Configuration({"v": v})))
+        if apply_now:
+            drain(box.apply(ctx=None))
+    drain(box.apply(ctx=None))
+    state = Configuration({"v": "init"})
+    for _, old, new in box.history:
+        assert old == state
+        state = new
+    assert state == box.current
+
+
+@given(requests=st.lists(values, min_size=1, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_apply_is_idempotent_when_no_pending(requests):
+    box = ControlBox(Configuration({"v": "init"}))
+    for v in requests:
+        box.request(PendingChange(Configuration({"v": v})))
+    drain(box.apply(ctx=None))
+    before = (box.current, len(box.history))
+    for _ in range(3):
+        drain(box.apply(ctx=None))
+    assert (box.current, len(box.history)) == before

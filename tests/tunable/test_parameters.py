@@ -1,0 +1,149 @@
+"""Tests for control parameters, configurations, and config spaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tunable import ConfigSpace, Configuration, ControlParameter, TunabilityError
+
+
+def space_3knob():
+    return ConfigSpace(
+        [
+            ControlParameter("dR", (80, 160, 320)),
+            ControlParameter("c", ("lzw", "bzip2")),
+            ControlParameter("l", (3, 4)),
+        ]
+    )
+
+
+def test_parameter_validation():
+    p = ControlParameter("x", (1, 2, 3))
+    p.validate(2)
+    with pytest.raises(TunabilityError):
+        p.validate(5)
+
+
+def test_parameter_rejects_bad_names_and_domains():
+    with pytest.raises(TunabilityError):
+        ControlParameter("not a name", (1,))
+    with pytest.raises(TunabilityError):
+        ControlParameter("x", ())
+    with pytest.raises(TunabilityError):
+        ControlParameter("x", (1, 1))
+
+
+def test_configuration_mapping_and_attribute_access():
+    c = Configuration({"dR": 80, "c": "lzw"})
+    assert c["dR"] == 80
+    assert c.c == "lzw"
+    assert len(c) == 2
+    assert set(c) == {"dR", "c"}
+    with pytest.raises(AttributeError):
+        _ = c.nonexistent
+
+
+def test_configuration_immutable():
+    c = Configuration({"x": 1})
+    with pytest.raises(TunabilityError):
+        c.x = 2
+
+
+def test_configuration_hash_eq_independent_of_order():
+    a = Configuration({"x": 1, "y": 2})
+    b = Configuration({"y": 2, "x": 1})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a == {"x": 1, "y": 2}
+
+
+def test_configuration_with_():
+    a = Configuration({"x": 1, "y": 2})
+    b = a.with_(y=3)
+    assert b == {"x": 1, "y": 3}
+    assert a.y == 2
+
+
+def test_configuration_label_sorted():
+    assert Configuration({"b": 2, "a": 1}).label() == "a=1,b=2"
+
+
+def test_space_enumerate_size():
+    space = space_3knob()
+    configs = space.enumerate()
+    assert len(configs) == 12
+    assert len(set(configs)) == 12
+    assert space.size() == 12
+
+
+def test_space_guard_filters():
+    space = ConfigSpace(
+        [
+            ControlParameter("dR", (80, 320)),
+            ControlParameter("l", (3, 4)),
+        ],
+        # Guard: large fovea only at low resolution.
+        guard=lambda c: not (c.dR == 320 and c.l == 4),
+    )
+    configs = space.enumerate()
+    assert len(configs) == 3
+    assert Configuration({"dR": 320, "l": 4}) not in space
+    with pytest.raises(TunabilityError):
+        space.validate(Configuration({"dR": 320, "l": 4}))
+
+
+def test_space_validate_missing_and_extra_keys():
+    space = space_3knob()
+    with pytest.raises(TunabilityError, match="missing"):
+        space.validate(Configuration({"dR": 80}))
+    with pytest.raises(TunabilityError, match="extra"):
+        space.validate(Configuration({"dR": 80, "c": "lzw", "l": 3, "zz": 1}))
+
+
+def test_space_validate_bad_value():
+    space = space_3knob()
+    with pytest.raises(TunabilityError):
+        space.validate(Configuration({"dR": 81, "c": "lzw", "l": 3}))
+
+
+def test_space_guard_rejecting_everything():
+    space = ConfigSpace([ControlParameter("x", (1, 2))], guard=lambda c: False)
+    with pytest.raises(TunabilityError):
+        space.enumerate()
+
+
+def test_space_needs_parameters():
+    with pytest.raises(TunabilityError):
+        ConfigSpace([])
+
+
+def test_space_duplicate_parameter_names():
+    with pytest.raises(TunabilityError):
+        ConfigSpace([ControlParameter("x", (1,)), ControlParameter("x", (2,))])
+
+
+def test_space_default_is_first():
+    space = space_3knob()
+    assert space.default() == {"dR": 80, "c": "lzw", "l": 3}
+
+
+def test_space_parameter_lookup():
+    space = space_3knob()
+    assert space.parameter("c").domain == ("lzw", "bzip2")
+    with pytest.raises(TunabilityError):
+        space.parameter("zzz")
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(-5, 5),
+        min_size=1,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_configuration_roundtrip_property(values):
+    config = Configuration(values)
+    assert dict(config) == values
+    assert Configuration(dict(config)) == config
+    assert hash(Configuration(dict(config))) == hash(config)
