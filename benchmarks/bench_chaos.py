@@ -1,0 +1,68 @@
+"""Benchmark for the chaos experiment: adaptation under injected faults.
+
+Beyond the usual figure artifact, this benchmark enforces the fault
+subsystem's two headline guarantees:
+
+* **Determinism** — two runs with the same seed produce a byte-identical
+  trajectory payload (written to ``benchmarks/out/chaos.json``).
+* **Recovery** — the controller survives every injected crash, partition,
+  and lossy spell: the workload completes, no peer stays marked lost, and
+  the final configuration is the one adaptation should settle on.
+"""
+
+import json
+
+from repro.experiments import run_chaos
+
+
+def _run(seed=0):
+    result, payload = run_chaos(seed=seed)
+    return result, payload
+
+
+def test_chaos_trajectory(benchmark, save_figure, artifact_dir):
+    result, payload = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_figure(result, "chaos_figure")
+
+    encoded = json.dumps(payload, sort_keys=True, indent=1)
+    (artifact_dir / "chaos.json").write_text(encoded + "\n")
+
+    kinds = [e["kind"] for e in payload["events"]]
+
+    # The fault schedule actually fired, in both directions.
+    actions = [entry["action"] for entry in payload["injections"]]
+    assert "crash" in actions and "crash-recovered" in actions
+    assert "partition" in actions and "partition-recovered" in actions
+    assert payload["network"]["lost"] > 0, "lossy window dropped nothing"
+    assert payload["network"]["delayed"] > 0, "delay window delayed nothing"
+    assert payload["network"]["parked"] > 0, "queue-mode faults parked nothing"
+
+    # The watchdog noticed the dead/partitioned server and its recovery,
+    # and re-selected over the degraded resource point.
+    assert kinds.count("peer-lost") >= 2, "crash and partition both silence the peer"
+    assert kinds.count("peer-recovered") == kinds.count("peer-lost")
+    assert "degraded" in kinds
+    # A steering handshake posted while the client was stalled was
+    # abandoned by the ack timeout instead of hanging forever.
+    assert "steering-timeout" in kinds
+
+    # Recovery: the workload finished, adaptation switched down under the
+    # bandwidth drop and back up after the restore, and nobody is still
+    # considered dead at the end.
+    assert payload["lost_peers_at_end"] == []
+    assert len(payload["image_times"]) == payload["n_images"]
+    switches = [(s["from"], s["to"]) for s in payload["switches"]]
+    assert ("c=lzw,dR=320,l=4", "c=bzip2,dR=320,l=4") in switches
+    assert ("c=bzip2,dR=320,l=4", "c=lzw,dR=320,l=4") in switches
+    assert payload["final_config"] == "c=lzw,dR=320,l=4"
+
+
+def test_chaos_deterministic_replay():
+    """Same seed, same spec => byte-identical chaos.json payload."""
+    _, first = _run(seed=0)
+    _, second = _run(seed=0)
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    # A different seed perturbs at least the randomized message faults.
+    _, other = _run(seed=7)
+    assert json.dumps(first, sort_keys=True) != json.dumps(other, sort_keys=True)

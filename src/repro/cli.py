@@ -28,6 +28,7 @@ from .experiments import (
     run_fig3b,
     run_fig4a,
     run_fig4b,
+    run_chaos,
     run_fig5,
     run_fig6a,
     run_fig6b,
@@ -73,6 +74,7 @@ for names, runner in (
         lambda seed=0: run_experiment3(seed=seed)[:2], "fig7cd", "exp3",
         "fig7c", "fig7d",
     ),
+    _figs(run_chaos, "chaos"),
     _table(scheduler_interpolation_ablation, "ablation-a1"),
     _table(sampling_strategy_ablation, "ablation-a2"),
     _table(hysteresis_ablation, "ablation-a3"),
@@ -85,7 +87,7 @@ for names, runner in (
 #: Canonical (deduplicated) target list for `all`.
 CANONICAL = [
     "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6a", "fig6b",
-    "fig7a", "fig7b", "fig7cd",
+    "fig7a", "fig7b", "fig7cd", "chaos",
     "ablation-a1", "ablation-a2", "ablation-a3", "ablation-a4", "ablation-a5",
 ]
 
@@ -121,8 +123,8 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        help="figure names (fig3a..fig7cd, exp1..exp3, ablation-a1..a5), "
-        "'list', or 'all'",
+        help="figure names (fig3a..fig7cd, exp1..exp3, chaos, "
+        "ablation-a1..a5), 'list', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")

@@ -16,7 +16,7 @@ from .machines import (
 )
 from .memory import Memory, MemoryError_, MemorySpace
 from .traffic import CrossTraffic
-from .network import Message, Network, NetworkError, NICStats
+from .network import DeliveryVerdict, Message, Network, NetworkError, NICStats
 
 __all__ = [
     "CPU",
@@ -29,6 +29,7 @@ __all__ = [
     "duplex",
     "Network",
     "NetworkError",
+    "DeliveryVerdict",
     "NICStats",
     "Message",
     "BackgroundLoad",

@@ -37,6 +37,13 @@ class Host:
         self.nic_stats = NICStats(sim)
         self.network = None  # set by Network.register
         self._mailboxes: Dict[str, Store] = {}
+        #: Liveness flag consulted by the network's delivery gate.
+        self.up = True
+        #: While down: "queue" parks traffic for redelivery at restart
+        #: (sender-side retransmission), "drop" loses it outright.
+        self.down_mode = "queue"
+        #: (crash_time, restore_time or None) history of outages.
+        self.outages: list = []
 
     def mailbox(self, port: str) -> Store:
         """Get (or lazily create) the message queue for ``port``."""
@@ -45,6 +52,35 @@ class Host:
             box = Store(self.sim)
             self._mailboxes[port] = box
         return box
+
+    def crash(self, mode: str = "queue", clear_mailboxes: bool = False) -> None:
+        """Take the host down (fail-stop for message traffic).
+
+        With ``clear_mailboxes`` the restart also loses every message already
+        queued on the host — full fail-stop semantics.  The default keeps
+        queued mail (durable-queue model), which lets request/reply protocols
+        survive a crash window without application-level retries.
+        """
+        if mode not in ("queue", "drop"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        if not self.up:
+            return
+        self.up = False
+        self.down_mode = mode
+        self.outages.append((self.sim.now, None))
+        if clear_mailboxes:
+            for box in self._mailboxes.values():
+                box.items.clear()
+
+    def restore(self) -> None:
+        """Bring the host back up; parked traffic is flushed by the network."""
+        if self.up:
+            return
+        self.up = True
+        if self.outages and self.outages[-1][1] is None:
+            self.outages[-1] = (self.outages[-1][0], self.sim.now)
+        if self.network is not None:
+            self.network.flush_parked()
 
     def send(
         self,

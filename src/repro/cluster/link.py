@@ -33,6 +33,13 @@ class Link:
         self.latency = float(latency)
         self.share = FluidShare(sim, bandwidth, name=name)
         self.bytes_carried = 0.0
+        #: Liveness flag consulted by the network's delivery gate.
+        self.up = True
+        #: While down: "queue" parks arriving messages until :meth:`restore`
+        #: (a transient partition), "drop" loses them (a lossy outage).
+        self.down_mode = "queue"
+        #: (fail_time, restore_time or None) history of outages.
+        self.outages: list = []
 
     @property
     def bandwidth(self) -> float:
@@ -40,6 +47,24 @@ class Link:
 
     def set_bandwidth(self, bandwidth: float) -> None:
         self.share.set_speed(bandwidth)
+
+    def fail(self, mode: str = "queue") -> None:
+        """Take the link down.  In-flight bytes keep draining; the delivery
+        gate decides their fate when they arrive."""
+        if mode not in ("queue", "drop"):
+            raise ValueError(f"unknown link-down mode {mode!r}")
+        if not self.up:
+            return
+        self.up = False
+        self.down_mode = mode
+        self.outages.append((self.sim.now, None))
+
+    def restore(self) -> None:
+        if self.up:
+            return
+        self.up = True
+        if self.outages and self.outages[-1][1] is None:
+            self.outages[-1] = (self.outages[-1][0], self.sim.now)
 
     def transfer(
         self,

@@ -7,6 +7,7 @@ from .ablations import (
     sampling_strategy_ablation,
     scheduler_interpolation_ablation,
 )
+from .chaos import DEFAULT_FAULT_SPEC, DEFAULT_VARIATIONS, run_chaos
 from .common import FigureResult, Series, ascii_plot, render_table
 from .extension_memory import memory_database, run_memory_adaptation
 from .fig3 import run_fig3a, run_fig3b
@@ -45,6 +46,9 @@ __all__ = [
     "run_adaptive_viz",
     "AdaptiveRun",
     "ResourceVariation",
+    "run_chaos",
+    "DEFAULT_FAULT_SPEC",
+    "DEFAULT_VARIATIONS",
     "scheduler_interpolation_ablation",
     "sampling_strategy_ablation",
     "hysteresis_ablation",

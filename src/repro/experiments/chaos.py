@@ -1,0 +1,192 @@
+"""Chaos experiment: run-time adaptation under injected faults.
+
+The paper's experiments vary resources *gently* (a bandwidth or CPU-share
+step).  This experiment instead runs the visualization application while
+the environment actively misbehaves — the server host crashes and
+restarts, the client-server link partitions and heals, and the monitoring
+exchange's estimate traffic is lossy and delayed — and records the full
+configuration trajectory the adaptation runtime takes through it.
+
+Everything is deterministic: infrastructure faults fire at scripted
+virtual times and per-message faults draw from the seeded ``"faults"``
+RNG stream, so two runs with the same ``(seed, fault_spec)`` produce
+byte-identical trajectories.  Replay a run by passing its recorded
+``fault_spec`` and seed back to :func:`run_chaos`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.visualization import VizWorkload, make_viz_app
+from ..faults import FaultInjector, FaultPlan
+from ..runtime import (
+    AdaptationController,
+    MonitorExchange,
+    MonitoringAgent,
+    Objective,
+    ResourceScheduler,
+    UserPreference,
+)
+from ..profiling import ResourcePoint
+from ..sandbox import ResourceLimits, Testbed
+from ..tunable import Preprocessor
+from .common import FigureResult
+from .fig6 import EXP1_COSTS, fig6a_database
+
+__all__ = ["run_chaos", "DEFAULT_FAULT_SPEC", "DEFAULT_VARIATIONS"]
+
+#: The scripted fault schedule: a server crash window, a full client-server
+#: partition, and a lossy/laggy spell on the monitoring exchange traffic.
+DEFAULT_FAULT_SPEC: Dict = {
+    "events": [
+        {"kind": "crash", "host": "server", "at": 15.0, "until": 32.0,
+         "mode": "queue"},
+        {"kind": "partition", "groups": [["client"], ["server"]],
+         "at": 60.0, "until": 70.0, "mode": "queue"},
+        {"kind": "loss", "rate": 0.25, "port": "monitor.exchange",
+         "at": 75.0, "until": 95.0},
+        {"kind": "delay", "extra": 0.02, "jitter": 0.01,
+         "port": "monitor.exchange", "at": 75.0, "until": 95.0},
+    ]
+}
+
+#: Client bandwidth-limit steps (resource drift, not faults): a drop just
+#: before the crash — so the resulting switch decision lands while the
+#: client is stalled behind the dead server and the steering handshake
+#: times out — then a recovery that lets adaptation switch back.
+DEFAULT_VARIATIONS: Tuple[Tuple[float, float], ...] = (
+    (7.0, 50e3),
+    (100.0, 500e3),
+)
+
+
+def run_chaos(
+    seed: int = 0,
+    n_images: int = 8,
+    fault_spec: Optional[Dict] = None,
+    variations: Tuple[Tuple[float, float], ...] = DEFAULT_VARIATIONS,
+    until: float = 2000.0,
+) -> Tuple[FigureResult, Dict]:
+    """Run the adaptive visualization app through a fault schedule.
+
+    Returns the rendered figure plus a JSON-friendly trajectory payload
+    (written to ``benchmarks/out/chaos.json`` by the benchmark harness).
+    """
+    db, _dims, _configs = fig6a_database(seed=seed)
+    plan = FaultPlan.from_spec(
+        DEFAULT_FAULT_SPEC if fault_spec is None else fault_spec
+    )
+    preference = UserPreference.single(Objective("transmit_time", "minimize"))
+    initial_point = ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
+
+    app = make_viz_app()
+    scheduler = ResourceScheduler(db, preference)
+    controller = AdaptationController(
+        scheduler,
+        monitoring_plan=Preprocessor(app).monitoring_plan(),
+        monitor_kwargs={"window": 2.0, "cooldown": 5.0, "period": 0.01},
+        steering_kwargs={"ack_timeout": 2.0, "max_retries": 2, "backoff": 2.0},
+        watchdog_period=0.5,
+    )
+    config = controller.select_initial(initial_point).config
+
+    testbed = Testbed(
+        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(), seed=seed
+    )
+    injector = FaultInjector.attach(testbed, plan, seed=seed)
+    workload = VizWorkload(n_images=n_images, costs=EXP1_COSTS, seed=seed)
+    rt = app.instantiate(
+        testbed,
+        config,
+        limits={"client": ResourceLimits(net_bw=500e3)},
+        workload=workload,
+    )
+    controller.attach(rt)
+
+    # Estimate exchange in both directions; the client side feeds the
+    # controller's watchdog with server heartbeats.
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"], period=0.05).start()
+    client_ex = MonitorExchange(
+        rt, controller.monitor, "client", ["server"],
+        stale_after=2.0, heartbeat_every=0.5,
+    ).start()
+    server_ex = MonitorExchange(
+        rt, server_agent, "server", ["client"],
+        stale_after=2.0, heartbeat_every=0.5,
+    ).start()
+    controller.start_watchdog(client_ex)
+
+    def vary():
+        for at, net_bw in variations:
+            yield testbed.sim.timeout(at - testbed.sim.now)
+            rt.sandboxes["client"].set_limits(ResourceLimits(net_bw=net_bw))
+
+    if variations:
+        testbed.sim.process(vary())
+    testbed.run(until=until)
+    testbed.shutdown()
+    if not rt.finished.triggered:
+        raise RuntimeError(f"chaos run did not finish by t={until}")
+
+    payload = {
+        "experiment": "chaos",
+        "seed": seed,
+        "n_images": n_images,
+        "fault_spec": plan.to_spec(),
+        "variations": [[at, bw] for at, bw in variations],
+        "injections": injector.log,
+        "events": [
+            {
+                "t": e.time,
+                "kind": e.kind,
+                "config": e.config.label() if e.config is not None else None,
+            }
+            for e in controller.events
+        ],
+        "switches": [
+            {"t": t, "from": old.label(), "to": new.label()}
+            for t, old, new in rt.controls.history
+        ],
+        "final_config": rt.controls.current.label(),
+        "qos": rt.qos.snapshot(),
+        "image_times": [[t, d] for t, d in workload.image_times],
+        "network": {
+            "delivered": testbed.network.messages_delivered,
+            "lost": testbed.network.messages_lost,
+            "delayed": testbed.network.messages_delayed,
+            "duplicated": testbed.network.messages_duplicated,
+            "parked": testbed.network.messages_parked_total,
+        },
+        "exchange": {
+            "client_updates_received": client_ex.updates_received,
+            "server_updates_received": server_ex.updates_received,
+            "client_expired": client_ex.expired,
+            "injector_dropped": injector.dropped,
+            "injector_delayed": injector.delayed,
+        },
+        "lost_peers_at_end": sorted(controller.lost_peers),
+        "total_time": workload.image_times[-1][0] if workload.image_times else 0.0,
+    }
+
+    result = FigureResult(
+        figure="Chaos",
+        title="Adaptation trajectory through crash, partition, and recovery",
+        xlabel="time (s)",
+        ylabel="image transmission time (s)",
+    )
+    series = result.new_series("adaptive under faults")
+    for t, duration in workload.image_times:
+        series.add(t, duration)
+    for entry in injector.log:
+        what = entry.get("host") or entry.get("between") or entry.get("groups")
+        result.note(f"t={entry['t']:.1f}s: {entry['action']} ({what})")
+    for switch in payload["switches"]:
+        result.note(
+            f"t={switch['t']:.1f}s: switched {switch['from']} -> {switch['to']}"
+        )
+    kinds = [e.kind for e in controller.events]
+    for kind in ("peer-lost", "peer-recovered", "steering-timeout", "degraded"):
+        result.note(f"{kind} events: {kinds.count(kind)}")
+    result.note(f"final config: {payload['final_config']}")
+    return result, payload

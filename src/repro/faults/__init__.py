@@ -1,0 +1,19 @@
+"""Fault injection: deterministic, replayable chaos for the simulated cluster.
+
+``FaultPlan`` turns a spec dict into a typed schedule of host crashes,
+link outages, partitions, and per-message loss/delay/duplication rules;
+``FaultInjector`` executes it against a testbed's network using the seeded
+``"faults"`` RNG stream, so every chaos run replays bit-exactly from its
+``(seed, spec)`` pair.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan, FaultPlanError, MessageFaultRule, ScheduledFault
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "ScheduledFault",
+    "MessageFaultRule",
+    "FaultInjector",
+]

@@ -1,0 +1,136 @@
+"""Deterministic fault injection against a simulated cluster.
+
+The :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a :class:`~repro.cluster.Network`: timed infrastructure faults become
+scheduled simulator callbacks, and per-message rules are evaluated at the
+network's delivery gate (the injector installs itself as
+``network.faults``).  All randomness comes from one seeded generator —
+the ``"faults"`` stream of :func:`repro.sim.rng.stream` — so a run is
+replayed bit-exactly from ``(seed, spec)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..cluster.network import DeliveryVerdict, Network
+from ..sim import stream
+from .plan import FaultPlan, MessageFaultRule, ScheduledFault
+
+__all__ = ["FaultInjector"]
+
+_DELIVER = DeliveryVerdict()
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.network = network
+        self.sim = network.sim
+        self.rng = rng if rng is not None else stream(seed, "faults")
+        self.plan: Optional[FaultPlan] = None
+        self.rules: List[MessageFaultRule] = []
+        #: Chronological record of every infrastructure fault applied,
+        #: as JSON-friendly dicts (chaos-trajectory output).
+        self.log: List[dict] = []
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+
+    @classmethod
+    def attach(cls, testbed, plan: FaultPlan,
+               seed: Optional[int] = None) -> "FaultInjector":
+        """Convenience: bind a plan to a testbed (seed defaults to its)."""
+        injector = cls(testbed.network,
+                       seed=testbed.seed if seed is None else seed)
+        injector.install(plan)
+        return injector
+
+    # -- plan installation -------------------------------------------------------
+    def install(self, plan: FaultPlan) -> "FaultInjector":
+        """Schedule the plan's faults relative to the current sim time."""
+        if self.plan is not None:
+            raise RuntimeError("injector already has an installed plan")
+        self.plan = plan
+        self.rules = list(plan.rules)
+        self.network.faults = self
+        now = self.sim.now
+        for fault in plan.schedule:
+            self.sim.schedule_callback(
+                max(0.0, fault.at - now), lambda f=fault: self._apply(f)
+            )
+            if fault.until is not None:
+                self.sim.schedule_callback(
+                    max(0.0, fault.until - now), lambda f=fault: self._recover(f)
+                )
+        return self
+
+    def _record(self, action: str, fault: ScheduledFault) -> None:
+        entry = {"t": self.sim.now, "action": action}
+        if fault.host is not None:
+            entry["host"] = fault.host
+        if fault.between is not None:
+            entry["between"] = list(fault.between)
+        if fault.groups is not None:
+            entry["groups"] = [list(g) for g in fault.groups]
+        self.log.append(entry)
+
+    def _apply(self, fault: ScheduledFault) -> None:
+        if fault.kind == "crash":
+            self.network.fail_host(
+                fault.host, mode=fault.mode,
+                clear_mailboxes=fault.clear_mailboxes,
+            )
+        elif fault.kind == "link-down":
+            self.network.fail_link(*fault.between, mode=fault.mode)
+        elif fault.kind == "partition":
+            self.network.partition(*fault.groups, mode=fault.mode)
+        self._record(fault.kind, fault)
+
+    def _recover(self, fault: ScheduledFault) -> None:
+        if fault.kind == "crash":
+            self.network.restore_host(fault.host)
+        elif fault.kind == "link-down":
+            self.network.restore_link(*fault.between)
+        elif fault.kind == "partition":
+            self.network.heal_partition(*fault.groups)
+        self._record(f"{fault.kind}-recovered", fault)
+
+    # -- the per-message gate ---------------------------------------------------
+    def gate(self, msg) -> DeliveryVerdict:
+        """Delivery-gate hook: roll each active matching rule in order."""
+        now = self.sim.now
+        extra_delay = 0.0
+        copies = 1
+        touched = False
+        for rule in self.rules:
+            if not rule.active(now) or not rule.matches(msg):
+                continue
+            if rule.kind == "loss":
+                if self.rng.random() < rule.rate:
+                    self.dropped += 1
+                    return DeliveryVerdict("drop")
+            elif rule.kind == "delay":
+                extra_delay += rule.extra + (
+                    rule.jitter * self.rng.random() if rule.jitter > 0 else 0.0
+                )
+                touched = True
+            elif rule.kind == "duplicate":
+                if self.rng.random() < rule.rate:
+                    copies += rule.copies
+                    touched = True
+        if not touched:
+            return _DELIVER
+        if extra_delay > 0:
+            self.delayed += 1
+        if copies > 1:
+            self.duplicated += copies - 1
+        return DeliveryVerdict("deliver", extra_delay=extra_delay, copies=copies)

@@ -1,0 +1,241 @@
+"""Declarative, replayable fault schedules.
+
+A :class:`FaultPlan` is the full description of everything that will go
+wrong during a run: timed infrastructure faults (host crashes, link
+outages, partitions) plus windowed per-message fault rules (loss, delay,
+duplication).  Plans are built from plain spec dicts and round-trip back
+through :meth:`FaultPlan.to_spec`, so a chaos run is replayed exactly by
+re-running the same spec with the same seed (the injector draws all
+randomness from the dedicated ``faults`` stream of :mod:`repro.sim.rng`).
+
+Spec format::
+
+    {"events": [
+        {"kind": "crash", "host": "server", "at": 10.0, "until": 20.0,
+         "mode": "queue", "clear": false},
+        {"kind": "link-down", "between": ["client", "server"],
+         "at": 30.0, "until": 40.0, "mode": "queue"},
+        {"kind": "partition", "groups": [["client"], ["server"]],
+         "at": 50.0, "until": 60.0, "mode": "drop"},
+        {"kind": "loss", "rate": 0.2, "port": "monitor.exchange",
+         "at": 0.0, "until": 100.0},
+        {"kind": "delay", "extra": 0.05, "jitter": 0.02, "src": "server"},
+        {"kind": "duplicate", "rate": 0.1, "dst": "client"},
+    ]}
+
+``at`` defaults to 0 and ``until`` to "forever".  Message rules may match
+on any combination of ``src``, ``dst``, and ``port`` (omitted = any).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultPlan", "FaultPlanError", "ScheduledFault", "MessageFaultRule"]
+
+_INFRA_KINDS = ("crash", "link-down", "partition")
+_RULE_KINDS = ("loss", "delay", "duplicate")
+
+
+class FaultPlanError(Exception):
+    """Raised for malformed fault specs."""
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """A timed infrastructure fault with an optional recovery time."""
+
+    kind: str  # "crash" | "link-down" | "partition"
+    at: float
+    until: Optional[float] = None
+    mode: str = "queue"  # "queue" (park traffic) | "drop" (lose it)
+    host: Optional[str] = None  # crash
+    between: Optional[Tuple[str, str]] = None  # link-down
+    groups: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None  # partition
+    clear_mailboxes: bool = False  # crash only
+
+    def to_spec(self) -> Dict:
+        spec: Dict = {"kind": self.kind, "at": self.at, "mode": self.mode}
+        if self.until is not None:
+            spec["until"] = self.until
+        if self.kind == "crash":
+            spec["host"] = self.host
+            if self.clear_mailboxes:
+                spec["clear"] = True
+        elif self.kind == "link-down":
+            spec["between"] = list(self.between)
+        elif self.kind == "partition":
+            spec["groups"] = [list(g) for g in self.groups]
+        return spec
+
+
+@dataclass(frozen=True)
+class MessageFaultRule:
+    """A windowed per-message fault applied at the delivery gate."""
+
+    kind: str  # "loss" | "delay" | "duplicate"
+    at: float = 0.0
+    until: float = math.inf
+    rate: float = 1.0  # loss / duplicate probability
+    extra: float = 0.0  # delay: fixed extra latency (s)
+    jitter: float = 0.0  # delay: uniform random extra on top (s)
+    copies: int = 1  # duplicate: extra copies injected
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    port: Optional[str] = None
+
+    def active(self, now: float) -> bool:
+        return self.at <= now < self.until
+
+    def matches(self, msg) -> bool:
+        return (
+            (self.src is None or msg.src == self.src)
+            and (self.dst is None or msg.dst == self.dst)
+            and (self.port is None or msg.port == self.port)
+        )
+
+    def to_spec(self) -> Dict:
+        spec: Dict = {"kind": self.kind, "at": self.at}
+        if math.isfinite(self.until):
+            spec["until"] = self.until
+        if self.kind in ("loss", "duplicate"):
+            spec["rate"] = self.rate
+        if self.kind == "delay":
+            spec["extra"] = self.extra
+            if self.jitter:
+                spec["jitter"] = self.jitter
+        if self.kind == "duplicate" and self.copies != 1:
+            spec["copies"] = self.copies
+        for key in ("src", "dst", "port"):
+            value = getattr(self, key)
+            if value is not None:
+                spec[key] = value
+        return spec
+
+
+def _window(entry: Dict, kind: str) -> Tuple[float, Optional[float]]:
+    at = float(entry.get("at", 0.0))
+    until = entry.get("until")
+    if at < 0:
+        raise FaultPlanError(f"{kind}: 'at' must be non-negative, got {at!r}")
+    if until is not None:
+        until = float(until)
+        if until <= at:
+            raise FaultPlanError(
+                f"{kind}: 'until' ({until!r}) must be after 'at' ({at!r})"
+            )
+    return at, until
+
+
+def _mode(entry: Dict, kind: str) -> str:
+    mode = entry.get("mode", "queue")
+    if mode not in ("queue", "drop"):
+        raise FaultPlanError(f"{kind}: mode must be queue/drop, got {mode!r}")
+    return mode
+
+
+@dataclass
+class FaultPlan:
+    """Everything that will go wrong, as data."""
+
+    schedule: List[ScheduledFault] = field(default_factory=list)
+    rules: List[MessageFaultRule] = field(default_factory=list)
+
+    @classmethod
+    def from_spec(cls, spec) -> "FaultPlan":
+        """Parse a spec dict (or a bare list of event entries)."""
+        if isinstance(spec, dict):
+            events = spec.get("events", [])
+        else:
+            events = list(spec)
+        plan = cls()
+        for entry in events:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise FaultPlanError(f"event entry needs a 'kind': {entry!r}")
+            kind = entry["kind"]
+            at, until = _window(entry, kind)
+            if kind == "crash":
+                host = entry.get("host")
+                if not host:
+                    raise FaultPlanError("crash: missing 'host'")
+                plan.schedule.append(
+                    ScheduledFault(
+                        kind, at, until, _mode(entry, kind), host=host,
+                        clear_mailboxes=bool(entry.get("clear", False)),
+                    )
+                )
+            elif kind == "link-down":
+                between = entry.get("between")
+                if not between or len(between) != 2:
+                    raise FaultPlanError("link-down: 'between' needs two hosts")
+                plan.schedule.append(
+                    ScheduledFault(
+                        kind, at, until, _mode(entry, kind),
+                        between=(str(between[0]), str(between[1])),
+                    )
+                )
+            elif kind == "partition":
+                groups = entry.get("groups")
+                if not groups or len(groups) != 2 or not all(groups):
+                    raise FaultPlanError(
+                        "partition: 'groups' needs two non-empty host lists"
+                    )
+                plan.schedule.append(
+                    ScheduledFault(
+                        kind, at, until, _mode(entry, kind),
+                        groups=(
+                            tuple(str(h) for h in groups[0]),
+                            tuple(str(h) for h in groups[1]),
+                        ),
+                    )
+                )
+            elif kind in _RULE_KINDS:
+                rate = float(entry.get("rate", 1.0))
+                if not 0.0 <= rate <= 1.0:
+                    raise FaultPlanError(f"{kind}: rate must be in [0,1], got {rate!r}")
+                extra = float(entry.get("extra", 0.0))
+                jitter = float(entry.get("jitter", 0.0))
+                if kind == "delay" and extra <= 0 and jitter <= 0:
+                    raise FaultPlanError("delay: needs positive 'extra' or 'jitter'")
+                if extra < 0 or jitter < 0:
+                    raise FaultPlanError(f"{kind}: extra/jitter must be non-negative")
+                copies = int(entry.get("copies", 1))
+                if copies < 1:
+                    raise FaultPlanError(f"duplicate: copies must be >= 1, got {copies}")
+                plan.rules.append(
+                    MessageFaultRule(
+                        kind, at, math.inf if until is None else until,
+                        rate=rate, extra=extra, jitter=jitter, copies=copies,
+                        src=entry.get("src"), dst=entry.get("dst"),
+                        port=entry.get("port"),
+                    )
+                )
+            else:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r}; "
+                    f"expected one of {_INFRA_KINDS + _RULE_KINDS}"
+                )
+        plan.schedule.sort(key=lambda f: f.at)
+        plan.rules.sort(key=lambda r: r.at)
+        return plan
+
+    def to_spec(self) -> Dict:
+        """Round-trip back to a spec dict (for logging/replay)."""
+        return {
+            "events": [f.to_spec() for f in self.schedule]
+            + [r.to_spec() for r in self.rules]
+        }
+
+    @property
+    def empty(self) -> bool:
+        return not self.schedule and not self.rules
+
+    def horizon(self) -> float:
+        """Last scheduled state-change time (inf if a rule never ends)."""
+        times = [f.at for f in self.schedule]
+        times += [f.until for f in self.schedule if f.until is not None]
+        times += [r.at for r in self.rules]
+        times += [r.until for r in self.rules]
+        return max(times) if times else 0.0

@@ -16,7 +16,17 @@ The controller owns one application instance's adaptation loop:
    a new decision goes to the steering agent and, after the switch is
    acknowledged, the monitor is retargeted to the new configuration;
 4. a guard-rejected switch triggers negotiation: the scheduler re-selects
-   with the rejected configuration excluded.
+   with the rejected configuration excluded (bounded by
+   ``max_negotiation_depth`` so a pathological database cannot walk the
+   whole configuration space on one violation).
+
+Fault tolerance: when attached together with a :class:`MonitorExchange`,
+a liveness watchdog turns missing peer heartbeats into adaptation events —
+a silent peer is declared lost (``"peer-lost"``), selection re-runs over
+the degraded resource point (crashed host => zero availability,
+``"degraded"``), and resumed heartbeats trigger a ``"peer-recovered"``
+re-selection.  A steering handshake that never completes is abandoned by
+the steering agent's ack timeout and recorded as ``"steering-timeout"``.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..profiling import ResourcePoint
 from ..tunable import AppRuntime, Configuration, MonitoringPlan
+from .exchange import MonitorExchange
 from .monitor import MonitoringAgent
 from .scheduler import Decision, ResourceScheduler
 from .steering import ControlMessage, SteeringAgent
@@ -35,10 +46,15 @@ __all__ = ["AdaptationController", "AdaptationEvent"]
 
 @dataclass
 class AdaptationEvent:
-    """One entry in the controller's event log."""
+    """One entry in the controller's event log.
+
+    ``kind`` is one of: "initial", "trigger", "decision", "applied",
+    "rejected", "no-candidate", "peer-lost", "peer-recovered",
+    "steering-timeout", "degraded".
+    """
 
     time: float
-    kind: str  # "initial" | "trigger" | "decision" | "applied" | "rejected" | "no-candidate"
+    kind: str
     config: Optional[Configuration] = None
     estimates: Dict[str, float] = field(default_factory=dict)
 
@@ -53,22 +69,48 @@ class AdaptationController:
         control_latency: float = 0.001,
         monitor_kwargs: Optional[dict] = None,
         settle_delay: Optional[float] = None,
+        max_negotiation_depth: int = 8,
+        steering_kwargs: Optional[dict] = None,
+        watchdog_period: float = 1.0,
+        peer_timeout: Optional[float] = None,
     ):
+        if max_negotiation_depth < 1:
+            raise ValueError(
+                f"max_negotiation_depth must be >= 1, got {max_negotiation_depth!r}"
+            )
         self.scheduler = scheduler
         self.monitoring_plan = monitoring_plan
         self.control_latency = float(control_latency)
         self.monitor_kwargs = dict(monitor_kwargs or {})
+        #: Extra arguments for the steering agent (e.g. ``ack_timeout``).
+        self.steering_kwargs = dict(steering_kwargs or {})
         #: After a violation, wait this long before re-reading estimates and
         #: deciding, so the monitoring window fully covers the post-change
         #: regime instead of a transient mix.  Defaults to the monitor's
         #: history window.
         self.settle_delay = settle_delay
+        #: Bound on negotiation recursion after rejected switches.
+        self.max_negotiation_depth = int(max_negotiation_depth)
+        #: Liveness-check period of the peer watchdog (needs an exchange).
+        self.watchdog_period = float(watchdog_period)
+        #: Heartbeat silence that declares a peer lost; defaults to four
+        #: exchange publication periods.
+        self.peer_timeout = peer_timeout
         self._settling = False
+        self._pending_estimates: Optional[Dict[str, float]] = None
+        #: Bookkeeping for the control message currently awaiting an ack,
+        #: so concurrent adaptation paths (violation vs. watchdog) neither
+        #: duplicate an identical request nor mistake their own supersede
+        #: echo for an application rejection.
+        self._inflight: Optional[Dict] = None
         self.rt: Optional[AppRuntime] = None
         self.monitor: Optional[MonitoringAgent] = None
         self.steering: Optional[SteeringAgent] = None
+        self.exchange: Optional[MonitorExchange] = None
         self.current_decision: Optional[Decision] = None
         self.events: List[AdaptationEvent] = []
+        self.lost_peers: Set[str] = set()
+        self._watchdog_stopped = False
         self._reconfiguring = False
 
     # -- phase 1: initial configuration ------------------------------------
@@ -86,12 +128,20 @@ class AdaptationController:
         return decision
 
     # -- phase 2: run-time loop -----------------------------------------------
-    def attach(self, rt: AppRuntime) -> "AdaptationController":
-        """Bind to a running application instance and start monitoring."""
+    def attach(
+        self, rt: AppRuntime, exchange: Optional[MonitorExchange] = None
+    ) -> "AdaptationController":
+        """Bind to a running application instance and start monitoring.
+
+        With an ``exchange``, the controller also runs the peer-liveness
+        watchdog against the exchange's heartbeat record.
+        """
         if self.current_decision is None:
             raise RuntimeError("call select_initial() before attach()")
         self.rt = rt
-        self.steering = SteeringAgent(rt, control_latency=self.control_latency)
+        self.steering = SteeringAgent(
+            rt, control_latency=self.control_latency, **self.steering_kwargs
+        )
         watch = self._watch_list(self.current_decision.config)
         self.monitor = MonitoringAgent(
             rt,
@@ -101,7 +151,27 @@ class AdaptationController:
         )
         self.monitor.retarget(conditions=self.current_decision.conditions)
         self.monitor.start()
+        if exchange is not None:
+            self.start_watchdog(exchange)
         return self
+
+    def start_watchdog(self, exchange: MonitorExchange) -> None:
+        """Bind an exchange and start the peer-liveness watchdog.
+
+        Separate from :meth:`attach` because the exchange usually publishes
+        the controller's own monitor — which only exists after attach.
+        """
+        if self.rt is None:
+            raise RuntimeError("call attach() before start_watchdog()")
+        self.exchange = exchange
+        if exchange.peers:
+            self.rt.sim.process(self._watchdog(), name="adaptation-watchdog")
+            rt = self.rt
+            if rt.finished is not None and rt.finished.callbacks is not None:
+                rt.finished.callbacks.append(lambda _e: self.stop_watchdog())
+
+    def stop_watchdog(self) -> None:
+        self._watchdog_stopped = True
 
     def _watch_list(self, config: Configuration) -> List[str]:
         if self.monitoring_plan is not None:
@@ -109,6 +179,59 @@ class AdaptationController:
             if resources:
                 return resources
         return list(self.scheduler.db.resource_dims)
+
+    # -- peer liveness watchdog ---------------------------------------------
+    def _watchdog(self):
+        assert self.rt is not None and self.exchange is not None
+        exchange = self.exchange
+        timeout = (
+            self.peer_timeout
+            if self.peer_timeout is not None
+            else 4.0 * exchange.period
+        )
+        start = self.rt.sim.now
+        while not self._watchdog_stopped:
+            yield self.rt.sim.timeout(self.watchdog_period)
+            if self._watchdog_stopped:
+                return
+            now = self.rt.sim.now
+            exchange.expire_stale()
+            for peer in exchange.peers:
+                last = exchange.peer_last_seen.get(peer, start)
+                alive = (now - last) <= timeout
+                if not alive and peer not in self.lost_peers:
+                    self.lost_peers.add(peer)
+                    self.events.append(
+                        AdaptationEvent(time=now, kind="peer-lost",
+                                        estimates={"peer": peer})
+                    )
+                    self._degraded_reschedule(peer)
+                elif alive and peer in self.lost_peers:
+                    self.lost_peers.discard(peer)
+                    self.events.append(
+                        AdaptationEvent(time=now, kind="peer-recovered",
+                                        estimates={"peer": peer})
+                    )
+                    self._reschedule(self._global_estimates(), exclude=set())
+
+    def _global_estimates(self) -> Dict[str, float]:
+        if self.exchange is not None:
+            return self.exchange.global_estimates()
+        return self.monitor.estimates()
+
+    def _degraded_reschedule(self, peer: str) -> None:
+        """Re-select at the degraded point: the lost host contributes zero."""
+        assert self.rt is not None and self.monitor is not None
+        estimates = dict(self.monitor.estimates())
+        for dim in self.scheduler.db.resource_dims:
+            if dim.startswith(peer + "."):
+                estimates[dim] = 0.0
+        self.events.append(
+            AdaptationEvent(
+                time=self.rt.sim.now, kind="degraded", estimates=dict(estimates)
+            )
+        )
+        self._reschedule(estimates, exclude=set())
 
     # -- violation handling -------------------------------------------------
     def _on_violation(self, estimates: Dict[str, float]) -> None:
@@ -126,13 +249,21 @@ class AdaptationController:
             self._reschedule(estimates, exclude=set())
             return
         if self._settling:
+            # A second violation during the settling window — possibly in a
+            # *different* resource dimension.  Fold its estimates into the
+            # pending decision instead of dropping them on the floor.
+            if self._pending_estimates is not None:
+                self._pending_estimates.update(estimates)
             return
         self._settling = True
+        self._pending_estimates = dict(estimates)
 
         def decide() -> None:
             self._settling = False
+            pending = self._pending_estimates or {}
+            self._pending_estimates = None
             fresh = self.monitor.estimates()
-            fresh = {**estimates, **fresh}
+            fresh = {**pending, **fresh}
             self._reschedule(fresh, exclude=set())
 
         self.rt.sim.schedule_callback(delay, decide)
@@ -146,10 +277,18 @@ class AdaptationController:
         )
 
     def _reschedule(
-        self, estimates: Dict[str, float], exclude: Set[Configuration]
+        self,
+        estimates: Dict[str, float],
+        exclude: Set[Configuration],
+        depth: int = 0,
     ) -> None:
         assert self.rt is not None and self.steering is not None
         now = self.rt.sim.now
+        if depth >= self.max_negotiation_depth:
+            # Negotiation exhausted: a pathological database could otherwise
+            # recurse through every configuration on a single violation.
+            self.events.append(AdaptationEvent(time=now, kind="no-candidate"))
+            return
         point = self._measured_point(estimates)
         decision = self.scheduler.select(point, exclude=exclude)
         if decision is None:
@@ -165,8 +304,33 @@ class AdaptationController:
             self.monitor.retarget(conditions=decision.conditions)
             return
 
+        inflight = self._inflight
+        if inflight is not None and not inflight["done"]:
+            if inflight["config"] == decision.config:
+                # An identical request is already awaiting its ack;
+                # re-posting it would only supersede itself.
+                return
+            # Replacing the in-flight request with a newer decision: its
+            # failure echo must not be mistaken for an app rejection.
+            inflight["superseded"] = True
+        token = {"config": decision.config, "done": False, "superseded": False}
+        self._inflight = token
+
+        timed_out = [False]
+
+        def on_timeout(decision=decision) -> None:
+            timed_out[0] = True
+            self.events.append(
+                AdaptationEvent(
+                    time=self.rt.sim.now,
+                    kind="steering-timeout",
+                    config=decision.config,
+                )
+            )
+
         def on_applied(ok: bool, decision=decision, exclude=exclude) -> None:
             t = self.rt.sim.now
+            token["done"] = True
             if ok:
                 self.current_decision = decision
                 self.events.append(
@@ -176,16 +340,33 @@ class AdaptationController:
                     watch=self._watch_list(decision.config),
                     conditions=decision.conditions,
                 )
+            elif timed_out[0]:
+                # The application is stalled (crash/partition), not refusing
+                # this particular configuration: negotiating an alternative
+                # would just queue more doomed handshakes.  The watchdog or
+                # the next violation re-triggers adaptation once the world
+                # changes.
+                return
+            elif token["superseded"]:
+                # We replaced this request with a newer decision ourselves;
+                # the newer message's callbacks own the outcome.
+                return
             else:
                 self.events.append(
                     AdaptationEvent(time=t, kind="rejected", config=decision.config)
                 )
                 # Negotiation: ask for the next best configuration.
                 self._reschedule(
-                    dict(decision.point), exclude=exclude | {decision.config}
+                    dict(decision.point),
+                    exclude=exclude | {decision.config},
+                    depth=depth + 1,
                 )
 
-        self.steering.deliver(ControlMessage(decision=decision, on_applied=on_applied))
+        self.steering.deliver(
+            ControlMessage(
+                decision=decision, on_applied=on_applied, on_timeout=on_timeout
+            )
+        )
 
     # -- introspection ---------------------------------------------------------
     @property

@@ -11,13 +11,21 @@ estimates to its peers when they change materially, so the scheduler (which
 runs beside one of the agents) sees a global resource picture — e.g. the
 client-side scheduler learns the server host's available CPU without
 measuring it across the network.
+
+Partition tolerance: remote estimates age.  With ``stale_after`` set, an
+estimate older than that TTL is excluded from :meth:`global_estimates`, so
+during a partition the exchange degrades to a conservative local-only view
+instead of steering decisions off a frozen snapshot of the peer.  Per-peer
+last-contact times (:attr:`peer_last_seen`) feed the adaptation
+controller's liveness watchdog.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..sim import Interrupt, Process, StoreGet
 from ..tunable import AppRuntime
 from .monitor import MonitoringAgent
 
@@ -41,7 +49,8 @@ class MonitorExchange:
 
     ``significance`` is the relative change that warrants a publication —
     the paper's "only when resource availability falls out of a range"
-    filtering, applied to peer updates.
+    filtering, applied to peer updates.  ``stale_after`` is the TTL beyond
+    which a remote estimate no longer contributes to the global view.
     """
 
     def __init__(
@@ -53,9 +62,17 @@ class MonitorExchange:
         period: float = 0.25,
         significance: float = 0.10,
         message_bytes: float = 64.0,
+        stale_after: Optional[float] = None,
+        heartbeat_every: Optional[float] = None,
     ):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period!r}")
+        if stale_after is not None and stale_after <= 0:
+            raise ValueError(f"stale_after must be positive, got {stale_after!r}")
+        if heartbeat_every is not None and heartbeat_every <= 0:
+            raise ValueError(
+                f"heartbeat_every must be positive, got {heartbeat_every!r}"
+            )
         self.rt = rt
         self.agent = agent
         self.host_name = host_name
@@ -63,32 +80,101 @@ class MonitorExchange:
         self.period = float(period)
         self.significance = float(significance)
         self.message_bytes = float(message_bytes)
+        self.stale_after = stale_after
+        #: With a value set, publish the full estimate vector at least this
+        #: often even without significant change — a keepalive that lets
+        #: peers (and the controller's watchdog) distinguish "nothing
+        #: changed" from "host is dead".  None keeps the paper's pure
+        #: publish-on-significant-change behavior.
+        self.heartbeat_every = heartbeat_every
         #: resource -> last published value.
         self._published: Dict[str, float] = {}
-        #: estimates received from remote agents: resource -> (value, time).
+        #: estimates received from remote agents: resource -> (value, time),
+        #: where time is the *local receive* time used for TTL aging.
         self.remote_estimates: Dict[str, Tuple[float, float]] = {}
+        #: origin host -> local time of the last update received from it.
+        self.peer_last_seen: Dict[str, float] = {}
         self.updates_sent = 0
         self.updates_received = 0
+        self.expired = 0
         self._stopped = False
+        self._recv_proc: Optional[Process] = None
+        self._pub_proc: Optional[Process] = None
         self.sim = rt.sim
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "MonitorExchange":
-        self.sim.process(self._publisher(), name=f"exchange-pub@{self.host_name}")
-        self.sim.process(self._receiver(), name=f"exchange-recv@{self.host_name}")
+        self._pub_proc = self.sim.process(
+            self._publisher(), name=f"exchange-pub@{self.host_name}"
+        )
+        self._recv_proc = self.sim.process(
+            self._receiver(), name=f"exchange-recv@{self.host_name}"
+        )
         if self.rt.finished is not None and self.rt.finished.callbacks is not None:
             self.rt.finished.callbacks.append(lambda _e: self.stop())
         return self
 
     def stop(self) -> None:
+        """Stop publishing and *terminate* the receiver.
+
+        The receiver is normally parked on ``mailbox.get()``; merely setting
+        a flag would leave that process (and its mailbox waiter) alive
+        forever — a leak that also swallows messages destined for any later
+        exchange on the same port.  Interrupt the process and withdraw its
+        pending get instead.
+        """
+        if self._stopped:
+            return
         self._stopped = True
+        for proc in (self._recv_proc, self._pub_proc):
+            if (
+                proc is None
+                or not proc.is_alive
+                or proc is self.sim.active_process
+            ):
+                continue
+            target = proc.target
+            proc.interrupt("exchange-stop")
+            if isinstance(target, StoreGet):
+                sandbox = self.rt.sandboxes.get(self.host_name)
+                if sandbox is not None:
+                    sandbox.host.mailbox(_PORT).cancel(target)
 
     # -- global view ------------------------------------------------------------
+    def fresh_remote_estimates(self) -> Dict[str, float]:
+        """Remote estimates younger than the TTL (all, when no TTL set)."""
+        now = self.sim.now
+        fresh = {}
+        for resource, (value, received_at) in self.remote_estimates.items():
+            if self.stale_after is not None and now - received_at > self.stale_after:
+                continue
+            fresh[resource] = value
+        return fresh
+
     def global_estimates(self) -> Dict[str, float]:
-        """Local estimates merged with the freshest remote ones."""
-        merged = {r: v for r, (v, _t) in self.remote_estimates.items()}
+        """Local estimates merged with the freshest (non-stale) remote ones.
+
+        During a partition every remote entry eventually expires and this
+        degrades to the local-only view — conservative by construction.
+        """
+        merged = self.fresh_remote_estimates()
         merged.update(self.agent.estimates())
         return merged
+
+    def expire_stale(self) -> int:
+        """Drop remote estimates older than the TTL; returns how many."""
+        if self.stale_after is None:
+            return 0
+        now = self.sim.now
+        stale = [
+            r
+            for r, (_v, received_at) in self.remote_estimates.items()
+            if now - received_at > self.stale_after
+        ]
+        for r in stale:
+            del self.remote_estimates[r]
+        self.expired += len(stale)
+        return len(stale)
 
     # -- internals ------------------------------------------------------------
     def _significant(self, resource: str, value: float) -> bool:
@@ -102,36 +188,57 @@ class MonitorExchange:
         sandbox = self.rt.sandboxes.get(self.host_name)
         if sandbox is None:
             return
-        while not self._stopped:
-            yield self.sim.timeout(self.period)
-            if self._stopped:
-                return
-            estimates = self.agent.estimates()
-            changed = {
-                r: v for r, v in estimates.items() if self._significant(r, v)
-            }
-            if not changed:
-                continue
-            for r, v in changed.items():
-                self._published[r] = v
-            updates = [
-                EstimateUpdate(self.host_name, r, v, self.sim.now)
-                for r, v in changed.items()
-            ]
-            for peer in self.peers:
-                self.updates_sent += 1
-                yield sandbox.send(
-                    peer, _PORT, updates, size=self.message_bytes * len(updates)
+        last_sent = self.sim.now
+        try:
+            while not self._stopped:
+                yield self.sim.timeout(self.period)
+                if self._stopped:
+                    return
+                estimates = self.agent.estimates()
+                changed = {
+                    r: v for r, v in estimates.items() if self._significant(r, v)
+                }
+                heartbeat_due = (
+                    self.heartbeat_every is not None
+                    and self.sim.now - last_sent >= self.heartbeat_every
                 )
+                if not changed and not heartbeat_due:
+                    continue
+                if heartbeat_due and not changed:
+                    changed = dict(estimates)  # keepalive: resend everything
+                for r, v in changed.items():
+                    self._published[r] = v
+                last_sent = self.sim.now
+                updates = [
+                    EstimateUpdate(self.host_name, r, v, self.sim.now)
+                    for r, v in changed.items()
+                ]
+                for peer in self.peers:
+                    self.updates_sent += 1
+                    yield sandbox.send(
+                        peer, _PORT, updates,
+                        size=max(self.message_bytes,
+                                 self.message_bytes * len(updates)),
+                    )
+        except Interrupt:
+            return
 
     def _receiver(self):
         sandbox = self.rt.sandboxes.get(self.host_name)
         if sandbox is None:
             return
-        while not self._stopped:
-            msg = yield sandbox.host.mailbox(_PORT).get()
-            if self._stopped:
-                return
-            for update in msg.payload:
-                self.updates_received += 1
-                self.remote_estimates[update.resource] = (update.value, update.time)
+        try:
+            while not self._stopped:
+                msg = yield sandbox.host.mailbox(_PORT).get()
+                if self._stopped:
+                    return
+                # Even an empty heartbeat proves the sender is alive.
+                self.peer_last_seen[msg.src] = self.sim.now
+                for update in msg.payload:
+                    self.updates_received += 1
+                    self.remote_estimates[update.resource] = (
+                        update.value,
+                        self.sim.now,
+                    )
+        except Interrupt:
+            return

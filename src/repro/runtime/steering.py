@@ -6,11 +6,19 @@ to the application's :class:`~repro.tunable.ControlBox`, and acknowledges
 once the change takes effect at a task boundary / transition point.  When a
 transition guard rejects the switch, the steering agent reports failure so
 the scheduler can negotiate an alternative.
+
+Fault tolerance: with an ``ack_timeout`` configured, a control message that
+is neither applied nor rejected in time (the application is stalled behind
+a crash or partition and never reaches a safe point) is re-posted with
+exponential backoff up to ``max_retries`` times, after which the agent
+gives up: it withdraws the pending change, reports the timeout through
+``ControlMessage.on_timeout``, and fires the terminal ``on_applied(False)``
+so the scheduler is never left hanging on a dead handshake.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..tunable import AppRuntime, Configuration, PendingChange
@@ -24,23 +32,55 @@ class ControlMessage:
     """Scheduler -> steering agent reconfiguration request."""
 
     decision: Decision
-    #: Called with True once applied at a safe point; False when superseded
-    #: or rejected by a transition guard.
+    #: Called with True once applied at a safe point; False when superseded,
+    #: rejected by a transition guard, or abandoned after an ack timeout.
     on_applied: Optional[Callable[[bool], None]] = None
+    #: Called (before the terminal ``on_applied(False)``) when the message
+    #: is abandoned because the acknowledgement never arrived.
+    on_timeout: Optional[Callable[[], None]] = None
+
+
+class _MessageState:
+    """Ack bookkeeping for one in-flight control message."""
+
+    __slots__ = ("message", "done", "resending", "change")
+
+    def __init__(self, message: ControlMessage):
+        self.message = message
+        self.done = False
+        self.resending = False
+        self.change: Optional[PendingChange] = None
 
 
 class SteeringAgent:
     """Applies configuration switches for one application instance."""
 
-    def __init__(self, rt: AppRuntime, control_latency: float = 0.0):
+    def __init__(
+        self,
+        rt: AppRuntime,
+        control_latency: float = 0.0,
+        ack_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        backoff: float = 2.0,
+    ):
+        if ack_timeout is not None and ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be positive, got {ack_timeout!r}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff!r}")
         self.rt = rt
         #: Virtual-time delay before a control message reaches the agent
         #: (models the scheduler running off-host).
         self.control_latency = float(control_latency)
+        #: None preserves the classic wait-forever handshake.
+        self.ack_timeout = ack_timeout
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
         #: (time_posted, config) of every message received.
         self.received: List[Tuple[float, Configuration]] = []
         #: (time_applied, config) acknowledgements.
         self.acks: List[Tuple[float, Configuration]] = []
+        self.retries = 0
+        self.timeouts = 0
 
     def deliver(self, message: ControlMessage) -> None:
         """Accept a control message; the change lands at a safe point."""
@@ -52,22 +92,69 @@ class SteeringAgent:
             self._post(message)
 
     def _post(self, message: ControlMessage) -> None:
+        self.received.append((self.rt.sim.now, message.decision.config))
+        state = _MessageState(message)
+        self._request(state)
+        if self.ack_timeout is not None:
+            self._arm_timeout(state, attempt=0)
+
+    def _request(self, state: _MessageState) -> None:
+        """Post (or re-post) the pending change for one control message."""
+        message = state.message
         config = message.decision.config
-        self.received.append((self.rt.sim.now, config))
 
         def on_applied(ok: bool) -> None:
+            # A re-post supersedes our own previous PendingChange, which
+            # reports failure synchronously — ignore that echo.
+            if state.done or (not ok and state.resending):
+                return
+            state.done = True
+            # A retry may have re-posted this message after the application
+            # had already popped an earlier copy at a safe point; withdraw
+            # the duplicate so it cannot apply a second time.
+            if self.rt.controls.pending is state.change:
+                self.rt.controls.pending = None
             if ok:
                 self.acks.append((self.rt.sim.now, config))
             if message.on_applied is not None:
                 message.on_applied(ok)
 
-        self.rt.controls.request(
-            PendingChange(
-                new_config=config,
-                conditions=message.decision.conditions,
-                on_applied=on_applied,
-            )
+        change = PendingChange(
+            new_config=config,
+            conditions=message.decision.conditions,
+            on_applied=on_applied,
         )
+        state.resending = state.change is not None
+        state.change = change
+        try:
+            self.rt.controls.request(change)
+        finally:
+            state.resending = False
+
+    def _arm_timeout(self, state: _MessageState, attempt: int) -> None:
+        delay = self.ack_timeout * (self.backoff ** attempt)
+
+        def check() -> None:
+            if state.done:
+                return
+            if attempt < self.max_retries:
+                self.retries += 1
+                self._request(state)
+                self._arm_timeout(state, attempt + 1)
+                return
+            # Terminal: withdraw the stale change so the application cannot
+            # silently apply a switch the scheduler already gave up on.
+            state.done = True
+            self.timeouts += 1
+            if self.rt.controls.pending is state.change:
+                self.rt.controls.pending = None
+            message = state.message
+            if message.on_timeout is not None:
+                message.on_timeout()
+            if message.on_applied is not None:
+                message.on_applied(False)
+
+        self.rt.sim.schedule_callback(delay, check)
 
     @property
     def switches(self) -> List[Tuple[float, Configuration, Configuration]]:

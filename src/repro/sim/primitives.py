@@ -70,6 +70,19 @@ class Store:
             return item
         return None
 
+    def cancel(self, get: StoreGet) -> None:
+        """Withdraw a pending ``get`` so it can no longer consume an item.
+
+        Needed when the waiting process is being torn down (e.g. an
+        interrupted mailbox receiver): the interrupt detaches the process
+        from the event, but the :class:`StoreGet` would otherwise stay
+        queued and silently swallow the next item.
+        """
+        try:
+            self._get_waiters.remove(get)
+        except ValueError:
+            pass
+
     def _dispatch(self) -> None:
         progressed = True
         while progressed:

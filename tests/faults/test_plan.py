@@ -1,0 +1,111 @@
+"""Tests for fault-plan parsing, validation, and spec round-tripping."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultPlan, FaultPlanError, MessageFaultRule
+
+
+FULL_SPEC = {
+    "events": [
+        {"kind": "crash", "host": "server", "at": 10.0, "until": 20.0,
+         "mode": "queue", "clear": True},
+        {"kind": "link-down", "between": ["client", "server"],
+         "at": 30.0, "until": 40.0, "mode": "drop"},
+        {"kind": "partition", "groups": [["client"], ["server", "cache"]],
+         "at": 50.0, "until": 60.0},
+        {"kind": "loss", "rate": 0.2, "port": "monitor.exchange",
+         "at": 0.0, "until": 100.0},
+        {"kind": "delay", "extra": 0.05, "jitter": 0.02, "src": "server"},
+        {"kind": "duplicate", "rate": 0.1, "copies": 2, "dst": "client"},
+    ]
+}
+
+
+def test_parse_full_spec():
+    plan = FaultPlan.from_spec(FULL_SPEC)
+    assert [f.kind for f in plan.schedule] == ["crash", "link-down", "partition"]
+    assert [r.kind for r in plan.rules] == ["loss", "delay", "duplicate"]
+    crash = plan.schedule[0]
+    assert (crash.host, crash.at, crash.until) == ("server", 10.0, 20.0)
+    assert crash.clear_mailboxes is True
+    link = plan.schedule[1]
+    assert link.between == ("client", "server") and link.mode == "drop"
+    part = plan.schedule[2]
+    assert part.groups == (("client",), ("server", "cache"))
+    assert part.mode == "queue"  # default
+    loss = plan.rules[0]
+    assert (loss.rate, loss.port, loss.until) == (0.2, "monitor.exchange", 100.0)
+    delay = plan.rules[1]
+    assert (delay.extra, delay.jitter, delay.src) == (0.05, 0.02, "server")
+    assert delay.until == math.inf  # "forever" default
+    dup = plan.rules[2]
+    assert (dup.rate, dup.copies, dup.dst) == (0.1, 2, "client")
+
+
+def test_bare_list_spec_and_sorting():
+    plan = FaultPlan.from_spec([
+        {"kind": "crash", "host": "b", "at": 20.0},
+        {"kind": "crash", "host": "a", "at": 5.0},
+    ])
+    assert [f.host for f in plan.schedule] == ["a", "b"]
+    assert plan.schedule[0].until is None  # crash with no recovery
+
+
+def test_spec_round_trip():
+    plan = FaultPlan.from_spec(FULL_SPEC)
+    replayed = FaultPlan.from_spec(plan.to_spec())
+    assert replayed.to_spec() == plan.to_spec()
+    assert replayed.schedule == plan.schedule
+    assert replayed.rules == plan.rules
+
+
+def test_empty_and_horizon():
+    assert FaultPlan.from_spec({}).empty
+    assert FaultPlan.from_spec({}).horizon() == 0.0
+    plan = FaultPlan.from_spec(FULL_SPEC)
+    assert not plan.empty
+    assert plan.horizon() == math.inf  # the delay rule never ends
+    bounded = FaultPlan.from_spec(
+        [{"kind": "crash", "host": "x", "at": 1.0, "until": 7.5}]
+    )
+    assert bounded.horizon() == 7.5
+
+
+def test_rule_window_and_matching():
+    rule = MessageFaultRule("loss", at=10.0, until=20.0, port="data")
+    assert not rule.active(9.99)
+    assert rule.active(10.0) and rule.active(19.99)
+    assert not rule.active(20.0)  # half-open window
+
+    class Msg:
+        src, dst, port = "a", "b", "data"
+
+    assert rule.matches(Msg)
+    Msg.port = "other"
+    assert not rule.matches(Msg)
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [
+        {"kind": "meteor-strike"},
+        {"no-kind": True},
+        {"kind": "crash"},  # missing host
+        {"kind": "crash", "host": "x", "at": -1.0},
+        {"kind": "crash", "host": "x", "at": 5.0, "until": 5.0},
+        {"kind": "crash", "host": "x", "mode": "explode"},
+        {"kind": "link-down", "between": ["only-one"]},
+        {"kind": "partition", "groups": [["a"], []]},
+        {"kind": "partition", "groups": [["a"]]},
+        {"kind": "loss", "rate": 1.5},
+        {"kind": "loss", "rate": -0.1},
+        {"kind": "delay"},  # no extra, no jitter
+        {"kind": "delay", "extra": -0.1},
+        {"kind": "duplicate", "copies": 0},
+    ],
+)
+def test_invalid_specs_rejected(entry):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_spec([entry])

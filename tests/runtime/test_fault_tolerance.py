@@ -1,0 +1,427 @@
+"""Fault-tolerance tests for the adaptation runtime: steering ack
+timeouts, exchange staleness under partitions, the peer-liveness
+watchdog, violation merging, and the negotiation depth bound."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.profiling import PerformanceDatabase, Record, ResourcePoint
+from repro.runtime import (
+    AdaptationController,
+    MonitorExchange,
+    MonitoringAgent,
+    Objective,
+    ResourceScheduler,
+    UserPreference,
+)
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TransitionSpec,
+    TunableApp,
+)
+
+EXCHANGE_PORT = "monitor.exchange"
+
+
+# ------------------------------------------------------------- app builders
+
+
+def one_host_app(modes=("a", "b", "c"), forbidden=(), apply_changes=True,
+                 rounds=4000):
+    """Single-host spinner; guard refuses switches into ``forbidden``.
+
+    With ``apply_changes=False`` the app never reaches a safe point — a
+    stand-in for an application stalled behind a crashed dependency.
+    """
+    space = ConfigSpace([ControlParameter("mode", tuple(modes))])
+    env = ExecutionEnv([HostComponent("node", cpu_speed=100.0)])
+    transitions = (
+        TransitionSpec(
+            guard=lambda old, new: new["mode"] not in forbidden,
+            name="refuse-forbidden",
+        ),
+    )
+
+    def launcher(rt):
+        def main():
+            sb = rt.sandbox("node")
+            for _ in range(rounds):
+                if apply_changes:
+                    yield from rt.controls.apply(rt, rt.sim.now)
+                yield sb.compute(0.5)
+            rt.qos.update("done", 1.0)
+
+        return rt.sim.process(main())
+
+    return TunableApp(
+        "faulty", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("spin", params=("mode",),
+                                  resources=("node.cpu",))]),
+        transitions=transitions,
+        launcher=launcher,
+    )
+
+
+def mode_db(modes=("a", "b", "c")):
+    """'a' best at high CPU, the rest progressively better at low CPU."""
+    db = PerformanceDatabase("faulty", ["node.cpu"])
+    for rank, mode in enumerate(modes):
+        for s in (0.1, 0.3, 0.6, 1.0):
+            t = 1.0 / s if rank == 0 else 3.0 + 0.1 * rank + 0.2 / s
+            db.add(Record(Configuration({"mode": mode}),
+                          ResourcePoint({"node.cpu": s}), {"t": t}))
+    return db
+
+
+def two_host_app(rounds=5000):
+    space = ConfigSpace([ControlParameter("mode", ("x",))])
+    env = ExecutionEnv(
+        [HostComponent("client", cpu_speed=100.0),
+         HostComponent("server", cpu_speed=100.0)],
+        [LinkComponent("client", "server", bandwidth=1e6, latency=0.0005)],
+    )
+
+    def launcher(rt):
+        def spin(host):
+            sb = rt.sandbox(host)
+            for _ in range(rounds):
+                yield sb.compute(0.5)
+
+        rt.sim.process(spin("server"))
+
+        def client_main():
+            yield from spin("client")
+            rt.qos.update("done", 1.0)
+
+        return rt.sim.process(client_main())
+
+    return TunableApp(
+        "twohost", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("spin",
+                                  resources=("client.cpu", "server.cpu"))]),
+        launcher=launcher,
+    )
+
+
+def two_host_db():
+    db = PerformanceDatabase("twohost", ["client.cpu", "server.cpu"])
+    for c in (0.2, 0.6, 1.0):
+        for s in (0.2, 0.6, 1.0):
+            db.add(Record(Configuration({"mode": "x"}),
+                          ResourcePoint({"client.cpu": c, "server.cpu": s}),
+                          {"t": 1.0 / min(c, s)}))
+    return db
+
+
+# ------------------------------------------------- steering ack timeout
+
+
+def run_stalled(ack_timeout=1.0, max_retries=2, until=30.0):
+    """Violation fires, but the app never reaches a safe point."""
+    app = one_host_app(apply_changes=False)
+    controller = AdaptationController(
+        ResourceScheduler(mode_db(), UserPreference.single(Objective("t"))),
+        monitor_kwargs={"window": 0.5, "cooldown": 50.0},
+        steering_kwargs={"ack_timeout": ack_timeout,
+                         "max_retries": max_retries, "backoff": 2.0},
+    )
+    decision = controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, decision.config,
+                         limits={"node": ResourceLimits(cpu_share=1.0)})
+    controller.attach(rt)
+
+    def vary():
+        yield tb.sim.timeout(5.0)
+        rt.sandboxes["node"].set_limits(ResourceLimits(cpu_share=0.1))
+
+    tb.sim.process(vary())
+    tb.run(until=until)
+    return controller, rt
+
+
+def test_steering_timeout_abandons_stalled_handshake():
+    controller, rt = run_stalled()
+    kinds = [e.kind for e in controller.events]
+    assert "steering-timeout" in kinds
+    # The timeout is terminal, not a rejection: no negotiation happened.
+    assert "rejected" not in kinds and "applied" not in kinds
+    assert controller.steering.timeouts == 1
+    assert controller.steering.retries == 2
+    # The stale change was withdrawn: the app cannot apply it later.
+    assert rt.controls.pending is None
+    assert rt.controls.current == Configuration({"mode": "a"})
+
+
+def test_timeout_event_names_the_abandoned_config():
+    controller, _rt = run_stalled()
+    timeouts = [e for e in controller.events if e.kind == "steering-timeout"]
+    assert timeouts and timeouts[0].config == Configuration({"mode": "b"})
+
+
+def test_rejection_negotiation_still_works_with_timeout_armed():
+    """A guard rejection must negotiate immediately, not wait for the
+    ack timeout: the two failure paths stay distinct."""
+    app = one_host_app(forbidden={"b"})
+    controller = AdaptationController(
+        ResourceScheduler(mode_db(), UserPreference.single(Objective("t"))),
+        monitor_kwargs={"window": 0.5, "cooldown": 50.0},
+        steering_kwargs={"ack_timeout": 5.0, "max_retries": 2},
+    )
+    decision = controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, decision.config,
+                         limits={"node": ResourceLimits(cpu_share=1.0)})
+    controller.attach(rt)
+
+    def vary():
+        yield tb.sim.timeout(5.0)
+        rt.sandboxes["node"].set_limits(ResourceLimits(cpu_share=0.1))
+
+    tb.sim.process(vary())
+    tb.run(until=30.0)
+    kinds = [e.kind for e in controller.events]
+    assert "rejected" in kinds and "applied" in kinds
+    assert "steering-timeout" not in kinds
+    assert rt.controls.current == Configuration({"mode": "c"})
+    assert controller.steering.timeouts == 0
+
+
+# --------------------------------------------------- negotiation depth bound
+
+
+def test_negotiation_depth_bound():
+    """With every alternative refused, negotiation stops at the depth
+    bound instead of walking the whole configuration space."""
+    modes = ("a", "b", "c", "d", "e")
+    app = one_host_app(modes=modes, forbidden={"b", "c", "d", "e"})
+    controller = AdaptationController(
+        ResourceScheduler(mode_db(modes), UserPreference.single(Objective("t"))),
+        monitor_kwargs={"window": 0.5, "cooldown": 50.0},
+        max_negotiation_depth=2,
+    )
+    decision = controller.select_initial(ResourcePoint({"node.cpu": 1.0}))
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, decision.config,
+                         limits={"node": ResourceLimits(cpu_share=1.0)})
+    controller.attach(rt)
+
+    def vary():
+        yield tb.sim.timeout(5.0)
+        rt.sandboxes["node"].set_limits(ResourceLimits(cpu_share=0.1))
+
+    tb.sim.process(vary())
+    tb.run(until=30.0)
+    kinds = [e.kind for e in controller.events]
+    # Two rejections (depth 0 and 1), then the bound fires — with four
+    # forbidden alternatives, an unbounded walk would reject four times.
+    assert kinds.count("rejected") == 2
+    assert "no-candidate" in kinds
+    assert rt.controls.current == Configuration({"mode": "a"})
+
+
+# -------------------------------------------------- violation merging
+
+
+def test_second_violation_during_settling_is_merged():
+    """A violation in a *different* resource dimension arriving inside the
+    settling window folds into the pending decision instead of vanishing."""
+    db = PerformanceDatabase("app", ["node.cpu", "node.net"])
+    for s in (0.1, 0.5, 1.0):
+        for n in (0.1, 0.5, 1.0):
+            db.add(Record(Configuration({"mode": "x"}),
+                          ResourcePoint({"node.cpu": s, "node.net": n}),
+                          {"t": 1.0 / min(s, n)}))
+    app = one_host_app(modes=("x",))
+    controller = AdaptationController(
+        ResourceScheduler(db, UserPreference.single(Objective("t"))),
+        monitor_kwargs={"window": 0.5, "cooldown": 50.0},
+        settle_delay=1.0,
+    )
+    decision = controller.select_initial(
+        ResourcePoint({"node.cpu": 1.0, "node.net": 1.0})
+    )
+    tb = Testbed(host_specs=app.env.host_specs())
+    rt = app.instantiate(tb, decision.config,
+                         limits={"node": ResourceLimits(cpu_share=1.0)})
+    controller.attach(rt)
+
+    seen_points = []
+    real_select = controller.scheduler.select
+
+    def spy(point, exclude=frozenset()):
+        seen_points.append(dict(point))
+        return real_select(point, exclude=exclude)
+
+    controller.scheduler.select = spy
+
+    def drive():
+        yield tb.sim.timeout(2.0)
+        controller._on_violation({"node.cpu": 0.3})
+        yield tb.sim.timeout(0.5)  # inside the settling window
+        controller._on_violation({"node.net": 0.1})
+
+    tb.sim.process(drive())
+    tb.run(until=6.0)
+    assert seen_points, "no decision was made"
+    # node.net is not monitored, so only the merged violation estimates
+    # can have carried it into the decision point.
+    assert seen_points[0]["node.net"] == pytest.approx(0.1)
+
+
+# ------------------------------------- exchange staleness and the watchdog
+
+
+def partitioned_testbed(stale_after=0.5, heartbeat_every=0.25,
+                        partition=(2.0, 4.0)):
+    app = two_host_app()
+    tb = Testbed(host_specs=app.env.host_specs(),
+                 link_specs=app.env.link_specs())
+    FaultInjector.attach(tb, FaultPlan.from_spec([
+        {"kind": "partition", "groups": [["client"], ["server"]],
+         "at": partition[0], "until": partition[1]},
+    ]))
+    rt = app.instantiate(
+        tb, Configuration({"mode": "x"}),
+        limits={"client": ResourceLimits(cpu_share=0.8),
+                "server": ResourceLimits(cpu_share=0.3)},
+    )
+    client_agent = MonitoringAgent(rt, watch=["client.cpu"]).start()
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"]).start()
+    client_ex = MonitorExchange(
+        rt, client_agent, "client", ["server"],
+        period=0.1, stale_after=stale_after, heartbeat_every=heartbeat_every,
+    ).start()
+    server_ex = MonitorExchange(
+        rt, server_agent, "server", ["client"],
+        period=0.1, stale_after=stale_after, heartbeat_every=heartbeat_every,
+    ).start()
+    return tb, rt, client_ex, server_ex
+
+
+def test_stale_estimates_excluded_during_partition():
+    tb, rt, client_ex, _server_ex = partitioned_testbed()
+    probes = {}
+
+    def probe():
+        yield tb.sim.timeout(1.9)
+        probes["before"] = dict(client_ex.global_estimates())
+        yield tb.sim.timeout(2.0)  # t=3.9, deep in the partition
+        probes["during"] = dict(client_ex.global_estimates())
+        client_ex.expire_stale()
+        yield tb.sim.timeout(1.6)  # t=5.5, after the heal
+        probes["after"] = dict(client_ex.global_estimates())
+
+    tb.sim.process(probe())
+    tb.run(until=6.0)
+    # Connected: the server's estimate is part of the global view.
+    assert probes["before"]["server.cpu"] == pytest.approx(0.3, abs=0.05)
+    # Partitioned: the frozen remote estimate aged out — local-only view.
+    assert "server.cpu" not in probes["during"]
+    assert "client.cpu" in probes["during"]
+    assert client_ex.expired >= 1
+    # Healed: heartbeats resume and the global view recovers.
+    assert probes["after"]["server.cpu"] == pytest.approx(0.3, abs=0.05)
+
+
+def test_heartbeats_advance_peer_last_seen_when_steady():
+    """Without heartbeats a steady estimate goes silent (the significance
+    filter suppresses it); the keepalive must still advance liveness."""
+    tb, rt, client_ex, _server_ex = partitioned_testbed(partition=(50.0, 51.0))
+    stamps = []
+
+    def probe():
+        for _ in range(4):
+            yield tb.sim.timeout(1.0)
+            stamps.append(client_ex.peer_last_seen.get("server"))
+
+    tb.sim.process(probe())
+    tb.run(until=5.0)
+    assert all(s is not None for s in stamps)
+    assert stamps == sorted(stamps) and stamps[0] < stamps[-1]
+
+
+def test_watchdog_declares_lost_and_recovered_peer():
+    app = two_host_app()
+    controller = AdaptationController(
+        ResourceScheduler(two_host_db(), UserPreference.single(Objective("t"))),
+        monitor_kwargs={"window": 0.5, "cooldown": 50.0},
+        watchdog_period=0.25,
+    )
+    decision = controller.select_initial(
+        ResourcePoint({"client.cpu": 1.0, "server.cpu": 1.0})
+    )
+    tb = Testbed(host_specs=app.env.host_specs(),
+                 link_specs=app.env.link_specs())
+    FaultInjector.attach(tb, FaultPlan.from_spec([
+        {"kind": "partition", "groups": [["client"], ["server"]],
+         "at": 2.0, "until": 4.0},
+    ]))
+    rt = app.instantiate(tb, decision.config)
+    controller.attach(rt)
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"],
+                                   period=0.05).start()
+    client_ex = MonitorExchange(
+        rt, controller.monitor, "client", ["server"],
+        period=0.1, stale_after=0.5, heartbeat_every=0.25,
+    ).start()
+    MonitorExchange(
+        rt, server_agent, "server", ["client"],
+        period=0.1, stale_after=0.5, heartbeat_every=0.25,
+    ).start()
+    controller.start_watchdog(client_ex)
+    tb.run(until=8.0)
+
+    kinds = [e.kind for e in controller.events]
+    assert "peer-lost" in kinds and "peer-recovered" in kinds
+    lost = next(e for e in controller.events if e.kind == "peer-lost")
+    recovered = next(e for e in controller.events if e.kind == "peer-recovered")
+    assert lost.estimates == {"peer": "server"}
+    assert 2.0 < lost.time < 4.0
+    assert recovered.time > 4.0
+    assert controller.lost_peers == set()
+    # The degraded re-selection saw the crashed host as zero availability.
+    degraded = next(e for e in controller.events if e.kind == "degraded")
+    assert degraded.estimates["server.cpu"] == 0.0
+
+
+# ------------------------------------------------------- exchange stop()
+
+
+def test_stop_terminates_receiver_and_frees_mailbox():
+    """stop() must kill the parked receiver *and* withdraw its mailbox
+    waiter — otherwise the dead process swallows the next message."""
+    tb, rt, client_ex, server_ex = partitioned_testbed(partition=(50.0, 51.0))
+
+    def halt():
+        yield tb.sim.timeout(1.0)
+        client_ex.stop()
+
+    tb.sim.process(halt())
+    tb.run(until=3.0)
+    mailbox = rt.sandboxes["client"].host.mailbox(EXCHANGE_PORT)
+    assert not client_ex._recv_proc.is_alive
+    assert not client_ex._pub_proc.is_alive
+    assert not mailbox._get_waiters
+    # The server kept publishing after the stop; with no zombie waiter the
+    # messages queue up in the store instead of vanishing.
+    assert len(mailbox.items) > 0
+
+
+def test_stop_is_idempotent():
+    tb, rt, client_ex, _server_ex = partitioned_testbed(partition=(50.0, 51.0))
+    tb.run(until=1.0)
+    client_ex.stop()
+    client_ex.stop()
+    assert client_ex._stopped
