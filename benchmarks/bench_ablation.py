@@ -1,6 +1,5 @@
 """Ablation benchmarks on the framework's design choices (DESIGN.md A1-A5)."""
 
-import pytest
 
 from repro.experiments import (
     hysteresis_ablation,

@@ -66,3 +66,22 @@ def test_chaos_deterministic_replay():
     # A different seed perturbs at least the randomized message faults.
     _, other = _run(seed=7)
     assert json.dumps(first, sort_keys=True) != json.dumps(other, sort_keys=True)
+
+
+def test_chaos_race_clean():
+    """The seeded run has no tie-order races on shared runtime state.
+
+    The race detector watches every host mailbox and both exchanges'
+    estimate tables; an empty report means no same-timestamp conflicting
+    access pair is ordered merely by the event queue's FIFO tiebreak —
+    the trajectory would survive a reshuffling of same-time scheduling.
+    """
+    _, payload = run_chaos(seed=0, detect_races=True)
+    assert payload["races"] == [], payload["races"]
+
+    # Instrumentation must not perturb the trajectory itself.
+    _, baseline = _run(seed=0)
+    payload.pop("races")
+    assert json.dumps(payload, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )

@@ -5,7 +5,6 @@ of its framework: the sandbox's resident-set limits drive a working-set
 adaptation in the memory-bound grid application.
 """
 
-import pytest
 
 from repro.experiments import run_memory_adaptation
 

@@ -1,0 +1,54 @@
+"""Static and dynamic analysis guarding the repo's determinism claims.
+
+Three coordinated passes:
+
+- :mod:`repro.analysis.rules` — AST determinism linter (``DET*`` rules):
+  no wall clocks, no OS entropy, all randomness via
+  ``repro.sim.rng.stream``, no unordered iteration feeding event or
+  message order;
+- :mod:`repro.analysis.protocol` — sim-protocol checker (``SIM*`` rules)
+  for the kernel's coroutine discipline;
+- :mod:`repro.analysis.races` — opt-in run-time tie-order race detector
+  for same-timestamp conflicting accesses to shared simulation state.
+
+``repro lint`` (see :mod:`repro.analysis.cli`) runs the static passes
+with inline-suppression and baseline workflows; ``docs/determinism.md``
+documents every rule and its rationale.
+"""
+
+from .findings import Finding, Severity, sort_findings
+from .lint import (
+    ALL_RULES,
+    BASELINE_NAME,
+    LintResult,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from .cli import lint_main
+from .protocol import PROTOCOL_RULES, ProtocolVisitor
+from .races import Access, RaceDetector, RaceReport, watch
+from .rules import DETERMINISM_RULES, DeterminismVisitor
+
+__all__ = [
+    "ALL_RULES",
+    "Access",
+    "BASELINE_NAME",
+    "DETERMINISM_RULES",
+    "DeterminismVisitor",
+    "Finding",
+    "LintResult",
+    "PROTOCOL_RULES",
+    "ProtocolVisitor",
+    "RaceDetector",
+    "RaceReport",
+    "Severity",
+    "lint_main",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "sort_findings",
+    "watch",
+    "write_baseline",
+]

@@ -1,0 +1,106 @@
+"""``repro lint`` — the static-analysis entry point.
+
+Exit codes: 0 clean, 1 findings (or parse errors, or stale baseline
+entries), 2 usage error.  ``--json`` emits a machine-readable report for
+CI; the human format prints one finding per block with its fix hint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .lint import ALL_RULES, BASELINE_NAME, lint_paths, write_baseline
+
+__all__ = ["lint_main"]
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Determinism and sim-protocol linter for this repository.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files/directories to lint (default: src/ and benchmarks/)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to check (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: ./{BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(ALL_RULES):
+            print(f"{rule_id}  {ALL_RULES[rule_id]}")
+        return 0
+
+    root = Path.cwd()
+    paths = args.paths or [root / "src", root / "benchmarks"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in ALL_RULES]
+        if unknown:
+            print(f"repro lint: unknown rule(s): {unknown}", file=sys.stderr)
+            return 2
+
+    baseline = args.baseline
+    if baseline is None and (root / BASELINE_NAME).exists():
+        baseline = root / BASELINE_NAME
+
+    result = lint_paths(paths, root=root, baseline=baseline, rules=rules)
+
+    if args.write_baseline:
+        target = args.baseline or (root / BASELINE_NAME)
+        write_baseline(target, result.findings)
+        print(f"wrote {len(result.findings)} entr(y/ies) to {target}")
+        return 0
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        for finding in result.parse_errors + result.findings:
+            print(finding.render())
+        for entry in result.unused_baseline:
+            print(
+                f"stale baseline entry: {entry.rule} {entry.path} "
+                f"({entry.reason or 'no reason recorded'})"
+            )
+        status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+        print(
+            f"repro lint: {status}; {result.files_checked} file(s), "
+            f"{result.suppressed_inline} inline suppression(s), "
+            f"{result.suppressed_baseline} baselined"
+        )
+
+    if not result.clean or result.unused_baseline:
+        return 1
+    return 0

@@ -1,0 +1,72 @@
+"""Finding model shared by every analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`fingerprint` deliberately ignores the line *number* (hashing the
+rule, the path, and the stripped source line instead) so that checked-in
+baseline entries survive unrelated edits above the flagged line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity:
+    """Finding severities (plain constants; no enum dependency)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding: rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    severity: str = Severity.ERROR
+    #: The stripped source line the finding points at (baseline matching).
+    context: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        blob = f"{self.rule}\x00{self.path}\x00{self.context}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "severity": self.severity,
+            "context": self.context,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        text = f"{self.location()}: {self.rule}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order: path, line, column, rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+__all__.append("sort_findings")

@@ -1,0 +1,249 @@
+"""Static-analysis engine: file discovery, passes, suppressions, baseline.
+
+The engine runs every registered pass (determinism rules, sim-protocol
+rules — see :data:`ALL_RULES`) over a set of files and post-filters the
+findings through two suppression channels:
+
+* **inline**: ``# repro: allow[DET103] -- reason`` on the flagged line
+  silences the named rule(s) for that line only;
+* **baseline**: a checked-in JSON file of known findings, matched by
+  line-number-independent fingerprint, each entry carrying a ``reason``.
+
+Both channels are intentionally loud in the result object (counts plus
+unused-baseline detection) so suppressions stay justified and current.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .findings import Finding, sort_findings
+from .protocol import PROTOCOL_RULES, ProtocolVisitor
+from .rules import DETERMINISM_RULES, DeterminismVisitor
+
+__all__ = [
+    "ALL_RULES",
+    "BASELINE_NAME",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Every known rule id -> one-line summary.
+ALL_RULES: Dict[str, str] = {**DETERMINISM_RULES, **PROTOCOL_RULES}
+
+#: Default name of the checked-in baseline file (repo root).
+BASELINE_NAME = "lint_baseline.json"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+#: The one module allowed to construct numpy generators directly.
+_RNG_HOME_SUFFIX = ("repro", "sim", "rng.py")
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    reason: str = ""
+
+    def key(self) -> tuple:
+        return (self.rule, self.path, self.context)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_inline: int = 0
+    suppressed_baseline: int = 0
+    unused_baseline: List[BaselineEntry] = field(default_factory=list)
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def to_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "parse_errors": [f.to_dict() for f in self.parse_errors],
+            "suppressed_inline": self.suppressed_inline,
+            "suppressed_baseline": self.suppressed_baseline,
+            "unused_baseline": [vars(e) for e in self.unused_baseline],
+        }
+
+
+def _is_rng_home(path: str) -> bool:
+    return tuple(Path(path).parts[-3:]) == _RNG_HOME_SUFFIX
+
+
+def _inline_allows(source: str) -> Dict[int, Set[str]]:
+    """line number -> rule ids allowed on that line."""
+    allows: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            allows[lineno] = rules
+    return allows
+
+
+def _lint_one(
+    source: str,
+    path: str,
+    rules: Optional[Iterable[str]] = None,
+) -> tuple:
+    """(kept findings, inline-suppressed count) for one source string."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        parse_error = Finding(
+            rule="PARSE",
+            path=path,
+            line=exc.lineno or 0,
+            col=(exc.offset or 0),
+            message=f"syntax error: {exc.msg}",
+            hint="file could not be analyzed",
+        )
+        return [parse_error], 0
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    findings += DeterminismVisitor(path, is_rng_home=_is_rng_home(path)).run(tree)
+    findings += ProtocolVisitor(path).run(tree)
+    if rules is not None:
+        wanted = set(rules)
+        findings = [f for f in findings if f.rule in wanted]
+    allows = _inline_allows(source)
+    kept: List[Finding] = []
+    suppressed = 0
+    for f in findings:
+        context = lines[f.line - 1].strip() if 0 < f.line <= len(lines) else ""
+        allowed = allows.get(f.line, set())
+        if f.rule in allowed or "ALL" in allowed:
+            suppressed += 1
+            continue
+        kept.append(
+            Finding(
+                rule=f.rule, path=f.path, line=f.line, col=f.col,
+                message=f.message, hint=f.hint, severity=f.severity,
+                context=context,
+            )
+        )
+    return sort_findings(kept), suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; returns findings after inline suppression.
+
+    ``rules`` optionally restricts the report to a subset of rule ids.
+    """
+    findings, _suppressed = _lint_one(source, path, rules)
+    return findings
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths``, in deterministic sorted order."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+    return sorted(set(files))
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    return [
+        BaselineEntry(
+            rule=e["rule"],
+            path=e["path"],
+            context=e.get("context", ""),
+            reason=e.get("reason", ""),
+        )
+        for e in payload.get("entries", [])
+    ]
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "context": f.context,
+            "reason": "TODO: justify or fix",
+        }
+        for f in sort_findings(findings)
+    ]
+    path.write_text(json.dumps({"entries": entries}, indent=1) + "\n")
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline: Optional[Path] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    ``root`` anchors the relative paths used in reports and baseline
+    matching (defaults to the current working directory).  ``baseline``
+    points at a JSON baseline file; missing files mean an empty baseline.
+    """
+    root = (root or Path.cwd()).resolve()
+    result = LintResult()
+    baseline_entries = load_baseline(baseline) if baseline is not None else []
+    baseline_index: Dict[tuple, BaselineEntry] = {
+        e.key(): e for e in baseline_entries
+    }
+    used_baseline: Set[tuple] = set()
+
+    for file_path in discover_files(paths):
+        resolved = file_path.resolve()
+        try:
+            rel = str(resolved.relative_to(root)).replace("\\", "/")
+        except ValueError:
+            rel = str(file_path).replace("\\", "/")
+        source = resolved.read_text()
+        raw, suppressed = _lint_one(source, path=rel, rules=rules)
+        result.files_checked += 1
+        result.suppressed_inline += suppressed
+        for f in raw:
+            if f.rule == "PARSE":
+                result.parse_errors.append(f)
+                continue
+            key = (f.rule, f.path, f.context)
+            if key in baseline_index:
+                used_baseline.add(key)
+                result.suppressed_baseline += 1
+                continue
+            result.findings.append(f)
+
+    result.findings = sort_findings(result.findings)
+    result.unused_baseline = [
+        e for e in baseline_entries if e.key() not in used_baseline
+    ]
+    return result

@@ -1,0 +1,186 @@
+"""Sim-protocol lint rules (the ``SIM`` family).
+
+These rules encode the coroutine discipline of :mod:`repro.sim.core`:
+process generators only ``yield`` events, events trigger exactly once,
+created events are always consumed, and the kernel's ``run()`` loop is
+never re-entered from inside a process.  Each static rule has a dynamic
+counterpart in the kernel itself (``SimulationError`` at run time); the
+checker surfaces the misuse before a simulation ever runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from .findings import Finding
+
+__all__ = ["PROTOCOL_RULES", "ProtocolVisitor"]
+
+PROTOCOL_RULES: Dict[str, str] = {
+    "SIM101": "process generator yields a non-event literal",
+    "SIM102": "event created and immediately discarded (leaked event)",
+    "SIM103": "succeed()/fail() reachable twice on one event in a block",
+    "SIM104": "sim.run()/step() re-entered from inside a process generator",
+}
+
+#: Attribute calls whose result is an Event the process can yield.
+_EVENT_FACTORIES = {
+    "timeout", "event", "process", "any_of", "all_of",
+    "put", "get", "request", "send", "transfer",
+}
+
+#: Event constructors by class name (``Timeout(sim, 1.0)`` style).
+_EVENT_CLASSES = {"Event", "Timeout", "Process", "AnyOf", "AllOf"}
+
+#: Creating one of these as a bare statement leaks a queue entry: the
+#: event fires but nobody observes it.  (``put`` is deliberately absent:
+#: fire-and-forget puts are legitimate.)
+_LEAKABLE = {"timeout", "event"}
+
+_TRIGGERS = {"succeed", "fail"}
+
+
+def _is_event_yield(value: Optional[ast.AST]) -> bool:
+    """Does this yield value look like an Event produced by the kernel?"""
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Attribute) and func.attr in _EVENT_FACTORIES:
+            return True
+        if isinstance(func, ast.Name) and func.id in _EVENT_CLASSES:
+            return True
+    return False
+
+
+def _is_literal(value: Optional[ast.AST]) -> bool:
+    return value is None or isinstance(
+        value, (ast.Constant, ast.Tuple, ast.List, ast.Dict, ast.Set, ast.JoinedStr)
+    )
+
+
+def _own_yields(func: ast.AST) -> List[ast.Yield]:
+    """Yield nodes belonging to ``func`` itself (not nested functions)."""
+    yields: List[ast.Yield] = []
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Yield):
+            yields.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return yields
+
+
+def _receiver_is_sim(func: ast.Attribute) -> bool:
+    """True for ``sim.run(...)`` / ``self.sim.run(...)`` style receivers."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id == "sim"
+    if isinstance(value, ast.Attribute):
+        return value.attr == "sim"
+    return False
+
+
+class ProtocolVisitor(ast.NodeVisitor):
+    """Single-pass AST visitor emitting every SIM-family finding."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def run(self, tree: ast.AST) -> List[Finding]:
+        self.visit(tree)
+        for node in ast.walk(tree):
+            body = getattr(node, "body", None)
+            if isinstance(body, list):
+                self._check_block(body)
+            orelse = getattr(node, "orelse", None)
+            if isinstance(orelse, list):
+                self._check_block(orelse)
+            final = getattr(node, "finalbody", None)
+            if isinstance(final, list):
+                self._check_block(final)
+        return self.findings
+
+    def _flag(self, rule: str, node: ast.AST, message: str, hint: str) -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                hint=hint,
+            )
+        )
+
+    # -- SIM101 / SIM104: per process-generator checks -------------------
+    def _visit_function(self, node: ast.AST) -> None:
+        yields = _own_yields(node)
+        if yields and any(_is_event_yield(y.value) for y in yields):
+            # This generator is a sim process: every yield must be an event.
+            for y in yields:
+                if _is_literal(y.value):
+                    what = (
+                        "a bare value"
+                        if y.value is None
+                        else f"a literal ({ast.dump(y.value)[:40]})"
+                    )
+                    self._flag(
+                        "SIM101", y,
+                        f"process generator yields {what}, not an Event",
+                        "yield only Event objects (sim.timeout(...), store.get(), ...)",
+                    )
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in ("run", "step", "run_process")
+                    and _receiver_is_sim(sub.func)
+                ):
+                    self._flag(
+                        "SIM104", sub,
+                        f"sim.{sub.func.attr}() called from inside a process "
+                        "generator (kernel re-entrancy)",
+                        "yield events instead; only the driver calls run()",
+                    )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- SIM102 / SIM103: per statement-block checks ---------------------
+    def _check_block(self, body: List[ast.stmt]) -> None:
+        triggered: Dict[str, ast.AST] = {}
+        for stmt in body:
+            if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+                continue
+            call = stmt.value
+            func = call.func
+            # SIM102: event factory called for its side effect only.
+            if isinstance(func, ast.Attribute) and func.attr in _LEAKABLE:
+                self._flag(
+                    "SIM102", stmt,
+                    f".{func.attr}(...) result discarded: the event is "
+                    "scheduled but nobody can ever observe it",
+                    "yield it, store it, or do not create it",
+                )
+            elif isinstance(func, ast.Name) and func.id in ("Event", "Timeout"):
+                self._flag(
+                    "SIM102", stmt,
+                    f"{func.id}(...) constructed and discarded (leaked event)",
+                    "yield it, store it, or do not create it",
+                )
+            # SIM103: second trigger of the same event in one block.
+            if isinstance(func, ast.Attribute) and func.attr in _TRIGGERS:
+                target = ast.dump(func.value)
+                if target in triggered:
+                    self._flag(
+                        "SIM103", stmt,
+                        "succeed()/fail() called twice on the same event in "
+                        "one block (second call raises at run time)",
+                        "an event triggers exactly once; guard or restructure",
+                    )
+                else:
+                    triggered[target] = stmt

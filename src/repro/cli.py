@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli fig3a fig6a
     python -m repro.cli all --out results/
     python -m repro.cli exp1          # alias for fig7a
+    python -m repro.cli lint --json   # determinism/sim-protocol linter
 """
 
 from __future__ import annotations
@@ -116,6 +117,13 @@ def _emit(item, out_dir: Path = None, plot: bool = True) -> None:
 
 
 def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "lint":
+        # The analysis CLI owns its own argument grammar and exit codes.
+        from .analysis.cli import lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from Chang & Karamcheti (HPDC 2000).",
@@ -124,7 +132,7 @@ def main(argv: List[str] = None) -> int:
         "targets",
         nargs="+",
         help="figure names (fig3a..fig7cd, exp1..exp3, chaos, "
-        "ablation-a1..a5), 'list', or 'all'",
+        "ablation-a1..a5), 'lint', 'list', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")

@@ -10,9 +10,9 @@ a fixed seek/rotational latency up front.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..sim import Event, FluidJob, FluidShare, Simulator
+from ..sim import Event, FluidShare, Simulator
 
 __all__ = ["Disk"]
 

@@ -8,7 +8,6 @@ need hysteresis-style safeguards against useless adaptations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np
@@ -19,7 +18,6 @@ from ..profiling import (
     ProfilingDriver,
     ResourceDimension,
     ResourcePoint,
-    grid_plan,
 )
 from ..runtime import Objective, ResourceScheduler, UserPreference
 from ..sandbox import LimiterMode, ResourceLimits, Testbed
@@ -128,9 +126,7 @@ def hysteresis_ablation(
     reads right after a rate change, while the backlog accrued at the old
     rate drains.  Returns switch counts for both settings.
     """
-    from ..apps.visualization import VizCosts, VizWorkload, make_viz_app
-    from ..runtime import AdaptationController
-    from ..tunable import Preprocessor
+    from ..apps.visualization import VizCosts
     from .fig7 import ResourceVariation, run_adaptive_viz
     from ..profiling import Record
 

@@ -16,7 +16,7 @@ byte-identical trajectories.  Replay a run by passing its recorded
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..apps.visualization import VizWorkload, make_viz_app
 from ..faults import FaultInjector, FaultPlan
@@ -67,11 +67,19 @@ def run_chaos(
     fault_spec: Optional[Dict] = None,
     variations: Tuple[Tuple[float, float], ...] = DEFAULT_VARIATIONS,
     until: float = 2000.0,
+    detect_races: bool = False,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through a fault schedule.
 
     Returns the rendered figure plus a JSON-friendly trajectory payload
     (written to ``benchmarks/out/chaos.json`` by the benchmark harness).
+
+    With ``detect_races`` the run is instrumented by
+    :class:`repro.analysis.RaceDetector`: every host mailbox and the
+    exchanges' estimate tables are watched for same-timestamp conflicting
+    accesses whose order is decided only by the event queue's FIFO
+    tiebreak, and the payload gains a ``"races"`` list (empty == the
+    trajectory does not hinge on scheduling accidents).
     """
     db, _dims, _configs = fig6a_database(seed=seed)
     plan = FaultPlan.from_spec(
@@ -116,6 +124,21 @@ def run_chaos(
         stale_after=2.0, heartbeat_every=0.5,
     ).start()
     controller.start_watchdog(client_ex)
+
+    detector = None
+    if detect_races:
+        from ..analysis.races import RaceDetector, watch
+
+        detector = RaceDetector(testbed.sim).attach()
+        for host_name in sorted(testbed.hosts):
+            watch(detector, testbed.hosts[host_name])
+        for label, exchange in (("client", client_ex), ("server", server_ex)):
+            detector.watch_mapping(
+                exchange, "remote_estimates", f"{label}.remote_estimates"
+            )
+            detector.watch_mapping(
+                exchange, "peer_last_seen", f"{label}.peer_last_seen"
+            )
 
     def vary():
         for at, net_bw in variations:
@@ -168,6 +191,9 @@ def run_chaos(
         "lost_peers_at_end": sorted(controller.lost_peers),
         "total_time": workload.image_times[-1][0] if workload.image_times else 0.0,
     }
+    if detector is not None:
+        payload["races"] = [r.to_dict() for r in detector.finish()]
+        detector.detach()
 
     result = FigureResult(
         figure="Chaos",

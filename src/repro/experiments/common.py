@@ -9,7 +9,7 @@ plots can be eyeballed straight from the terminal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = ["Series", "FigureResult", "render_table", "ascii_plot"]
 

@@ -30,7 +30,7 @@ from ..runtime import (
     UserPreference,
 )
 from ..sandbox import ResourceLimits, Testbed
-from ..tunable import Configuration, Preprocessor
+from ..tunable import Preprocessor
 from .common import FigureResult
 
 __all__ = ["memory_database", "run_memory_adaptation"]

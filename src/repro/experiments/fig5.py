@@ -11,7 +11,7 @@ client-side rendering dominating.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 from ..apps.visualization import VizCosts, VizWorkload, make_viz_app
 from ..profiling import (

@@ -10,7 +10,7 @@ with similar ones merged.  :func:`autoprofile` runs that whole chain.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..tunable import Configuration, Preprocessor, TunableApp
 from .database import PerformanceDatabase

@@ -12,7 +12,7 @@ sensitivity analysis.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..sandbox import LimiterMode, Testbed
 from ..sim import derive_seed

@@ -8,7 +8,7 @@ execution behavior can be merged (with only one of them being stored)."
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

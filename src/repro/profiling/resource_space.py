@@ -10,7 +10,7 @@ per-host :class:`~repro.sandbox.ResourceLimits` the testbed enforces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Mapping, Tuple
 
 from ..sandbox import ResourceLimits
 

@@ -11,7 +11,7 @@ and sandboxing them so that they do not overuse resources."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from ..cluster import Host

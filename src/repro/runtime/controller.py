@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..profiling import ResourcePoint
+from ..sim import URGENT
 from ..tunable import AppRuntime, Configuration, MonitoringPlan
 from .exchange import MonitorExchange
 from .monitor import MonitoringAgent
@@ -191,7 +192,10 @@ class AdaptationController:
         )
         start = self.rt.sim.now
         while not self._watchdog_stopped:
-            yield self.rt.sim.timeout(self.watchdog_period)
+            # URGENT: the liveness check must observe peer state *before*
+            # any message arriving at the same instant, so its view never
+            # depends on the event queue's FIFO tiebreak (tie-order race).
+            yield self.rt.sim.timeout(self.watchdog_period, priority=URGENT)
             if self._watchdog_stopped:
                 return
             now = self.rt.sim.now

@@ -209,9 +209,12 @@ class MonitorExchange:
                 for r, v in changed.items():
                     self._published[r] = v
                 last_sent = self.sim.now
+                # Canonical wire order: the payload (and therefore the
+                # receiver's table insertion order) must not depend on how
+                # `changed` happened to be built.
                 updates = [
                     EstimateUpdate(self.host_name, r, v, self.sim.now)
-                    for r, v in changed.items()
+                    for r, v in sorted(changed.items())
                 ]
                 for peer in self.peers:
                     self.updates_sent += 1

@@ -23,7 +23,7 @@ import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sandbox import Sandbox
-from ..sim import Event, Process, Simulator
+from ..sim import Process, Simulator
 from ..tunable import AppRuntime
 from .history import HistoryWindow
 

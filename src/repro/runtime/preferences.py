@@ -11,7 +11,7 @@ single quality metric (footnote 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..tunable import MetricRange

@@ -21,7 +21,7 @@ configurations that still fit the leftover capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..cluster import Host
 from ..profiling import ResourcePoint

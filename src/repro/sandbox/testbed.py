@@ -11,8 +11,8 @@ Each profiling run uses a *fresh* testbed so measurements are independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..cluster import BackgroundLoad, Host, Network
 from ..sim import Simulator, stream

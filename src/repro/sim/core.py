@@ -160,18 +160,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after ``delay`` time units."""
+    """An event that fires automatically after ``delay`` time units.
+
+    ``priority`` orders the firing against other events at the same
+    timestamp (:data:`URGENT` before :data:`NORMAL`): periodic control
+    loops that must observe state *before* same-instant activity — e.g. a
+    liveness watchdog vs. message deliveries — take :data:`URGENT` so
+    their ordering is semantic instead of a queue-arrival accident.
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        priority: int = NORMAL,
+    ):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
         super().__init__(sim)
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay, NORMAL)
+        sim._enqueue(self, delay, priority)
 
 
 class _Initialize(Event):
@@ -305,6 +318,10 @@ class Simulator:
         self._heap: list = []
         self._seq = count()
         self._active: Optional[Process] = None
+        #: Opt-in instrumentation: called as ``hook(time, priority, seq,
+        #: event)`` just before each popped event's callbacks run.  Used by
+        #: :class:`repro.analysis.races.RaceDetector`; None costs nothing.
+        self.step_hook: Optional[Callable[[float, int, int, Event], None]] = None
 
     # -- inspection -------------------------------------------------------
     @property
@@ -327,8 +344,10 @@ class Simulator:
     def event(self) -> Event:
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    def timeout(
+        self, delay: float, value: Any = None, priority: int = NORMAL
+    ) -> Timeout:
+        return Timeout(self, delay, value, priority=priority)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
@@ -361,16 +380,28 @@ class Simulator:
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
         """Process the single next event."""
+        if self._active is not None:
+            raise SimulationError(
+                "step() re-entered from inside a process; processes must "
+                "yield events instead of driving the kernel"
+            )
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         t, _prio, _seq, event = heapq.heappop(self._heap)
         if t < self._now - 1e-12:  # pragma: no cover - defensive
             raise SimulationError("time went backwards")
         self._now = t
+        if self.step_hook is not None:
+            self.step_hook(t, _prio, _seq, event)
         event._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or virtual time reaches ``until``."""
+        if self._active is not None:
+            raise SimulationError(
+                "run() re-entered from inside a process; processes must "
+                "yield events instead of driving the kernel"
+            )
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until!r}) is in the past (now={self._now!r})"

@@ -8,7 +8,7 @@ the simulated platform.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..sandbox.testbed import HostSpec, LinkSpec

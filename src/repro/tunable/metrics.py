@@ -9,7 +9,7 @@ application updates, keeping both final values and time series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["QoSMetric", "MetricRange", "QoSRecorder", "MetricError"]
 

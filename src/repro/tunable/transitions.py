@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from .parameters import Configuration, TunabilityError
+from .parameters import Configuration
 
 __all__ = ["TransitionSpec", "ControlBox", "PendingChange"]
 

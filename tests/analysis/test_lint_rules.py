@@ -1,0 +1,388 @@
+"""Fixture tests: one positive and one negative case per lint rule id."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_of(source, path="pkg/mod.py"):
+    return {f.rule for f in lint_source(textwrap.dedent(source), path)}
+
+
+# -- DET101: wall-clock reads ---------------------------------------------
+
+
+def test_det101_flags_wallclock_read():
+    assert "DET101" in rules_of(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+
+
+def test_det101_resolves_import_aliases():
+    assert "DET101" in rules_of(
+        """
+        from time import perf_counter as tick
+
+        def stamp():
+            return tick()
+        """
+    )
+
+
+def test_det101_ignores_virtual_clock():
+    assert "DET101" not in rules_of(
+        """
+        def stamp(sim):
+            return sim.now
+        """
+    )
+
+
+# -- DET102: OS entropy ---------------------------------------------------
+
+
+def test_det102_flags_os_entropy():
+    assert "DET102" in rules_of(
+        """
+        import os
+
+        def token():
+            return os.urandom(8)
+        """
+    )
+
+
+def test_det102_ignores_seeded_stream():
+    assert "DET102" not in rules_of(
+        """
+        from repro.sim.rng import stream
+
+        def token(seed):
+            return stream(seed, "token").integers(0, 256, size=8)
+        """
+    )
+
+
+# -- DET103: global/unseeded RNG ------------------------------------------
+
+
+def test_det103_flags_global_random_module():
+    assert "DET103" in rules_of(
+        """
+        import random
+
+        def pick(xs):
+            return random.choice(xs)
+        """
+    )
+
+
+def test_det103_flags_direct_numpy_generator():
+    assert "DET103" in rules_of(
+        """
+        import numpy
+
+        def gen():
+            return numpy.random.default_rng(0)
+        """
+    )
+
+
+def test_det103_exempts_rng_home_module():
+    source = """
+        import numpy
+
+        def make(seed):
+            return numpy.random.default_rng(seed)
+        """
+    assert "DET103" not in rules_of(source, path="src/repro/sim/rng.py")
+
+
+def test_det103_ignores_passed_in_generator():
+    assert "DET103" not in rules_of(
+        """
+        def jitter(rng):
+            return rng.normal(0.0, 1.0)
+        """
+    )
+
+
+# -- DET201: unordered set iteration --------------------------------------
+
+
+def test_det201_flags_set_iteration():
+    assert "DET201" in rules_of(
+        """
+        def fan_out(send):
+            peers = {"a", "b", "c"}
+            for peer in peers:
+                send(peer)
+        """
+    )
+
+
+def test_det201_ignores_sorted_set_iteration():
+    assert "DET201" not in rules_of(
+        """
+        def fan_out(send):
+            peers = {"a", "b", "c"}
+            for peer in sorted(peers):
+                send(peer)
+        """
+    )
+
+
+def test_det201_flags_set_comprehension_iteration():
+    assert "DET201" in rules_of(
+        """
+        def labels(hosts):
+            return [h.name for h in set(hosts)]
+        """
+    )
+
+
+# -- DET202: filesystem enumeration ---------------------------------------
+
+
+def test_det202_flags_unsorted_listdir():
+    assert "DET202" in rules_of(
+        """
+        import os
+
+        def entries(path):
+            return os.listdir(path)
+        """
+    )
+
+
+def test_det202_flags_pathlib_glob():
+    assert "DET202" in rules_of(
+        """
+        def entries(path):
+            return list(path.glob("*.json"))
+        """
+    )
+
+
+def test_det202_ignores_sorted_enumeration():
+    assert "DET202" not in rules_of(
+        """
+        import os
+
+        def entries(path):
+            return sorted(os.listdir(path))
+        """
+    )
+
+
+# -- DET203: dict-view iteration into an ordering sink --------------------
+
+
+def test_det203_flags_dict_view_feeding_sink():
+    assert "DET203" in rules_of(
+        """
+        def publish(table, bus):
+            for key, value in table.items():
+                bus.put((key, value))
+        """
+    )
+
+
+def test_det203_ignores_dict_view_without_sink():
+    assert "DET203" not in rules_of(
+        """
+        def total(table):
+            acc = 0
+            for key, value in table.items():
+                acc += value
+            return acc
+        """
+    )
+
+
+def test_det203_ignores_sorted_dict_view():
+    assert "DET203" not in rules_of(
+        """
+        def publish(table, bus):
+            for key, value in sorted(table.items()):
+                bus.put((key, value))
+        """
+    )
+
+
+# -- DET301: id()/hash() ordering -----------------------------------------
+
+
+def test_det301_flags_sort_keyed_on_id():
+    assert "DET301" in rules_of(
+        """
+        def order(events):
+            return sorted(events, key=id)
+        """
+    )
+
+
+def test_det301_flags_id_comparison():
+    assert "DET301" in rules_of(
+        """
+        def before(a, b):
+            return id(a) < id(b)
+        """
+    )
+
+
+def test_det301_ignores_stable_sort_key():
+    assert "DET301" not in rules_of(
+        """
+        def order(events):
+            return sorted(events, key=lambda e: e.seq)
+        """
+    )
+
+
+# -- DET401: environment-variable branches --------------------------------
+
+
+def test_det401_flags_environ_branch():
+    assert "DET401" in rules_of(
+        """
+        import os
+
+        def mode():
+            if os.environ.get("REPRO_FAST"):
+                return "fast"
+            return "full"
+        """
+    )
+
+
+def test_det401_flags_getenv_branch():
+    assert "DET401" in rules_of(
+        """
+        import os
+
+        def mode():
+            return "fast" if os.getenv("REPRO_FAST") else "full"
+        """
+    )
+
+
+def test_det401_ignores_explicit_parameter():
+    assert "DET401" not in rules_of(
+        """
+        def mode(fast):
+            if fast:
+                return "fast"
+            return "full"
+        """
+    )
+
+
+# -- SIM101: non-event yields ---------------------------------------------
+
+
+def test_sim101_flags_literal_yield_in_process():
+    assert "SIM101" in rules_of(
+        """
+        def proc(sim):
+            yield sim.timeout(1.0)
+            yield 42
+        """
+    )
+
+
+def test_sim101_ignores_event_only_process():
+    assert "SIM101" not in rules_of(
+        """
+        def proc(sim, store):
+            yield sim.timeout(1.0)
+            item = yield store.get()
+            return item
+        """
+    )
+
+
+def test_sim101_ignores_plain_data_generators():
+    # A generator that never yields events is not a sim process.
+    assert "SIM101" not in rules_of(
+        """
+        def squares(n):
+            for i in range(n):
+                yield i * i
+        """
+    )
+
+
+# -- SIM102: leaked events ------------------------------------------------
+
+
+def test_sim102_flags_discarded_timeout():
+    assert "SIM102" in rules_of(
+        """
+        def proc(sim):
+            sim.timeout(1.0)
+            yield sim.timeout(2.0)
+        """
+    )
+
+
+def test_sim102_ignores_bound_and_fireandforget():
+    assert "SIM102" not in rules_of(
+        """
+        def proc(sim, store):
+            wake = sim.timeout(1.0)
+            store.put("msg")
+            yield wake
+        """
+    )
+
+
+# -- SIM103: double trigger -----------------------------------------------
+
+
+def test_sim103_flags_double_succeed():
+    assert "SIM103" in rules_of(
+        """
+        def settle(done):
+            done.succeed(1)
+            done.succeed(2)
+        """
+    )
+
+
+def test_sim103_ignores_distinct_events():
+    assert "SIM103" not in rules_of(
+        """
+        def settle(first, second):
+            first.succeed(1)
+            second.fail(RuntimeError("boom"))
+        """
+    )
+
+
+# -- SIM104: kernel re-entrancy -------------------------------------------
+
+
+def test_sim104_flags_run_inside_process():
+    assert "SIM104" in rules_of(
+        """
+        def proc(sim):
+            yield sim.timeout(1.0)
+            sim.run(until=5.0)
+        """
+    )
+
+
+def test_sim104_ignores_driver_code():
+    assert "SIM104" not in rules_of(
+        """
+        def drive(sim):
+            sim.process(worker(sim))
+            sim.run(until=5.0)
+        """
+    )

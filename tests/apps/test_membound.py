@@ -1,6 +1,5 @@
 """Tests for the memory-bound extension application."""
 
-import pytest
 
 from repro.apps import MemWorkload, make_membound_app
 from repro.profiling import ProfilingDriver, ResourceDimension, ResourcePoint

@@ -5,7 +5,6 @@ import pytest
 from repro.apps.visualization import (
     AnalyticImageModel,
     RealImageModel,
-    SERVER_HOST,
     VizCosts,
     VizWorkload,
     make_viz_app,

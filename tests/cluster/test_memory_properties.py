@@ -1,6 +1,5 @@
 """Property-based tests for the LRU memory model."""
 
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

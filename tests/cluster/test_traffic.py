@@ -1,11 +1,10 @@
 """Tests for cross-traffic generation and competition-induced monitoring."""
 
-import numpy as np
 import pytest
 
-from repro.cluster import CrossTraffic, Host, Link, Network
+from repro.cluster import CrossTraffic, Link
 from repro.runtime import MonitoringAgent
-from repro.sandbox import ResourceLimits, Testbed
+from repro.sandbox import Testbed
 from repro.sim import Simulator, stream
 from repro.tunable import (
     ConfigSpace,

@@ -13,7 +13,6 @@ from repro.experiments import (
     run_experiment3,
     run_fig3a,
     run_fig4a,
-    run_fig6a,
 )
 from repro.experiments.fig6 import fig6a_database
 

@@ -23,7 +23,6 @@ from repro.runtime import (
 from repro.sandbox import ResourceLimits, Testbed
 from repro.tunable import (
     ConfigSpace,
-    Configuration,
     ControlParameter,
     ExecutionEnv,
     HostComponent,

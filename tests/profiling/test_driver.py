@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.profiling import (
-    ProfilingDriver,
-    ResourceDimension,
-    ResourcePoint,
-    grid_plan,
-)
+from repro.profiling import ProfilingDriver, ResourceDimension, ResourcePoint
 from repro.tunable import (
     ConfigSpace,
     Configuration,

@@ -6,7 +6,6 @@ consult the database, and switch the compression configuration at a round
 boundary (notifying the server through the transition handler).
 """
 
-import pytest
 
 from repro.apps.visualization import VizCosts, VizWorkload, make_viz_app
 from repro.profiling import PerformanceDatabase, Record, ResourcePoint

@@ -7,13 +7,12 @@ from repro.runtime import (
     MonitorExchange,
     MonitoringAgent,
     Objective,
-    Placement,
     PlacementError,
     ResourceScheduler,
     SystemScheduler,
     UserPreference,
 )
-from repro.sandbox import HostSpec, LinkSpec, ResourceLimits, Testbed
+from repro.sandbox import HostSpec, ResourceLimits, Testbed
 from repro.tunable import (
     ConfigSpace,
     Configuration,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.runtime import AdmissionController, AdmissionError, MonitoringAgent, SystemMonitor
-from repro.sandbox import HostSpec, LinkSpec, ResourceLimits, Testbed
+from repro.sandbox import HostSpec, ResourceLimits, Testbed
 from repro.tunable import (
     ConfigSpace,
     Configuration,

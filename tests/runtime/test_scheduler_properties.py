@@ -1,7 +1,6 @@
 """Property-based tests for the resource scheduler over random databases."""
 
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.profiling import PerformanceDatabase, Record, ResourcePoint

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    Event,
-    Interrupt,
-    SimulationError,
-    Simulator,
-    Timeout,
-)
+from repro.sim import Interrupt, SimulationError, Simulator, Timeout
 
 
 def test_initial_time_defaults_to_zero():
@@ -405,3 +399,67 @@ def test_timeout_chain_accumulates_time():
         return sim.now
 
     assert sim.run_process(proc()) == pytest.approx(1.0)
+
+
+def test_run_reentrancy_from_process_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        sim.run()
+
+    sim.process(proc())
+    with pytest.raises(SimulationError, match="re-entered"):
+        sim.run()
+
+
+def test_step_reentrancy_from_process_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        sim.step()
+
+    sim.process(proc())
+    with pytest.raises(SimulationError, match="re-entered"):
+        sim.run()
+
+
+def test_urgent_timeout_precedes_normal_at_same_instant():
+    from repro.sim import NORMAL, URGENT
+
+    order = []
+    sim = Simulator()
+
+    def watcher():
+        yield sim.timeout(1.0, priority=URGENT)
+        order.append("watcher")
+
+    def worker():
+        yield sim.timeout(1.0, priority=NORMAL)
+        order.append("worker")
+
+    # Schedule the NORMAL one first: priority must beat FIFO order.
+    sim.process(worker())
+    sim.process(watcher())
+    sim.run()
+    assert order == ["watcher", "worker"]
+
+
+def test_step_hook_observes_every_step():
+    seen = []
+    sim = Simulator()
+    sim.step_hook = lambda t, prio, seq, event: seen.append(
+        (t, prio, type(event).__name__)
+    )
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+
+    sim.process(proc())
+    sim.run()
+    times = [t for t, _prio, _name in seen]
+    assert times == sorted(times)
+    assert [name for _t, _prio, name in seen].count("Timeout") == 2
+    sim.step_hook = None

@@ -1,6 +1,5 @@
 """Property-based tests for FluidShare invariants (hypothesis)."""
 
-import math
 
 import pytest
 from hypothesis import assume, given, settings
