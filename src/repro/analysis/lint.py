@@ -24,7 +24,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .findings import Finding, sort_findings
 from .protocol import PROTOCOL_RULES, ProtocolVisitor
-from .rules import DETERMINISM_RULES, DeterminismVisitor
+from .rules import (
+    DETERMINISM_RULES,
+    DeterminismVisitor,
+    OBSERVABILITY_RULES,
+    ObservabilityVisitor,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -37,7 +42,11 @@ __all__ = [
 ]
 
 #: Every known rule id -> one-line summary.
-ALL_RULES: Dict[str, str] = {**DETERMINISM_RULES, **PROTOCOL_RULES}
+ALL_RULES: Dict[str, str] = {
+    **DETERMINISM_RULES,
+    **PROTOCOL_RULES,
+    **OBSERVABILITY_RULES,
+}
 
 #: Default name of the checked-in baseline file (repo root).
 BASELINE_NAME = "lint_baseline.json"
@@ -123,6 +132,7 @@ def _lint_one(
     findings: List[Finding] = []
     findings += DeterminismVisitor(path, is_rng_home=_is_rng_home(path)).run(tree)
     findings += ProtocolVisitor(path).run(tree)
+    findings += ObservabilityVisitor(path).run(tree)
     if rules is not None:
         wanted = set(rules)
         findings = [f for f in findings if f.rule in wanted]

@@ -18,7 +18,12 @@ from typing import Dict, List, Optional, Set
 
 from .findings import Finding
 
-__all__ = ["DETERMINISM_RULES", "DeterminismVisitor"]
+__all__ = [
+    "DETERMINISM_RULES",
+    "DeterminismVisitor",
+    "OBSERVABILITY_RULES",
+    "ObservabilityVisitor",
+]
 
 #: rule id -> one-line summary (docs, CLI `--rules`, allow[] validation).
 DETERMINISM_RULES: Dict[str, str] = {
@@ -31,6 +36,16 @@ DETERMINISM_RULES: Dict[str, str] = {
     "DET301": "ordering by id()/hash() (memory-address-dependent order)",
     "DET401": "branch condition depends on an environment variable",
 }
+
+#: rule id -> one-line summary (the ``OBS`` family).
+OBSERVABILITY_RULES: Dict[str, str] = {
+    "OBS101": "direct print() in runtime/sim/faults code "
+    "(emit through the trace recorder instead)",
+}
+
+#: Directory fragments whose files must not print directly: these modules
+#: run inside the simulation and own the structured-trace contract.
+_OBS_GATED = ("repro/runtime/", "repro/sim/", "repro/faults/")
 
 #: Canonical call targets that read wall clocks.
 _WALLCLOCK = {
@@ -365,4 +380,41 @@ class DeterminismVisitor(ast.NodeVisitor):
 
     def visit_Assert(self, node: ast.Assert) -> None:
         self._check_test(node.test)
+        self.generic_visit(node)
+
+
+class ObservabilityVisitor(ast.NodeVisitor):
+    """The ``OBS`` family: structured-trace hygiene inside the simulation.
+
+    Code under ``repro/runtime``, ``repro/sim``, or ``repro/faults`` runs
+    *inside* simulated executions.  Ad-hoc ``print(...)`` there bypasses
+    the span/metric trace (so the output is invisible to ``repro trace``)
+    and interleaves nondeterministically with any real exporter output.
+    Files elsewhere — CLIs, experiments, figure renderers — print freely.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        norm = path.replace("\\", "/")
+        self._gated = any(fragment in norm for fragment in _OBS_GATED)
+
+    def run(self, tree: ast.AST) -> List[Finding]:
+        if self._gated:
+            self.visit(tree)
+        return self.findings
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.findings.append(
+                Finding(
+                    rule="OBS101",
+                    path=self.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message="direct print() inside simulation code",
+                    hint="record a span/instant on sim.obs (repro.obs) "
+                    "or return the data to the caller",
+                )
+            )
         self.generic_visit(node)

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli all --out results/
     python -m repro.cli exp1          # alias for fig7a
     python -m repro.cli lint --json   # determinism/sim-protocol linter
+    python -m repro.cli trace chaos   # traced run: spans + causal chains
+    python -m repro.cli metrics chaos # traced run: metrics snapshot
 """
 
 from __future__ import annotations
@@ -123,6 +125,11 @@ def main(argv: List[str] = None) -> int:
         from .analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] in ("trace", "metrics"):
+        # Likewise the observability CLI.
+        from .obs.cli import obs_main
+
+        return obs_main(argv)
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,7 +139,7 @@ def main(argv: List[str] = None) -> int:
         "targets",
         nargs="+",
         help="figure names (fig3a..fig7cd, exp1..exp3, chaos, "
-        "ablation-a1..a5), 'lint', 'list', or 'all'",
+        "ablation-a1..a5), 'lint', 'trace', 'metrics', 'list', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")

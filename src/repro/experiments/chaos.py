@@ -68,6 +68,7 @@ def run_chaos(
     variations: Tuple[Tuple[float, float], ...] = DEFAULT_VARIATIONS,
     until: float = 2000.0,
     detect_races: bool = False,
+    recorder=None,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through a fault schedule.
 
@@ -80,6 +81,10 @@ def run_chaos(
     accesses whose order is decided only by the event queue's FIFO
     tiebreak, and the payload gains a ``"races"`` list (empty == the
     trajectory does not hinge on scheduling accidents).
+
+    With ``recorder`` (a :class:`repro.obs.TraceRecorder`) the run emits
+    the full span/metric trace — the recorder is strictly passive, so the
+    returned payload is byte-identical with or without it.
     """
     db, _dims, _configs = fig6a_database(seed=seed)
     plan = FaultPlan.from_spec(
@@ -96,6 +101,7 @@ def run_chaos(
         monitor_kwargs={"window": 2.0, "cooldown": 5.0, "period": 0.01},
         steering_kwargs={"ack_timeout": 2.0, "max_retries": 2, "backoff": 2.0},
         watchdog_period=0.5,
+        recorder=recorder,
     )
     config = controller.select_initial(initial_point).config
 
@@ -139,6 +145,11 @@ def run_chaos(
             detector.watch_mapping(
                 exchange, "peer_last_seen", f"{label}.peer_last_seen"
             )
+
+    # Bind the recorder last: the race detector refuses to attach over an
+    # existing step_hook, while the recorder chains whatever it finds.
+    if recorder is not None:
+        recorder.bind(testbed.sim)
 
     def vary():
         for at, net_bw in variations:
@@ -194,6 +205,9 @@ def run_chaos(
     if detector is not None:
         payload["races"] = [r.to_dict() for r in detector.finish()]
         detector.detach()
+    if recorder is not None:
+        recorder.finish()
+        recorder.unbind()
 
     result = FigureResult(
         figure="Chaos",

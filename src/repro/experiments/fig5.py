@@ -45,11 +45,14 @@ def fig5_database(
     fovea_sizes: Tuple[int, ...] = FOVEA_SIZES,
     n_images: int = 2,
     seed: int = 0,
+    recorder=None,
 ):
     """Profile the fovea-size configurations over the CPU-share axis.
 
     Returns (database, dims, configs) — also used by the Experiment-3
     adaptive run (Fig. 7c/d), which is how the paper uses these curves.
+    An optional :class:`repro.obs.TraceRecorder` wraps each measurement
+    in a ``profile.measure`` span.
     """
     app = make_viz_app()
     dims = [
@@ -60,7 +63,9 @@ def fig5_database(
     def workload(config, point, run_seed):
         return VizWorkload(n_images=n_images, costs=EXP3_COSTS, seed=run_seed)
 
-    driver = ProfilingDriver(app, dims, workload_factory=workload, seed=seed)
+    driver = ProfilingDriver(
+        app, dims, workload_factory=workload, seed=seed, recorder=recorder
+    )
     configs = [
         Configuration({"dR": dr, "c": "lzw", "l": 4}) for dr in fovea_sizes
     ]

@@ -48,6 +48,7 @@ def fig6a_database(
     bandwidths: Tuple[float, ...] = BANDWIDTHS,
     n_images: int = 1,
     seed: int = 0,
+    recorder=None,
 ):
     """Profile {lzw, bzip2} over the client-bandwidth axis (CPU fixed)."""
     app = make_viz_app()
@@ -59,7 +60,9 @@ def fig6a_database(
     def workload(config, point, run_seed):
         return VizWorkload(n_images=n_images, costs=EXP1_COSTS, seed=run_seed)
 
-    driver = ProfilingDriver(app, dims, workload_factory=workload, seed=seed)
+    driver = ProfilingDriver(
+        app, dims, workload_factory=workload, seed=seed, recorder=recorder
+    )
     configs = [
         Configuration({"dR": 320, "c": codec, "l": 4}) for codec in ("lzw", "bzip2")
     ]
@@ -73,6 +76,7 @@ def fig6b_database(
     shares: Tuple[float, ...] = CPU_SHARES,
     n_images: int = 1,
     seed: int = 0,
+    recorder=None,
 ):
     """Profile resolution levels {3, 4} over the CPU-share axis."""
     app = make_viz_app()
@@ -84,7 +88,9 @@ def fig6b_database(
     def workload(config, point, run_seed):
         return VizWorkload(n_images=n_images, costs=EXP2_COSTS, seed=run_seed)
 
-    driver = ProfilingDriver(app, dims, workload_factory=workload, seed=seed)
+    driver = ProfilingDriver(
+        app, dims, workload_factory=workload, seed=seed, recorder=recorder
+    )
     configs = [
         Configuration({"dR": 320, "c": "lzw", "l": level}) for level in (3, 4)
     ]

@@ -82,6 +82,12 @@ class FaultInjector:
         if fault.groups is not None:
             entry["groups"] = [list(g) for g in fault.groups]
         self.log.append(entry)
+        obs = self.sim.obs
+        if obs is not None:
+            attrs = {k: v for k, v in sorted(entry.items()) if k not in ("t",)}
+            attrs.pop("action", None)
+            obs.instant(f"fault.{action}", cat="fault", **attrs)
+            obs.metrics.counter("fault.injections").inc()
 
     def _apply(self, fault: ScheduledFault) -> None:
         if fault.kind == "crash":
@@ -117,6 +123,13 @@ class FaultInjector:
             if rule.kind == "loss":
                 if self.rng.random() < rule.rate:
                     self.dropped += 1
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.instant(
+                            "fault.drop", cat="fault",
+                            src=msg.src, dst=msg.dst, port=msg.port,
+                        )
+                        obs.metrics.counter("fault.dropped").inc()
                     return DeliveryVerdict("drop")
             elif rule.kind == "delay":
                 extra_delay += rule.extra + (
@@ -129,8 +142,13 @@ class FaultInjector:
                     touched = True
         if not touched:
             return _DELIVER
+        obs = self.sim.obs
         if extra_delay > 0:
             self.delayed += 1
+            if obs is not None:
+                obs.metrics.counter("fault.delayed").inc()
         if copies > 1:
             self.duplicated += copies - 1
+            if obs is not None:
+                obs.metrics.counter("fault.duplicated").inc(copies - 1)
         return DeliveryVerdict("deliver", extra_delay=extra_delay, copies=copies)

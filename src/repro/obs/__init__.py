@@ -1,0 +1,48 @@
+"""Deterministic observability: spans, metrics, exporters, causal queries.
+
+``repro.obs`` is the instrumentation layer for the whole reproduction:
+the sim kernel, the adaptation runtime (monitor, scheduler, steering,
+exchange), the fault injector, and the profiling driver all emit
+structured spans and metrics through one :class:`TraceRecorder` bound to
+the simulator (``sim.obs``).  Tracing is strictly passive — it never
+schedules events or draws randomness — so enabling it leaves a seeded
+run's outcome byte-identical, and disabling it costs one attribute read
+per instrumentation site.
+
+See ``docs/observability.md`` for the span/metric model, the exporter
+formats, and a worked causal-timeline example; ``repro trace`` and
+``repro metrics`` surface all of it on the command line.
+"""
+
+from .export import from_jsonl, ordered, summary, to_chrome, to_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    TimeSeries,
+)
+from .query import adaptation_chains, chain, dwell_times, timeline
+from .record import ObsError, SpanRecord, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "ObsError",
+    "SpanRecord",
+    "TimeSeries",
+    "TraceRecorder",
+    "adaptation_chains",
+    "chain",
+    "dwell_times",
+    "from_jsonl",
+    "ordered",
+    "summary",
+    "timeline",
+    "to_chrome",
+    "to_jsonl",
+]

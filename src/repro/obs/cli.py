@@ -1,0 +1,199 @@
+"""Observability CLI: ``repro trace`` and ``repro metrics``.
+
+Runs a traced experiment and renders what the recorder captured::
+
+    python -m repro.cli trace chaos              # human-readable timeline
+    python -m repro.cli trace chaos --json       # JSONL span records
+    python -m repro.cli trace chaos --chrome     # chrome://tracing JSON
+    python -m repro.cli metrics fig6a            # metrics table
+    python -m repro.cli metrics chaos --json     # metrics snapshot JSON
+
+Everything printed is a pure function of ``(experiment, seed)``: traced
+runs are byte-identical to untraced ones, and the trace itself is
+deterministic (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from .export import ordered, summary, to_chrome, to_jsonl
+from .query import adaptation_chains, dwell_times
+from .record import TraceRecorder
+
+__all__ = ["obs_main", "TRACEABLE"]
+
+
+def _run_chaos(seed: int, recorder: TraceRecorder) -> None:
+    from ..experiments.chaos import run_chaos
+
+    run_chaos(seed=seed, recorder=recorder)
+
+
+def _run_fig5(seed: int, recorder: TraceRecorder) -> None:
+    from ..experiments.fig5 import fig5_database
+
+    fig5_database(seed=seed, recorder=recorder)
+
+
+def _run_fig6a(seed: int, recorder: TraceRecorder) -> None:
+    from ..experiments.fig6 import fig6a_database
+
+    fig6a_database(seed=seed, recorder=recorder)
+
+
+def _run_fig6b(seed: int, recorder: TraceRecorder) -> None:
+    from ..experiments.fig6 import fig6b_database
+
+    fig6b_database(seed=seed, recorder=recorder)
+
+
+#: experiment name -> runner(seed, recorder).
+TRACEABLE: Dict[str, Callable[[int, TraceRecorder], None]] = {
+    "chaos": _run_chaos,
+    "fig5": _run_fig5,
+    "fig6a": _run_fig6a,
+    "fig6b": _run_fig6b,
+}
+
+
+def _record_line(record) -> str:
+    if record.kind == "span" and record.t1 is not None:
+        when = f"{record.t0:10.4f} +{record.duration:<8.4f}"
+    else:
+        when = f"{record.t0:10.4f}  {'':8s}"
+    parent = f" <-#{record.parent}" if record.parent is not None else ""
+    attrs = ""
+    if record.attrs:
+        attrs = " " + " ".join(
+            f"{k}={v}" for k, v in sorted(record.attrs.items())
+        )
+    proc = f" [{record.proc}]" if record.proc else ""
+    return f"{when} #{record.sid}{parent} {record.cat}/{record.name}{proc}{attrs}"
+
+
+def _render_timeline(recorder: TraceRecorder, limit: Optional[int]) -> str:
+    lines = []
+    records = ordered(recorder.records)
+    shown = records if limit is None else records[:limit]
+    lines.append(f"== trace: {len(records)} records ==")
+    for record in shown:
+        lines.append(_record_line(record))
+    if limit is not None and len(records) > limit:
+        lines.append(f"... {len(records) - limit} more (use --limit 0 for all)")
+    chains = adaptation_chains(recorder.records)
+    lines.append(f"== adaptation chains: {len(chains)} ==")
+    for chain_records in chains:
+        steps = " -> ".join(
+            f"{r.name}@{r.t0:.3f}" for r in chain_records if r.cat != "sim"
+        )
+        lines.append(f"  {steps}")
+    dwell = dwell_times(recorder.records)
+    if dwell:
+        lines.append("== configuration dwell times ==")
+        for label, total in dwell.items():
+            lines.append(f"  {label}: {total:.3f}s")
+    return "\n".join(lines)
+
+
+def _render_metrics(recorder: TraceRecorder) -> str:
+    lines = [f"== metrics: {len(recorder.metrics)} ==\n"]
+    for name, payload in recorder.metrics.snapshot().items():
+        kind = payload["kind"]
+        if kind == "counter":
+            lines.append(f"  {name:36s} counter   {payload['value']:g}")
+        elif kind == "gauge":
+            lines.append(
+                f"  {name:36s} gauge     {payload['value']} "
+                f"({payload['updates']} updates)"
+            )
+        elif kind == "histogram":
+            lines.append(
+                f"  {name:36s} histogram n={payload['count']} "
+                f"mean={payload['mean']} min={payload['min']} "
+                f"max={payload['max']}"
+            )
+            edges = payload["edges"]
+            labels = [f"<={e:g}" for e in edges] + [f">{edges[-1]:g}"]
+            buckets = " ".join(
+                f"{label}:{count}"
+                for label, count in zip(labels, payload["counts"])
+            )
+            lines.append(f"  {'':36s}           {buckets}")
+        else:
+            lines.append(
+                f"  {name:36s} series    {len(payload['samples'])} samples"
+            )
+    return "\n".join(lines)
+
+
+def _write_or_print(text: str, out: Optional[Path]) -> None:
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + ("" if text.endswith("\n") else "\n"))
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def obs_main(argv: List[str]) -> int:
+    """Entry point for ``repro trace ...`` / ``repro metrics ...``."""
+    mode = argv[0]  # "trace" | "metrics", vetted by the dispatcher
+    parser = argparse.ArgumentParser(
+        prog=f"repro {mode}",
+        description="Run an experiment with tracing and render the result.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(TRACEABLE), help="experiment to trace"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="JSONL span records (trace) / snapshot JSON (metrics)",
+    )
+    if mode == "trace":
+        parser.add_argument(
+            "--chrome", action="store_true",
+            help="chrome://tracing / Perfetto trace_event JSON",
+        )
+        parser.add_argument(
+            "--limit", type=int, default=40,
+            help="max timeline rows in human output (0 = all)",
+        )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write to file instead of stdout"
+    )
+    args = parser.parse_args(argv[1:])
+
+    recorder = TraceRecorder()
+    TRACEABLE[args.experiment](args.seed, recorder)
+
+    if mode == "metrics":
+        if args.json:
+            payload = {
+                "experiment": args.experiment,
+                "seed": args.seed,
+                "metrics": recorder.metrics.snapshot(),
+                "summary": summary(recorder.records),
+            }
+            text = json.dumps(payload, indent=1, sort_keys=True)
+        else:
+            text = _render_metrics(recorder)
+    elif args.chrome:
+        text = json.dumps(to_chrome(recorder.records), sort_keys=True)
+    elif args.json:
+        text = to_jsonl(recorder.records)
+    else:
+        text = _render_timeline(
+            recorder, None if args.limit == 0 else args.limit
+        )
+    _write_or_print(text, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.cli
+    sys.exit(obs_main(sys.argv[1:]))

@@ -1,0 +1,122 @@
+"""Trace exporters: JSONL, Chrome ``trace_event``, and summary dicts.
+
+Every exporter consumes the passive :class:`~repro.obs.record.SpanRecord`
+list and emits output in the canonical ``(t0, sid)`` order, so a seeded
+run exports byte-identically on every machine.
+
+- :func:`to_jsonl` / :func:`from_jsonl` — one JSON object per line; the
+  lossless interchange format (``from_jsonl(to_jsonl(r))`` round-trips),
+  and what ``repro trace <exp> --json`` writes.
+- :func:`to_chrome` — the Chrome ``trace_event`` format.  Load the file
+  in ``about://tracing`` (or Perfetto) to browse the run; simulated
+  seconds are mapped to microseconds so the UI's units stay readable.
+- :func:`summary` — a plain dict of span counts per category plus the
+  metrics snapshot, for quick programmatic assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .record import SpanRecord
+
+__all__ = ["from_jsonl", "ordered", "summary", "to_chrome", "to_jsonl"]
+
+
+def ordered(records: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """Canonical export order: start time, then span id (stable)."""
+    return sorted(records, key=lambda r: (r.t0, r.sid))
+
+
+def to_jsonl(records: Sequence[SpanRecord]) -> str:
+    """One JSON object per line, in canonical order."""
+    lines = [
+        json.dumps(record.to_dict(), sort_keys=True) for record in ordered(records)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_jsonl(text: str) -> List[SpanRecord]:
+    """Parse :func:`to_jsonl` output back into records."""
+    return [
+        SpanRecord.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def to_chrome(
+    records: Sequence[SpanRecord], time_scale: float = 1e6
+) -> dict:
+    """Chrome ``trace_event`` JSON (object format, ``traceEvents`` list).
+
+    Spans become complete (``ph="X"``) events, instants become thread-scoped
+    instant (``ph="i"``) events.  Each distinct recording process gets its
+    own thread id in first-appearance order, with ``thread_name`` metadata
+    so the tracing UI shows process names instead of bare numbers.
+    """
+    tids: Dict[str, int] = {}
+    events: List[dict] = []
+    for record in ordered(records):
+        track = record.proc or "(callbacks)"
+        tid = tids.get(track)
+        if tid is None:
+            tid = len(tids)
+            tids[track] = tid
+        entry = {
+            "name": record.name,
+            "cat": record.cat,
+            "pid": 0,
+            "tid": tid,
+            "ts": record.t0 * time_scale,
+            "args": {
+                "sid": record.sid,
+                "parent": record.parent,
+                **dict(sorted(record.attrs.items())),
+            },
+        }
+        if record.kind == "span":
+            entry["ph"] = "X"
+            t1 = record.t1 if record.t1 is not None else record.t0
+            entry["dur"] = (t1 - record.t0) * time_scale
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        events.append(entry)
+    for track in sorted(tids, key=lambda name: tids[name]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def summary(
+    records: Sequence[SpanRecord],
+    metrics: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Plain-dict run overview: record counts, time range, metrics."""
+    by_cat: Dict[str, int] = {}
+    by_name: Dict[str, int] = {}
+    for record in records:
+        by_cat[record.cat] = by_cat.get(record.cat, 0) + 1
+        by_name[record.name] = by_name.get(record.name, 0) + 1
+    times = [record.t0 for record in records]
+    times += [record.t1 for record in records if record.t1 is not None]
+    return {
+        "records": len(records),
+        "spans": sum(1 for r in records if r.kind == "span"),
+        "instants": sum(1 for r in records if r.kind == "instant"),
+        "t_min": min(times) if times else None,
+        "t_max": max(times) if times else None,
+        "by_category": {k: by_cat[k] for k in sorted(by_cat)},
+        "by_name": {k: by_name[k] for k in sorted(by_name)},
+        "metrics": metrics.snapshot() if metrics is not None else {},
+    }

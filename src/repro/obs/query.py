@@ -1,0 +1,87 @@
+"""Causal query API over recorded traces.
+
+The runtime instrumentation links every adaptation record to its cause:
+a ``config.switch`` points at the ``steer.request`` span that carried it,
+which points at the ``sched.decision`` that issued it, which points at
+the ``monitor.violation`` (or watchdog event) that triggered it.  These
+helpers reconstruct that structure from a flat record list — whether the
+records came straight off a live :class:`~repro.obs.record.TraceRecorder`
+or were re-read from a JSONL export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .export import ordered
+from .record import SpanRecord
+
+__all__ = ["adaptation_chains", "chain", "dwell_times", "timeline"]
+
+
+def timeline(records: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """All records in causal display order: ``(t0, sid)``."""
+    return ordered(records)
+
+
+def _index(records: Sequence[SpanRecord]) -> Dict[int, SpanRecord]:
+    return {record.sid: record for record in records}
+
+
+def chain(records: Sequence[SpanRecord], sid: int) -> List[SpanRecord]:
+    """The causal chain ending at ``sid``, root cause first.
+
+    Walks parent links upward from the given record; unknown ids raise
+    ``KeyError`` so a truncated export fails loudly instead of silently
+    shortening chains.
+    """
+    index = _index(records)
+    node: Optional[SpanRecord] = index[sid]
+    out: List[SpanRecord] = []
+    seen = set()
+    while node is not None:
+        if node.sid in seen:  # pragma: no cover - defensive (no cycles emitted)
+            break
+        seen.add(node.sid)
+        out.append(node)
+        node = index.get(node.parent) if node.parent is not None else None
+    out.reverse()
+    return out
+
+
+def adaptation_chains(
+    records: Sequence[SpanRecord], leaf: str = "config.switch"
+) -> List[List[SpanRecord]]:
+    """One causal chain per ``leaf`` record (default: applied switches).
+
+    Each chain runs root-first, e.g. ``monitor.violation`` ->
+    ``sched.decision`` -> ``steer.request`` -> ``config.switch``.
+    """
+    return [chain(records, record.sid) for record in ordered(records)
+            if record.name == leaf]
+
+
+def dwell_times(records: Sequence[SpanRecord]) -> Dict[str, float]:
+    """Total simulated time spent in each configuration.
+
+    Reconstructed from the ``config.initial`` instant and the sequence of
+    ``config.switch`` instants (each carrying a ``config`` attr with the
+    configuration label); the final segment is closed at the trace's last
+    timestamp.  Configurations visited more than once accumulate.
+    """
+    marks = [
+        record
+        for record in ordered(records)
+        if record.name in ("config.initial", "config.switch")
+    ]
+    if not marks:
+        return {}
+    times = [record.t0 for record in records]
+    times += [record.t1 for record in records if record.t1 is not None]
+    end = max(times)
+    dwell: Dict[str, float] = {}
+    for record, nxt in zip(marks, marks[1:] + [None]):
+        label = str(record.attrs.get("config", "?"))
+        until = end if nxt is None else nxt.t0
+        dwell[label] = dwell.get(label, 0.0) + max(0.0, until - record.t0)
+    return {k: dwell[k] for k in sorted(dwell)}

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from ..obs import TraceRecorder
 from ..sandbox import LimiterMode, Testbed
 from ..sim import derive_seed
 from ..tunable import Configuration, TunableApp
@@ -36,6 +37,7 @@ class ProfilingDriver:
         mode: str = LimiterMode.IDEAL,
         seed: int = 0,
         max_run_time: float = 3600.0,
+        recorder: Optional[TraceRecorder] = None,
     ):
         names = [d.name for d in dims]
         if len(set(names)) != len(names):
@@ -52,6 +54,12 @@ class ProfilingDriver:
         self.mode = mode
         self.seed = seed
         self.max_run_time = max_run_time
+        #: Observability recorder; when set, every :meth:`measure` binds it
+        #: to that run's fresh testbed and wraps the run in a
+        #: ``profile.measure`` span.  Virtual time restarts at zero per
+        #: testbed, so successive run spans overlap on the time axis — the
+        #: ``run`` attr disambiguates them.
+        self.recorder = recorder
         self.runs = 0
 
     def measure(self, config: Configuration, point: ResourcePoint) -> Record:
@@ -63,28 +71,53 @@ class ProfilingDriver:
             mode=self.mode,
             seed=run_seed,
         )
-        workload = None
-        if self.workload_factory is not None:
-            workload = self.workload_factory(config, point, run_seed)
-        rt = self.app.instantiate(
-            testbed,
-            config,
-            limits=limits_for_point(point),
-            workload=workload,
-            seed=run_seed,
-        )
-        testbed.run(until=self.max_run_time)
-        if not rt.finished.triggered:
-            raise RuntimeError(
-                f"profiling run did not finish within {self.max_run_time}s: "
-                f"{config.label()} @ {point.label()}"
+        obs = self.recorder
+        span = None
+        if obs is not None:
+            obs.bind(testbed.sim)
+            span = obs.begin(
+                "profile.measure", cat="profiling",
+                config=config.label(), point=point.label(),
+                seed=run_seed, run=self.runs,
             )
-        testbed.shutdown()
+            obs.push_parent(span)
+            obs.metrics.counter("profile.runs").inc()
+        try:
+            workload = None
+            if self.workload_factory is not None:
+                workload = self.workload_factory(config, point, run_seed)
+            rt = self.app.instantiate(
+                testbed,
+                config,
+                limits=limits_for_point(point),
+                workload=workload,
+                seed=run_seed,
+            )
+            testbed.run(until=self.max_run_time)
+            if not rt.finished.triggered:
+                raise RuntimeError(
+                    f"profiling run did not finish within {self.max_run_time}s: "
+                    f"{config.label()} @ {point.label()}"
+                )
+            testbed.shutdown()
+        finally:
+            if obs is not None:
+                obs.pop_parent()
+                if span is not None:
+                    obs.end(span, virtual_duration=testbed.sim.now)
+                obs.finish()
+                obs.unbind()
         self.runs += 1
+        metrics = rt.qos.snapshot()
+        if obs is not None:
+            obs.metrics.histogram(
+                "profile.virtual_duration",
+                edges=(1.0, 10.0, 60.0, 300.0, 1800.0),
+            ).observe(testbed.sim.now)
         return Record(
             config=config,
             point=point,
-            metrics=rt.qos.snapshot(),
+            metrics=metrics,
             meta={"seed": run_seed, "virtual_duration": testbed.sim.now},
         )
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs import TraceRecorder
 from ..profiling import ResourcePoint
 from ..sim import URGENT
 from ..tunable import AppRuntime, Configuration, MonitoringPlan
@@ -74,6 +75,7 @@ class AdaptationController:
         steering_kwargs: Optional[dict] = None,
         watchdog_period: float = 1.0,
         peer_timeout: Optional[float] = None,
+        recorder: Optional[TraceRecorder] = None,
     ):
         if max_negotiation_depth < 1:
             raise ValueError(
@@ -97,6 +99,11 @@ class AdaptationController:
         #: Heartbeat silence that declares a peer lost; defaults to four
         #: exchange publication periods.
         self.peer_timeout = peer_timeout
+        #: Observability recorder.  Passing one explicitly lets the initial
+        #: selection (which happens before any simulator exists) be traced;
+        #: otherwise the recorder bound to the runtime's simulator
+        #: (``sim.obs``) is discovered lazily at each instrumentation site.
+        self.recorder = recorder
         self._settling = False
         self._pending_estimates: Optional[Dict[str, float]] = None
         #: Bookkeeping for the control message currently awaiting an ack,
@@ -114,9 +121,21 @@ class AdaptationController:
         self._watchdog_stopped = False
         self._reconfiguring = False
 
+    # -- observability -----------------------------------------------------
+    def _obs(self) -> Optional[TraceRecorder]:
+        """The active recorder: explicit, else discovered via ``sim.obs``."""
+        if self.recorder is not None:
+            return self.recorder
+        if self.rt is not None:
+            return self.rt.sim.obs
+        return None
+
     # -- phase 1: initial configuration ------------------------------------
     def select_initial(self, point: ResourcePoint) -> Decision:
         """Choose the starting configuration for the measured resources."""
+        obs = self._obs()
+        if obs is not None:
+            self.scheduler.obs = obs
         decision = self.scheduler.select(point)
         if decision is None:
             raise RuntimeError(
@@ -126,6 +145,11 @@ class AdaptationController:
         self.events.append(
             AdaptationEvent(time=0.0, kind="initial", config=decision.config)
         )
+        if obs is not None:
+            obs.instant(
+                "config.initial", cat="adapt", t=0.0,
+                config=decision.config.label(),
+            )
         return decision
 
     # -- phase 2: run-time loop -----------------------------------------------
@@ -209,21 +233,37 @@ class AdaptationController:
                         AdaptationEvent(time=now, kind="peer-lost",
                                         estimates={"peer": peer})
                     )
-                    self._degraded_reschedule(peer)
+                    obs = self._obs()
+                    cause = None
+                    if obs is not None:
+                        cause = obs.instant(
+                            "adapt.peer-lost", cat="adapt", peer=peer
+                        )
+                        obs.metrics.counter("adapt.peer_lost").inc()
+                    self._degraded_reschedule(peer, cause=cause)
                 elif alive and peer in self.lost_peers:
                     self.lost_peers.discard(peer)
                     self.events.append(
                         AdaptationEvent(time=now, kind="peer-recovered",
                                         estimates={"peer": peer})
                     )
-                    self._reschedule(self._global_estimates(), exclude=set())
+                    obs = self._obs()
+                    cause = None
+                    if obs is not None:
+                        cause = obs.instant(
+                            "adapt.peer-recovered", cat="adapt", peer=peer
+                        )
+                        obs.metrics.counter("adapt.peer_recovered").inc()
+                    self._reschedule(
+                        self._global_estimates(), exclude=set(), cause=cause
+                    )
 
     def _global_estimates(self) -> Dict[str, float]:
         if self.exchange is not None:
             return self.exchange.global_estimates()
         return self.monitor.estimates()
 
-    def _degraded_reschedule(self, peer: str) -> None:
+    def _degraded_reschedule(self, peer: str, cause: Optional[int] = None) -> None:
         """Re-select at the degraded point: the lost host contributes zero."""
         assert self.rt is not None and self.monitor is not None
         estimates = dict(self.monitor.estimates())
@@ -235,7 +275,13 @@ class AdaptationController:
                 time=self.rt.sim.now, kind="degraded", estimates=dict(estimates)
             )
         )
-        self._reschedule(estimates, exclude=set())
+        obs = self._obs()
+        if obs is not None:
+            cause = obs.instant(
+                "adapt.degraded", cat="adapt", parent=cause, peer=peer,
+                estimates=dict(sorted(estimates.items())),
+            )
+        self._reschedule(estimates, exclude=set(), cause=cause)
 
     # -- violation handling -------------------------------------------------
     def _on_violation(self, estimates: Dict[str, float]) -> None:
@@ -244,13 +290,21 @@ class AdaptationController:
         self.events.append(
             AdaptationEvent(time=now, kind="trigger", estimates=dict(estimates))
         )
+        obs = self._obs()
+        cause = None
+        if obs is not None:
+            cause = obs.instant(
+                "monitor.violation", cat="adapt",
+                estimates=dict(sorted(estimates.items())),
+            )
+            obs.metrics.counter("adapt.violations").inc()
         delay = (
             self.settle_delay
             if self.settle_delay is not None
             else self.monitor.window
         )
         if delay <= 0:
-            self._reschedule(estimates, exclude=set())
+            self._reschedule(estimates, exclude=set(), cause=cause)
             return
         if self._settling:
             # A second violation during the settling window — possibly in a
@@ -261,6 +315,9 @@ class AdaptationController:
             return
         self._settling = True
         self._pending_estimates = dict(estimates)
+        settle_span = None
+        if obs is not None:
+            settle_span = obs.begin("adapt.settle", cat="adapt", parent=cause)
 
         def decide() -> None:
             self._settling = False
@@ -268,7 +325,13 @@ class AdaptationController:
             self._pending_estimates = None
             fresh = self.monitor.estimates()
             fresh = {**pending, **fresh}
-            self._reschedule(fresh, exclude=set())
+            obs = self._obs()
+            if obs is not None and settle_span is not None:
+                obs.end(settle_span)
+                obs.metrics.histogram(
+                    "adapt.settle_latency", edges=(0.1, 0.5, 1.0, 2.0, 5.0)
+                ).observe(self.rt.sim.now - now)
+            self._reschedule(fresh, exclude=set(), cause=cause)
 
         self.rt.sim.schedule_callback(delay, decide)
 
@@ -285,22 +348,47 @@ class AdaptationController:
         estimates: Dict[str, float],
         exclude: Set[Configuration],
         depth: int = 0,
+        cause: Optional[int] = None,
     ) -> None:
         assert self.rt is not None and self.steering is not None
         now = self.rt.sim.now
+        obs = self._obs()
+        if obs is not None:
+            self.scheduler.obs = obs
         if depth >= self.max_negotiation_depth:
             # Negotiation exhausted: a pathological database could otherwise
             # recurse through every configuration on a single violation.
             self.events.append(AdaptationEvent(time=now, kind="no-candidate"))
+            if obs is not None:
+                obs.instant(
+                    "sched.no-candidate", cat="adapt", parent=cause,
+                    reason="negotiation-exhausted", depth=depth,
+                )
             return
         point = self._measured_point(estimates)
         decision = self.scheduler.select(point, exclude=exclude)
         if decision is None:
             self.events.append(AdaptationEvent(time=now, kind="no-candidate"))
+            if obs is not None:
+                obs.instant(
+                    "sched.no-candidate", cat="adapt", parent=cause,
+                    reason="no-feasible-config", depth=depth,
+                )
             return
         self.events.append(
             AdaptationEvent(time=now, kind="decision", config=decision.config)
         )
+        decision_id = None
+        if obs is not None:
+            decision_id = obs.instant(
+                "sched.decision", cat="adapt", parent=cause,
+                config=decision.config.label(), depth=depth,
+                point=decision.point.label(),
+            )
+            obs.metrics.counter("adapt.decisions").inc()
+            obs.metrics.histogram(
+                "adapt.negotiation_depth", edges=(0, 1, 2, 4, 8)
+            ).observe(depth)
         if decision.config == self.rt.controls.current:
             # Same configuration remains best; just refresh the validity
             # region so the monitor re-arms around the new conditions.
@@ -321,6 +409,9 @@ class AdaptationController:
         self._inflight = token
 
         timed_out = [False]
+        message = ControlMessage(
+            decision=decision, cause=decision_id
+        )
 
         def on_timeout(decision=decision) -> None:
             timed_out[0] = True
@@ -331,15 +422,30 @@ class AdaptationController:
                     config=decision.config,
                 )
             )
+            obs = self._obs()
+            if obs is not None:
+                obs.instant(
+                    "adapt.steering-timeout", cat="adapt",
+                    parent=message.span if message.span is not None else decision_id,
+                    config=decision.config.label(),
+                )
 
         def on_applied(ok: bool, decision=decision, exclude=exclude) -> None:
             t = self.rt.sim.now
             token["done"] = True
+            obs = self._obs()
+            link = message.span if message.span is not None else decision_id
             if ok:
                 self.current_decision = decision
                 self.events.append(
                     AdaptationEvent(time=t, kind="applied", config=decision.config)
                 )
+                if obs is not None:
+                    obs.instant(
+                        "adapt.applied", cat="adapt", parent=link,
+                        config=decision.config.label(),
+                    )
+                    obs.metrics.counter("adapt.applied").inc()
                 self.monitor.retarget(
                     watch=self._watch_list(decision.config),
                     conditions=decision.conditions,
@@ -359,18 +465,24 @@ class AdaptationController:
                 self.events.append(
                     AdaptationEvent(time=t, kind="rejected", config=decision.config)
                 )
+                rejected_id = None
+                if obs is not None:
+                    rejected_id = obs.instant(
+                        "adapt.rejected", cat="adapt", parent=link,
+                        config=decision.config.label(),
+                    )
+                    obs.metrics.counter("adapt.rejected").inc()
                 # Negotiation: ask for the next best configuration.
                 self._reschedule(
                     dict(decision.point),
                     exclude=exclude | {decision.config},
                     depth=depth + 1,
+                    cause=rejected_id,
                 )
 
-        self.steering.deliver(
-            ControlMessage(
-                decision=decision, on_applied=on_applied, on_timeout=on_timeout
-            )
-        )
+        message.on_applied = on_applied
+        message.on_timeout = on_timeout
+        self.steering.deliver(message)
 
     # -- introspection ---------------------------------------------------------
     @property

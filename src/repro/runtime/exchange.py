@@ -174,6 +174,10 @@ class MonitorExchange:
         for r in stale:
             del self.remote_estimates[r]
         self.expired += len(stale)
+        if stale:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.metrics.counter("exchange.expired").inc(len(stale))
         return len(stale)
 
     # -- internals ------------------------------------------------------------
@@ -216,8 +220,11 @@ class MonitorExchange:
                     EstimateUpdate(self.host_name, r, v, self.sim.now)
                     for r, v in sorted(changed.items())
                 ]
+                obs = self.sim.obs
                 for peer in self.peers:
                     self.updates_sent += 1
+                    if obs is not None:
+                        obs.metrics.counter("exchange.updates_sent").inc()
                     yield sandbox.send(
                         peer, _PORT, updates,
                         size=max(self.message_bytes,
@@ -230,13 +237,24 @@ class MonitorExchange:
         sandbox = self.rt.sandboxes.get(self.host_name)
         if sandbox is None:
             return
+        mailbox = sandbox.host.mailbox(_PORT)
         try:
             while not self._stopped:
-                msg = yield sandbox.host.mailbox(_PORT).get()
+                msg = yield mailbox.get()
                 if self._stopped:
                     return
                 # Even an empty heartbeat proves the sender is alive.
                 self.peer_last_seen[msg.src] = self.sim.now
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.metrics.counter("exchange.updates_received").inc(
+                        len(msg.payload)
+                    )
+                    # Depth *after* the pop: messages still backlogged
+                    # behind this one (partition drain-out shows up here).
+                    obs.metrics.histogram(
+                        "exchange.mailbox_depth", edges=(0, 1, 2, 4, 8, 16)
+                    ).observe(len(mailbox))
                 for update in msg.payload:
                     self.updates_received += 1
                     self.remote_estimates[update.resource] = (

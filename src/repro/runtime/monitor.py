@@ -242,6 +242,9 @@ class MonitoringAgent:
             if self._stopped:
                 return
             self._sample()
+            obs = self.sim.obs
+            if obs is not None:
+                obs.metrics.counter("monitor.samples").inc()
             if self.on_violation is None or not self.conditions:
                 continue
             if self.sim.now - self._last_trigger < self.cooldown:
@@ -250,4 +253,6 @@ class MonitoringAgent:
             if violation is not None:
                 self.violations += 1
                 self._last_trigger = self.sim.now
+                if obs is not None:
+                    obs.metrics.counter("monitor.violations").inc()
                 self.on_violation(violation)

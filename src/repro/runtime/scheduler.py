@@ -72,6 +72,11 @@ class ResourceScheduler:
             raise SchedulerError("no candidate configurations")
         #: Log of every decision made (experiment introspection).
         self.decisions: List[Decision] = []
+        #: Observability hook: a :class:`repro.obs.TraceRecorder`, or None.
+        #: The scheduler is simulator-free, so it cannot discover the
+        #: recorder through ``sim.obs`` itself — the adaptation controller
+        #: (or experiment harness) injects it here.
+        self.obs = None
 
     # -- prediction ---------------------------------------------------------
     def predict(self, config: Configuration, point: ResourcePoint) -> Dict[str, float]:
@@ -90,6 +95,8 @@ class ResourceScheduler:
         Walks the preference list in order; returns None when no candidate
         satisfies any constraint level (caller decides the fallback).
         """
+        if self.obs is not None:
+            self.obs.metrics.counter("sched.selects").inc()
         for idx, constraint in enumerate(self.preference):
             best: Optional[Tuple[float, Configuration, Dict[str, float]]] = None
             for config in self.candidates:
@@ -115,7 +122,18 @@ class ResourceScheduler:
                     conditions=self._validity_region(config, constraint, point, exclude),
                 )
                 self.decisions.append(decision)
+                if self.obs is not None:
+                    self.obs.instant(
+                        "sched.select", cat="sched",
+                        config=config.label(), point=point.label(),
+                        constraint=idx, excluded=len(exclude),
+                    )
                 return decision
+        if self.obs is not None:
+            self.obs.instant(
+                "sched.select", cat="sched", config=None,
+                point=point.label(), excluded=len(exclude),
+            )
         return None
 
     # -- validity regions -------------------------------------------------------

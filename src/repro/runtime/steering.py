@@ -38,6 +38,12 @@ class ControlMessage:
     #: Called (before the terminal ``on_applied(False)``) when the message
     #: is abandoned because the acknowledgement never arrived.
     on_timeout: Optional[Callable[[], None]] = None
+    #: Observability: span id of the decision that issued this message
+    #: (set by the sender) and of the ``steer.request`` handshake span the
+    #: agent opens for it (set in :meth:`SteeringAgent._post`), so the
+    #: sender's outcome callbacks can link into the same causal chain.
+    cause: Optional[int] = None
+    span: Optional[int] = None
 
 
 class _MessageState:
@@ -93,6 +99,13 @@ class SteeringAgent:
 
     def _post(self, message: ControlMessage) -> None:
         self.received.append((self.rt.sim.now, message.decision.config))
+        obs = self.rt.sim.obs
+        if obs is not None:
+            message.span = obs.begin(
+                "steer.request", cat="steer", parent=message.cause,
+                config=message.decision.config.label(),
+            )
+            obs.metrics.counter("steer.requests").inc()
         state = _MessageState(message)
         self._request(state)
         if self.ack_timeout is not None:
@@ -102,6 +115,10 @@ class SteeringAgent:
         """Post (or re-post) the pending change for one control message."""
         message = state.message
         config = message.decision.config
+        # Switch-history length before this post: lets the ack callback
+        # tell a real switch (history grew; its entry carries the safe-point
+        # time) from a no-op change (acked without touching history).
+        history_before = len(self.rt.controls.history)
 
         def on_applied(ok: bool) -> None:
             # A re-post supersedes our own previous PendingChange, which
@@ -116,6 +133,21 @@ class SteeringAgent:
                 self.rt.controls.pending = None
             if ok:
                 self.acks.append((self.rt.sim.now, config))
+            obs = self.rt.sim.obs
+            if obs is not None and message.span is not None:
+                if ok:
+                    history = self.rt.controls.history
+                    if len(history) > history_before:
+                        # Timestamp the switch at the safe point where the
+                        # application applied it (the transition handlers
+                        # may take further simulated time before this ack
+                        # callback runs).
+                        obs.instant(
+                            "config.switch", cat="steer", parent=message.span,
+                            t=history[-1][0], config=config.label(),
+                        )
+                    obs.metrics.counter("steer.acks").inc()
+                obs.end(message.span, outcome="ack" if ok else "rejected")
             if message.on_applied is not None:
                 message.on_applied(ok)
 
@@ -137,8 +169,16 @@ class SteeringAgent:
         def check() -> None:
             if state.done:
                 return
+            message = state.message
+            obs = self.rt.sim.obs
             if attempt < self.max_retries:
                 self.retries += 1
+                if obs is not None:
+                    obs.instant(
+                        "steer.retry", cat="steer", parent=message.span,
+                        attempt=attempt + 1,
+                    )
+                    obs.metrics.counter("steer.retries").inc()
                 self._request(state)
                 self._arm_timeout(state, attempt + 1)
                 return
@@ -148,7 +188,14 @@ class SteeringAgent:
             self.timeouts += 1
             if self.rt.controls.pending is state.change:
                 self.rt.controls.pending = None
-            message = state.message
+            if obs is not None:
+                obs.instant(
+                    "steer.withdrawal", cat="steer", parent=message.span,
+                    attempts=attempt,
+                )
+                obs.metrics.counter("steer.timeouts").inc()
+                if message.span is not None:
+                    obs.end(message.span, outcome="timeout")
             if message.on_timeout is not None:
                 message.on_timeout()
             if message.on_applied is not None:

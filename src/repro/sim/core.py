@@ -190,12 +190,15 @@ class Timeout(Event):
 class _Initialize(Event):
     """Kick-starts a freshly created process."""
 
-    __slots__ = ()
+    __slots__ = ("process",)
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
         self._ok = True
         self._value = None
+        #: Back-reference for instrumentation (the observability recorder
+        #: opens the process's lifecycle span when this event fires).
+        self.process = process
         self.callbacks.append(process._resume)
         sim._enqueue(self, 0.0, URGENT)
 
@@ -208,7 +211,7 @@ class Process(Event):
     exception if it crashed.
     """
 
-    __slots__ = ("generator", "_target", "name")
+    __slots__ = ("generator", "_target", "name", "obs_span", "obs_parent")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -219,6 +222,16 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: Span context for :mod:`repro.obs`: the id of this process's
+        #: lifecycle span (set by a bound recorder when the process starts)
+        #: and the span that was active in the *spawning* context — captured
+        #: here because by the time the initialize event fires the creator
+        #: is no longer the active process.
+        self.obs_span: Optional[int] = None
+        creator = sim._active
+        self.obs_parent: Optional[int] = (
+            creator.obs_span if creator is not None else None
+        )
         _Initialize(sim, self)
 
     @property
@@ -322,6 +335,11 @@ class Simulator:
         #: event)`` just before each popped event's callbacks run.  Used by
         #: :class:`repro.analysis.races.RaceDetector`; None costs nothing.
         self.step_hook: Optional[Callable[[float, int, int, Event], None]] = None
+        #: Discovery point for the observability layer: a bound
+        #: :class:`repro.obs.TraceRecorder`, or None (the default — every
+        #: instrumented call site guards on this, so disabled tracing costs
+        #: one attribute read).
+        self.obs: Optional[Any] = None
 
     # -- inspection -------------------------------------------------------
     @property

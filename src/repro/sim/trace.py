@@ -5,6 +5,14 @@ collects named time series — e.g. CPU utilization, queue lengths, or any
 user-supplied gauge.  The figure modules use ad-hoc collection; the tracer
 generalizes it for users building their own experiments, and serializes to
 plain dicts for JSON export.
+
+The tracer is now a thin veneer over :mod:`repro.obs`: each probe's
+samples are stored in a :class:`repro.obs.TimeSeries` inside the tracer's
+:attr:`~Tracer.registry`, so probe data shows up alongside any other
+metrics collected for the run (``tracer.registry.snapshot()``).  The
+original API — :meth:`~Tracer.series`, :meth:`~Tracer.mean`,
+:meth:`~Tracer.to_dict` — is unchanged, except that :meth:`~Tracer.mean`
+is now *time-weighted* by default (see below).
 """
 
 from __future__ import annotations
@@ -12,19 +20,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .core import Simulator
+from ..obs.metrics import MetricsRegistry
+from .core import Interrupt, Process, Simulator
 
 __all__ = ["Tracer", "Probe"]
 
 
 @dataclass
 class Probe:
-    """One periodic gauge: samples ``fn()`` every ``period`` seconds."""
+    """One periodic gauge: samples ``fn()`` every ``period`` seconds.
+
+    ``samples`` is the *same list object* as the backing
+    :class:`repro.obs.TimeSeries` in the tracer's registry — both views
+    stay in sync for free.
+    """
 
     name: str
     fn: Callable[[], Optional[float]]
     period: float
     samples: List[Tuple[float, float]] = field(default_factory=list)
+    #: The simulator process driving this probe (interrupted by ``stop()``).
+    process: Optional[Process] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -34,8 +50,13 @@ class Probe:
 class Tracer:
     """Collects named time series from a running simulation."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, registry: Optional[MetricsRegistry] = None):
         self.sim = sim
+        #: Backing store for probe samples (and anything else the caller
+        #: wants to record for the same run).
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(lambda: sim.now)
+        )
         self.probes: Dict[str, Probe] = {}
         self.marks: List[Tuple[float, str]] = []
         self._stopped = False
@@ -49,9 +70,10 @@ class Tracer:
         """Register a gauge; ``fn`` returning None skips that sample."""
         if name in self.probes:
             raise ValueError(f"duplicate probe name {name!r}")
-        probe = Probe(name=name, fn=fn, period=period)
+        series = self.registry.series(name)
+        probe = Probe(name=name, fn=fn, period=period, samples=series.samples)
         self.probes[name] = probe
-        self.sim.process(self._run_probe(probe), name=f"probe:{name}")
+        probe.process = self.sim.process(self._run_probe(probe), name=f"probe:{name}")
         return probe
 
     def mark(self, label: str) -> None:
@@ -59,16 +81,38 @@ class Tracer:
         self.marks.append((self.sim.now, label))
 
     def stop(self) -> None:
+        """Stop sampling and *terminate* the probe processes.
+
+        Merely setting the flag would leave every probe parked on its next
+        timeout — alive until the timeout fires, which an idle-check right
+        after ``stop()`` sees as leaked processes.  Interrupt them instead;
+        the probe loop treats the interrupt as a clean exit.
+        """
+        if self._stopped:
+            return
         self._stopped = True
+        for name in sorted(self.probes):
+            proc = self.probes[name].process
+            if (
+                proc is None
+                or not proc.is_alive
+                or proc is self.sim.active_process
+            ):
+                continue
+            proc.interrupt("tracer-stop")
 
     def _run_probe(self, probe: Probe):
-        while not self._stopped:
-            yield self.sim.timeout(probe.period)
-            if self._stopped:
-                return
-            value = probe.fn()
-            if value is not None:
-                probe.samples.append((self.sim.now, float(value)))
+        series = self.registry.series(probe.name)
+        try:
+            while not self._stopped:
+                yield self.sim.timeout(probe.period)
+                if self._stopped:
+                    return
+                value = probe.fn()
+                if value is not None:
+                    series.record(self.sim.now, value)
+        except Interrupt:
+            return
 
     # -- queries -----------------------------------------------------------
     def series(self, name: str) -> List[Tuple[float, float]]:
@@ -77,11 +121,36 @@ class Tracer:
         except KeyError:
             raise KeyError(f"unknown probe {name!r}") from None
 
-    def mean(self, name: str, t0: float = 0.0, t1: float = float("inf")) -> Optional[float]:
-        values = [v for t, v in self.series(name) if t0 <= t <= t1]
-        if not values:
+    def mean(
+        self,
+        name: str,
+        t0: float = 0.0,
+        t1: float = float("inf"),
+        weighted: bool = True,
+    ) -> Optional[float]:
+        """Mean of a probe's samples within ``[t0, t1]``.
+
+        By default the mean is *time-weighted* (trapezoidal integration of
+        the sample polyline divided by its time extent), so irregularly
+        spaced samples — a probe racing during a busy phase, then idling —
+        no longer bias the estimate toward the densely sampled region.
+        ``weighted=False`` restores the historical arithmetic mean over
+        sample points.  A single in-window sample is its own mean; no
+        samples in the window returns None.
+        """
+        samples = [(t, v) for t, v in self.series(name) if t0 <= t <= t1]
+        if not samples:
             return None
-        return sum(values) / len(values)
+        if not weighted or len(samples) == 1:
+            return sum(v for _, v in samples) / len(samples)
+        extent = samples[-1][0] - samples[0][0]
+        if extent <= 0.0:
+            # All samples share one timestamp: degenerate to arithmetic.
+            return sum(v for _, v in samples) / len(samples)
+        area = 0.0
+        for (ta, va), (tb, vb) in zip(samples, samples[1:]):
+            area += 0.5 * (va + vb) * (tb - ta)
+        return area / extent
 
     def to_dict(self) -> dict:
         return {

@@ -1,0 +1,59 @@
+"""Tests for `repro trace` / `repro metrics` (the observability CLI)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import from_jsonl
+from repro.obs.query import adaptation_chains
+
+
+def test_trace_human_timeline(capsys):
+    assert main(["trace", "chaos", "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "== trace:" in out
+    assert "== adaptation chains:" in out
+    assert "monitor.violation@" in out
+    assert "config.switch@" in out
+    assert "== configuration dwell times ==" in out
+
+
+def test_trace_json_reconstructs_chain(tmp_path):
+    out_file = tmp_path / "chaos.jsonl"
+    assert main(["trace", "chaos", "--json", "--out", str(out_file)]) == 0
+    records = from_jsonl(out_file.read_text())
+    assert records
+    chains = adaptation_chains(records)
+    assert chains
+    names = [r.name for r in chains[0]]
+    assert names[-1] == "config.switch"
+    assert "monitor.violation" in names
+
+
+def test_trace_chrome_format(tmp_path):
+    out_file = tmp_path / "chaos.chrome.json"
+    assert main(["trace", "chaos", "--chrome", "--out", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    events = payload["traceEvents"]
+    assert {e["ph"] for e in events} == {"X", "i", "M"}
+    assert any(e["name"] == "config.switch" for e in events)
+
+
+def test_metrics_human_and_json(tmp_path, capsys):
+    assert main(["metrics", "chaos"]) == 0
+    out = capsys.readouterr().out
+    assert "steer.acks" in out
+    assert "histogram" in out
+
+    out_file = tmp_path / "metrics.json"
+    assert main(["metrics", "chaos", "--json", "--out", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "chaos"
+    assert payload["metrics"]["adapt.decisions"]["kind"] == "counter"
+    assert payload["summary"]["records"] > 0
+
+
+def test_trace_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["trace", "nope"])

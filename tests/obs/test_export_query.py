@@ -1,0 +1,116 @@
+"""Exporter round-trips and causal queries over synthetic traces."""
+
+import pytest
+
+from repro.obs import (
+    TraceRecorder,
+    adaptation_chains,
+    chain,
+    dwell_times,
+    from_jsonl,
+    summary,
+    timeline,
+    to_chrome,
+    to_jsonl,
+)
+
+
+def _make_adaptation_trace() -> TraceRecorder:
+    """A hand-built violation -> decision -> steering -> switch chain."""
+    rec = TraceRecorder()
+    rec.instant("config.initial", cat="adapt", t=0.0, config="A")
+    v = rec.instant("monitor.violation", cat="adapt", t=10.0)
+    d = rec.instant("sched.decision", cat="sched", parent=v, t=12.0, config="B")
+    s = rec.begin("steer.request", cat="steer", parent=d, t=12.0)
+    rec.instant("steer.retry", cat="steer", parent=s, t=14.0, attempt=1)
+    rec.instant("config.switch", cat="adapt", parent=s, t=16.0, config="B")
+    rec.end(s, t=16.0, outcome="ack")
+    return rec
+
+
+def test_jsonl_round_trip_preserves_everything():
+    rec = _make_adaptation_trace()
+    text = to_jsonl(rec.records)
+    back = from_jsonl(text)
+    assert [r.to_dict() for r in back] == [
+        r.to_dict() for r in timeline(rec.records)
+    ]
+    # Round-tripped records answer the same causal queries.
+    switch = [r for r in back if r.name == "config.switch"][0]
+    names = [r.name for r in chain(back, switch.sid)]
+    assert names == [
+        "monitor.violation", "sched.decision", "steer.request", "config.switch"
+    ]
+
+
+def test_jsonl_deterministic_bytes():
+    a = to_jsonl(_make_adaptation_trace().records)
+    b = to_jsonl(_make_adaptation_trace().records)
+    assert a == b
+    assert a.endswith("\n")
+    assert to_jsonl([]) == ""
+
+
+def test_timeline_order_is_t0_then_sid():
+    rec = TraceRecorder()
+    late = rec.instant("late", t=5.0)
+    early = rec.instant("early", t=1.0)
+    tie_a = rec.instant("tie-a", t=3.0)
+    tie_b = rec.instant("tie-b", t=3.0)
+    ordered_sids = [r.sid for r in timeline(rec.records)]
+    assert ordered_sids == [early, tie_a, tie_b, late]
+
+
+def test_chain_unknown_sid_raises():
+    rec = _make_adaptation_trace()
+    with pytest.raises(KeyError):
+        chain(rec.records, 999)
+
+
+def test_adaptation_chains_finds_complete_chain():
+    rec = _make_adaptation_trace()
+    chains = adaptation_chains(rec.records)
+    assert len(chains) == 1
+    assert [r.name for r in chains[0]] == [
+        "monitor.violation", "sched.decision", "steer.request", "config.switch"
+    ]
+    assert [r.t0 for r in chains[0]] == [10.0, 12.0, 12.0, 16.0]
+
+
+def test_dwell_times_accumulate_per_config():
+    rec = _make_adaptation_trace()
+    # A from 0 to the switch at 16, B from 16 to the trace end (16).
+    assert dwell_times(rec.records) == {"A": 16.0, "B": 0.0}
+    rec.instant("config.switch", cat="adapt", t=20.0, config="A")
+    rec.instant("tail", t=25.0)
+    dwell = dwell_times(rec.records)
+    assert dwell["A"] == pytest.approx(16.0 + 5.0)
+    assert dwell["B"] == pytest.approx(4.0)
+    assert dwell_times([]) == {}
+
+
+def test_chrome_export_shape():
+    rec = _make_adaptation_trace()
+    payload = to_chrome(rec.records)
+    events = payload["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    meta = [e for e in events if e.get("ph") == "M"]
+    assert len(spans) == 1 and spans[0]["name"] == "steer.request"
+    assert spans[0]["ts"] == pytest.approx(12.0e6)
+    assert spans[0]["dur"] == pytest.approx(4.0e6)
+    assert len(instants) == 5
+    assert all(e["s"] == "t" for e in instants)
+    assert meta and meta[0]["name"] == "thread_name"
+    assert all("sid" in e["args"] for e in spans + instants)
+
+
+def test_summary_counts():
+    rec = _make_adaptation_trace()
+    s = summary(rec.records, rec.metrics)
+    assert s["records"] == 6
+    assert s["spans"] == 1 and s["instants"] == 5
+    assert s["t_min"] == 0.0 and s["t_max"] == 16.0
+    assert s["by_category"]["adapt"] == 3
+    assert s["by_name"]["config.switch"] == 1
+    assert s["metrics"] == {}

@@ -1,0 +1,97 @@
+"""Tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    TimeSeries,
+)
+
+
+def test_counter_monotonic():
+    c = Counter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    g = Gauge("x")
+    assert g.value is None
+    g.set(3)
+    g.set(7)
+    assert g.value == 7.0
+    assert g.updates == 2
+
+
+def test_histogram_bucket_edges_exact():
+    """Edge semantics: v <= edge lands at that edge's bucket (bisect_left)."""
+    h = Histogram("lat", edges=(1.0, 2.0, 5.0))
+    assert len(h.counts) == 4  # len(edges) + 1 (overflow)
+    for v, bucket in [
+        (0.5, 0),   # below first edge
+        (1.0, 0),   # exactly on an edge counts toward that bucket
+        (1.0001, 1),
+        (2.0, 1),
+        (5.0, 2),
+        (5.0001, 3),  # overflow
+        (100.0, 3),
+    ]:
+        before = list(h.counts)
+        h.observe(v)
+        changed = [i for i in range(4) if h.counts[i] != before[i]]
+        assert changed == [bucket], f"value {v} landed in {changed}, want {bucket}"
+    assert h.count == 7
+    assert h.vmin == 0.5
+    assert h.vmax == 100.0
+    assert h.mean == pytest.approx(sum((0.5, 1.0, 1.0001, 2.0, 5.0, 5.0001, 100.0)) / 7)
+
+
+def test_histogram_validation():
+    with pytest.raises(MetricError):
+        Histogram("bad", edges=())
+    with pytest.raises(MetricError):
+        Histogram("bad", edges=(1.0, 1.0))
+    with pytest.raises(MetricError):
+        Histogram("bad", edges=(2.0, 1.0))
+
+
+def test_registry_get_or_create_idempotent():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.histogram("h", edges=(1, 2)) is reg.histogram("h")
+    assert reg.series("s") is reg.series("s")
+    assert len(reg) == 3
+    assert "a" in reg and "ghost" not in reg
+
+
+def test_registry_type_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("a")
+    with pytest.raises(MetricError):
+        reg.gauge("a")
+    with pytest.raises(MetricError):
+        reg.histogram("a", edges=(1.0,))
+    reg.histogram("h", edges=(1.0, 2.0))
+    with pytest.raises(MetricError):
+        reg.histogram("h", edges=(1.0, 3.0))  # shape drift
+    with pytest.raises(MetricError):
+        reg.histogram("new")  # must pass edges on creation
+
+
+def test_snapshot_sorted_and_json_stable():
+    reg = MetricsRegistry()
+    reg.counter("zz").inc()
+    reg.gauge("aa").set(1)
+    ts = TimeSeries("t")
+    ts.record(0.5, 2.0)
+    snap = reg.snapshot()
+    assert list(snap) == ["aa", "zz"]
+    assert snap["zz"] == {"kind": "counter", "value": 1.0}
+    assert ts.to_dict() == {"kind": "series", "samples": [[0.5, 2.0]]}

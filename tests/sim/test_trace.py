@@ -68,6 +68,53 @@ def test_marks_and_export():
     assert len(data["probes"]["zero"]) == 3
 
 
+def test_mean_is_time_weighted_by_default():
+    """Irregular sampling no longer biases the mean toward dense regions."""
+    sim = Simulator()
+    tracer = Tracer(sim)
+    probe = tracer.add_probe("v", lambda: None, period=1.0)
+    # 1s at 0, then a burst of 10s: time-weighted mean over [0, 2] is 3.75
+    # (trapezoids: 1s at 0, 0.5s ramp 0->10 avg 5, 0.5s at 10), while the
+    # arithmetic mean over the 4 points is 5.0.
+    for t, v in [(0.0, 0.0), (1.0, 0.0), (1.5, 10.0), (2.0, 10.0)]:
+        probe.samples.append((t, v))
+    assert tracer.mean("v") == pytest.approx(3.75)
+    assert tracer.mean("v", weighted=False) == pytest.approx(5.0)
+    # Single in-window sample degenerates to its own value either way.
+    assert tracer.mean("v", 1.4, 1.6) == pytest.approx(10.0)
+
+
+def test_stop_terminates_probe_processes():
+    """stop() must interrupt parked probes, not just flag them: an
+    idle-check right after stop() sees no live probe processes."""
+    sim = Simulator()
+    tracer = Tracer(sim)
+    a = tracer.add_probe("a", lambda: 1.0, period=0.5)
+    b = tracer.add_probe("b", lambda: 2.0, period=0.7)
+    sim.run(until=2.0)
+    assert a.process.is_alive and b.process.is_alive
+    tracer.stop()
+    sim.run(until=2.1)  # deliver the (urgent, zero-delay) interrupts
+    assert not a.process.is_alive
+    assert not b.process.is_alive
+    before = len(a.samples)
+    sim.run(until=10.0)  # nothing left to fire
+    assert len(a.samples) == before
+    tracer.stop()  # idempotent
+
+
+def test_probe_samples_shared_with_registry():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    probe = tracer.add_probe("x", lambda: 1.0, period=0.5)
+    sim.run(until=1.1)
+    tracer.stop()
+    assert tracer.registry.series("x").samples is probe.samples
+    assert tracer.registry.snapshot()["x"]["samples"] == [
+        [t, v] for t, v in probe.samples
+    ]
+
+
 def test_validation():
     sim = Simulator()
     tracer = Tracer(sim)
