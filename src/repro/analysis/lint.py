@@ -198,13 +198,20 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
     ]
 
 
+#: Reason stamped on freshly baselined findings.  The field is free-form
+#: documentation for reviewers — ``--baseline-write`` cannot know *why* a
+#: finding is acceptable, so it records that the entry was auto-accepted
+#: and from which state; maintainers edit it in place when they triage.
+AUTO_BASELINE_REASON = "accepted when the baseline was regenerated"
+
+
 def write_baseline(path: Path, findings: List[Finding]) -> None:
     entries = [
         {
             "rule": f.rule,
             "path": f.path,
             "context": f.context,
-            "reason": "TODO: justify or fix",
+            "reason": AUTO_BASELINE_REASON,
         }
         for f in sort_findings(findings)
     ]

@@ -6,9 +6,11 @@ Usage::
     python -m repro.cli fig3a fig6a
     python -m repro.cli all --out results/
     python -m repro.cli exp1          # alias for fig7a
+    python -m repro.cli all --jobs 4  # parallel cells + result cache
     python -m repro.cli lint --json   # determinism/sim-protocol linter
     python -m repro.cli trace chaos   # traced run: spans + causal chains
     python -m repro.cli metrics chaos # traced run: metrics snapshot
+    python -m repro.cli sweep toy --jobs 4   # standalone sweep engine run
 """
 
 from __future__ import annotations
@@ -130,6 +132,11 @@ def main(argv: List[str] = None) -> int:
         from .obs.cli import obs_main
 
         return obs_main(argv)
+    if argv and argv[0] == "sweep":
+        # Standalone sweep-engine runs (repro.exec).
+        from .exec.cli import sweep_main
+
+        return sweep_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,12 +146,33 @@ def main(argv: List[str] = None) -> int:
         "targets",
         nargs="+",
         help="figure names (fig3a..fig7cd, exp1..exp3, chaos, "
-        "ablation-a1..a5), 'lint', 'trace', 'metrics', 'list', or 'all'",
+        "ablation-a1..a5), 'lint', 'trace', 'metrics', 'sweep', 'list', "
+        "or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")
     parser.add_argument(
         "--no-plot", action="store_true", help="tables only, no ASCII plots"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run experiment cells through the sweep engine with N worker "
+        "processes (output is byte-identical to the serial run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent result-cache directory (default .repro_cache; "
+        "implies the sweep engine)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --jobs: run cells without the persistent result cache",
     )
     args = parser.parse_args(argv)
 
@@ -162,14 +190,43 @@ def main(argv: List[str] = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    seen = set()
-    for target in targets:
-        runner = TARGETS[target]
-        if id(runner) in seen:
-            continue
-        seen.add(id(runner))
-        for item in runner(args.seed):
-            _emit(item, out_dir=args.out, plot=not args.no_plot)
+    # Install a process-wide sweep engine only when explicitly requested,
+    # so plain invocations neither spawn workers nor touch the cache dir.
+    engine = None
+    previous_engine = None
+    if args.jobs is not None or args.cache_dir is not None:
+        from .exec import ResultStore, SweepEngine, set_default_engine
+
+        store = None
+        if not args.no_cache:
+            store = ResultStore(args.cache_dir or Path(".repro_cache"))
+        engine = SweepEngine(jobs=args.jobs or 1, store=store)
+        previous_engine = set_default_engine(engine)
+
+    try:
+        seen = set()
+        for target in targets:
+            runner = TARGETS[target]
+            if id(runner) in seen:
+                continue
+            seen.add(id(runner))
+            for item in runner(args.seed):
+                _emit(item, out_dir=args.out, plot=not args.no_plot)
+    finally:
+        if engine is not None:
+            from .exec import set_default_engine
+
+            set_default_engine(previous_engine)
+    if engine is not None:
+        m = engine.metrics
+        print(
+            "sweep engine: "
+            f"{m.counter('exec.jobs.run').value:g} run, "
+            f"{m.counter('exec.jobs.cached').value:g} cached, "
+            f"{m.counter('exec.jobs.retried').value:g} retried, "
+            f"{m.counter('exec.wall.saved').value:.2f}s saved "
+            f"({engine.jobs} workers)"
+        )
     return 0
 
 

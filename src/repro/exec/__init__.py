@@ -1,0 +1,50 @@
+"""``repro.exec`` — deterministic parallel sweep engine with result cache.
+
+The measurement workload of the paper's performance database (profile
+every configuration at every resource point) and of every experiment
+grid is embarrassingly parallel: each cell is a pure, seeded simulation.
+This package turns one cell into a :class:`JobSpec`, shards specs across
+spawned worker processes (:class:`ParallelRunner`), memoizes results in
+a content-addressed :class:`ResultStore` keyed by (source fingerprint,
+spec, seed), and merges everything back in deterministic job-key order —
+so a parallel or cached sweep is byte-identical to the serial loop it
+replaced.  See ``docs/parallel.md``.
+"""
+
+from .engine import (
+    SweepEngine,
+    SweepError,
+    SweepReport,
+    default_engine,
+    set_default_engine,
+    sweep_cells,
+)
+from .fingerprint import clear_fingerprint_cache, source_fingerprint
+from .job import JobSpec, JobSpecError, cache_key, canonical_json, resolve_job
+from .profile_jobs import AppSpec, measure_cell
+from .runner import JobResult, ParallelRunner, RunnerError, run_job
+from .store import ResultStore, StoreError
+
+__all__ = [
+    "AppSpec",
+    "JobResult",
+    "JobSpec",
+    "JobSpecError",
+    "ParallelRunner",
+    "ResultStore",
+    "RunnerError",
+    "StoreError",
+    "SweepEngine",
+    "SweepError",
+    "SweepReport",
+    "cache_key",
+    "canonical_json",
+    "clear_fingerprint_cache",
+    "default_engine",
+    "measure_cell",
+    "resolve_job",
+    "run_job",
+    "set_default_engine",
+    "source_fingerprint",
+    "sweep_cells",
+]

@@ -1,0 +1,239 @@
+"""The sweep engine: cache lookup, parallel dispatch, deterministic merge.
+
+:class:`SweepEngine` is the one entry point callers use.  For every
+:class:`~repro.exec.job.JobSpec` it first consults the
+:class:`~repro.exec.store.ResultStore` (keyed by source fingerprint +
+canonical spec), dispatches only the misses to a
+:class:`~repro.exec.runner.ParallelRunner`, writes fresh results back,
+and returns a :class:`SweepReport` whose outcomes are ordered by job
+key — *never* by completion order — so a parallel sweep is
+byte-identical to the serial one.
+
+Instrumentation lands in a :class:`repro.obs.MetricsRegistry`:
+``exec.jobs.run`` / ``.cached`` / ``.retried`` / ``.failed`` /
+``.crashed`` / ``.timeout`` counters, an ``exec.workers`` gauge, an
+``exec.worker.utilization`` gauge, and ``exec.wall.saved`` — the wall
+seconds the cache avoided re-simulating.
+
+A process-wide *default engine* can be installed (the CLI does this for
+``--jobs``/``--no-cache``) so experiment code routed through
+:func:`sweep_cells` picks up parallelism and caching without threading
+an engine argument through every call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..obs import MetricsRegistry
+from .fingerprint import source_fingerprint
+from .job import JobSpec, cache_key
+from .runner import JobResult, ParallelRunner
+from .store import ResultStore
+
+__all__ = [
+    "SweepEngine",
+    "SweepError",
+    "SweepReport",
+    "default_engine",
+    "set_default_engine",
+    "sweep_cells",
+]
+
+
+class SweepError(Exception):
+    """Raised when a strict sweep has terminally failed jobs."""
+
+
+@dataclass
+class SweepReport:
+    """All outcomes of one sweep, ordered by job key."""
+
+    outcomes: List[JobResult] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.outcomes = sorted(self.outcomes, key=lambda r: r.key)
+        self._by_key = {r.key: r for r in self.outcomes}
+
+    def value(self, key: str) -> Any:
+        result = self._by_key[key]
+        if not result.ok:
+            raise SweepError(f"job {key!r} failed:\n{result.error}")
+        return result.value
+
+    def values(self) -> List[Any]:
+        """Successful values in job-key order."""
+        return [self.value(r.key) for r in self.outcomes]
+
+    @property
+    def failures(self) -> List[JobResult]:
+        return [r for r in self.outcomes if not r.ok]
+
+
+class SweepEngine:
+    """Executes job specs through cache + worker pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        timeout: float = 600.0,
+        retries: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        self.store = store
+        self.runner = ParallelRunner(jobs=jobs, timeout=timeout, retries=retries)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Source fingerprint override (tests inject synthetic ones to
+        #: exercise invalidation); ``None`` means the live tree's.
+        self._source = source
+
+    @property
+    def jobs(self) -> int:
+        return self.runner.jobs
+
+    def source(self) -> str:
+        if self._source is None:
+            self._source = source_fingerprint()
+        return self._source
+
+    def run(self, specs: Sequence[JobSpec], strict: bool = True) -> SweepReport:
+        """Execute every spec (cache first); merge in job-key order.
+
+        With ``strict`` (the default), terminal failures raise
+        :class:`SweepError` naming every failed job; pass ``strict=False``
+        to inspect failures on the report instead.
+        """
+        specs = list(specs)
+        keys = [s.key for s in specs]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise SweepError(f"duplicate job keys in sweep: {dupes}")
+
+        outcomes: Dict[str, JobResult] = {}
+        misses: List[JobSpec] = []
+        wall_saved = 0.0
+        source = self.source() if self.store is not None else ""
+        for spec in specs:
+            entry = (
+                self.store.get(cache_key(spec, source), source)
+                if self.store is not None
+                else None
+            )
+            if entry is not None:
+                outcomes[spec.key] = JobResult(
+                    key=spec.key, ok=True, value=entry["value"],
+                    wall=entry.get("wall", 0.0), attempts=0, cached=True,
+                )
+                wall_saved += float(entry.get("wall", 0.0))
+            else:
+                misses.append(spec)
+
+        if misses:
+            fresh = self.runner.run(misses)
+            for spec in misses:
+                result = fresh[spec.key]
+                outcomes[spec.key] = result
+                if result.ok and self.store is not None:
+                    self.store.put(
+                        cache_key(spec, source), source, spec.to_dict(),
+                        result.value, wall=result.wall,
+                    )
+
+        failed = [r for r in outcomes.values() if not r.ok]
+        self._record_metrics(
+            ran=len(misses), cached=len(specs) - len(misses),
+            failed=len(failed), wall_saved=wall_saved,
+        )
+        report = SweepReport(
+            outcomes=list(outcomes.values()),
+            stats={
+                "total": len(specs),
+                "ran": len(misses),
+                "cached": len(specs) - len(misses),
+                "failed": len(failed),
+                "retried": self.runner.retried,
+                "crashes": self.runner.crashes,
+                "timeouts": self.runner.timeouts,
+                "hit_rate": (len(specs) - len(misses)) / len(specs) if specs else 0.0,
+                "wall_saved": wall_saved,
+                "workers": self.jobs,
+                "utilization": self.runner.utilization,
+            },
+        )
+        if strict and report.failures:
+            summary = "\n".join(
+                f"  {r.key}: {r.error.strip().splitlines()[-1] if r.error else 'failed'}"
+                for r in report.failures
+            )
+            raise SweepError(
+                f"{len(report.failures)} job(s) failed terminally:\n{summary}"
+            )
+        return report
+
+    def _record_metrics(
+        self, ran: int, cached: int, failed: int, wall_saved: float
+    ) -> None:
+        m = self.metrics
+        m.counter("exec.jobs.run").inc(ran)
+        m.counter("exec.jobs.cached").inc(cached)
+        m.counter("exec.jobs.retried").inc(self.runner.retried)
+        m.counter("exec.jobs.failed").inc(failed)
+        m.counter("exec.jobs.crashed").inc(self.runner.crashes)
+        m.counter("exec.jobs.timeout").inc(self.runner.timeouts)
+        m.counter("exec.wall.saved").inc(wall_saved)
+        m.gauge("exec.workers").set(self.jobs)
+        m.gauge("exec.worker.utilization").set(self.runner.utilization)
+
+
+# -- process-wide default engine ----------------------------------------
+
+_default: Optional[SweepEngine] = None
+_fallback: Optional[SweepEngine] = None
+
+
+def set_default_engine(engine: Optional[SweepEngine]) -> Optional[SweepEngine]:
+    """Install the engine :func:`sweep_cells` uses when none is passed.
+
+    Returns the previously installed engine so callers (the CLI) can
+    restore it.  ``None`` uninstalls.
+    """
+    global _default
+    previous = _default
+    _default = engine
+    return previous
+
+
+def default_engine() -> SweepEngine:
+    """The installed default engine, else a shared serial/no-cache one."""
+    global _fallback
+    if _default is not None:
+        return _default
+    if _fallback is None:
+        _fallback = SweepEngine(jobs=1, store=None)
+    return _fallback
+
+
+def sweep_cells(
+    kind: str,
+    payloads: Sequence[Mapping],
+    seed: int = 0,
+    engine: Optional[SweepEngine] = None,
+) -> List[Any]:
+    """Run one job per payload; values in payload order.
+
+    The rewiring point for experiment grid loops: serial semantics (and
+    bytes) are preserved because results are merged by key, and keys are
+    the payload indices.
+    """
+    engine = engine if engine is not None else default_engine()
+    width = max(4, len(str(max(len(payloads) - 1, 0))))
+    specs = [
+        JobSpec(kind=kind, payload=dict(p), seed=seed, key=f"{i:0{width}d}")
+        for i, p in enumerate(payloads)
+    ]
+    report = engine.run(specs)
+    return [report.value(s.key) for s in specs]

@@ -1,0 +1,142 @@
+"""The job abstraction: a pure, picklable description of one simulation cell.
+
+A :class:`JobSpec` names a module-level *job function* by dotted path
+(``"package.module:function"``), the JSON-able ``payload`` it receives,
+and the root ``seed`` of the run.  Because the description is pure data,
+the same spec can be executed inline, shipped to a worker process, or
+used as a cache key — the three things the sweep engine does with it.
+
+Identity is content-addressed: :meth:`JobSpec.canonical` renders the
+spec as canonical JSON (sorted keys, no whitespace, ASCII) and
+:meth:`JobSpec.fingerprint` hashes that with SHA-256, so fingerprints
+are independent of dict insertion order and of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Dict, Mapping
+
+__all__ = [
+    "JobSpec",
+    "JobSpecError",
+    "cache_key",
+    "canonical_json",
+    "resolve_job",
+]
+
+
+class JobSpecError(Exception):
+    """Raised on malformed job specifications or unresolvable job kinds."""
+
+
+_KIND_RE = re.compile(r"^[A-Za-z_][\w.]*:[A-Za-z_]\w*$")
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON text: sorted keys, compact, ASCII, no NaN.
+
+    The canonical form is the unit of identity for job fingerprints and
+    cache keys, so it must not depend on dict insertion order, hash
+    randomization, or locale.  Non-JSON-able values raise
+    :class:`JobSpecError` — a job payload that cannot be serialized could
+    not be shipped to a worker or keyed in the cache anyway.
+    """
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise JobSpecError(f"payload is not canonical-JSON-able: {exc}") from exc
+
+
+def resolve_job(kind: str) -> Callable[[Mapping, int], Any]:
+    """Import and return the job function named by ``kind``.
+
+    ``kind`` has the form ``"package.module:function"``; the function must
+    be module-level (so worker processes can import it after a spawn) and
+    takes ``(payload, seed)``.
+    """
+    if not _KIND_RE.match(kind):
+        raise JobSpecError(
+            f"job kind must look like 'package.module:function', got {kind!r}"
+        )
+    module_name, _, func_name = kind.partition(":")
+    try:
+        module = import_module(module_name)
+    except ImportError as exc:
+        raise JobSpecError(f"cannot import job module {module_name!r}: {exc}") from exc
+    fn = getattr(module, func_name, None)
+    if not callable(fn):
+        raise JobSpecError(f"{module_name!r} has no callable {func_name!r}")
+    return fn
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation cell: job function, pure inputs, and a seed.
+
+    ``key`` orders and addresses the job inside one sweep (results are
+    merged in sorted-key order regardless of completion order); it
+    defaults to the content fingerprint.  Two specs in one sweep must not
+    share a key.
+    """
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    key: str = ""
+
+    def __post_init__(self) -> None:
+        if not _KIND_RE.match(self.kind):
+            raise JobSpecError(
+                f"job kind must look like 'package.module:function', "
+                f"got {self.kind!r}"
+            )
+        object.__setattr__(self, "payload", dict(self.payload))
+        if not self.key:
+            object.__setattr__(self, "key", self.fingerprint())
+
+    def canonical(self) -> str:
+        """Canonical JSON of the job identity (kind, payload, seed)."""
+        return canonical_json(
+            {"kind": self.kind, "payload": self.payload, "seed": self.seed}
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the spec; ``PYTHONHASHSEED``-independent."""
+        return hashlib.sha256(self.canonical().encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "payload": self.payload,
+            "seed": self.seed,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobSpec":
+        return cls(
+            kind=data["kind"],
+            payload=data.get("payload", {}),
+            seed=int(data.get("seed", 0)),
+            key=data.get("key", ""),
+        )
+
+
+def cache_key(spec: JobSpec, source: str) -> str:
+    """Content address of a (source tree, job spec) pair.
+
+    ``source`` is the source fingerprint of the code that will execute the
+    job (see :func:`repro.exec.fingerprint.source_fingerprint`); including
+    it means any code change produces fresh keys, so stale results are
+    never served.
+    """
+    blob = f"{source}\x00{spec.canonical()}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:40]

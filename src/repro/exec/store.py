@@ -1,0 +1,122 @@
+"""Persistent content-addressed result cache.
+
+One entry per executed job, addressed by :func:`repro.exec.job.cache_key`
+— a hash of (source fingerprint, canonical job spec, seed).  Entries are
+single JSON files in a two-level directory layout (``ab/ab…cd.json``),
+written atomically (temp file + rename) so a killed sweep never leaves a
+torn entry behind.
+
+Staleness is handled twice over: the source fingerprint is part of the
+key (changed code simply misses), and every entry also *records* the
+fingerprint it was produced under, so :meth:`ResultStore.get` discards
+mismatched entries defensively and :meth:`ResultStore.prune_stale`
+garbage-collects everything an old source tree left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["ResultStore", "StoreError"]
+
+
+class StoreError(Exception):
+    """Raised on unusable store roots."""
+
+
+class ResultStore:
+    """Directory-backed map from cache key to job result."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise StoreError(f"cannot create result store at {self.root}: {exc}") from exc
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+
+    # -- addressing -----------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read -----------------------------------------------------------
+    def get(self, key: str, source: str) -> Optional[dict]:
+        """Entry for ``key`` produced under ``source``, else ``None``.
+
+        Entries recorded under a different source fingerprint, and
+        unreadable/corrupt files, are deleted on sight and count as
+        misses — a cache must never be louder than a recomputation.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._discard(path)
+            self.misses += 1
+            return None
+        if entry.get("source") != source or entry.get("key") != key:
+            self._discard(path)
+            self.stale += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    # -- write ----------------------------------------------------------
+    def put(
+        self, key: str, source: str, spec: dict, value, wall: float = 0.0
+    ) -> None:
+        """Record ``value`` for ``key``; atomic against concurrent readers."""
+        entry = {
+            "key": key,
+            "source": source,
+            "spec": spec,
+            "value": value,
+            "wall": float(wall),
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    # -- maintenance ----------------------------------------------------
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def prune_stale(self, source: str) -> int:
+        """Delete every entry not produced under ``source``; returns count."""
+        removed = 0
+        for path in self._iter_files():
+            try:
+                entry = json.loads(path.read_text())
+                keep = entry.get("source") == source
+            except (OSError, json.JSONDecodeError):
+                keep = False
+            if not keep:
+                self._discard(path)
+                removed += 1
+        return removed
+
+    def _iter_files(self) -> List[Path]:
+        return sorted(self.root.rglob("*.json"))
+
+    def keys(self) -> List[str]:
+        return sorted(p.stem for p in self._iter_files())
+
+    def __len__(self) -> int:
+        return len(self._iter_files())
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()

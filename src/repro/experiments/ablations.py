@@ -13,6 +13,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..apps import make_toy_app
+from ..exec import AppSpec, default_engine, sweep_cells
 from ..profiling import (
     PerformanceDatabase,
     ProfilingDriver,
@@ -35,13 +36,18 @@ __all__ = [
 def _toy_driver(levels: Tuple[float, ...], seed: int = 0, **kwargs) -> ProfilingDriver:
     app = make_toy_app()
     dims = [ResourceDimension("node.cpu", levels, lo=0.01, hi=1.0)]
-    return ProfilingDriver(app, dims, seed=seed, **kwargs), app, dims
+    driver = ProfilingDriver(
+        app, dims, seed=seed, app_spec=AppSpec("repro.apps:make_toy_app"),
+        **kwargs,
+    )
+    return driver, app, dims
 
 
 def scheduler_interpolation_ablation(
     query_shares: Tuple[float, ...] = (0.15, 0.33, 0.52, 0.71, 0.93),
     grid: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 1.0),
     seed: int = 0,
+    engine=None,
 ) -> Dict[str, float]:
     """A1: interpolating vs nearest-point prediction accuracy.
 
@@ -51,7 +57,7 @@ def scheduler_interpolation_ablation(
     """
     driver, app, dims = _toy_driver(grid, seed=seed)
     config = Configuration({"scale": 1.0})
-    db = driver.profile(configs=[config])
+    db = driver.profile(configs=[config], engine=engine or default_engine())
     baseline = db.predict(config, ResourcePoint({"node.cpu": 1.0}), "elapsed")
     pref = UserPreference.single(Objective("elapsed"))
     errors = {"interpolate": [], "nearest": []}
@@ -68,6 +74,7 @@ def sampling_strategy_ablation(
     budget: int = 9,
     query_shares: Tuple[float, ...] = (0.12, 0.18, 0.27, 0.45, 0.66),
     seed: int = 0,
+    engine=None,
 ) -> Dict[str, float]:
     """A2: grid vs adaptive (sensitivity-driven) sampling at equal budget.
 
@@ -76,11 +83,12 @@ def sampling_strategy_ablation(
     mean interpolation error over low-share queries.
     """
     config = Configuration({"scale": 1.0})
+    engine = engine or default_engine()
 
     # Uniform grid with the full budget.
     uniform_levels = tuple(np.linspace(0.1, 1.0, budget).round(4))
     driver_u, app, dims = _toy_driver(uniform_levels, seed=seed)
-    db_uniform = driver_u.profile(configs=[config])
+    db_uniform = driver_u.profile(configs=[config], engine=engine)
 
     # Coarse grid + sensitivity-driven refinement with the same total budget.
     coarse = (0.1, 0.55, 1.0)
@@ -90,6 +98,7 @@ def sampling_strategy_ablation(
         rounds=3,
         per_round=2,
         min_score=0.005,
+        engine=engine,
     )
     baseline = db_uniform.predict(config, ResourcePoint({"node.cpu": 1.0}), "elapsed")
 
@@ -194,29 +203,42 @@ def hysteresis_ablation(
     return results
 
 
+def _limiter_cell(payload: dict, seed: int) -> float:
+    """Sweep job: toy-loop elapsed time under one (mode, share) cell."""
+    app = make_toy_app()
+    tb = Testbed(host_specs=app.env.host_specs(), mode=payload["mode"], seed=seed)
+    rt = app.instantiate(
+        tb,
+        Configuration({"scale": 1.0}),
+        limits={"node": ResourceLimits(cpu_share=payload["share"])},
+    )
+    tb.run(until=3600)
+    tb.shutdown()
+    return rt.qos.get("elapsed")
+
+
 def limiter_mode_ablation(
     shares: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
     seed: int = 0,
+    engine=None,
 ) -> Dict[str, float]:
     """A4: ideal fluid cap vs the paper's quantum feedback limiter.
 
     Returns the mean relative deviation of each mode's measured elapsed
     time from the analytic expectation baseline/share.
     """
-    app = make_toy_app()
-    errors = {LimiterMode.IDEAL: [], LimiterMode.QUANTUM: []}
-    for mode in errors:
-        for share in shares:
-            tb = Testbed(host_specs=app.env.host_specs(), mode=mode, seed=seed)
-            rt = app.instantiate(
-                tb,
-                Configuration({"scale": 1.0}),
-                limits={"node": ResourceLimits(cpu_share=share)},
-            )
-            tb.run(until=3600)
-            tb.shutdown()
-            expected = 10.0 / share
-            errors[mode].append(abs(rt.qos.get("elapsed") - expected) / expected)
+    modes = (LimiterMode.IDEAL, LimiterMode.QUANTUM)
+    cells = [(mode, share) for mode in modes for share in shares]
+    values = sweep_cells(
+        "repro.experiments.ablations:_limiter_cell",
+        [{"mode": mode, "share": share} for mode, share in cells],
+        seed=seed,
+        engine=engine,
+    )
+    errors: Dict[str, list] = {mode: [] for mode in modes}
+    for (mode, share), elapsed in zip(cells, values):
+        expected = 10.0 / share
+        errors[mode].append(abs(elapsed - expected) / expected)
     return {mode: float(np.mean(v)) for mode, v in errors.items()}
 
 

@@ -1,9 +1,16 @@
-"""Shared experiment harness: series containers and terminal rendering.
+"""Shared experiment harness: series containers, rendering, sweep plumbing.
 
 Every figure module returns a :class:`FigureResult` holding named
 :class:`Series`; benchmarks assert on the series' qualitative shape and the
 harness prints them as aligned tables plus an ASCII sketch, so the paper's
 plots can be eyeballed straight from the terminal.
+
+Grid loops inside the figure modules run their cells through
+:func:`sweep_cells` (re-exported from :mod:`repro.exec`): each cell is a
+pure module-level job function, so the CLI's ``--jobs``/``--no-cache``
+flags parallelize and memoize every experiment without the figure code
+knowing — and with ``jobs=1`` the cells execute inline, preserving the
+serial path byte-for-byte.
 """
 
 from __future__ import annotations
@@ -11,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["Series", "FigureResult", "render_table", "ascii_plot"]
+from ..exec import sweep_cells
+
+__all__ = ["Series", "FigureResult", "render_table", "ascii_plot", "sweep_cells"]
 
 
 @dataclass

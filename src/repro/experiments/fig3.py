@@ -15,7 +15,7 @@ from typing import List, Tuple
 from ..apps import make_toy_app
 from ..sandbox import DaemonSpec, LimiterMode, ResourceLimits, Testbed
 from ..tunable import Configuration
-from .common import FigureResult
+from .common import FigureResult, sweep_cells
 
 __all__ = ["run_fig3a", "run_fig3b"]
 
@@ -72,9 +72,36 @@ def run_fig3a(
     return result
 
 
+def _fig3b_cell(payload: dict, seed: int) -> float:
+    """Sweep job: one Fig 3b run; ``share=None`` is the unloaded baseline."""
+    share = payload["share"]
+    app = make_toy_app()
+    if share is None:
+        # Baseline: physical, unloaded machine (no daemons, no sandbox).
+        tb = Testbed(host_specs=app.env.host_specs())
+        rt = app.instantiate(tb, Configuration({"scale": 1.0}))
+        tb.run(until=3600)
+        return rt.qos.get("elapsed")
+    tb = Testbed(
+        host_specs=app.env.host_specs(),
+        mode=LimiterMode.QUANTUM,
+        seed=seed,
+        daemons=[DaemonSpec("node", mean_interval=0.2, cpu_fraction=0.02)],
+    )
+    rt = app.instantiate(
+        tb,
+        Configuration({"scale": 1.0}),
+        limits={"node": ResourceLimits(cpu_share=share)},
+    )
+    tb.run(until=3600)
+    tb.shutdown()
+    return rt.qos.get("elapsed")
+
+
 def run_fig3b(
     shares: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     seed: int = 0,
+    engine=None,
 ) -> FigureResult:
     """Measured vs expected execution time across CPU shares.
 
@@ -83,14 +110,11 @@ def run_fig3b(
     the measured time at 100 % share falls short of expectation — the
     paper's only visible deviation.
     """
-    app = make_toy_app()
-    daemons = [DaemonSpec("node", mean_interval=0.2, cpu_fraction=0.02)]
-
-    # Baseline: physical, unloaded machine (no daemons, no sandbox).
-    baseline_tb = Testbed(host_specs=app.env.host_specs())
-    baseline_rt = app.instantiate(baseline_tb, Configuration({"scale": 1.0}))
-    baseline_tb.run(until=3600)
-    baseline = baseline_rt.qos.get("elapsed")
+    payloads = [{"share": None}] + [{"share": share} for share in shares]
+    values = sweep_cells(
+        "repro.experiments.fig3:_fig3b_cell", payloads, seed=seed, engine=engine
+    )
+    baseline = values[0]
 
     result = FigureResult(
         figure="Fig 3b",
@@ -100,20 +124,7 @@ def run_fig3b(
     )
     measured = result.new_series("measured (testbed)")
     expected = result.new_series("expected (baseline/share)")
-    for share in shares:
-        tb = Testbed(
-            host_specs=app.env.host_specs(),
-            mode=LimiterMode.QUANTUM,
-            seed=seed,
-            daemons=daemons,
-        )
-        rt = app.instantiate(
-            tb,
-            Configuration({"scale": 1.0}),
-            limits={"node": ResourceLimits(cpu_share=share)},
-        )
-        tb.run(until=3600)
-        tb.shutdown()
-        measured.add(share * 100, rt.qos.get("elapsed"))
+    for share, elapsed in zip(shares, values[1:]):
+        measured.add(share * 100, elapsed)
         expected.add(share * 100, baseline / share)
     return result

@@ -17,17 +17,45 @@ from typing import Dict, Tuple
 
 from ..apps import make_toy_app
 from ..apps.visualization import VizCosts, VizWorkload, make_viz_app
-from ..cluster import PII_333, PII_450, PPRO_200, MachineSpec
+from ..cluster import MACHINES, PII_333, PII_450, PPRO_200, MachineSpec
 from ..sandbox import LimiterMode, ResourceLimits, Testbed
 from ..tunable import Configuration
-from .common import FigureResult
+from .common import FigureResult, sweep_cells
 
 __all__ = ["run_fig4a", "run_fig4b"]
 
 _TARGETS: Tuple[MachineSpec, ...] = (PII_333, PPRO_200)
 
 
-def run_fig4a(seed: int = 0) -> FigureResult:
+def _fig4a_cell(payload: dict, seed: int) -> dict:
+    """Sweep job: physical + clock-ratio-emulated run of one machine.
+
+    Both runs of a machine live in one cell so the physical/emulated
+    pairing (and the error note derived from it) stays atomic.
+    """
+    machine = MACHINES[payload["machine"]]
+    app = make_toy_app(cpu_speed=machine.clock_mhz)
+    tb = Testbed(host_specs=app.env.host_specs(), seed=seed)
+    rt = app.instantiate(tb, Configuration({"scale": 1.0}))
+    tb.run(until=3600)
+    physical = rt.qos.get("elapsed")
+
+    app450 = make_toy_app(cpu_speed=PII_450.clock_mhz)
+    tb450 = Testbed(
+        host_specs=app450.env.host_specs(), mode=LimiterMode.QUANTUM, seed=seed
+    )
+    share = machine.clock_ratio(PII_450)
+    rt450 = app450.instantiate(
+        tb450,
+        Configuration({"scale": 1.0}),
+        limits={"node": ResourceLimits(cpu_share=share)},
+    )
+    tb450.run(until=3600)
+    tb450.shutdown()
+    return {"physical": physical, "emulated": rt450.qos.get("elapsed")}
+
+
+def run_fig4a(seed: int = 0, engine=None) -> FigureResult:
     """Toy app: physical machines vs clock-ratio testbed emulation."""
     result = FigureResult(
         figure="Fig 4a",
@@ -37,26 +65,15 @@ def run_fig4a(seed: int = 0) -> FigureResult:
     )
     physical = result.new_series("physical")
     emulated = result.new_series("testbed (PII-450, clock-ratio share)")
-    for i, machine in enumerate(_TARGETS):
-        app = make_toy_app(cpu_speed=machine.clock_mhz)
-        tb = Testbed(host_specs=app.env.host_specs(), seed=seed)
-        rt = app.instantiate(tb, Configuration({"scale": 1.0}))
-        tb.run(until=3600)
-        physical.add(i, rt.qos.get("elapsed"))
-
-        app450 = make_toy_app(cpu_speed=PII_450.clock_mhz)
-        tb450 = Testbed(
-            host_specs=app450.env.host_specs(), mode=LimiterMode.QUANTUM, seed=seed
-        )
-        share = machine.clock_ratio(PII_450)
-        rt450 = app450.instantiate(
-            tb450,
-            Configuration({"scale": 1.0}),
-            limits={"node": ResourceLimits(cpu_share=share)},
-        )
-        tb450.run(until=3600)
-        tb450.shutdown()
-        emulated.add(i, rt450.qos.get("elapsed"))
+    values = sweep_cells(
+        "repro.experiments.fig4:_fig4a_cell",
+        [{"machine": machine.name} for machine in _TARGETS],
+        seed=seed,
+        engine=engine,
+    )
+    for i, (machine, cell) in enumerate(zip(_TARGETS, values)):
+        physical.add(i, cell["physical"])
+        emulated.add(i, cell["emulated"])
         result.note(
             f"{machine.name}: physical={physical.ys[-1]:.2f}s "
             f"emulated={emulated.ys[-1]:.2f}s "
@@ -96,7 +113,24 @@ def _viz_run(
     return rt.qos.get("transmit_time")
 
 
-def run_fig4b(seed: int = 0) -> FigureResult:
+def _fig4b_cell(payload: dict, seed: int) -> dict:
+    """Sweep job: physical + SpecInt-ratio-emulated viz run of one machine."""
+    machine = MACHINES[payload["machine"]]
+    t_phys = _viz_run(
+        client_speed=machine.specint95 * 26.2,
+        per_message_skew=payload["skew"],
+        seed=seed,
+    )
+    t_emul = _viz_run(
+        client_speed=PII_450.specint95 * 26.2,
+        cpu_share=machine.specint_ratio(PII_450),
+        seed=seed,
+        mode=LimiterMode.QUANTUM,
+    )
+    return {"physical": t_phys, "emulated": t_emul}
+
+
+def run_fig4b(seed: int = 0, engine=None) -> FigureResult:
     """Visualization app: physical machines vs SpecInt-ratio emulation.
 
     CPU speeds use the SpecInt95 scale (speed = specint * 26.2 puts the
@@ -118,19 +152,18 @@ def run_fig4b(seed: int = 0) -> FigureResult:
     # model — the source of the paper's residual error, largest on the
     # PPro-200.
     skews = {PII_333.name: 6.0, PPRO_200.name: 30.0}
-    for i, machine in enumerate(_TARGETS):
-        t_phys = _viz_run(
-            client_speed=machine.specint95 * 26.2,
-            per_message_skew=skews[machine.name],
-            seed=seed,
-        )
+    values = sweep_cells(
+        "repro.experiments.fig4:_fig4b_cell",
+        [
+            {"machine": machine.name, "skew": skews[machine.name]}
+            for machine in _TARGETS
+        ],
+        seed=seed,
+        engine=engine,
+    )
+    for i, (machine, cell) in enumerate(zip(_TARGETS, values)):
+        t_phys, t_emul = cell["physical"], cell["emulated"]
         physical.add(i, t_phys)
-        t_emul = _viz_run(
-            client_speed=PII_450.specint95 * 26.2,
-            cpu_share=machine.specint_ratio(PII_450),
-            seed=seed,
-            mode=LimiterMode.QUANTUM,
-        )
         emulated.add(i, t_emul)
         result.note(
             f"{machine.name}: physical={t_phys:.2f}s emulated={t_emul:.2f}s "

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..apps.visualization import VizCosts, VizWorkload, make_viz_app
+from ..exec import AppSpec, default_engine
 from ..profiling import (
     ProfilingDriver,
     ResourceDimension,
@@ -23,7 +24,7 @@ from ..profiling import (
 from ..tunable import Configuration
 from .common import FigureResult
 
-__all__ = ["EXP3_COSTS", "EXP3_BW", "run_fig5", "fig5_database"]
+__all__ = ["EXP3_COSTS", "EXP3_BW", "run_fig5", "fig5_database", "exp3_workload"]
 
 #: Experiment-3 calibration: rendering cost placed so that the 1 s
 #: response bound separates the fovea sizes the way the paper reports —
@@ -40,44 +41,60 @@ FOVEA_SIZES: Tuple[int, ...] = (80, 160, 320)
 CPU_SHARES: Tuple[float, ...] = (0.2, 0.3, 0.4, 0.6, 0.8, 0.9, 1.0)
 
 
+def exp3_workload(config, point, run_seed, n_images: int = 2):
+    """Module-level Experiment-3 workload factory (importable by workers)."""
+    return VizWorkload(n_images=n_images, costs=EXP3_COSTS, seed=run_seed)
+
+
 def fig5_database(
     shares: Tuple[float, ...] = CPU_SHARES,
     fovea_sizes: Tuple[int, ...] = FOVEA_SIZES,
     n_images: int = 2,
     seed: int = 0,
     recorder=None,
+    engine=None,
 ):
     """Profile the fovea-size configurations over the CPU-share axis.
 
     Returns (database, dims, configs) — also used by the Experiment-3
     adaptive run (Fig. 7c/d), which is how the paper uses these curves.
     An optional :class:`repro.obs.TraceRecorder` wraps each measurement
-    in a ``profile.measure`` span.
+    in a ``profile.measure`` span; since engine workers carry no trace
+    context, the sweep engine is only consulted when no recorder is set
+    (or when ``engine`` is passed explicitly).
     """
     app = make_viz_app()
     dims = [
         ResourceDimension("client.cpu", tuple(shares), lo=0.01, hi=1.0),
         ResourceDimension("client.network", (EXP3_BW / 2, EXP3_BW), lo=1.0),
     ]
-
-    def workload(config, point, run_seed):
-        return VizWorkload(n_images=n_images, costs=EXP3_COSTS, seed=run_seed)
-
+    app_spec = AppSpec(
+        "repro.apps.visualization:make_viz_app",
+        workload="repro.experiments.fig5:exp3_workload",
+        workload_kwargs={"n_images": n_images},
+    )
+    if engine is None and recorder is None:
+        engine = default_engine()
     driver = ProfilingDriver(
-        app, dims, workload_factory=workload, seed=seed, recorder=recorder
+        app,
+        dims,
+        workload_factory=app_spec.build_workload_factory(),
+        seed=seed,
+        recorder=recorder,
+        app_spec=app_spec,
     )
     configs = [
         Configuration({"dR": dr, "c": "lzw", "l": 4}) for dr in fovea_sizes
     ]
     base = ResourcePoint({"client.cpu": 1.0, "client.network": EXP3_BW})
     plan = vary_one_plan(dims, "client.cpu", base)
-    db = driver.profile(configs=configs, plan=plan)
+    db = driver.profile(configs=configs, plan=plan, engine=engine)
     return db, dims, configs
 
 
-def run_fig5(seed: int = 0) -> Tuple[FigureResult, FigureResult]:
+def run_fig5(seed: int = 0, engine=None) -> Tuple[FigureResult, FigureResult]:
     """(transmission-time figure, response-time figure)."""
-    db, _dims, configs = fig5_database(seed=seed)
+    db, _dims, configs = fig5_database(seed=seed, engine=engine)
     fig_a = FigureResult(
         figure="Fig 5a",
         title="Image transmission time for different fovea sizes vs CPU share",

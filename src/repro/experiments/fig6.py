@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..apps.visualization import VizCosts, VizWorkload, make_viz_app
+from ..exec import AppSpec, default_engine
 from ..profiling import (
     ProfilingDriver,
     ResourceDimension,
@@ -30,6 +31,8 @@ __all__ = [
     "run_fig6b",
     "fig6a_database",
     "fig6b_database",
+    "exp1_workload",
+    "exp2_workload",
 ]
 
 #: Experiment-1 calibration: light rendering; time is network/codec bound.
@@ -44,11 +47,22 @@ BANDWIDTHS: Tuple[float, ...] = (25e3, 50e3, 100e3, 200e3, 350e3, 500e3, 750e3, 
 CPU_SHARES: Tuple[float, ...] = (0.2, 0.3, 0.4, 0.6, 0.8, 0.9, 1.0)
 
 
+def exp1_workload(config, point, run_seed, n_images: int = 1):
+    """Module-level Experiment-1 workload factory (importable by workers)."""
+    return VizWorkload(n_images=n_images, costs=EXP1_COSTS, seed=run_seed)
+
+
+def exp2_workload(config, point, run_seed, n_images: int = 1):
+    """Module-level Experiment-2 workload factory (importable by workers)."""
+    return VizWorkload(n_images=n_images, costs=EXP2_COSTS, seed=run_seed)
+
+
 def fig6a_database(
     bandwidths: Tuple[float, ...] = BANDWIDTHS,
     n_images: int = 1,
     seed: int = 0,
     recorder=None,
+    engine=None,
 ):
     """Profile {lzw, bzip2} over the client-bandwidth axis (CPU fixed)."""
     app = make_viz_app()
@@ -56,19 +70,27 @@ def fig6a_database(
         ResourceDimension("client.cpu", (0.5, 1.0), lo=0.01, hi=1.0),
         ResourceDimension("client.network", tuple(bandwidths), lo=1.0),
     ]
-
-    def workload(config, point, run_seed):
-        return VizWorkload(n_images=n_images, costs=EXP1_COSTS, seed=run_seed)
-
+    app_spec = AppSpec(
+        "repro.apps.visualization:make_viz_app",
+        workload="repro.experiments.fig6:exp1_workload",
+        workload_kwargs={"n_images": n_images},
+    )
+    if engine is None and recorder is None:
+        engine = default_engine()
     driver = ProfilingDriver(
-        app, dims, workload_factory=workload, seed=seed, recorder=recorder
+        app,
+        dims,
+        workload_factory=app_spec.build_workload_factory(),
+        seed=seed,
+        recorder=recorder,
+        app_spec=app_spec,
     )
     configs = [
         Configuration({"dR": 320, "c": codec, "l": 4}) for codec in ("lzw", "bzip2")
     ]
     base = ResourcePoint({"client.cpu": 1.0, "client.network": bandwidths[-1]})
     plan = vary_one_plan(dims, "client.network", base)
-    db = driver.profile(configs=configs, plan=plan)
+    db = driver.profile(configs=configs, plan=plan, engine=engine)
     return db, dims, configs
 
 
@@ -77,6 +99,7 @@ def fig6b_database(
     n_images: int = 1,
     seed: int = 0,
     recorder=None,
+    engine=None,
 ):
     """Profile resolution levels {3, 4} over the CPU-share axis."""
     app = make_viz_app()
@@ -84,24 +107,32 @@ def fig6b_database(
         ResourceDimension("client.cpu", tuple(shares), lo=0.01, hi=1.0),
         ResourceDimension("client.network", (EXP2_BW / 2, EXP2_BW), lo=1.0),
     ]
-
-    def workload(config, point, run_seed):
-        return VizWorkload(n_images=n_images, costs=EXP2_COSTS, seed=run_seed)
-
+    app_spec = AppSpec(
+        "repro.apps.visualization:make_viz_app",
+        workload="repro.experiments.fig6:exp2_workload",
+        workload_kwargs={"n_images": n_images},
+    )
+    if engine is None and recorder is None:
+        engine = default_engine()
     driver = ProfilingDriver(
-        app, dims, workload_factory=workload, seed=seed, recorder=recorder
+        app,
+        dims,
+        workload_factory=app_spec.build_workload_factory(),
+        seed=seed,
+        recorder=recorder,
+        app_spec=app_spec,
     )
     configs = [
         Configuration({"dR": 320, "c": "lzw", "l": level}) for level in (3, 4)
     ]
     base = ResourcePoint({"client.cpu": 1.0, "client.network": EXP2_BW})
     plan = vary_one_plan(dims, "client.cpu", base)
-    db = driver.profile(configs=configs, plan=plan)
+    db = driver.profile(configs=configs, plan=plan, engine=engine)
     return db, dims, configs
 
 
-def run_fig6a(seed: int = 0) -> FigureResult:
-    db, _dims, configs = fig6a_database(seed=seed)
+def run_fig6a(seed: int = 0, engine=None) -> FigureResult:
+    db, _dims, configs = fig6a_database(seed=seed, engine=engine)
     result = FigureResult(
         figure="Fig 6a",
         title="Image transmission time for different compression methods "
@@ -119,8 +150,8 @@ def run_fig6a(seed: int = 0) -> FigureResult:
     return result
 
 
-def run_fig6b(seed: int = 0) -> FigureResult:
-    db, _dims, configs = fig6b_database(seed=seed)
+def run_fig6b(seed: int = 0, engine=None) -> FigureResult:
+    db, _dims, configs = fig6b_database(seed=seed, engine=engine)
     result = FigureResult(
         figure="Fig 6b",
         title="Image transmission time for images of different resolutions "

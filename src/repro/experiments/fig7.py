@@ -24,13 +24,14 @@ from ..apps.visualization import VizWorkload, make_viz_app
 from ..profiling import PerformanceDatabase, ResourcePoint
 from ..runtime import (
     AdaptationController,
+    AdaptationEvent,
     Objective,
     ResourceScheduler,
     UserPreference,
 )
 from ..sandbox import ResourceLimits, Testbed
 from ..tunable import Configuration, MetricRange, Preprocessor
-from .common import FigureResult
+from .common import FigureResult, sweep_cells
 from .fig5 import EXP3_BW, EXP3_COSTS, fig5_database
 from .fig6 import EXP1_COSTS, EXP2_BW, EXP2_COSTS, fig6a_database, fig6b_database
 
@@ -54,24 +55,81 @@ class ResourceVariation:
 
 @dataclass
 class AdaptiveRun:
-    """Everything observed in one (adaptive or static) run."""
+    """Everything observed in one (adaptive or static) run.
+
+    Holds plain data (not live workload objects) so a run can cross a
+    process boundary: Fig-7 scenarios execute as sweep-engine jobs that
+    return :meth:`to_dict`, and the parent rebuilds the run with
+    :meth:`from_dict` — byte-identically.
+    """
 
     label: str
-    workload: VizWorkload
     qos: Dict[str, float]
+    image_times: List[Tuple[float, float]] = field(default_factory=list)
+    round_times: List[Tuple[float, float]] = field(default_factory=list)
     switches: List[Tuple[float, Configuration, Configuration]] = field(
         default_factory=list
     )
-    events: list = field(default_factory=list)
+    events: List[AdaptationEvent] = field(default_factory=list)
     total_time: float = 0.0
 
     @property
     def image_series(self) -> List[Tuple[float, float]]:
-        return list(self.workload.image_times)
+        return list(self.image_times)
 
     @property
     def response_series(self) -> List[Tuple[float, float]]:
-        return list(self.workload.round_times)
+        return list(self.round_times)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (ships runs across process boundaries)."""
+        return {
+            "label": self.label,
+            "qos": dict(self.qos),
+            "image_times": [[t, d] for t, d in self.image_times],
+            "round_times": [[t, d] for t, d in self.round_times],
+            "switches": [
+                [t, dict(old), dict(new)] for t, old, new in self.switches
+            ],
+            "events": [
+                {
+                    "time": e.time,
+                    "kind": e.kind,
+                    "config": dict(e.config) if e.config is not None else None,
+                    "estimates": dict(e.estimates),
+                }
+                for e in self.events
+            ],
+            "total_time": self.total_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdaptiveRun":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            label=data["label"],
+            qos={k: float(v) for k, v in data["qos"].items()},
+            image_times=[(float(t), float(d)) for t, d in data["image_times"]],
+            round_times=[(float(t), float(d)) for t, d in data["round_times"]],
+            switches=[
+                (float(t), Configuration(old), Configuration(new))
+                for t, old, new in data["switches"]
+            ],
+            events=[
+                AdaptationEvent(
+                    time=float(e["time"]),
+                    kind=e["kind"],
+                    config=(
+                        Configuration(e["config"])
+                        if e["config"] is not None
+                        else None
+                    ),
+                    estimates={k: float(v) for k, v in e["estimates"].items()},
+                )
+                for e in data["events"]
+            ],
+            total_time=float(data["total_time"]),
+        )
 
 
 def run_adaptive_viz(
@@ -134,8 +192,9 @@ def run_adaptive_viz(
         raise RuntimeError(f"run {label!r} did not finish by t={until}")
     return AdaptiveRun(
         label=label or (config.label() if not adaptive else "adaptive"),
-        workload=workload,
         qos=rt.qos.snapshot(),
+        image_times=list(workload.image_times),
+        round_times=list(workload.round_times),
         switches=list(rt.controls.history),
         events=list(controller.events) if adaptive else [],
         total_time=workload.image_times[-1][0] if workload.image_times else 0.0,
@@ -145,32 +204,57 @@ def run_adaptive_viz(
 # ------------------------------------------------------------ experiment 1
 
 
+def _exp1_cell(payload: dict, seed: int) -> dict:
+    """Sweep job: one Experiment-1 run (``run``: adaptive | lzw | bzip2)."""
+    db = PerformanceDatabase.from_dict(payload["db"])
+    preference = UserPreference.single(Objective("transmit_time", "minimize"))
+    initial_point = ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
+    initial_limits = {"client": ResourceLimits(net_bw=500e3)}
+    variations = (
+        ResourceVariation(payload["switch_at"], ResourceLimits(net_bw=50e3)),
+    )
+    run = payload["run"]
+    if run == "adaptive":
+        out = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP1_COSTS, n_images=payload["n_images"], label="adaptive",
+            seed=seed,
+        )
+    else:
+        out = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP1_COSTS, n_images=payload["n_images"], adaptive=False,
+            forced_config=Configuration({"dR": 320, "c": run, "l": 4}),
+            label=f"static {run}", seed=seed,
+        )
+    return out.to_dict()
+
+
 def run_experiment1(
     seed: int = 0,
     n_images: int = 10,
     switch_at: float = 25.0,
     db: Optional[PerformanceDatabase] = None,
+    engine=None,
 ) -> Tuple[FigureResult, Dict[str, AdaptiveRun]]:
     """Adapting the compression method to network conditions (Fig. 7a)."""
     if db is None:
-        db, _dims, _configs = fig6a_database(seed=seed)
-    preference = UserPreference.single(Objective("transmit_time", "minimize"))
-    initial_point = ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
-    initial_limits = {"client": ResourceLimits(net_bw=500e3)}
-    variations = (ResourceVariation(switch_at, ResourceLimits(net_bw=50e3)),)
-
-    runs: Dict[str, AdaptiveRun] = {}
-    runs["adaptive"] = run_adaptive_viz(
-        db, preference, initial_point, initial_limits, variations,
-        EXP1_COSTS, n_images=n_images, label="adaptive", seed=seed,
+        db, _dims, _configs = fig6a_database(seed=seed, engine=engine)
+    keys = ("adaptive", "lzw", "bzip2")
+    db_dict = db.to_dict()
+    values = sweep_cells(
+        "repro.experiments.fig7:_exp1_cell",
+        [
+            {"db": db_dict, "run": key, "n_images": n_images,
+             "switch_at": switch_at}
+            for key in keys
+        ],
+        seed=seed,
+        engine=engine,
     )
-    for codec in ("lzw", "bzip2"):
-        runs[codec] = run_adaptive_viz(
-            db, preference, initial_point, initial_limits, variations,
-            EXP1_COSTS, n_images=n_images, adaptive=False,
-            forced_config=Configuration({"dR": 320, "c": codec, "l": 4}),
-            label=f"static {codec}", seed=seed,
-        )
+    runs: Dict[str, AdaptiveRun] = {
+        key: AdaptiveRun.from_dict(value) for key, value in zip(keys, values)
+    }
 
     result = FigureResult(
         figure="Fig 7a",
@@ -200,40 +284,66 @@ def run_experiment1(
 # ------------------------------------------------------------ experiment 2
 
 
-def run_experiment2(
-    seed: int = 0,
-    n_images: int = 10,
-    switch_at: float = 30.0,
-    deadline: float = 10.0,
-    db: Optional[PerformanceDatabase] = None,
-) -> Tuple[FigureResult, Dict[str, AdaptiveRun]]:
-    """Adapting image resolution to CPU conditions (Fig. 7b)."""
-    if db is None:
-        db, _dims, _configs = fig6b_database(seed=seed)
+def _exp2_cell(payload: dict, seed: int) -> dict:
+    """Sweep job: one Experiment-2 run (``run``: adaptive | l4 | l3)."""
+    db = PerformanceDatabase.from_dict(payload["db"])
     preference = UserPreference.single(
         Objective("resolution", "maximize"),
-        [MetricRange("transmit_time", hi=deadline)],
+        [MetricRange("transmit_time", hi=payload["deadline"])],
     )
     initial_point = ResourcePoint({"client.cpu": 0.9, "client.network": EXP2_BW})
     initial_limits = {
         "client": ResourceLimits(cpu_share=0.9, net_bw=EXP2_BW)
     }
     variations = (
-        ResourceVariation(switch_at, ResourceLimits(cpu_share=0.4, net_bw=EXP2_BW)),
+        ResourceVariation(
+            payload["switch_at"], ResourceLimits(cpu_share=0.4, net_bw=EXP2_BW)
+        ),
     )
-
-    runs: Dict[str, AdaptiveRun] = {}
-    runs["adaptive"] = run_adaptive_viz(
-        db, preference, initial_point, initial_limits, variations,
-        EXP2_COSTS, n_images=n_images, label="adaptive", seed=seed,
-    )
-    for level in (4, 3):
-        runs[f"l{level}"] = run_adaptive_viz(
+    run = payload["run"]
+    if run == "adaptive":
+        out = run_adaptive_viz(
             db, preference, initial_point, initial_limits, variations,
-            EXP2_COSTS, n_images=n_images, adaptive=False,
+            EXP2_COSTS, n_images=payload["n_images"], label="adaptive",
+            seed=seed,
+        )
+    else:
+        level = int(run[1:])
+        out = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP2_COSTS, n_images=payload["n_images"], adaptive=False,
             forced_config=Configuration({"dR": 320, "c": "lzw", "l": level}),
             label=f"static level {level}", seed=seed,
         )
+    return out.to_dict()
+
+
+def run_experiment2(
+    seed: int = 0,
+    n_images: int = 10,
+    switch_at: float = 30.0,
+    deadline: float = 10.0,
+    db: Optional[PerformanceDatabase] = None,
+    engine=None,
+) -> Tuple[FigureResult, Dict[str, AdaptiveRun]]:
+    """Adapting image resolution to CPU conditions (Fig. 7b)."""
+    if db is None:
+        db, _dims, _configs = fig6b_database(seed=seed, engine=engine)
+    keys = ("adaptive", "l4", "l3")
+    db_dict = db.to_dict()
+    values = sweep_cells(
+        "repro.experiments.fig7:_exp2_cell",
+        [
+            {"db": db_dict, "run": key, "n_images": n_images,
+             "switch_at": switch_at, "deadline": deadline}
+            for key in keys
+        ],
+        seed=seed,
+        engine=engine,
+    )
+    runs: Dict[str, AdaptiveRun] = {
+        key: AdaptiveRun.from_dict(value) for key, value in zip(keys, values)
+    }
 
     result = FigureResult(
         figure="Fig 7b",
@@ -256,40 +366,66 @@ def run_experiment2(
 # ------------------------------------------------------------ experiment 3
 
 
-def run_experiment3(
-    seed: int = 0,
-    n_images: int = 16,
-    switch_at: float = 40.0,
-    response_bound: float = 1.0,
-    db: Optional[PerformanceDatabase] = None,
-) -> Tuple[FigureResult, FigureResult, Dict[str, AdaptiveRun]]:
-    """Adapting fovea size to CPU conditions (Figs. 7c and 7d)."""
-    if db is None:
-        db, _dims, _configs = fig5_database(seed=seed)
+def _exp3_cell(payload: dict, seed: int) -> dict:
+    """Sweep job: one Experiment-3 run (``run``: adaptive | dR320 | dR80)."""
+    db = PerformanceDatabase.from_dict(payload["db"])
     preference = UserPreference.single(
         Objective("transmit_time", "minimize"),
-        [MetricRange("response_time", hi=response_bound)],
+        [MetricRange("response_time", hi=payload["response_bound"])],
     )
     initial_point = ResourcePoint({"client.cpu": 0.9, "client.network": EXP3_BW})
     initial_limits = {
         "client": ResourceLimits(cpu_share=0.9, net_bw=EXP3_BW)
     }
     variations = (
-        ResourceVariation(switch_at, ResourceLimits(cpu_share=0.4, net_bw=EXP3_BW)),
+        ResourceVariation(
+            payload["switch_at"], ResourceLimits(cpu_share=0.4, net_bw=EXP3_BW)
+        ),
     )
-
-    runs: Dict[str, AdaptiveRun] = {}
-    runs["adaptive"] = run_adaptive_viz(
-        db, preference, initial_point, initial_limits, variations,
-        EXP3_COSTS, n_images=n_images, label="adaptive", seed=seed,
-    )
-    for dr in (320, 80):
-        runs[f"dR{dr}"] = run_adaptive_viz(
+    run = payload["run"]
+    if run == "adaptive":
+        out = run_adaptive_viz(
             db, preference, initial_point, initial_limits, variations,
-            EXP3_COSTS, n_images=n_images, adaptive=False,
+            EXP3_COSTS, n_images=payload["n_images"], label="adaptive",
+            seed=seed,
+        )
+    else:
+        dr = int(run[2:])
+        out = run_adaptive_viz(
+            db, preference, initial_point, initial_limits, variations,
+            EXP3_COSTS, n_images=payload["n_images"], adaptive=False,
             forced_config=Configuration({"dR": dr, "c": "lzw", "l": 4}),
             label=f"static fovea {dr}", seed=seed,
         )
+    return out.to_dict()
+
+
+def run_experiment3(
+    seed: int = 0,
+    n_images: int = 16,
+    switch_at: float = 40.0,
+    response_bound: float = 1.0,
+    db: Optional[PerformanceDatabase] = None,
+    engine=None,
+) -> Tuple[FigureResult, FigureResult, Dict[str, AdaptiveRun]]:
+    """Adapting fovea size to CPU conditions (Figs. 7c and 7d)."""
+    if db is None:
+        db, _dims, _configs = fig5_database(seed=seed, engine=engine)
+    keys = ("adaptive", "dR320", "dR80")
+    db_dict = db.to_dict()
+    values = sweep_cells(
+        "repro.experiments.fig7:_exp3_cell",
+        [
+            {"db": db_dict, "run": key, "n_images": n_images,
+             "switch_at": switch_at, "response_bound": response_bound}
+            for key in keys
+        ],
+        seed=seed,
+        engine=engine,
+    )
+    runs: Dict[str, AdaptiveRun] = {
+        key: AdaptiveRun.from_dict(value) for key, value in zip(keys, values)
+    }
 
     fig_c = FigureResult(
         figure="Fig 7c",

@@ -53,6 +53,8 @@ def autoprofile(
     merge_rtol: float = 0.05,
     seed: int = 0,
     mode: str = "ideal",
+    app_spec=None,
+    engine=None,
 ) -> AutoProfileReport:
     """Model ``app`` over ``dims`` and return a pruned database.
 
@@ -60,16 +62,22 @@ def autoprofile(
     ``adaptive_rounds`` of sensitivity-driven refinement, maximal-subset
     pruning, and similar-config merging.  The full database is also kept in
     the report for inspection.
+
+    ``app_spec`` + ``engine`` (see :mod:`repro.exec`) route the sampling
+    through the parallel sweep engine and its result cache; the database
+    is byte-identical to the serial pipeline either way.
     """
     pre = Preprocessor(app)
     config_file = pre.config_file()
     if configs is None:
         configs = config_file.configurations
     driver = ProfilingDriver(
-        app, dims, workload_factory=workload_factory, seed=seed, mode=mode
+        app, dims, workload_factory=workload_factory, seed=seed, mode=mode,
+        app_spec=app_spec,
     )
     db = driver.profile_adaptive(
-        configs=configs, rounds=adaptive_rounds, per_round=per_round
+        configs=configs, rounds=adaptive_rounds, per_round=per_round,
+        engine=engine,
     )
     pruned = prune_database(db, app.metrics, merge_rtol=merge_rtol)
     rep_map = merge_similar(db, app.metrics, rtol=merge_rtol)

@@ -37,6 +37,25 @@ class Record:
     metrics: Dict[str, float]
     meta: Dict[str, object] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-able form (ships records across process boundaries)."""
+        return {
+            "config": dict(self.config),
+            "point": dict(self.point),
+            "metrics": dict(self.metrics),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Record":
+        """Inverse of :meth:`to_dict`; metric values coerce to float."""
+        return cls(
+            config=Configuration(data["config"]),
+            point=ResourcePoint(data["point"]),
+            metrics={k: float(v) for k, v in data["metrics"].items()},
+            meta=dict(data.get("meta", {})),
+        )
+
 
 class PerformanceDatabase:
     """Profiles of application behaviour across the resource space."""
@@ -175,12 +194,7 @@ class PerformanceDatabase:
             "app": self.app_name,
             "resource_dims": self.resource_dims,
             "records": [
-                {
-                    "config": dict(rec.config),
-                    "point": dict(rec.point),
-                    "metrics": rec.metrics,
-                    "meta": rec.meta,
-                }
+                rec.to_dict()
                 for pts in self._records.values()
                 for rec in pts.values()
             ],
@@ -190,14 +204,7 @@ class PerformanceDatabase:
     def from_dict(cls, data: dict) -> "PerformanceDatabase":
         db = cls(app_name=data.get("app", ""), resource_dims=data.get("resource_dims", ()))
         for raw in data.get("records", []):
-            db.add(
-                Record(
-                    config=Configuration(raw["config"]),
-                    point=ResourcePoint(raw["point"]),
-                    metrics={k: float(v) for k, v in raw["metrics"].items()},
-                    meta=raw.get("meta", {}),
-                )
-            )
+            db.add(Record.from_dict(raw))
         return db
 
     def save(self, path) -> None:

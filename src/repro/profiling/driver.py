@@ -8,6 +8,14 @@ instantiates the application inside sandboxes configured for that point,
 runs it to completion, and stores the measured QoS metrics in a
 :class:`PerformanceDatabase`.  An adaptive mode closes the loop with
 sensitivity analysis.
+
+When constructed with an :class:`repro.exec.AppSpec` (a pure description
+of how to rebuild the app in another process), :meth:`profile` and
+:meth:`profile_adaptive` accept a :class:`repro.exec.SweepEngine` and
+route every measurement through it — sharding cells across worker
+processes and serving unchanged cells from the persistent result cache —
+while merging records in the exact order of the serial loop, so the
+resulting database is byte-identical.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ class ProfilingDriver:
         seed: int = 0,
         max_run_time: float = 3600.0,
         recorder: Optional[TraceRecorder] = None,
+        app_spec=None,
     ):
         names = [d.name for d in dims]
         if len(set(names)) != len(names):
@@ -60,6 +69,10 @@ class ProfilingDriver:
         #: testbed, so successive run spans overlap on the time axis — the
         #: ``run`` attr disambiguates them.
         self.recorder = recorder
+        #: Optional :class:`repro.exec.AppSpec` enabling the engine path
+        #: of :meth:`profile`/:meth:`profile_adaptive` (workers must be
+        #: able to rebuild the app from pure data).
+        self.app_spec = app_spec
         self.runs = 0
 
     def measure(self, config: Configuration, point: ResourcePoint) -> Record:
@@ -126,8 +139,15 @@ class ProfilingDriver:
         configs: Optional[Sequence[Configuration]] = None,
         plan: Optional[Sequence[ResourcePoint]] = None,
         db: Optional[PerformanceDatabase] = None,
+        engine=None,
     ) -> PerformanceDatabase:
-        """Measure every configuration at every plan point."""
+        """Measure every configuration at every plan point.
+
+        With ``engine`` (a :class:`repro.exec.SweepEngine`), cells run
+        through the sweep engine — parallel and/or cache-served — and
+        merge into the database in serial-loop order.  The recorder is
+        not consulted on that path (workers carry no trace context).
+        """
         if configs is None:
             configs = self.app.configurations()
         if plan is None:
@@ -136,10 +156,35 @@ class ProfilingDriver:
             db = PerformanceDatabase(
                 self.app.name, [d.name for d in self.dims]
             )
+        if engine is not None:
+            cells = [(config, point) for config in configs for point in plan]
+            self._measure_cells(cells, db, engine, prefix="g")
+            return db
         for config in configs:
             for point in plan:
                 db.add(self.measure(config, point))
         return db
+
+    def _measure_cells(self, cells, db, engine, prefix: str) -> None:
+        """Run (config, point) cells through the engine; add in order."""
+        from ..exec import JobSpec
+        from ..exec.profile_jobs import app_spec_payload
+
+        specs = [
+            JobSpec(
+                kind="repro.exec.profile_jobs:measure_cell",
+                payload=app_spec_payload(
+                    self.app_spec, config, point, self.mode, self.max_run_time
+                ),
+                seed=self.seed,
+                key=f"{prefix}{i:06d}",
+            )
+            for i, (config, point) in enumerate(cells)
+        ]
+        report = engine.run(specs)
+        for spec in specs:
+            db.add(Record.from_dict(report.value(spec.key)))
+        self.runs += len(cells)
 
     def profile_adaptive(
         self,
@@ -148,18 +193,30 @@ class ProfilingDriver:
         rounds: int = 2,
         per_round: int = 8,
         min_score: float = 0.02,
+        engine=None,
     ) -> PerformanceDatabase:
-        """Grid profiling followed by sensitivity-driven refinement rounds."""
+        """Grid profiling followed by sensitivity-driven refinement rounds.
+
+        The refinement proposals of each round depend only on the
+        database contents, which the engine path reproduces exactly — so
+        each round's batch can itself run through the engine.
+        """
         if configs is None:
             configs = self.app.configurations()
-        db = self.profile(configs=configs, plan=initial_plan)
+        db = self.profile(configs=configs, plan=initial_plan, engine=engine)
         metrics = [m.name for m in self.app.metrics]
-        for _ in range(rounds):
+        for round_idx in range(rounds):
             proposals = propose_refinements(
                 db, metrics, top_k=per_round, min_score=min_score, configs=configs
             )
             if not proposals:
                 break
+            if engine is not None:
+                self._measure_cells(
+                    [(prop.config, prop.point) for prop in proposals],
+                    db, engine, prefix=f"r{round_idx:02d}-",
+                )
+                continue
             for prop in proposals:
                 db.add(self.measure(prop.config, prop.point))
         return db

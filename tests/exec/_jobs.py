@@ -1,0 +1,56 @@
+"""Job functions for the repro.exec tests.
+
+They live in an importable module (not inside a test function) because
+spawned worker processes must be able to ``import tests.exec._jobs`` and
+resolve them by dotted path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+
+def echo(payload: dict, seed: int):
+    """Return the inputs verbatim."""
+    return {"payload": dict(payload), "seed": seed}
+
+
+def add(payload: dict, seed: int):
+    """Pure arithmetic on the payload."""
+    return payload["a"] + payload["b"] + seed
+
+
+def pid(payload: dict, seed: int):
+    """The executing process id (distinguishes workers from the parent)."""
+    return os.getpid()
+
+
+def slow(payload: dict, seed: int):
+    """Sleep ``duration`` wall seconds, then return ``value``."""
+    time.sleep(payload["duration"])
+    return payload.get("value")
+
+
+def boom(payload: dict, seed: int):
+    """Raise — the deterministic in-job failure case."""
+    raise ValueError(payload.get("message", "boom"))
+
+
+def crash(payload: dict, seed: int):
+    """Kill the executing process without reporting a result."""
+    os._exit(payload.get("code", 13))
+
+
+def crash_once(payload: dict, seed: int):
+    """Crash on the first attempt (marker file absent), succeed after.
+
+    ``payload["marker"]`` is a path unique to the test; its existence
+    records that the crash already happened.
+    """
+    marker = Path(payload["marker"])
+    if not marker.exists():
+        marker.write_text("crashed")
+        os._exit(13)
+    return "recovered"

@@ -1,0 +1,144 @@
+"""SweepEngine: cache behaviour, invalidation, metrics, sweep_cells."""
+
+import pytest
+
+from repro.exec import (
+    JobSpec,
+    ResultStore,
+    SweepEngine,
+    SweepError,
+    default_engine,
+    set_default_engine,
+    sweep_cells,
+)
+
+
+def _specs(n: int = 4, seed: int = 0):
+    return [
+        JobSpec(
+            kind="tests.exec._jobs:add",
+            payload={"a": i, "b": 10},
+            seed=seed,
+            key=f"{i:03d}",
+        )
+        for i in range(n)
+    ]
+
+
+def test_uncached_engine_runs_everything(tmp_path):
+    engine = SweepEngine(jobs=1)
+    report = engine.run(_specs())
+    assert report.stats["ran"] == 4
+    assert report.stats["cached"] == 0
+    assert report.values() == [10, 11, 12, 13]
+
+
+def test_cache_miss_then_hit(tmp_path):
+    store = ResultStore(tmp_path)
+    engine = SweepEngine(jobs=1, store=store, source="fp-1")
+    first = engine.run(_specs())
+    assert first.stats["ran"] == 4 and first.stats["hit_rate"] == 0.0
+
+    second = engine.run(_specs())
+    assert second.stats["ran"] == 0
+    assert second.stats["cached"] == 4
+    assert second.stats["hit_rate"] == 1.0
+    assert second.stats["wall_saved"] >= 0.0
+    assert second.values() == first.values()
+    assert all(r.cached for r in second.outcomes)
+
+
+def test_source_change_invalidates(tmp_path):
+    store = ResultStore(tmp_path)
+    SweepEngine(jobs=1, store=store, source="fp-old").run(_specs())
+    engine = SweepEngine(jobs=1, store=store, source="fp-new")
+    report = engine.run(_specs())
+    assert report.stats["ran"] == 4  # nothing served from the old source
+    assert report.stats["cached"] == 0
+
+
+def test_seed_and_payload_changes_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    engine = SweepEngine(jobs=1, store=store, source="fp")
+    engine.run(_specs(seed=0))
+    assert engine.run(_specs(seed=1)).stats["ran"] == 4
+    other = [
+        JobSpec(
+            kind="tests.exec._jobs:add", payload={"a": i, "b": 11},
+            seed=0, key=f"{i:03d}",
+        )
+        for i in range(4)
+    ]
+    assert engine.run(other).stats["ran"] == 4
+
+
+def test_failures_not_cached(tmp_path):
+    store = ResultStore(tmp_path)
+    engine = SweepEngine(jobs=1, store=store, source="fp")
+    bad = [JobSpec(kind="tests.exec._jobs:boom", payload={}, key="b")]
+    report = engine.run(bad, strict=False)
+    assert report.failures and len(store) == 0
+    # A later run re-executes rather than serving the failure.
+    assert engine.run(bad, strict=False).stats["ran"] == 1
+
+
+def test_strict_failure_raises_with_summary():
+    engine = SweepEngine(jobs=1)
+    specs = [
+        JobSpec(
+            kind="tests.exec._jobs:boom", payload={"message": "kaboom"}, key="x"
+        )
+    ]
+    with pytest.raises(SweepError, match="kaboom"):
+        engine.run(specs)
+    report = engine.run(specs, strict=False)
+    assert not report.outcomes[0].ok
+    with pytest.raises(SweepError):
+        report.value("x")
+
+
+def test_duplicate_keys_rejected():
+    engine = SweepEngine(jobs=1)
+    with pytest.raises(SweepError, match="duplicate"):
+        engine.run(
+            [
+                JobSpec(kind="tests.exec._jobs:echo", key="k"),
+                JobSpec(kind="tests.exec._jobs:echo", key="k"),
+            ]
+        )
+
+
+def test_metrics_instrumented(tmp_path):
+    store = ResultStore(tmp_path)
+    engine = SweepEngine(jobs=1, store=store, source="fp")
+    engine.run(_specs())
+    engine.run(_specs())
+    m = engine.metrics
+    assert m.counter("exec.jobs.run").value == 4
+    assert m.counter("exec.jobs.cached").value == 4
+    assert m.counter("exec.jobs.failed").value == 0
+    assert m.gauge("exec.workers").value == 1
+
+
+def test_sweep_cells_returns_payload_order():
+    values = sweep_cells(
+        "tests.exec._jobs:add",
+        [{"a": i, "b": 100} for i in (5, 3, 9)],
+        seed=1,
+    )
+    assert values == [106, 104, 110]
+
+
+def test_sweep_cells_uses_default_engine(tmp_path):
+    store = ResultStore(tmp_path)
+    engine = SweepEngine(jobs=1, store=store, source="fp")
+    previous = set_default_engine(engine)
+    try:
+        assert default_engine() is engine
+        sweep_cells("tests.exec._jobs:add", [{"a": 1, "b": 2}])
+        assert len(store) == 1
+        sweep_cells("tests.exec._jobs:add", [{"a": 1, "b": 2}])
+        assert engine.metrics.counter("exec.jobs.cached").value == 1
+    finally:
+        set_default_engine(previous)
+    assert default_engine() is not engine

@@ -1,0 +1,31 @@
+"""Experiment grids produce identical figures through the sweep engine."""
+
+from repro.exec import ResultStore, SweepEngine
+from repro.experiments import run_fig3b, run_fig4a
+
+
+def _series_points(result):
+    return {label: s.points for label, s in result.series.items()}
+
+
+def test_fig3b_parallel_equals_serial(tmp_path):
+    shares = (0.25, 0.5, 1.0)
+    serial = run_fig3b(shares=shares, seed=1)
+    store = ResultStore(tmp_path / "cache")
+    engine = SweepEngine(jobs=2, store=store, source="fp")
+    parallel = run_fig3b(shares=shares, seed=1, engine=engine)
+    assert _series_points(serial) == _series_points(parallel)
+
+    # Second run: everything served from the cache, same figure.
+    engine2 = SweepEngine(jobs=1, store=store, source="fp")
+    cached = run_fig3b(shares=shares, seed=1, engine=engine2)
+    assert _series_points(serial) == _series_points(cached)
+    assert engine2.metrics.counter("exec.jobs.run").value == 0
+    assert engine2.metrics.counter("exec.jobs.cached").value == len(shares) + 1
+
+
+def test_fig4a_parallel_equals_serial():
+    serial = run_fig4a(seed=0)
+    parallel = run_fig4a(seed=0, engine=SweepEngine(jobs=2))
+    assert _series_points(serial) == _series_points(parallel)
+    assert serial.notes == parallel.notes

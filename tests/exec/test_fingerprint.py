@@ -1,0 +1,54 @@
+"""Source fingerprinting: stability, sensitivity, memoization."""
+
+from repro.exec import clear_fingerprint_cache, source_fingerprint
+
+
+def _tree(tmp_path, name="pkg"):
+    root = tmp_path / name
+    root.mkdir()
+    (root / "a.py").write_text("A = 1\n")
+    (root / "b.py").write_text("B = 2\n")
+    return root
+
+
+def test_fingerprint_stable_for_unchanged_tree(tmp_path):
+    root = _tree(tmp_path)
+    fp1 = source_fingerprint([root])
+    clear_fingerprint_cache()
+    fp2 = source_fingerprint([root])
+    assert fp1 == fp2
+    assert len(fp1) == 16
+
+
+def test_fingerprint_changes_when_source_changes(tmp_path):
+    root = _tree(tmp_path)
+    before = source_fingerprint([root])
+    (root / "a.py").write_text("A = 999\n")
+    clear_fingerprint_cache()
+    assert source_fingerprint([root]) != before
+
+
+def test_fingerprint_changes_when_file_added(tmp_path):
+    root = _tree(tmp_path)
+    before = source_fingerprint([root])
+    (root / "c.py").write_text("C = 3\n")
+    clear_fingerprint_cache()
+    assert source_fingerprint([root]) != before
+
+
+def test_fingerprint_memoized_until_cleared(tmp_path):
+    root = _tree(tmp_path)
+    before = source_fingerprint([root])
+    (root / "a.py").write_text("A = 42\n")
+    # Same process, no cache clear: memo still served.
+    assert source_fingerprint([root]) == before
+    clear_fingerprint_cache()
+    assert source_fingerprint([root]) != before
+
+
+def test_default_fingerprint_covers_live_package():
+    clear_fingerprint_cache()
+    fp = source_fingerprint()
+    assert len(fp) == 16
+    clear_fingerprint_cache()
+    assert source_fingerprint() == fp

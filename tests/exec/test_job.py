@@ -1,0 +1,105 @@
+"""JobSpec identity: canonical form, fingerprints, kind resolution."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    JobSpec,
+    JobSpecError,
+    cache_key,
+    canonical_json,
+    resolve_job,
+)
+
+
+def test_canonical_json_is_order_independent():
+    a = canonical_json({"b": 1, "a": [1, 2], "c": {"y": 0, "x": 1}})
+    b = canonical_json({"c": {"x": 1, "y": 0}, "a": [1, 2], "b": 1})
+    assert a == b
+    assert " " not in a
+
+
+def test_canonical_json_rejects_non_jsonable():
+    with pytest.raises(JobSpecError):
+        canonical_json({"fn": lambda: None})
+    with pytest.raises(JobSpecError):
+        canonical_json({"nan": float("nan")})
+
+
+def test_spec_fingerprint_ignores_payload_order():
+    s1 = JobSpec(kind="tests.exec._jobs:echo", payload={"b": 2, "a": 1})
+    s2 = JobSpec(kind="tests.exec._jobs:echo", payload={"a": 1, "b": 2})
+    assert s1.fingerprint() == s2.fingerprint()
+    assert s1.key == s2.key  # default key is the fingerprint
+
+
+def test_spec_fingerprint_varies_with_content():
+    base = JobSpec(kind="tests.exec._jobs:echo", payload={"a": 1}, seed=0)
+    assert base.fingerprint() != JobSpec(
+        kind="tests.exec._jobs:echo", payload={"a": 2}, seed=0
+    ).fingerprint()
+    assert base.fingerprint() != JobSpec(
+        kind="tests.exec._jobs:echo", payload={"a": 1}, seed=1
+    ).fingerprint()
+    assert base.fingerprint() != JobSpec(
+        kind="tests.exec._jobs:add", payload={"a": 1}, seed=0
+    ).fingerprint()
+
+
+def test_spec_round_trip_and_payload_copy():
+    payload = {"a": 1}
+    spec = JobSpec(kind="tests.exec._jobs:echo", payload=payload, seed=3)
+    payload["a"] = 99  # caller mutation must not leak into the spec
+    assert spec.payload == {"a": 1}
+    clone = JobSpec.from_dict(spec.to_dict())
+    assert clone == spec
+
+
+def test_bad_kind_rejected():
+    for kind in ("no_colon", "mod:", ":fn", "mod:fn:extra", "mod fn:x"):
+        with pytest.raises(JobSpecError):
+            JobSpec(kind=kind)
+
+
+def test_resolve_job_errors():
+    with pytest.raises(JobSpecError):
+        resolve_job("definitely.not.a.module:fn")
+    with pytest.raises(JobSpecError):
+        resolve_job("tests.exec._jobs:no_such_function")
+    assert resolve_job("tests.exec._jobs:add")({"a": 1, "b": 2}, 3) == 6
+
+
+def test_cache_key_binds_source_and_spec():
+    spec = JobSpec(kind="tests.exec._jobs:echo", payload={"a": 1})
+    k1 = cache_key(spec, "source-a")
+    assert k1 == cache_key(spec, "source-a")
+    assert k1 != cache_key(spec, "source-b")
+    assert len(k1) == 40
+
+
+def _fingerprint_under_hashseed(hashseed: str) -> str:
+    """Spec fingerprint + cache key computed in a fresh interpreter."""
+    code = (
+        "from repro.exec import JobSpec, cache_key\n"
+        "s = JobSpec(kind='tests.exec._jobs:echo',"
+        " payload={'zeta': 1, 'alpha': {'nested': [3, 2]}}, seed=7)\n"
+        "print(s.fingerprint(), cache_key(s, 'src'))\n"
+    )
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH", "")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return out.stdout.strip()
+
+
+def test_fingerprints_independent_of_pythonhashseed():
+    assert _fingerprint_under_hashseed("0") == _fingerprint_under_hashseed("424242")

@@ -1,0 +1,107 @@
+"""Parallel/cached profiling is byte-identical to the serial loop."""
+
+import pytest
+
+from repro.apps import make_toy_app
+from repro.exec import AppSpec, JobSpecError, ResultStore, SweepEngine
+from repro.profiling import (
+    PerformanceDatabase,
+    ProfilingDriver,
+    Record,
+    ResourceDimension,
+    ResourcePoint,
+    autoprofile,
+)
+from repro.tunable import Configuration
+
+DIMS = lambda: [ResourceDimension("node.cpu", (0.5, 1.0), lo=0.01, hi=1.0)]  # noqa: E731
+TOY_SPEC = AppSpec("repro.apps:make_toy_app")
+
+
+def _driver(**kwargs):
+    app = make_toy_app()
+    return ProfilingDriver(app, DIMS(), seed=3, app_spec=TOY_SPEC, **kwargs)
+
+
+def _db_bytes(db: PerformanceDatabase, tmp_path, name: str) -> bytes:
+    path = tmp_path / name
+    db.save(path)
+    return path.read_bytes()
+
+
+def test_record_round_trip():
+    rec = Record(
+        config=Configuration({"scale": 2.0}),
+        point=ResourcePoint({"node.cpu": 0.5}),
+        metrics={"elapsed": 12.5},
+        meta={"seed": 7, "virtual_duration": 12.5},
+    )
+    clone = Record.from_dict(rec.to_dict())
+    assert clone == rec
+
+
+def test_database_json_round_trip(tmp_path):
+    db = _driver().profile()
+    path = tmp_path / "db.json"
+    db.save(path)
+    loaded = PerformanceDatabase.load(path)
+    assert loaded.to_dict() == db.to_dict()
+    # Round-tripped database serializes to the same bytes.
+    path2 = tmp_path / "db2.json"
+    loaded.save(path2)
+    assert path.read_bytes() == path2.read_bytes()
+
+
+def test_engine_profile_byte_identical_to_serial(tmp_path):
+    serial = _driver().profile()
+    engine = SweepEngine(jobs=2)
+    parallel = _driver().profile(engine=engine)
+    assert _db_bytes(serial, tmp_path, "serial.json") == _db_bytes(
+        parallel, tmp_path, "parallel.json"
+    )
+
+
+def test_cached_profile_byte_identical_and_fully_served(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    engine = SweepEngine(jobs=2, store=store, source="pinned-fp")
+    first = _driver().profile(engine=engine)
+
+    engine2 = SweepEngine(jobs=1, store=store, source="pinned-fp")
+    second = _driver().profile(engine=engine2)
+    assert _db_bytes(first, tmp_path, "a.json") == _db_bytes(
+        second, tmp_path, "b.json"
+    )
+    assert engine2.metrics.counter("exec.jobs.cached").value == len(second)
+    assert engine2.metrics.counter("exec.jobs.run").value == 0
+
+
+def test_engine_profile_adaptive_matches_serial(tmp_path):
+    serial = _driver().profile_adaptive(rounds=1, per_round=2)
+    engine = SweepEngine(jobs=2)
+    parallel = _driver().profile_adaptive(rounds=1, per_round=2, engine=engine)
+    assert _db_bytes(serial, tmp_path, "s.json") == _db_bytes(
+        parallel, tmp_path, "p.json"
+    )
+
+
+def test_autoprofile_engine_path_matches_serial(tmp_path):
+    app = make_toy_app()
+    serial = autoprofile(app, DIMS(), adaptive_rounds=1, per_round=2, seed=5)
+    app2 = make_toy_app()
+    engine = SweepEngine(jobs=2)
+    parallel = autoprofile(
+        app2, DIMS(), adaptive_rounds=1, per_round=2, seed=5,
+        app_spec=TOY_SPEC, engine=engine,
+    )
+    assert _db_bytes(serial.database, tmp_path, "s.json") == _db_bytes(
+        parallel.database, tmp_path, "p.json"
+    )
+    assert serial.samples_total == parallel.samples_total
+    assert serial.configurations_kept == parallel.configurations_kept
+
+
+def test_engine_without_app_spec_rejected():
+    app = make_toy_app()
+    driver = ProfilingDriver(app, DIMS(), seed=0)  # no app_spec
+    with pytest.raises(JobSpecError, match="AppSpec"):
+        driver.profile(engine=SweepEngine(jobs=1))

@@ -1,0 +1,87 @@
+"""ResultStore: round trips, stale invalidation, corruption, atomicity."""
+
+import json
+
+from repro.exec import ResultStore
+
+
+def _key(i: int = 0) -> str:
+    return f"{i:02x}" + "ab" * 19  # 40 hex chars, distinct leading shard
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    key = _key()
+    store.put(key, "src-1", {"kind": "k"}, {"answer": 42}, wall=1.5)
+    entry = store.get(key, "src-1")
+    assert entry["value"] == {"answer": 42}
+    assert entry["wall"] == 1.5
+    assert entry["spec"] == {"kind": "k"}
+    assert store.hits == 1 and store.misses == 0
+    assert key in store and len(store) == 1
+
+
+def test_missing_key_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.get(_key(), "src") is None
+    assert store.misses == 1 and store.hits == 0
+
+
+def test_stale_source_discarded_on_read(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    store.put(key, "old-source", {}, "value")
+    assert store.get(key, "new-source") is None
+    assert store.stale == 1 and store.misses == 1
+    # The entry was deleted on sight, not merely skipped.
+    assert key not in store
+    assert store.get(key, "old-source") is None
+
+
+def test_corrupt_entry_discarded(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    store.put(key, "src", {}, "value")
+    path = tmp_path / key[:2] / f"{key}.json"
+    path.write_text("{not json")
+    assert store.get(key, "src") is None
+    assert not path.exists()
+
+
+def test_put_is_atomic_no_temp_litter(tmp_path):
+    store = ResultStore(tmp_path)
+    for i in range(4):
+        store.put(_key(i), "src", {}, i)
+    leftovers = [p for p in tmp_path.rglob("*") if ".tmp" in p.name]
+    assert leftovers == []
+    assert len(store) == 4
+    assert store.keys() == sorted(_key(i) for i in range(4))
+
+
+def test_put_overwrites(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    store.put(key, "src", {}, "first")
+    store.put(key, "src", {}, "second")
+    assert store.get(key, "src")["value"] == "second"
+    assert len(store) == 1
+
+
+def test_prune_stale(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(_key(0), "current", {}, 0)
+    store.put(_key(1), "stale", {}, 1)
+    store.put(_key(2), "stale", {}, 2)
+    (tmp_path / _key(3)[:2]).mkdir(exist_ok=True)
+    (tmp_path / _key(3)[:2] / f"{_key(3)}.json").write_text("{broken")
+    assert store.prune_stale("current") == 3
+    assert store.keys() == [_key(0)]
+
+
+def test_entry_file_is_sorted_json(tmp_path):
+    """Entries are diffable artifacts: stable key order on disk."""
+    store = ResultStore(tmp_path)
+    key = _key()
+    store.put(key, "src", {"z": 1, "a": 2}, {"b": 1, "a": 2})
+    raw = (tmp_path / key[:2] / f"{key}.json").read_text()
+    assert raw == json.dumps(json.loads(raw), sort_keys=True, indent=1)
