@@ -1,12 +1,22 @@
 """Benchmark for the observability layer: overhead and non-perturbation.
 
-Two guarantees the tracing subsystem advertises (docs/observability.md):
+Three guarantees the observability subsystem advertises
+(docs/observability.md):
 
-* **Zero perturbation** — a traced seeded run's simulation outcome is
-  byte-identical to the untraced run: the recorder is strictly passive
-  (no simulator events, no RNG draws, no wall-clock reads).
-* **Bounded overhead** — tracing a chaos run costs < 10 % wall clock
-  over the untraced run (best-of-N to damp scheduler noise).
+* **Zero perturbation (tracing)** — a traced seeded run's simulation
+  outcome is byte-identical to the untraced run: the recorder is
+  strictly passive (no simulator events, no RNG draws, no wall-clock
+  reads).
+* **Zero perturbation (accounting)** — the same holds with the
+  :class:`~repro.obs.UsageAccountant` attached: usage accounting
+  piggybacks on the step hook and the fluid-share work taps, so it
+  observes every served-work delta without scheduling anything.
+* **Bounded overhead** — tracing alone costs < 10 % wall clock over the
+  bare run, and the *full* observability stack (tracing + usage
+  accounting) costs < 15 % (best-of-N to damp scheduler noise).
+
+Headline numbers land in ``benchmarks/out/BENCH_obs.json``; the
+committed copy is the baseline ``repro bench check`` compares against.
 """
 
 import json
@@ -16,20 +26,31 @@ import json
 from time import perf_counter  # repro: allow[DET101] -- benchmark harness timing
 
 from repro.experiments import run_chaos
-from repro.obs import TraceRecorder, adaptation_chains, to_jsonl
+from repro.obs import TraceRecorder, UsageAccountant, adaptation_chains, to_jsonl
 
-_ROUNDS = 5
+_ROUNDS = 10
+_REPEATS = 2  # runs per timing sample; amortizes timer/scheduler noise
 _MAX_OVERHEAD = 0.10
+_MAX_TOTAL_OVERHEAD = 0.15
 
 
-def _best_of(fn, rounds=_ROUNDS):
-    best = float("inf")
-    result = None
+def _interleaved_best(fns, rounds=_ROUNDS, repeats=_REPEATS):
+    """Best-of-N wall clock per fn; each sample times ``repeats`` runs.
+
+    Interleaving matters on noisy (shared/CI) machines: scheduler and
+    thermal drift between *blocks* of rounds would otherwise bias the
+    comparison toward whichever variant ran in the quiet block.  Timing
+    several back-to-back runs per sample keeps the sample long relative
+    to timer jitter.
+    """
+    best = [float("inf")] * len(fns)
     for _ in range(rounds):
-        t0 = perf_counter()  # repro: allow[DET101] -- benchmark harness timing
-        result = fn()
-        best = min(best, perf_counter() - t0)  # repro: allow[DET101] -- benchmark harness timing
-    return best, result
+        for i, fn in enumerate(fns):
+            t0 = perf_counter()  # repro: allow[DET101] -- benchmark harness timing
+            for _ in range(repeats):
+                fn()
+            best[i] = min(best[i], (perf_counter() - t0) / repeats)  # repro: allow[DET101] -- benchmark harness timing
+    return best
 
 
 def test_traced_run_byte_identical(artifact_dir):
@@ -49,18 +70,70 @@ def test_traced_run_byte_identical(artifact_dir):
     )
 
 
-def test_tracing_overhead_bounded():
-    """Best-of-N wall-clock overhead of tracing stays under 10 %."""
+def test_usage_accounted_run_byte_identical():
+    """Usage accounting must not perturb the simulation outcome."""
+    _, bare = run_chaos(seed=0)
+    usage = UsageAccountant()
+    _, accounted = run_chaos(seed=0, usage=usage)
+    assert json.dumps(accounted, sort_keys=True) == json.dumps(
+        bare, sort_keys=True
+    )
+    # And the account itself is non-trivial: resources saw work, the
+    # adaptation left config marks behind.
+    summary = usage.summary()
+    served = [r for r in summary["resources"].values() if r["served"] > 0]
+    assert served, "usage accounting recorded no served work"
+    assert len(summary["config_marks"]) >= 2, (
+        "chaos run should mark at least the initial config and one switch"
+    )
+
+
+def test_obs_overhead_bounded(artifact_dir):
+    """Tracing < 10 %; tracing + usage accounting < 15 % (best-of-N)."""
     # Warm-up: JIT-free Python, but first run pays import/alloc caches.
     run_chaos(seed=0)
-    base, _ = _best_of(lambda: run_chaos(seed=0))
+
+    def bare():
+        return run_chaos(seed=0)
 
     def traced():
         return run_chaos(seed=0, recorder=TraceRecorder())
 
-    cost, _ = _best_of(traced)
+    def full():
+        recorder = TraceRecorder()
+        return run_chaos(
+            seed=0,
+            recorder=recorder,
+            usage=UsageAccountant(metrics=recorder.metrics),
+        )
+
+    base, cost, total = _interleaved_best([bare, traced, full])
     overhead = (cost - base) / base
+    total_overhead = (total - base) / base
+
+    (artifact_dir / "BENCH_obs.json").write_text(
+        json.dumps(
+            {
+                "bare_s": round(base, 3),
+                "traced_s": round(cost, 3),
+                "full_s": round(total, 3),
+                "overhead_traced": round(max(overhead, 0.0), 4),
+                "overhead_full": round(max(total_overhead, 0.0), 4),
+                "bytes_identical": True,
+                "rounds": _ROUNDS,
+            },
+            indent=1,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
     assert overhead < _MAX_OVERHEAD, (
         f"tracing overhead {overhead:.1%} exceeds {_MAX_OVERHEAD:.0%} "
         f"(untraced best {base:.3f}s, traced best {cost:.3f}s)"
+    )
+    assert total_overhead < _MAX_TOTAL_OVERHEAD, (
+        f"tracing+accounting overhead {total_overhead:.1%} exceeds "
+        f"{_MAX_TOTAL_OVERHEAD:.0%} (bare best {base:.3f}s, "
+        f"full best {total:.3f}s)"
     )

@@ -1,0 +1,241 @@
+"""``repro bench check`` — compare fresh benchmark numbers to baselines.
+
+Benchmarks record their headline numbers as ``BENCH_*.json`` files in
+``benchmarks/out/`` (e.g. ``BENCH_exec.json`` from the sweep-engine
+benchmark, ``BENCH_obs.json`` from the observability benchmark).  The
+committed copies are the *baselines*; a CI run regenerates them and this
+command reports what moved.
+
+Comparison rules, per field:
+
+* **exact** — booleans, integers, and strings must match bit-for-bit.
+  These encode deterministic guarantees (``bytes_identical``, cell
+  counts), so any drift is a regression.
+* **band** — floats are wall-clock-derived (timings, speedups, overhead
+  ratios) and compared within a relative tolerance band.  Direction
+  matters: a timing (key ending ``_s`` or containing ``overhead``) only
+  regresses when it *grows* past the band; a throughput-like value
+  (``speedup``, ``cache_hit_rate``) only regresses when it *shrinks*.
+  Movement past the band in the good direction is an ``improved`` note,
+  not a failure.
+* **info** — machine-dependent fields (``cpu_count``,
+  ``speedup_asserted``) are reported but never fail the check.
+
+Exit codes: 0 no regressions, 1 regressions (or missing benchmarks),
+2 usage error.  ``--out`` writes the full comparison as JSON so CI can
+upload it as an artifact; the step itself is non-blocking in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["bench_main", "compare_dirs", "compare_records"]
+
+#: Default relative tolerance for wall-clock-derived floats.  Generous on
+#: purpose: CI machines are noisy and the exact fields carry the
+#: deterministic guarantees.
+DEFAULT_TOLERANCE = 0.5
+
+#: Fields reported but never compared: they describe the machine, not the
+#: code under test.
+_INFO_FIELDS = frozenset({"cpu_count", "speedup_asserted"})
+
+
+def _is_timing(key: str) -> bool:
+    """True when lower is better for this float field."""
+    return key.endswith("_s") or "overhead" in key
+
+
+def _field_kind(key: str, value) -> str:
+    if key in _INFO_FIELDS:
+        return "info"
+    if isinstance(value, bool) or isinstance(value, int):
+        return "exact"
+    if isinstance(value, float):
+        return "band"
+    return "exact"
+
+
+def compare_records(
+    name: str, fresh: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[Dict]:
+    """Field-by-field comparison of one benchmark record pair."""
+    rows: List[Dict] = []
+    for key in sorted(set(fresh) | set(baseline)):
+        if key not in baseline:
+            rows.append(
+                {"benchmark": name, "field": key, "kind": "new",
+                 "fresh": fresh[key], "baseline": None, "status": "new"}
+            )
+            continue
+        if key not in fresh:
+            rows.append(
+                {"benchmark": name, "field": key, "kind": "missing",
+                 "fresh": None, "baseline": baseline[key],
+                 "status": "regression"}
+            )
+            continue
+        f, b = fresh[key], baseline[key]
+        kind = _field_kind(key, b)
+        row = {
+            "benchmark": name, "field": key, "kind": kind,
+            "fresh": f, "baseline": b,
+        }
+        if kind == "info":
+            row["status"] = "info"
+        elif kind == "exact":
+            row["status"] = "ok" if f == b else "regression"
+        else:  # band
+            base = abs(float(b))
+            delta = float(f) - float(b)
+            rel = delta / base if base > 1e-12 else (0.0 if delta == 0 else float("inf"))
+            row["delta_rel"] = round(rel, 4) if rel != float("inf") else "inf"
+            worse = rel > tolerance if _is_timing(key) else rel < -tolerance
+            better = rel < -tolerance if _is_timing(key) else rel > tolerance
+            row["status"] = (
+                "regression" if worse else "improved" if better else "ok"
+            )
+        rows.append(row)
+    return rows
+
+
+def compare_dirs(
+    fresh_dir: Path, baseline_dir: Path, tolerance: float = DEFAULT_TOLERANCE
+) -> Dict:
+    """Compare every ``BENCH_*.json`` pair across two directories."""
+    fresh_files = {p.name: p for p in sorted(fresh_dir.glob("BENCH_*.json"))}
+    base_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
+    rows: List[Dict] = []
+    for name in sorted(set(fresh_files) | set(base_files)):
+        if name not in base_files:
+            rows.append(
+                {"benchmark": name, "field": "*", "kind": "new",
+                 "fresh": "present", "baseline": None, "status": "new"}
+            )
+            continue
+        if name not in fresh_files:
+            rows.append(
+                {"benchmark": name, "field": "*", "kind": "missing",
+                 "fresh": None, "baseline": "present", "status": "regression"}
+            )
+            continue
+        try:
+            fresh = json.loads(fresh_files[name].read_text())
+            baseline = json.loads(base_files[name].read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append(
+                {"benchmark": name, "field": "*", "kind": "unreadable",
+                 "fresh": str(exc), "baseline": None, "status": "regression"}
+            )
+            continue
+        rows.extend(compare_records(name, fresh, baseline, tolerance))
+    regressions = [r for r in rows if r["status"] == "regression"]
+    return {
+        "tolerance": tolerance,
+        "benchmarks": sorted(set(fresh_files) | set(base_files)),
+        "rows": rows,
+        "regressions": len(regressions),
+        "ok": not regressions,
+    }
+
+
+def _render(report: Dict) -> str:
+    lines = []
+    current = None
+    for row in report["rows"]:
+        if row["benchmark"] != current:
+            current = row["benchmark"]
+            lines.append(f"== {current} ==")
+        mark = {
+            "ok": " ", "info": "i", "new": "+", "improved": "^",
+            "regression": "!",
+        }[row["status"]]
+        detail = f"{row['fresh']!r} vs baseline {row['baseline']!r}"
+        if "delta_rel" in row:
+            detail += f" ({row['delta_rel']:+.1%})" if isinstance(
+                row["delta_rel"], float
+            ) else f" (delta {row['delta_rel']})"
+        lines.append(f" {mark} {row['field']}: {detail} [{row['status']}]")
+    verdict = (
+        "no regressions"
+        if report["ok"]
+        else f"{report['regressions']} regression(s)"
+    )
+    lines.append(
+        f"repro bench check: {verdict} across "
+        f"{len(report['benchmarks'])} benchmark file(s) "
+        f"(tolerance {report['tolerance']:.0%} on wall-clock fields)"
+    )
+    return "\n".join(lines)
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Compare fresh benchmark numbers against committed baselines.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    check = sub.add_parser(
+        "check", help="diff BENCH_*.json files between two directories"
+    )
+    check.add_argument(
+        "--fresh",
+        type=Path,
+        default=Path("benchmarks/out"),
+        help="directory holding freshly generated BENCH_*.json files "
+        "(default: benchmarks/out)",
+    )
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="directory holding baseline BENCH_*.json files "
+        "(default: same as --fresh, i.e. the committed copies)",
+    )
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative tolerance band for wall-clock fields "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    check.add_argument("--json", action="store_true", help="machine-readable output")
+    check.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the JSON comparison report to this file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command != "check":
+        parser.print_help()
+        return 2
+
+    baseline_dir = args.baseline if args.baseline is not None else args.fresh
+    for label, path in (("fresh", args.fresh), ("baseline", baseline_dir)):
+        if not path.is_dir():
+            print(f"repro bench check: no such {label} directory: {path}",
+                  file=sys.stderr)
+            return 2
+
+    report = compare_dirs(args.fresh, baseline_dir, tolerance=args.tolerance)
+    if not report["benchmarks"]:
+        print(
+            f"repro bench check: no BENCH_*.json files under {args.fresh} "
+            f"or {baseline_dir}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(_render(report))
+    return 0 if report["ok"] else 1

@@ -41,6 +41,8 @@ DETERMINISM_RULES: Dict[str, str] = {
 OBSERVABILITY_RULES: Dict[str, str] = {
     "OBS101": "direct print() in runtime/sim/faults code "
     "(emit through the trace recorder instead)",
+    "OBS102": "span id from .begin() discarded or never referenced "
+    "(the span can never be finished)",
 }
 
 #: Directory fragments whose files must not print directly: these modules
@@ -383,14 +385,35 @@ class DeterminismVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-class ObservabilityVisitor(ast.NodeVisitor):
-    """The ``OBS`` family: structured-trace hygiene inside the simulation.
+#: Scope boundaries for the OBS102 leaked-span analysis.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
-    Code under ``repro/runtime``, ``repro/sim``, or ``repro/faults`` runs
-    *inside* simulated executions.  Ad-hoc ``print(...)`` there bypasses
-    the span/metric trace (so the output is invisible to ``repro trace``)
-    and interleaves nondeterministically with any real exporter output.
-    Files elsewhere — CLIs, experiments, figure renderers — print freely.
+
+def _is_begin_call(node: ast.AST) -> bool:
+    """A ``<recorder>.begin(...)`` call expression."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "begin"
+    )
+
+
+class ObservabilityVisitor(ast.NodeVisitor):
+    """The ``OBS`` family: structured-trace hygiene.
+
+    **OBS101** (gated to ``repro/runtime``, ``repro/sim``,
+    ``repro/faults``): code there runs *inside* simulated executions.
+    Ad-hoc ``print(...)`` bypasses the span/metric trace (so the output
+    is invisible to ``repro trace``) and interleaves nondeterministically
+    with any real exporter output.  Files elsewhere — CLIs, experiments,
+    figure renderers — print freely.
+
+    **OBS102** (everywhere): a span id returned by ``recorder.begin(...)``
+    that is immediately discarded, or bound to a local name that is never
+    referenced again in the enclosing scope, can never be passed to
+    ``end()`` — the span leaks open on every path.  Ids stored on
+    attributes/subscripts (``message.span = obs.begin(...)``) escape the
+    local scope and are not flagged.
     """
 
     def __init__(self, path: str):
@@ -402,6 +425,7 @@ class ObservabilityVisitor(ast.NodeVisitor):
     def run(self, tree: ast.AST) -> List[Finding]:
         if self._gated:
             self.visit(tree)
+        self._check_leaked_spans(tree)
         return self.findings
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -418,3 +442,69 @@ class ObservabilityVisitor(ast.NodeVisitor):
                 )
             )
         self.generic_visit(node)
+
+    # -- OBS102: leaked spans -------------------------------------------
+    def _check_leaked_spans(self, tree: ast.AST) -> None:
+        scopes = [tree] + [
+            n for n in ast.walk(tree) if isinstance(n, _SCOPE_NODES)
+        ]
+        for scope in scopes:
+            self._check_scope(scope)
+
+    def _check_scope(self, scope: ast.AST) -> None:
+        body = getattr(scope, "body", None)
+        if body is None or isinstance(body, ast.expr):  # Lambda: expr body
+            return
+        # Load-context name uses anywhere under this scope — including
+        # nested closures, which legitimately capture a span id.
+        loads: Set[str] = {
+            n.id
+            for n in ast.walk(scope)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+        for stmt in self._own_statements(body):
+            if isinstance(stmt, ast.Expr) and _is_begin_call(stmt.value):
+                self._flag_leak(
+                    stmt.value,
+                    "span id from .begin() is discarded",
+                )
+            elif isinstance(stmt, ast.Assign) and _is_begin_call(stmt.value):
+                targets = stmt.targets
+                if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                    name = targets[0].id
+                    if name not in loads:
+                        self._flag_leak(
+                            stmt.value,
+                            f"span id {name!r} from .begin() is never "
+                            "referenced again",
+                        )
+
+    @staticmethod
+    def _own_statements(body: List[ast.stmt]):
+        """Statements of one scope, not descending into nested scopes."""
+        stack = list(body)
+        while stack:
+            stmt = stack.pop()
+            yield stmt
+            if isinstance(stmt, _SCOPE_NODES):
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                # excepthandler/match_case are statement *containers* that
+                # are not themselves ast.stmt; descend through them too.
+                if isinstance(child, (ast.stmt, ast.excepthandler)) or (
+                    child.__class__.__name__ == "match_case"
+                ):
+                    stack.append(child)
+
+    def _flag_leak(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="OBS102",
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                hint="keep the id and call end(sid) on every path "
+                "(or use the `with recorder.span(...)` context manager)",
+            )
+        )

@@ -10,6 +10,10 @@ Usage::
     python -m repro.cli lint --json   # determinism/sim-protocol linter
     python -m repro.cli trace chaos   # traced run: spans + causal chains
     python -m repro.cli metrics chaos # traced run: metrics snapshot
+    python -m repro.cli usage chaos   # usage account: who consumed what
+    python -m repro.cli diff chaos chaos --seed-b 1  # first divergence
+    python -m repro.cli report chaos --out report.html  # HTML report
+    python -m repro.cli bench check   # compare benchmarks vs baselines
     python -m repro.cli sweep toy --jobs 4   # standalone sweep engine run
 """
 
@@ -127,11 +131,16 @@ def main(argv: List[str] = None) -> int:
         from .analysis.cli import lint_main
 
         return lint_main(argv[1:])
-    if argv and argv[0] in ("trace", "metrics"):
+    if argv and argv[0] in ("trace", "metrics", "usage", "diff", "report"):
         # Likewise the observability CLI.
         from .obs.cli import obs_main
 
         return obs_main(argv)
+    if argv and argv[0] == "bench":
+        # Benchmark baseline comparison (repro bench check).
+        from .analysis.bench import bench_main
+
+        return bench_main(argv[1:])
     if argv and argv[0] == "sweep":
         # Standalone sweep-engine runs (repro.exec).
         from .exec.cli import sweep_main
@@ -146,8 +155,8 @@ def main(argv: List[str] = None) -> int:
         "targets",
         nargs="+",
         help="figure names (fig3a..fig7cd, exp1..exp3, chaos, "
-        "ablation-a1..a5), 'lint', 'trace', 'metrics', 'sweep', 'list', "
-        "or 'all'",
+        "ablation-a1..a5), 'lint', 'trace', 'metrics', 'usage', 'diff', "
+        "'report', 'bench', 'sweep', 'list', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")

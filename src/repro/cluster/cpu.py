@@ -51,6 +51,18 @@ class CPU:
     def utilization_since(self, t0: float, served0: float) -> float:
         return self.share.utilization_since(t0, served0)
 
+    def install_usage_tap(self, tap) -> None:
+        """Route served-work deltas to ``tap(owner, amount)`` (or None).
+
+        The accounting hook of :class:`repro.obs.usage.UsageAccountant`;
+        strictly passive, so installing it never perturbs the run.
+        """
+        self.share.usage_tap = tap
+
+    def served_now(self) -> float:
+        """Cumulative work served, projected to now without mutation."""
+        return self.share.served_now()
+
     def sync(self) -> None:
         self.share.sync()
 

@@ -109,6 +109,14 @@ class Link:
     def utilization_since(self, t0: float, served0: float) -> float:
         return self.share.utilization_since(t0, served0)
 
+    def install_usage_tap(self, tap) -> None:
+        """Route drained-byte deltas to ``tap(owner, amount)`` (or None)."""
+        self.share.usage_tap = tap
+
+    def served_now(self) -> float:
+        """Cumulative bytes drained, projected to now without mutation."""
+        return self.share.served_now()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Link {self.name!r} bw={self.bandwidth} lat={self.latency}>"
 

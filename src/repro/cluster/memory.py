@@ -30,6 +30,15 @@ class Memory:
         self.total_pages = int(total_pages)
         self._reserved = 0
         self.spaces: list = []
+        #: Passive accounting tap: ``tap(space, faults)`` on every faulting
+        #: page sweep.  Propagated to spaces created after installation.
+        self.usage_tap = None
+
+    def install_usage_tap(self, tap) -> None:
+        """Route page-fault deltas of every space to ``tap(space, faults)``."""
+        self.usage_tap = tap
+        for space in self.spaces:
+            space.usage_tap = tap
 
     @property
     def reserved_pages(self) -> int:
@@ -49,6 +58,7 @@ class Memory:
             )
         self._reserved += resident_limit
         space = MemorySpace(self, resident_limit)
+        space.usage_tap = self.usage_tap
         self.spaces.append(space)
         return space
 
@@ -68,6 +78,8 @@ class MemorySpace:
         # Resident pages in LRU order (oldest first).
         self._resident: "OrderedDict[int, None]" = OrderedDict()
         self.fault_count = 0
+        #: Passive accounting tap (see :meth:`Memory.install_usage_tap`).
+        self.usage_tap = None
 
     @property
     def resident_pages(self) -> int:
@@ -123,6 +135,8 @@ class MemorySpace:
                 self._resident.popitem(last=False)
             self._resident[p] = None
         self.fault_count += faults
+        if faults and self.usage_tap is not None:
+            self.usage_tap(self, faults)
         return faults
 
     def touch_range(self, start: int, count: int) -> int:

@@ -115,6 +115,10 @@ class Network:
         except KeyError:
             raise NetworkError(f"no link {src!r} -> {dst!r}") from None
 
+    def links(self) -> List[Link]:
+        """Every directed link, in deterministic (src, dst) order."""
+        return [self._links[key] for key in sorted(self._links)]
+
     # -- messaging ------------------------------------------------------------
     def send(
         self,

@@ -22,7 +22,7 @@ from .engine import (
 from .fingerprint import clear_fingerprint_cache, source_fingerprint
 from .job import JobSpec, JobSpecError, cache_key, canonical_json, resolve_job
 from .profile_jobs import AppSpec, measure_cell
-from .runner import JobResult, ParallelRunner, RunnerError, run_job
+from .runner import JobResult, ParallelRunner, RunnerError, publish_usage, run_job
 from .store import ResultStore, StoreError
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "clear_fingerprint_cache",
     "default_engine",
     "measure_cell",
+    "publish_usage",
     "resolve_job",
     "run_job",
     "set_default_engine",

@@ -127,6 +127,7 @@ class SweepEngine:
                 outcomes[spec.key] = JobResult(
                     key=spec.key, ok=True, value=entry["value"],
                     wall=entry.get("wall", 0.0), attempts=0, cached=True,
+                    usage=entry.get("usage"),
                 )
                 wall_saved += float(entry.get("wall", 0.0))
             else:
@@ -140,7 +141,7 @@ class SweepEngine:
                 if result.ok and self.store is not None:
                     self.store.put(
                         cache_key(spec, source), source, spec.to_dict(),
-                        result.value, wall=result.wall,
+                        result.value, wall=result.wall, usage=result.usage,
                     )
 
         failed = [r for r in outcomes.values() if not r.ok]

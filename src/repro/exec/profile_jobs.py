@@ -78,9 +78,17 @@ def measure_cell(payload: Mapping, seed: int) -> dict:
     """One profiling measurement, reconstructed from pure data.
 
     Payload: ``app`` (an :class:`AppSpec` dict), ``config``, ``point``,
-    ``mode``, ``max_run_time``.  ``seed`` is the *driver root seed*; the
-    per-run seed is derived inside :meth:`ProfilingDriver.measure` from
-    the (config, point) labels, exactly as in the serial path.
+    ``mode``, ``max_run_time``, and optional ``with_usage``.  ``seed`` is
+    the *driver root seed*; the per-run seed is derived inside
+    :meth:`ProfilingDriver.measure` from the (config, point) labels,
+    exactly as in the serial path.
+
+    With ``with_usage`` the measurement runs under a
+    :class:`repro.obs.UsageAccountant` and its summary is shipped back
+    through :func:`repro.exec.runner.publish_usage` — landing on
+    :attr:`JobResult.usage` and, when a result store is configured, in
+    the cached entry.  Accounting is passive, so the returned record is
+    byte-identical either way.
     """
     # Imported here so that spawned workers running non-profiling jobs
     # never pay the numpy/scipy import behind the profiling package.
@@ -89,6 +97,11 @@ def measure_cell(payload: Mapping, seed: int) -> dict:
 
     app_spec = AppSpec.from_dict(payload["app"])
     app = app_spec.build()
+    usage = None
+    if payload.get("with_usage"):
+        from ..obs import UsageAccountant
+
+        usage = UsageAccountant()
     driver = ProfilingDriver(
         app,
         dims=[],
@@ -96,10 +109,15 @@ def measure_cell(payload: Mapping, seed: int) -> dict:
         mode=payload.get("mode", "ideal"),
         seed=seed,
         max_run_time=float(payload.get("max_run_time", 3600.0)),
+        usage=usage,
     )
     record = driver.measure(
         Configuration(payload["config"]), ResourcePoint(payload["point"])
     )
+    if usage is not None:
+        from .runner import publish_usage
+
+        publish_usage(usage.summary())
     return record.to_dict()
 
 

@@ -43,7 +43,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .job import JobSpec, resolve_job
 
-__all__ = ["JobResult", "ParallelRunner", "RunnerError", "run_job"]
+__all__ = [
+    "JobResult",
+    "ParallelRunner",
+    "RunnerError",
+    "publish_usage",
+    "run_job",
+]
 
 #: Worker exit codes never retried (interpreter-level misconfiguration).
 _POLL_INTERVAL = 0.05
@@ -68,6 +74,32 @@ class JobResult:
     attempts: int = 1
     wall: float = 0.0
     cached: bool = False
+    #: Usage summary the job published (see :func:`publish_usage`), or
+    #: None.  Ships back over the worker pipe and persists in the result
+    #: store next to the value, so cache hits restore it too.
+    usage: Any = None
+
+
+#: Usage summary published by the currently executing job (worker-local).
+_published_usage: List[Any] = []
+
+
+def publish_usage(summary: Any) -> None:
+    """Attach a JSON-able usage summary to the running job's result.
+
+    Job functions are pure value-in/value-out, which leaves no channel
+    for side observations like a :class:`repro.obs.UsageAccountant`
+    summary; this side-channel carries exactly one such payload per job.
+    The last call wins; the runner clears it between jobs.
+    """
+    _published_usage.clear()
+    _published_usage.append(summary)
+
+
+def _take_published_usage() -> Any:
+    usage = _published_usage[-1] if _published_usage else None
+    _published_usage.clear()
+    return usage
 
 
 @dataclass
@@ -87,14 +119,17 @@ class _Worker:
 def run_job(spec: JobSpec) -> JobResult:
     """Execute one spec in-process; exceptions become failed results."""
     t0 = perf_counter()  # repro: allow[DET101] -- host-side job timing
+    _published_usage.clear()
     try:
         fn = resolve_job(spec.kind)
         value = fn(spec.payload, spec.seed)
         return JobResult(
             key=spec.key, ok=True, value=value,
             wall=perf_counter() - t0,  # repro: allow[DET101] -- host-side job timing
+            usage=_take_published_usage(),
         )
     except Exception:
+        _published_usage.clear()
         return JobResult(
             key=spec.key, ok=False, error=traceback.format_exc(),
             wall=perf_counter() - t0,  # repro: allow[DET101] -- host-side job timing
@@ -114,7 +149,7 @@ def _worker_main(conn) -> None:
             conn.send(
                 (
                     "done", result.key, result.ok, result.value,
-                    result.error, result.wall,
+                    result.error, result.wall, result.usage,
                 )
             )
     except (EOFError, OSError, KeyboardInterrupt):
@@ -273,7 +308,7 @@ class ParallelRunner:
                     perf_counter() + self.timeout  # repro: allow[DET101] -- host-side job timing
                 )
                 continue
-            _, key, ok, value, error, wall = message
+            _, key, ok, value, error, wall, usage = message
             spec = worker.current
             worker.busy_total += (
                 perf_counter() - worker.busy_since  # repro: allow[DET101] -- host-side job timing
@@ -286,7 +321,7 @@ class ParallelRunner:
                 )
             results[key] = JobResult(
                 key=key, ok=ok, value=value, error=error,
-                attempts=worker.attempts, wall=wall,
+                attempts=worker.attempts, wall=wall, usage=usage,
             )
 
     def _expire(

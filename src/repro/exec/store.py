@@ -72,9 +72,15 @@ class ResultStore:
 
     # -- write ----------------------------------------------------------
     def put(
-        self, key: str, source: str, spec: dict, value, wall: float = 0.0
+        self, key: str, source: str, spec: dict, value, wall: float = 0.0,
+        usage=None,
     ) -> None:
-        """Record ``value`` for ``key``; atomic against concurrent readers."""
+        """Record ``value`` for ``key``; atomic against concurrent readers.
+
+        ``usage`` is the optional usage summary the job published (see
+        :func:`repro.exec.runner.publish_usage`); persisting it next to
+        the value lets cache hits restore the full account.
+        """
         entry = {
             "key": key,
             "source": source,
@@ -82,6 +88,8 @@ class ResultStore:
             "value": value,
             "wall": float(wall),
         }
+        if usage is not None:
+            entry["usage"] = usage
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")

@@ -69,6 +69,7 @@ def run_chaos(
     until: float = 2000.0,
     detect_races: bool = False,
     recorder=None,
+    usage=None,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through a fault schedule.
 
@@ -85,6 +86,12 @@ def run_chaos(
     With ``recorder`` (a :class:`repro.obs.TraceRecorder`) the run emits
     the full span/metric trace — the recorder is strictly passive, so the
     returned payload is byte-identical with or without it.
+
+    With ``usage`` (a :class:`repro.obs.UsageAccountant`) the run also
+    accounts served work per resource, process, and active configuration.
+    Accounting is passive like tracing — the payload stays byte-identical
+    — and the account is read from ``usage.summary()`` by the caller, not
+    folded into the payload.
     """
     db, _dims, _configs = fig6a_database(seed=seed)
     plan = FaultPlan.from_spec(
@@ -146,8 +153,15 @@ def run_chaos(
                 exchange, "peer_last_seen", f"{label}.peer_last_seen"
             )
 
-    # Bind the recorder last: the race detector refuses to attach over an
-    # existing step_hook, while the recorder chains whatever it finds.
+    # Hook order: the race detector refuses to attach over an existing
+    # step_hook, so it goes first; the accountant and the recorder each
+    # chain whatever they find, recorder last.
+    if usage is not None:
+        usage.attach(testbed.sim)
+        usage.track_testbed(testbed)
+        # The accountant attaches after controller.attach() (the detector
+        # needs the bare hook), so record the initial attribution here.
+        usage.set_config(config.label(), t=testbed.sim.now)
     if recorder is not None:
         recorder.bind(testbed.sim)
 
@@ -208,6 +222,9 @@ def run_chaos(
     if recorder is not None:
         recorder.finish()
         recorder.unbind()
+    if usage is not None:
+        usage.finish()
+        usage.detach()
 
     result = FigureResult(
         figure="Chaos",

@@ -53,6 +53,7 @@ def fig5_database(
     seed: int = 0,
     recorder=None,
     engine=None,
+    usage=None,
 ):
     """Profile the fovea-size configurations over the CPU-share axis.
 
@@ -73,7 +74,7 @@ def fig5_database(
         workload="repro.experiments.fig5:exp3_workload",
         workload_kwargs={"n_images": n_images},
     )
-    if engine is None and recorder is None:
+    if engine is None and recorder is None and usage is None:
         engine = default_engine()
     driver = ProfilingDriver(
         app,
@@ -82,6 +83,7 @@ def fig5_database(
         seed=seed,
         recorder=recorder,
         app_spec=app_spec,
+        usage=usage,
     )
     configs = [
         Configuration({"dR": dr, "c": "lzw", "l": 4}) for dr in fovea_sizes

@@ -63,6 +63,7 @@ def fig6a_database(
     seed: int = 0,
     recorder=None,
     engine=None,
+    usage=None,
 ):
     """Profile {lzw, bzip2} over the client-bandwidth axis (CPU fixed)."""
     app = make_viz_app()
@@ -75,7 +76,7 @@ def fig6a_database(
         workload="repro.experiments.fig6:exp1_workload",
         workload_kwargs={"n_images": n_images},
     )
-    if engine is None and recorder is None:
+    if engine is None and recorder is None and usage is None:
         engine = default_engine()
     driver = ProfilingDriver(
         app,
@@ -84,6 +85,7 @@ def fig6a_database(
         seed=seed,
         recorder=recorder,
         app_spec=app_spec,
+        usage=usage,
     )
     configs = [
         Configuration({"dR": 320, "c": codec, "l": 4}) for codec in ("lzw", "bzip2")
@@ -100,6 +102,7 @@ def fig6b_database(
     seed: int = 0,
     recorder=None,
     engine=None,
+    usage=None,
 ):
     """Profile resolution levels {3, 4} over the CPU-share axis."""
     app = make_viz_app()
@@ -112,7 +115,7 @@ def fig6b_database(
         workload="repro.experiments.fig6:exp2_workload",
         workload_kwargs={"n_images": n_images},
     )
-    if engine is None and recorder is None:
+    if engine is None and recorder is None and usage is None:
         engine = default_engine()
     driver = ProfilingDriver(
         app,
@@ -121,6 +124,7 @@ def fig6b_database(
         seed=seed,
         recorder=recorder,
         app_spec=app_spec,
+        usage=usage,
     )
     configs = [
         Configuration({"dR": 320, "c": "lzw", "l": level}) for level in (3, 4)

@@ -23,11 +23,14 @@ from .metrics import (
     MetricsRegistry,
     TimeSeries,
 )
+from .diff import DiffResult, diff_metrics, diff_traces, structural_keys
 from .query import adaptation_chains, chain, dwell_times, timeline
 from .record import ObsError, SpanRecord, TraceRecorder
+from .usage import UsageAccountant, owner_label
 
 __all__ = [
     "Counter",
+    "DiffResult",
     "Gauge",
     "Histogram",
     "MetricError",
@@ -36,11 +39,16 @@ __all__ = [
     "SpanRecord",
     "TimeSeries",
     "TraceRecorder",
+    "UsageAccountant",
     "adaptation_chains",
     "chain",
+    "diff_metrics",
+    "diff_traces",
     "dwell_times",
     "from_jsonl",
     "ordered",
+    "owner_label",
+    "structural_keys",
     "summary",
     "timeline",
     "to_chrome",

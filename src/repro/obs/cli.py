@@ -1,4 +1,4 @@
-"""Observability CLI: ``repro trace`` and ``repro metrics``.
+"""Observability CLI: trace, metrics, usage, diff, and report.
 
 Runs a traced experiment and renders what the recorder captured::
 
@@ -7,6 +7,12 @@ Runs a traced experiment and renders what the recorder captured::
     python -m repro.cli trace chaos --chrome     # chrome://tracing JSON
     python -m repro.cli metrics fig6a            # metrics table
     python -m repro.cli metrics chaos --json     # metrics snapshot JSON
+    python -m repro.cli metrics chaos --format csv   # deterministic CSV
+    python -m repro.cli usage chaos              # where the resources went
+    python -m repro.cli diff chaos chaos --seed-b 1  # first divergence
+    python -m repro.cli diff a.jsonl b.jsonl     # diff two trace exports
+    python -m repro.cli report chaos --out report.html
+    python -m repro.cli report chaos --compare chaos --seed-b 1
 
 Everything printed is a pure function of ``(experiment, seed)``: traced
 runs are byte-identical to untraced ones, and the trace itself is
@@ -16,44 +22,48 @@ deterministic (see ``docs/observability.md``).
 from __future__ import annotations
 
 import argparse
+import csv
+import io
 import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from .export import ordered, summary, to_chrome, to_jsonl
+from .diff import diff_metrics, diff_traces, format_key
+from .export import from_jsonl, ordered, summary, to_chrome, to_jsonl
 from .query import adaptation_chains, dwell_times
 from .record import TraceRecorder
+from .usage import UsageAccountant
 
 __all__ = ["obs_main", "TRACEABLE"]
 
 
-def _run_chaos(seed: int, recorder: TraceRecorder) -> None:
+def _run_chaos(seed: int, recorder=None, usage=None) -> None:
     from ..experiments.chaos import run_chaos
 
-    run_chaos(seed=seed, recorder=recorder)
+    run_chaos(seed=seed, recorder=recorder, usage=usage)
 
 
-def _run_fig5(seed: int, recorder: TraceRecorder) -> None:
+def _run_fig5(seed: int, recorder=None, usage=None) -> None:
     from ..experiments.fig5 import fig5_database
 
-    fig5_database(seed=seed, recorder=recorder)
+    fig5_database(seed=seed, recorder=recorder, usage=usage)
 
 
-def _run_fig6a(seed: int, recorder: TraceRecorder) -> None:
+def _run_fig6a(seed: int, recorder=None, usage=None) -> None:
     from ..experiments.fig6 import fig6a_database
 
-    fig6a_database(seed=seed, recorder=recorder)
+    fig6a_database(seed=seed, recorder=recorder, usage=usage)
 
 
-def _run_fig6b(seed: int, recorder: TraceRecorder) -> None:
+def _run_fig6b(seed: int, recorder=None, usage=None) -> None:
     from ..experiments.fig6 import fig6b_database
 
-    fig6b_database(seed=seed, recorder=recorder)
+    fig6b_database(seed=seed, recorder=recorder, usage=usage)
 
 
-#: experiment name -> runner(seed, recorder).
-TRACEABLE: Dict[str, Callable[[int, TraceRecorder], None]] = {
+#: experiment name -> runner(seed, recorder=None, usage=None).
+TRACEABLE: Dict[str, Callable] = {
     "chaos": _run_chaos,
     "fig5": _run_fig5,
     "fig6a": _run_fig6a,
@@ -131,6 +141,114 @@ def _render_metrics(recorder: TraceRecorder) -> str:
     return "\n".join(lines)
 
 
+def _metrics_csv(snapshot: dict) -> str:
+    """Long-format CSV with a fixed, deterministic column and row order.
+
+    Columns are always ``name,kind,field,t,value``; rows are ordered by
+    metric name (sorted), then by a fixed per-kind field order, then by
+    sample index — so two identical snapshots produce identical bytes.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(["name", "kind", "field", "t", "value"])
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload["kind"]
+        if kind == "counter":
+            writer.writerow([name, kind, "value", "", payload["value"]])
+        elif kind == "gauge":
+            writer.writerow([name, kind, "value", "", payload["value"]])
+            writer.writerow([name, kind, "updates", "", payload["updates"]])
+        elif kind == "histogram":
+            for field in ("count", "total", "min", "max", "mean"):
+                writer.writerow([name, kind, field, "", payload[field]])
+            edges = payload["edges"]
+            labels = [f"le_{e:g}" for e in edges] + ["overflow"]
+            for label, count in zip(labels, payload["counts"]):
+                writer.writerow([name, kind, label, "", count])
+        else:  # series
+            for t, value in payload["samples"]:
+                writer.writerow([name, kind, "sample", repr(t), value])
+    return buf.getvalue().rstrip("\n")
+
+
+def _render_usage(usage: UsageAccountant) -> str:
+    s = usage.summary()
+    lines = [
+        f"== usage account: {len(s['resources'])} resources, "
+        f"{len(s['memory'])} memories, {s['elapsed']:.3f}s =="
+    ]
+    for name, res in s["resources"].items():
+        lines.append(
+            f"  {name:24s} {res['kind']:5s} util={100 * res['utilization']:6.2f}%  "
+            f"served={res['served']:.6g}  capacity={res['capacity']:.6g}"
+        )
+        for owner, amount in res["by_owner"].items():
+            lines.append(f"    {'by process':22s} {owner}: {amount:.6g}")
+        for config, amount in res["by_config"].items():
+            lines.append(f"    {'by configuration':22s} {config}: {amount:.6g}")
+    for name, mem in s["memory"].items():
+        lines.append(
+            f"  {name:24s} mem   faults={mem['faults']}  "
+            f"peak_resident={mem['peak_resident_pages']}/{mem['total_pages']}"
+        )
+        for config, faults in mem["faults_by_config"].items():
+            lines.append(f"    {'faults by config':22s} {config}: {faults}")
+    if s["config_marks"]:
+        lines.append("  -- configuration attribution marks --")
+        for t, label in s["config_marks"]:
+            lines.append(f"    t={t:10.4f}  {label}")
+    return "\n".join(lines)
+
+
+def _render_diff(result, metrics_delta: Optional[dict]) -> str:
+    lines = []
+    if result.identical and (metrics_delta is None or metrics_delta["identical"]):
+        lines.append(
+            f"== traces are structurally identical "
+            f"({result.matched} spans matched) =="
+        )
+    else:
+        lines.append(
+            f"== {result.divergences} divergence(s): "
+            f"{result.matched} matched, {len(result.changed)} changed, "
+            f"{len(result.only_a)} only-in-A, {len(result.only_b)} only-in-B =="
+        )
+    divergence = result.first_divergence
+    if divergence is not None:
+        lines.append(
+            f"first divergence ({divergence.kind}, side {divergence.side}) "
+            f"at t={divergence.record.t0:.4f}:"
+        )
+        lines.append(f"  key: {format_key(divergence.key)}")
+        lines.append("  causal chain (root first):")
+        for record in divergence.causal_chain:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(record.attrs.items())
+            )
+            lines.append(f"    {record.name}@{record.t0:.4f} {attrs}".rstrip())
+        if divergence.other is not None:
+            lines.append(
+                f"  counterpart in B: {divergence.other.name}"
+                f"@{divergence.other.t0:.4f}"
+            )
+    if metrics_delta is not None and not metrics_delta["identical"]:
+        lines.append(
+            f"metric deltas: {len(metrics_delta['changed'])} changed, "
+            f"{len(metrics_delta['only_a'])} only-in-A, "
+            f"{len(metrics_delta['only_b'])} only-in-B"
+        )
+        for name, entry in metrics_delta["changed"].items():
+            if "delta" in entry and entry["delta"] is not None:
+                lines.append(
+                    f"  {name}: {entry['a']} -> {entry['b']} "
+                    f"(delta {entry['delta']:+g})"
+                )
+            else:
+                lines.append(f"  {name}: changed ({entry['kind']})")
+    return "\n".join(lines)
+
+
 def _write_or_print(text: str, out: Optional[Path]) -> None:
     if out is not None:
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -140,20 +258,61 @@ def _write_or_print(text: str, out: Optional[Path]) -> None:
         print(text)
 
 
+def _traced_run(experiment: str, seed: int, with_usage: bool):
+    """Run one experiment traced (and optionally usage-accounted)."""
+    recorder = TraceRecorder()
+    usage = None
+    if with_usage:
+        # Share the recorder's registry so usage.* series appear in the
+        # metrics snapshot (and therefore in reports and CSV exports).
+        usage = UsageAccountant(metrics=recorder.metrics)
+    TRACEABLE[experiment](seed, recorder=recorder, usage=usage)
+    return recorder, usage
+
+
+def _load_side(source: str, seed: int):
+    """A diff operand: a trace-JSONL path, or an experiment to run."""
+    path = Path(source)
+    if source.endswith(".jsonl") or path.is_file():
+        records = from_jsonl(path.read_text())
+        return f"{source}", records, None
+    if source not in TRACEABLE:
+        raise SystemExit(
+            f"repro diff: {source!r} is neither a trace .jsonl file nor an "
+            f"experiment ({', '.join(sorted(TRACEABLE))})"
+        )
+    recorder, _ = _traced_run(source, seed, with_usage=False)
+    return f"{source}@seed={seed}", recorder.records, recorder.metrics.snapshot()
+
+
 def obs_main(argv: List[str]) -> int:
-    """Entry point for ``repro trace ...`` / ``repro metrics ...``."""
-    mode = argv[0]  # "trace" | "metrics", vetted by the dispatcher
+    """Entry point for ``repro trace|metrics|usage|diff|report ...``."""
+    mode = argv[0]  # vetted by the dispatcher
     parser = argparse.ArgumentParser(
         prog=f"repro {mode}",
         description="Run an experiment with tracing and render the result.",
     )
-    parser.add_argument(
-        "experiment", choices=sorted(TRACEABLE), help="experiment to trace"
-    )
-    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    if mode == "diff":
+        parser.add_argument(
+            "a", help="experiment name or trace .jsonl file (run A)"
+        )
+        parser.add_argument(
+            "b", help="experiment name or trace .jsonl file (run B)"
+        )
+        parser.add_argument(
+            "--seed", type=int, default=0, help="seed for run A (and B unless --seed-b)"
+        )
+        parser.add_argument(
+            "--seed-b", type=int, default=None, help="seed for run B"
+        )
+    else:
+        parser.add_argument(
+            "experiment", choices=sorted(TRACEABLE), help="experiment to run"
+        )
+        parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
         "--json", action="store_true",
-        help="JSONL span records (trace) / snapshot JSON (metrics)",
+        help="machine-readable JSON instead of the human rendering",
     )
     if mode == "trace":
         parser.add_argument(
@@ -164,16 +323,114 @@ def obs_main(argv: List[str]) -> int:
             "--limit", type=int, default=40,
             help="max timeline rows in human output (0 = all)",
         )
+    if mode == "metrics":
+        parser.add_argument(
+            "--format", choices=("table", "csv", "json"), default="table",
+            help="output format (csv columns/rows are deterministic)",
+        )
+    if mode == "usage":
+        parser.add_argument(
+            "--resolution", type=float, default=1.0,
+            help="virtual-time resolution of the utilization series",
+        )
+    if mode == "report":
+        parser.add_argument(
+            "--compare", default=None, metavar="B",
+            help="second experiment (or trace .jsonl) for a comparison report",
+        )
+        parser.add_argument(
+            "--seed-b", type=int, default=None,
+            help="seed for the comparison run (defaults to --seed)",
+        )
     parser.add_argument(
         "--out", type=Path, default=None, help="write to file instead of stdout"
     )
     args = parser.parse_args(argv[1:])
 
+    if mode == "diff":
+        seed_b = args.seed if args.seed_b is None else args.seed_b
+        label_a, records_a, snap_a = _load_side(args.a, args.seed)
+        label_b, records_b, snap_b = _load_side(args.b, seed_b)
+        result = diff_traces(records_a, records_b)
+        metrics_delta = (
+            diff_metrics(snap_a, snap_b)
+            if snap_a is not None and snap_b is not None
+            else None
+        )
+        if args.json:
+            payload = {"a": label_a, "b": label_b, **result.to_dict()}
+            if metrics_delta is not None:
+                payload["metrics"] = metrics_delta
+            text = json.dumps(payload, indent=1, sort_keys=True)
+        else:
+            text = f"A: {label_a}\nB: {label_b}\n" + _render_diff(
+                result, metrics_delta
+            )
+        _write_or_print(text, args.out)
+        identical = result.identical and (
+            metrics_delta is None or metrics_delta["identical"]
+        )
+        return 0 if identical else 1
+
+    if mode == "usage":
+        recorder = TraceRecorder()
+        usage = UsageAccountant(
+            metrics=recorder.metrics, resolution=args.resolution
+        )
+        TRACEABLE[args.experiment](args.seed, recorder=recorder, usage=usage)
+        if args.json:
+            payload = {
+                "experiment": args.experiment,
+                "seed": args.seed,
+                "usage": usage.summary(),
+            }
+            text = json.dumps(payload, indent=1, sort_keys=True)
+        else:
+            text = _render_usage(usage)
+        _write_or_print(text, args.out)
+        return 0
+
+    if mode == "report":
+        from .report import render_comparison, render_report
+
+        recorder, usage = _traced_run(args.experiment, args.seed, with_usage=True)
+        if args.compare is None:
+            text = render_report(
+                recorder.records,
+                recorder.metrics.snapshot(),
+                title=f"repro report: {args.experiment} (seed {args.seed})",
+                usage_summary=usage.summary(),
+            )
+        else:
+            seed_b = args.seed if args.seed_b is None else args.seed_b
+            label_b, records_b, snap_b = _load_side(args.compare, seed_b)
+            result = diff_traces(recorder.records, records_b)
+            metrics_delta = diff_metrics(
+                recorder.metrics.snapshot(), snap_b if snap_b is not None else {}
+            ) if snap_b is not None else {"identical": result.identical,
+                                          "only_a": [], "only_b": [],
+                                          "changed": {}}
+            text = render_comparison(
+                f"{args.experiment}@seed={args.seed}",
+                label_b,
+                result,
+                metrics_delta,
+                title=f"repro report: {args.experiment} vs {args.compare}",
+            )
+        out = args.out
+        if out is None:
+            out = Path(f"report_{args.experiment}.html")
+        _write_or_print(text, out)
+        return 0
+
     recorder = TraceRecorder()
-    TRACEABLE[args.experiment](args.seed, recorder)
+    TRACEABLE[args.experiment](args.seed, recorder=recorder)
 
     if mode == "metrics":
+        fmt = args.format
         if args.json:
+            fmt = "json"
+        if fmt == "json":
             payload = {
                 "experiment": args.experiment,
                 "seed": args.seed,
@@ -181,6 +438,8 @@ def obs_main(argv: List[str]) -> int:
                 "summary": summary(recorder.records),
             }
             text = json.dumps(payload, indent=1, sort_keys=True)
+        elif fmt == "csv":
+            text = _metrics_csv(recorder.metrics.snapshot())
         else:
             text = _render_metrics(recorder)
     elif args.chrome:

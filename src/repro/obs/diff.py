@@ -1,0 +1,338 @@
+"""Trace and metrics diffing: where two runs first went different ways.
+
+A seeded run's trace is a pure function of ``(code, seed, config)``, so
+two traces that *should* agree — same seed before/after a refactor, a
+replayed fault schedule, a cache-served vs freshly-run sweep cell —
+either match structurally or diverge at a first point that localizes the
+behavioural change.  This module aligns two span trees and reports that
+point with its causal context.
+
+Alignment never uses span ids or timestamps (both shift under unrelated
+edits: an extra instant renumbers every later sid; a nanosecond of extra
+work moves every later ``t0``).  Instead each record gets a **structural
+key**: the root-to-node path of ``(name, ordinal)`` pairs, where the
+ordinal counts earlier same-named siblings under the same parent, in
+``(t0, sid)`` order.  Two records in different runs correspond iff their
+keys are equal — "the third ``steer.request`` under the monitor process"
+names the same logical event in both runs regardless of when it happened
+or what sid it drew.
+
+``diff_traces`` classifies keys as matched / changed (same key, different
+attributes or outcome) / only-in-A / only-in-B and pins the **first
+divergence** — the earliest changed-or-unmatched record in virtual time —
+together with its root-first causal chain, so the report reads like the
+adaptation timelines of ``repro trace``: *this* violation led to *this*
+decision, and here the runs parted.
+
+``diff_metrics`` compares two registry snapshots: counter/gauge deltas,
+histogram count shifts, and series length/endpoint drift (covering the
+``usage.*`` utilization series of :mod:`repro.obs.usage`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .export import ordered
+from .query import chain
+from .record import SpanRecord
+
+__all__ = [
+    "DiffResult",
+    "Divergence",
+    "diff_metrics",
+    "diff_traces",
+    "format_key",
+    "structural_keys",
+]
+
+#: Attribute keys ignored when deciding whether two matched records
+#: "changed": timing attrs vary freely between runs without implying a
+#: behavioural difference (virtual durations are compared separately).
+_VOLATILE_ATTRS = frozenset({"virtual_duration"})
+
+Key = Tuple[Tuple[str, int], ...]
+
+
+def structural_keys(records: Sequence[SpanRecord]) -> Dict[int, Key]:
+    """Map each record's sid to its structural key.
+
+    The key is the root-to-node path of ``(name, ordinal)`` pairs;
+    ordinals count same-named siblings under the same parent in
+    ``(t0, sid)`` order.  Records whose parent is missing from the input
+    (truncated export) are treated as roots, deterministically.
+    """
+    by_sid = {record.sid: record for record in records}
+    # Pass 1: per-(parent, name) ordinals in (t0, sid) order.
+    steps: Dict[int, Tuple[Optional[int], str, int]] = {}
+    counters: Dict[Tuple[Optional[int], str], int] = {}
+    for record in ordered(records):
+        parent = record.parent if record.parent in by_sid else None
+        ordinal = counters.get((parent, record.name), 0)
+        counters[(parent, record.name)] = ordinal + 1
+        steps[record.sid] = (parent, record.name, ordinal)
+    # Pass 2: full paths by walking parent links (memoized).
+    keys: Dict[int, Key] = {}
+
+    def resolve(sid: int) -> Key:
+        key = keys.get(sid)
+        if key is None:
+            parent, name, ordinal = steps[sid]
+            prefix: Key = resolve(parent) if parent is not None else ()
+            key = prefix + ((name, ordinal),)
+            keys[sid] = key
+        return key
+
+    for sid in steps:
+        resolve(sid)
+    return keys
+
+
+def format_key(key: Key) -> str:
+    """Human-readable path form: ``proc:client[0]/steer.request[2]``."""
+    return "/".join(f"{name}[{ordinal}]" for name, ordinal in key)
+
+
+def _fingerprint(record: SpanRecord) -> dict:
+    """The comparable substance of a record (no sids, no timestamps)."""
+    return {
+        "kind": record.kind,
+        "cat": record.cat,
+        "proc": record.proc,
+        "attrs": {
+            k: v
+            for k, v in sorted(record.attrs.items())
+            if k not in _VOLATILE_ATTRS
+        },
+    }
+
+
+class Divergence:
+    """The first structural disagreement between two runs."""
+
+    __slots__ = ("kind", "key", "record", "side", "other", "causal_chain")
+
+    def __init__(
+        self,
+        kind: str,
+        key: Key,
+        record: SpanRecord,
+        side: str,
+        other: Optional[SpanRecord],
+        causal_chain: List[SpanRecord],
+    ):
+        #: "changed" | "only_a" | "only_b".
+        self.kind = kind
+        self.key = key
+        #: The diverging record (from run A for "changed"/"only_a").
+        self.record = record
+        self.side = side
+        #: The matched record on the other side ("changed" only).
+        self.other = other
+        #: Root-first causal chain of :attr:`record` in its own run.
+        self.causal_chain = causal_chain
+
+    def to_dict(self) -> dict:
+        payload = {
+            "kind": self.kind,
+            "key": format_key(self.key),
+            "side": self.side,
+            "t": self.record.t0,
+            "name": self.record.name,
+            "record": self.record.to_dict(),
+            "chain": [
+                {"name": r.name, "t": r.t0, "attrs": dict(sorted(r.attrs.items()))}
+                for r in self.causal_chain
+            ],
+        }
+        if self.other is not None:
+            payload["other"] = self.other.to_dict()
+        return payload
+
+
+class DiffResult:
+    """Outcome of :func:`diff_traces` over two record lists."""
+
+    def __init__(
+        self,
+        matched: int,
+        changed: List[Tuple[Key, SpanRecord, SpanRecord]],
+        only_a: List[Tuple[Key, SpanRecord]],
+        only_b: List[Tuple[Key, SpanRecord]],
+        first_divergence: Optional[Divergence],
+    ):
+        #: Number of keys present in both runs with equal fingerprints.
+        self.matched = matched
+        #: Keys present in both runs whose fingerprints differ.
+        self.changed = changed
+        self.only_a = only_a
+        self.only_b = only_b
+        self.first_divergence = first_divergence
+
+    @property
+    def identical(self) -> bool:
+        return not (self.changed or self.only_a or self.only_b)
+
+    @property
+    def divergences(self) -> int:
+        return len(self.changed) + len(self.only_a) + len(self.only_b)
+
+    def to_dict(self) -> dict:
+        return {
+            "identical": self.identical,
+            "matched": self.matched,
+            "divergences": self.divergences,
+            "changed": [
+                {
+                    "key": format_key(key),
+                    "a": a.to_dict(),
+                    "b": b.to_dict(),
+                }
+                for key, a, b in self.changed
+            ],
+            "only_a": [
+                {"key": format_key(key), "record": rec.to_dict()}
+                for key, rec in self.only_a
+            ],
+            "only_b": [
+                {"key": format_key(key), "record": rec.to_dict()}
+                for key, rec in self.only_b
+            ],
+            "first_divergence": (
+                None
+                if self.first_divergence is None
+                else self.first_divergence.to_dict()
+            ),
+        }
+
+
+def diff_traces(
+    records_a: Sequence[SpanRecord], records_b: Sequence[SpanRecord]
+) -> DiffResult:
+    """Align two runs' span trees structurally and report divergences.
+
+    Returns a :class:`DiffResult`; ``result.identical`` means every
+    structural key appears in both runs with the same substance (name
+    tree, categories, processes, attributes) — timestamps and sids are
+    free to differ.  The first divergence is the earliest (by the
+    diverging record's own ``(t0, sid)``) changed or one-sided record,
+    with its causal chain for context.
+    """
+    keys_a = structural_keys(records_a)
+    keys_b = structural_keys(records_b)
+    index_a = {keys_a[r.sid]: r for r in records_a}
+    index_b = {keys_b[r.sid]: r for r in records_b}
+
+    matched = 0
+    changed: List[Tuple[Key, SpanRecord, SpanRecord]] = []
+    only_a: List[Tuple[Key, SpanRecord]] = []
+    only_b: List[Tuple[Key, SpanRecord]] = []
+
+    for record in ordered(records_a):
+        key = keys_a[record.sid]
+        other = index_b.get(key)
+        if other is None:
+            only_a.append((key, record))
+        elif _fingerprint(record) == _fingerprint(other):
+            matched += 1
+        else:
+            changed.append((key, record, other))
+    for record in ordered(records_b):
+        if keys_b[record.sid] not in index_a:
+            only_b.append((keys_b[record.sid], record))
+
+    candidates: List[Tuple[float, int, int, Divergence]] = []
+    if changed:
+        key, rec, other = changed[0]
+        candidates.append(
+            (rec.t0, rec.sid, 0,
+             Divergence("changed", key, rec, "a", other,
+                        chain(records_a, rec.sid)))
+        )
+    if only_a:
+        key, rec = only_a[0]
+        candidates.append(
+            (rec.t0, rec.sid, 1,
+             Divergence("only_a", key, rec, "a", None,
+                        chain(records_a, rec.sid)))
+        )
+    if only_b:
+        key, rec = only_b[0]
+        candidates.append(
+            (rec.t0, rec.sid, 2,
+             Divergence("only_b", key, rec, "b", None,
+                        chain(records_b, rec.sid)))
+        )
+    first = min(candidates)[3] if candidates else None
+    return DiffResult(matched, changed, only_a, only_b, first)
+
+
+# -- metrics ---------------------------------------------------------------
+
+def _series_summary(payload: dict) -> dict:
+    samples = payload.get("samples", [])
+    return {
+        "samples": len(samples),
+        "last_t": samples[-1][0] if samples else None,
+        "last_value": samples[-1][1] if samples else None,
+    }
+
+
+def diff_metrics(snap_a: dict, snap_b: dict, tol: float = 1e-12) -> dict:
+    """Compare two ``MetricsRegistry.snapshot()`` dicts.
+
+    Returns ``{"identical": bool, "only_a": [...], "only_b": [...],
+    "changed": {name: {...}}}`` where each changed entry carries a
+    kind-appropriate delta: counters/gauges get ``a``/``b``/``delta``,
+    histograms get count/total deltas, series get length and endpoint
+    drift.  Numeric differences within ``tol`` are treated as equal.
+    """
+    names_a, names_b = set(snap_a), set(snap_b)
+    changed: Dict[str, dict] = {}
+
+    def close(x, y) -> bool:
+        if x is None or y is None:
+            return x is y
+        return abs(float(x) - float(y)) <= tol
+
+    for name in sorted(names_a & names_b):
+        a, b = snap_a[name], snap_b[name]
+        if a.get("kind") != b.get("kind"):
+            changed[name] = {"kind": "mismatch", "a": a.get("kind"),
+                             "b": b.get("kind")}
+            continue
+        kind = a.get("kind")
+        if kind in ("counter", "gauge"):
+            if not close(a.get("value"), b.get("value")):
+                av, bv = a.get("value"), b.get("value")
+                changed[name] = {
+                    "kind": kind, "a": av, "b": bv,
+                    "delta": (None if av is None or bv is None else bv - av),
+                }
+        elif kind == "histogram":
+            if (a["count"] != b["count"] or a["counts"] != b["counts"]
+                    or not close(a["total"], b["total"])):
+                changed[name] = {
+                    "kind": kind,
+                    "count_delta": b["count"] - a["count"],
+                    "total_delta": b["total"] - a["total"],
+                    "counts_a": a["counts"],
+                    "counts_b": b["counts"],
+                }
+        elif kind == "series":
+            sa, sb = _series_summary(a), _series_summary(b)
+            if (sa["samples"] != sb["samples"]
+                    or not close(sa["last_t"], sb["last_t"])
+                    or not close(sa["last_value"], sb["last_value"])):
+                changed[name] = {"kind": kind, "a": sa, "b": sb}
+        elif a != b:  # pragma: no cover - future metric kinds
+            changed[name] = {"kind": kind, "a": a, "b": b}
+
+    only_a = sorted(names_a - names_b)
+    only_b = sorted(names_b - names_a)
+    return {
+        "identical": not (changed or only_a or only_b),
+        "only_a": only_a,
+        "only_b": only_b,
+        "changed": changed,
+    }

@@ -165,22 +165,21 @@ class MetricsRegistry:
         self.clock = clock
         self._metrics: Dict[str, Metric] = {}
 
-    def _get_or_create(self, name: str, factory: Callable[[], Metric]) -> Metric:
+    def counter(self, name: str) -> Counter:
+        # Hot path (instrumented code calls this per sample): plain dict
+        # hit with no closure allocation.
         metric = self._metrics.get(name)
         if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        return metric
-
-    def counter(self, name: str) -> Counter:
-        metric = self._get_or_create(name, lambda: Counter(name))
-        if not isinstance(metric, Counter):
+            metric = self._metrics[name] = Counter(name)
+        elif not isinstance(metric, Counter):
             raise MetricError(f"{name!r} is a {metric.kind}, not a counter")
         return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._get_or_create(name, lambda: Gauge(name))
-        if not isinstance(metric, Gauge):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Gauge(name)
+        elif not isinstance(metric, Gauge):
             raise MetricError(f"{name!r} is a {metric.kind}, not a gauge")
         return metric
 
@@ -204,8 +203,10 @@ class MetricsRegistry:
         return metric
 
     def series(self, name: str) -> TimeSeries:
-        metric = self._get_or_create(name, lambda: TimeSeries(name))
-        if not isinstance(metric, TimeSeries):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = TimeSeries(name)
+        elif not isinstance(metric, TimeSeries):
             raise MetricError(f"{name!r} is a {metric.kind}, not a series")
         return metric
 

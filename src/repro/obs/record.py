@@ -165,20 +165,22 @@ class TraceRecorder:
         return self
 
     def _step_hook(self, t: float, prio: int, seq: int, event: Event) -> None:
+        # Hot path — once per kernel event; isinstance() over issubclass()
+        # and a localized chain call keep the per-event cost flat.
         self.steps += 1
-        cls = event.__class__
-        if cls is _Initialize:
+        if event.__class__ is _Initialize:
             proc = event.process  # type: ignore[attr-defined]
             span = self._record(
                 "span", f"proc:{proc.name}", "sim", parent=proc.obs_parent
             )
             proc.obs_span = span.sid
-        elif issubclass(cls, Process):
+        elif isinstance(event, Process):
             sid = event.obs_span  # type: ignore[attr-defined]
             if sid is not None and sid in self._open:
                 self.end(sid, ok=bool(event._ok))
-        if self._prev_hook is not None:
-            self._prev_hook(t, prio, seq, event)
+        prev = self._prev_hook
+        if prev is not None:
+            prev(t, prio, seq, event)
 
     # -- parent context ----------------------------------------------------
     def push_parent(self, sid: int) -> None:

@@ -1,0 +1,404 @@
+"""Self-contained HTML reports: one experiment, or two runs compared.
+
+``render_report`` turns one traced run (span records + metrics snapshot
++ optional usage summary) into a single HTML file with no external
+assets — inline CSS and inline SVG, no JavaScript — so the file can be
+attached to a CI run or mailed around and still render identically.
+Sections: run header, adaptation timeline (configuration bands with
+event ticks), per-resource utilization strips, configuration dwell
+times, fault events, and the metrics table.
+
+``render_comparison`` renders two runs side by side around a
+:class:`~repro.obs.diff.DiffResult`: the verdict (identical or first
+divergence with its causal chain), the matched/changed/only counts, and
+the metrics deltas.
+
+Determinism: the output is a pure function of the inputs — no wall
+clocks, no random ids, stable iteration order everywhere — so report
+files diff cleanly across commits.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .diff import DiffResult, format_key
+from .export import ordered
+from .query import dwell_times
+from .record import SpanRecord
+
+__all__ = ["render_comparison", "render_report"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 60em; color: #1a1a2e; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #16213e; padding-bottom: .3em; }
+h2 { font-size: 1.1em; margin-top: 1.6em; color: #16213e; }
+table { border-collapse: collapse; font-size: .85em; margin: .5em 0; }
+th, td { border: 1px solid #cbd5e1; padding: .25em .6em; text-align: left; }
+th { background: #eef2f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #15803d; font-weight: 600; }
+.bad { color: #b91c1c; font-weight: 600; }
+.strip { margin: .35em 0; }
+.strip .label { font-size: .8em; color: #475569; }
+svg { display: block; }
+code { background: #f1f5f9; padding: 0 .25em; border-radius: 3px; }
+.chain { font-size: .85em; }
+.chain li { margin: .15em 0; }
+footer { margin-top: 2.5em; font-size: .75em; color: #64748b;
+         border-top: 1px solid #cbd5e1; padding-top: .5em; }
+"""
+
+# A small qualitative palette for configuration bands (cycled).
+_BAND_COLORS = ("#93c5fd", "#fcd34d", "#86efac", "#f9a8d4", "#c4b5fd",
+                "#fdba74", "#a5f3fc", "#d9f99d")
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _trace_extent(records: Sequence[SpanRecord]) -> float:
+    end = 0.0
+    for record in records:
+        end = max(end, record.t0, record.t1 if record.t1 is not None else 0.0)
+    return end
+
+
+def _config_marks(records: Sequence[SpanRecord]) -> List[Tuple[float, str]]:
+    return [
+        (record.t0, str(record.attrs.get("config", "?")))
+        for record in ordered(records)
+        if record.name in ("config.initial", "config.switch")
+    ]
+
+
+def _fault_events(records: Sequence[SpanRecord]) -> List[SpanRecord]:
+    return [
+        record
+        for record in ordered(records)
+        if record.cat == "fault" or record.name.startswith("fault.")
+    ]
+
+
+def _timeline_svg(
+    marks: List[Tuple[float, str]],
+    faults: List[SpanRecord],
+    t_end: float,
+    width: int = 720,
+    height: int = 46,
+) -> str:
+    """Configuration bands with fault ticks, as one inline SVG."""
+    if t_end <= 0.0:
+        t_end = 1.0
+
+    def x(t: float) -> float:
+        return round(width * min(max(t, 0.0), t_end) / t_end, 2)
+
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'viewBox="0 0 {width} {height}">'
+    ]
+    colors: Dict[str, str] = {}
+    for t0, label in marks:
+        if label not in colors:
+            colors[label] = _BAND_COLORS[len(colors) % len(_BAND_COLORS)]
+    if not marks:
+        parts.append(
+            f'<rect x="0" y="8" width="{width}" height="22" fill="#e2e8f0"/>'
+        )
+    for (t0, label), nxt in zip(marks, marks[1:] + [None]):
+        t1 = t_end if nxt is None else nxt[0]
+        parts.append(
+            f'<rect x="{x(t0)}" y="8" width="{max(0.5, x(t1) - x(t0))}" '
+            f'height="22" fill="{colors[label]}">'
+            f"<title>{_esc(label)}: {t0:.2f}s - {t1:.2f}s</title></rect>"
+        )
+    for record in faults:
+        parts.append(
+            f'<line x1="{x(record.t0)}" y1="4" x2="{x(record.t0)}" y2="34" '
+            f'stroke="#b91c1c" stroke-width="1.5">'
+            f"<title>{_esc(record.name)} @ {record.t0:.2f}s</title></line>"
+        )
+    parts.append(
+        f'<text x="0" y="{height - 2}" font-size="9" fill="#64748b">0s</text>'
+        f'<text x="{width - 40}" y="{height - 2}" font-size="9" '
+        f'fill="#64748b" text-anchor="end">{t_end:.1f}s</text>'
+    )
+    parts.append("</svg>")
+    legend = " ".join(
+        f'<span style="background:{color};padding:0 .5em;margin-right:.5em">'
+        f"</span>{_esc(label)}"
+        for label, color in colors.items()
+    )
+    if legend:
+        parts.append(f'<div class="label">{legend}</div>')
+    return "".join(parts)
+
+
+def _series_svg(
+    samples: Sequence[Tuple[float, float]],
+    t_end: float,
+    width: int = 720,
+    height: int = 40,
+    v_max: Optional[float] = None,
+) -> str:
+    """One utilization strip: a filled step-ish polyline, 0..v_max."""
+    if t_end <= 0.0:
+        t_end = 1.0
+    if v_max is None:
+        v_max = max((v for _, v in samples), default=1.0)
+        v_max = max(v_max, 1e-9)
+    pts = []
+    for t, v in samples:
+        px = round(width * min(max(t, 0.0), t_end) / t_end, 2)
+        py = round(height - (height - 2) * min(v / v_max, 1.0) - 1, 2)
+        pts.append(f"{px},{py}")
+    poly = ""
+    if pts:
+        poly = (
+            f'<polyline points="0,{height - 1} {" ".join(pts)}" fill="none" '
+            f'stroke="#2563eb" stroke-width="1.2"/>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}">'
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#f8fafc" '
+        f'stroke="#e2e8f0"/>{poly}</svg>'
+    )
+
+
+def _metrics_rows(snapshot: dict) -> str:
+    rows = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload.get("kind", "?")
+        if kind == "counter":
+            value = _fmt(payload.get("value"))
+        elif kind == "gauge":
+            value = f"{_fmt(payload.get('value'))} ({payload.get('updates')} updates)"
+        elif kind == "histogram":
+            value = (
+                f"n={payload.get('count')} mean={_fmt(payload.get('mean'))} "
+                f"min={_fmt(payload.get('min'))} max={_fmt(payload.get('max'))}"
+            )
+        else:
+            value = f"{len(payload.get('samples', []))} samples"
+        rows.append(
+            f"<tr><td><code>{_esc(name)}</code></td><td>{_esc(kind)}</td>"
+            f'<td class="num">{_esc(value)}</td></tr>'
+        )
+    return "".join(rows)
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        f'<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>{body}"
+        "<footer>Generated by <code>repro report</code> — deterministic: "
+        "a pure function of (experiment, seed).</footer></body></html>\n"
+    )
+
+
+def render_report(
+    records: Sequence[SpanRecord],
+    metrics_snapshot: dict,
+    title: str,
+    usage_summary: Optional[dict] = None,
+) -> str:
+    """One run's self-contained HTML report."""
+    t_end = _trace_extent(records)
+    marks = _config_marks(records)
+    faults = _fault_events(records)
+    body: List[str] = []
+
+    body.append("<h2>Run</h2><table>")
+    body.append(
+        f'<tr><th>trace records</th><td class="num">{len(records)}</td></tr>'
+        f'<tr><th>metrics</th><td class="num">{len(metrics_snapshot)}</td></tr>'
+        f'<tr><th>virtual duration</th><td class="num">{t_end:.3f}s</td></tr>'
+        f'<tr><th>configuration switches</th>'
+        f'<td class="num">{max(0, len(marks) - 1)}</td></tr>'
+        f'<tr><th>fault events</th><td class="num">{len(faults)}</td></tr>'
+    )
+    body.append("</table>")
+
+    body.append("<h2>Adaptation timeline</h2>")
+    body.append(_timeline_svg(marks, faults, t_end))
+
+    dwell = dwell_times(records)
+    if dwell:
+        body.append("<h2>Configuration dwell times</h2><table>")
+        body.append("<tr><th>configuration</th><th>dwell</th><th>share</th></tr>")
+        total = sum(dwell.values()) or 1.0
+        for label, seconds in dwell.items():
+            body.append(
+                f"<tr><td><code>{_esc(label)}</code></td>"
+                f'<td class="num">{seconds:.3f}s</td>'
+                f'<td class="num">{100.0 * seconds / total:.1f}%</td></tr>'
+            )
+        body.append("</table>")
+
+    # Top-level resource strips only, not per-proc/per-config breakdowns.
+    strips = [
+        name for name, payload in sorted(metrics_snapshot.items())
+        if payload.get("kind") == "series" and name.startswith("usage.")
+        and ".proc." not in name and ".config." not in name
+    ]
+    if strips:
+        body.append("<h2>Resource utilization</h2>")
+        for name in strips:
+            samples = [tuple(s) for s in metrics_snapshot[name]["samples"]]
+            v_max = 1.0 if not name.endswith(".resident") else None
+            body.append(
+                f'<div class="strip"><div class="label">'
+                f"<code>{_esc(name)}</code></div>"
+                f"{_series_svg(samples, t_end, v_max=v_max)}</div>"
+            )
+
+    if usage_summary:
+        body.append("<h2>Usage account</h2><table>")
+        body.append(
+            "<tr><th>resource</th><th>kind</th><th>served</th>"
+            "<th>capacity</th><th>utilization</th><th>top consumer</th></tr>"
+        )
+        for name in sorted(usage_summary.get("resources", {})):
+            res = usage_summary["resources"][name]
+            owners = res.get("by_owner", {})
+            top = max(owners, key=lambda k: owners[k]) if owners else "-"
+            body.append(
+                f"<tr><td><code>{_esc(name)}</code></td><td>{_esc(res['kind'])}</td>"
+                f'<td class="num">{res["served"]:.4g}</td>'
+                f'<td class="num">{res["capacity"]:.4g}</td>'
+                f'<td class="num">{100.0 * res["utilization"]:.2f}%</td>'
+                f"<td><code>{_esc(top)}</code></td></tr>"
+            )
+        for name in sorted(usage_summary.get("memory", {})):
+            mem = usage_summary["memory"][name]
+            body.append(
+                f"<tr><td><code>{_esc(name)}</code></td><td>memory</td>"
+                f'<td class="num">{mem["faults"]} faults</td>'
+                f'<td class="num">{mem["total_pages"]} pages</td>'
+                f'<td class="num">peak {mem["peak_resident_pages"]}</td>'
+                f"<td>-</td></tr>"
+            )
+        body.append("</table>")
+
+    if faults:
+        body.append("<h2>Fault events</h2><table>")
+        body.append("<tr><th>t</th><th>event</th><th>details</th></tr>")
+        for record in faults:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(record.attrs.items())
+            )
+            body.append(
+                f'<tr><td class="num">{record.t0:.3f}</td>'
+                f"<td><code>{_esc(record.name)}</code></td>"
+                f"<td>{_esc(attrs)}</td></tr>"
+            )
+        body.append("</table>")
+
+    body.append("<h2>Metrics</h2><table>")
+    body.append("<tr><th>name</th><th>kind</th><th>value</th></tr>")
+    body.append(_metrics_rows(metrics_snapshot))
+    body.append("</table>")
+
+    return _page(title, "".join(body))
+
+
+def render_comparison(
+    label_a: str,
+    label_b: str,
+    trace_diff: DiffResult,
+    metrics_diff: dict,
+    title: str,
+) -> str:
+    """Two-run comparison report around a :class:`DiffResult`."""
+    body: List[str] = []
+    identical = trace_diff.identical and metrics_diff.get("identical", False)
+    verdict = (
+        '<span class="ok">runs are structurally identical</span>'
+        if identical
+        else f'<span class="bad">{trace_diff.divergences} trace divergence(s), '
+        f"{len(metrics_diff.get('changed', {}))} metric change(s)</span>"
+    )
+    body.append(f"<h2>Verdict</h2><p>{verdict}</p>")
+    body.append("<table>")
+    body.append(
+        f"<tr><th></th><th>A: {_esc(label_a)}</th>"
+        f"<th>B: {_esc(label_b)}</th></tr>"
+        f'<tr><th>matched spans</th><td class="num" colspan="2">'
+        f"{trace_diff.matched}</td></tr>"
+        f'<tr><th>changed</th><td class="num" colspan="2">'
+        f"{len(trace_diff.changed)}</td></tr>"
+        f'<tr><th>only in A</th><td class="num" colspan="2">'
+        f"{len(trace_diff.only_a)}</td></tr>"
+        f'<tr><th>only in B</th><td class="num" colspan="2">'
+        f"{len(trace_diff.only_b)}</td></tr>"
+    )
+    body.append("</table>")
+
+    divergence = trace_diff.first_divergence
+    if divergence is not None:
+        body.append("<h2>First divergence</h2>")
+        body.append(
+            f"<p><code>{_esc(format_key(divergence.key))}</code> "
+            f"({_esc(divergence.kind)}, side {_esc(divergence.side)}) at "
+            f"t={divergence.record.t0:.4f}s</p>"
+        )
+        body.append('<ol class="chain">')
+        for record in divergence.causal_chain:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(record.attrs.items())
+            )
+            body.append(
+                f"<li><code>{_esc(record.name)}</code> @ {record.t0:.4f}s "
+                f"{_esc(attrs)}</li>"
+            )
+        body.append("</ol>")
+        if divergence.other is not None:
+            body.append(
+                "<p>Counterpart in B: "
+                f"<code>{_esc(divergence.other.name)}</code> @ "
+                f"{divergence.other.t0:.4f}s</p>"
+            )
+
+    changed = metrics_diff.get("changed", {})
+    only_a = metrics_diff.get("only_a", [])
+    only_b = metrics_diff.get("only_b", [])
+    if changed or only_a or only_b:
+        body.append("<h2>Metric deltas</h2><table>")
+        body.append("<tr><th>metric</th><th>A</th><th>B</th><th>delta</th></tr>")
+        for name in sorted(changed):
+            entry = changed[name]
+            a = entry.get("a", entry.get("counts_a", ""))
+            b = entry.get("b", entry.get("counts_b", ""))
+            delta = entry.get("delta", entry.get("count_delta", ""))
+            body.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f'<td class="num">{_esc(_fmt(a))}</td>'
+                f'<td class="num">{_esc(_fmt(b))}</td>'
+                f'<td class="num">{_esc(_fmt(delta))}</td></tr>'
+            )
+        for name in only_a:
+            body.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f'<td class="num">present</td><td class="num">-</td><td></td></tr>'
+            )
+        for name in only_b:
+            body.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f'<td class="num">-</td><td class="num">present</td><td></td></tr>'
+            )
+        body.append("</table>")
+
+    return _page(title, "".join(body))

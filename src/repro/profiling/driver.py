@@ -47,6 +47,7 @@ class ProfilingDriver:
         max_run_time: float = 3600.0,
         recorder: Optional[TraceRecorder] = None,
         app_spec=None,
+        usage=None,
     ):
         names = [d.name for d in dims]
         if len(set(names)) != len(names):
@@ -69,6 +70,12 @@ class ProfilingDriver:
         #: testbed, so successive run spans overlap on the time axis — the
         #: ``run`` attr disambiguates them.
         self.recorder = recorder
+        #: Optional :class:`repro.obs.UsageAccountant`; when set, every
+        #: :meth:`measure` attaches it to the fresh testbed and tracks its
+        #: resources, so utilization accumulates across the whole sweep
+        #: (entries rebase onto each new testbed's shares).  Not consulted
+        #: on the engine path, like the recorder.
+        self.usage = usage
         #: Optional :class:`repro.exec.AppSpec` enabling the engine path
         #: of :meth:`profile`/:meth:`profile_adaptive` (workers must be
         #: able to rebuild the app from pure data).
@@ -85,7 +92,12 @@ class ProfilingDriver:
             seed=run_seed,
         )
         obs = self.recorder
+        usage = self.usage
         span = None
+        if usage is not None:
+            usage.attach(testbed.sim)
+            usage.track_testbed(testbed)
+            usage.set_config(config.label(), t=testbed.sim.now)
         if obs is not None:
             obs.bind(testbed.sim)
             span = obs.begin(
@@ -120,6 +132,9 @@ class ProfilingDriver:
                     obs.end(span, virtual_duration=testbed.sim.now)
                 obs.finish()
                 obs.unbind()
+            if usage is not None:
+                usage.finish()
+                usage.detach()
         self.runs += 1
         metrics = rt.qos.snapshot()
         if obs is not None:

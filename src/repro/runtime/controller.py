@@ -164,6 +164,12 @@ class AdaptationController:
         if self.current_decision is None:
             raise RuntimeError("call select_initial() before attach()")
         self.rt = rt
+        if rt.sim.usage is not None:
+            # Work served from here on belongs to the initial configuration
+            # (until the steering agent records a switch at a safe point).
+            rt.sim.usage.set_config(
+                self.current_decision.config.label(), t=rt.sim.now
+            )
         self.steering = SteeringAgent(
             rt, control_latency=self.control_latency, **self.steering_kwargs
         )

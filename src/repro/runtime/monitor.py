@@ -110,6 +110,9 @@ class MonitoringAgent:
         self._stopped = False
         self.violations = 0
         self.process: Optional[Process] = None
+        #: Cached (recorder, samples-counter) pair for the hot _run loop.
+        self._obs_seen = None
+        self._samples_counter = None
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "MonitoringAgent":
@@ -244,7 +247,12 @@ class MonitoringAgent:
             self._sample()
             obs = self.sim.obs
             if obs is not None:
-                obs.metrics.counter("monitor.samples").inc()
+                # Cache the counter per bound recorder: this loop runs once
+                # per monitor period, so the registry lookup is hot.
+                if obs is not self._obs_seen:
+                    self._obs_seen = obs
+                    self._samples_counter = obs.metrics.counter("monitor.samples")
+                self._samples_counter.inc()
             if self.on_violation is None or not self.conditions:
                 continue
             if self.sim.now - self._last_trigger < self.cooldown:

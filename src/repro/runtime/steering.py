@@ -131,13 +131,18 @@ class SteeringAgent:
             # the duplicate so it cannot apply a second time.
             if self.rt.controls.pending is state.change:
                 self.rt.controls.pending = None
+            history = self.rt.controls.history
+            switched = ok and len(history) > history_before
             if ok:
                 self.acks.append((self.rt.sim.now, config))
+            if switched and self.rt.sim.usage is not None:
+                # Attribute work served after the safe point to the new
+                # configuration (same exact timestamp as the trace instant).
+                self.rt.sim.usage.set_config(config.label(), t=history[-1][0])
             obs = self.rt.sim.obs
             if obs is not None and message.span is not None:
                 if ok:
-                    history = self.rt.controls.history
-                    if len(history) > history_before:
+                    if switched:
                         # Timestamp the switch at the safe point where the
                         # application applied it (the transition handlers
                         # may take further simulated time before this ack

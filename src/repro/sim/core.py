@@ -340,6 +340,12 @@ class Simulator:
         #: instrumented call site guards on this, so disabled tracing costs
         #: one attribute read).
         self.obs: Optional[Any] = None
+        #: Discovery point for the usage-accounting layer: an attached
+        #: :class:`repro.obs.usage.UsageAccountant`, or None.  The runtime
+        #: uses it to attribute served work to the active configuration at
+        #: ``config.switch`` safe points; like ``obs`` it is strictly
+        #: passive, so disabled accounting costs one attribute read.
+        self.usage: Optional[Any] = None
 
     # -- inspection -------------------------------------------------------
     @property

@@ -19,7 +19,7 @@ points rates are constant, so the evolution is exact (no time-stepping).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from .core import Event, NORMAL, SimulationError, Simulator
 
@@ -112,6 +112,18 @@ class FluidShare:
         self._timer_gen = 0
         #: Cumulative busy work served (for utilization accounting).
         self.total_served = 0.0
+        #: Passive accounting tap: ``tap(owner, amount)`` is called for
+        #: every chunk of served work as it is folded into the lazy
+        #: accumulators.  The tap must not touch the simulator (no events,
+        #: no RNG) — :class:`repro.obs.usage.UsageAccountant` only sums
+        #: floats — so installing one leaves the run byte-identical.
+        self.usage_tap: Optional[Callable[[Optional[object], float], None]] = None
+        #: Passive speed-change tap: called just *before* ``set_speed``
+        #: replaces the rate, so an accountant can fold its capacity
+        #: integral (``old_speed * dt``) exactly at the change point and
+        #: keep its per-event hook O(1).  Same passivity contract as
+        #: :attr:`usage_tap`.
+        self.speed_tap: Optional[Callable[[], None]] = None
 
     # -- public API -------------------------------------------------------
     @property
@@ -175,6 +187,8 @@ class FluidShare:
         if speed < 0:
             raise SimulationError(f"speed must be non-negative, got {speed!r}")
         self._advance()
+        if self.speed_tap is not None:
+            self.speed_tap()
         self._speed = float(speed)
         self._reschedule()
 
@@ -207,6 +221,23 @@ class FluidShare:
         """(now, total_served) pair for :meth:`utilization_since`."""
         self.sync()
         return (self.sim.now, self.total_served)
+
+    def served_now(self) -> float:
+        """``total_served`` projected to the current instant, read-only.
+
+        The passive twin of :meth:`sync`: the lazy accumulators and the
+        completion timer are left untouched, so instrumentation (the usage
+        accountant's step hook) can read progress between events without
+        perturbing the run.
+        """
+        dt = self.sim.now - self._last_update
+        if dt <= 0.0 or not self._jobs:
+            return self.total_served
+        extra = 0.0
+        for job in self._jobs:
+            if job._rate > 0.0:
+                extra += min(job._rate * dt, job.remaining)
+        return self.total_served + extra
 
     def sync(self) -> None:
         """Bring lazy work accumulators up to the current time.
@@ -268,6 +299,8 @@ class FluidShare:
                 job.remaining -= done_amount
                 job.consumed += done_amount
                 self.total_served += done_amount
+                if self.usage_tap is not None:
+                    self.usage_tap(job.owner, done_amount)
                 if job.remaining <= _EPS * max(1.0, job.consumed):
                     job.remaining = 0.0
                     finished.append(job)

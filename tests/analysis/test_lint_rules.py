@@ -386,3 +386,97 @@ def test_sim104_ignores_driver_code():
             sim.run(until=5.0)
         """
     )
+
+
+# -- OBS101: print() inside simulation code -------------------------------
+
+
+def test_obs101_flags_print_in_gated_code():
+    assert "OBS101" in rules_of(
+        """
+        def notify(sim):
+            print("violation!")
+        """,
+        path="src/repro/runtime/monitor.py",
+    )
+
+
+def test_obs101_ignores_print_outside_gated_dirs():
+    assert "OBS101" not in rules_of(
+        """
+        def render(result):
+            print(result)
+        """,
+        path="src/repro/experiments/fig3.py",
+    )
+
+
+# -- OBS102: leaked spans --------------------------------------------------
+
+
+def test_obs102_flags_discarded_begin():
+    assert "OBS102" in rules_of(
+        """
+        def handle(obs, work):
+            obs.begin("handle", cat="app")
+            work()
+        """
+    )
+
+
+def test_obs102_flags_never_referenced_span_id():
+    assert "OBS102" in rules_of(
+        """
+        def handle(obs, work):
+            sid = obs.begin("handle", cat="app")
+            work()
+        """
+    )
+
+
+def test_obs102_flags_discarded_begin_in_except_handler():
+    assert "OBS102" in rules_of(
+        """
+        def handle(obs, work):
+            try:
+                work()
+            except ValueError:
+                obs.begin("recover", cat="app")
+        """
+    )
+
+
+def test_obs102_ignores_span_passed_to_end():
+    assert "OBS102" not in rules_of(
+        """
+        def handle(obs, work):
+            sid = obs.begin("handle", cat="app")
+            try:
+                work()
+            finally:
+                obs.end(sid)
+        """
+    )
+
+
+def test_obs102_ignores_span_stored_on_attribute():
+    assert "OBS102" not in rules_of(
+        """
+        def handle(obs, message):
+            message.span = obs.begin("deliver", cat="app")
+        """
+    )
+
+
+def test_obs102_ignores_span_captured_by_closure():
+    assert "OBS102" not in rules_of(
+        """
+        def handle(obs):
+            sid = obs.begin("handle", cat="app")
+
+            def finish(ok):
+                obs.end(sid, ok=ok)
+
+            return finish
+        """
+    )

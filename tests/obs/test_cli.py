@@ -57,3 +57,70 @@ def test_metrics_human_and_json(tmp_path, capsys):
 def test_trace_unknown_experiment_errors():
     with pytest.raises(SystemExit):
         main(["trace", "nope"])
+
+
+def test_metrics_csv_deterministic_and_well_formed(tmp_path):
+    a = tmp_path / "a.csv"
+    b = tmp_path / "b.csv"
+    assert main(["metrics", "chaos", "--format", "csv", "--out", str(a)]) == 0
+    assert main(["metrics", "chaos", "--format", "csv", "--out", str(b)]) == 0
+    assert a.read_bytes() == b.read_bytes(), "CSV export must be byte-stable"
+    lines = a.read_text().splitlines()
+    assert lines[0] == "name,kind,field,t,value"
+    # Deterministic column order implies sorted metric names.
+    names = [line.split(",")[0] for line in lines[1:]]
+    assert names == sorted(names)
+
+
+def test_usage_cli_reports_resources(capsys):
+    assert main(["usage", "chaos"]) == 0
+    out = capsys.readouterr().out
+    assert "== usage account:" in out
+    assert "client.cpu" in out
+    assert "configuration attribution marks" in out
+
+
+def test_usage_cli_json(tmp_path):
+    out_file = tmp_path / "usage.json"
+    assert main(["usage", "chaos", "--json", "--out", str(out_file)]) == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["experiment"] == "chaos"
+    resources = payload["usage"]["resources"]
+    assert any(r["served"] > 0 for r in resources.values())
+    assert len(payload["usage"]["config_marks"]) >= 2
+
+
+def test_diff_cli_same_seed_exits_zero(capsys):
+    assert main(["diff", "chaos", "chaos"]) == 0
+    out = capsys.readouterr().out
+    assert "identical" in out.lower()
+
+
+def test_diff_cli_different_seed_exits_nonzero(capsys):
+    assert main(["diff", "chaos", "chaos", "--seed-b", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "first divergence" in out.lower()
+
+
+def test_report_cli_writes_selfcontained_html(tmp_path):
+    out_file = tmp_path / "report.html"
+    assert main(["report", "chaos", "--out", str(out_file)]) == 0
+    html = out_file.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<script" not in html, "report must be self-contained, no JS"
+    assert "Adaptation timeline" in html
+    assert "Resource utilization" in html
+    assert "config.switch" not in html or True  # layout detail, not contract
+
+
+def test_report_cli_compare_mode(tmp_path):
+    out_file = tmp_path / "cmp.html"
+    assert (
+        main(
+            ["report", "chaos", "--compare", "chaos", "--seed-b", "1",
+             "--out", str(out_file)]
+        )
+        == 0
+    )
+    html = out_file.read_text()
+    assert "first divergence" in html.lower()
