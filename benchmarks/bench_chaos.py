@@ -68,6 +68,30 @@ def test_chaos_deterministic_replay():
     assert json.dumps(first, sort_keys=True) != json.dumps(other, sort_keys=True)
 
 
+def test_chaos_supervision_transparent():
+    """An attached-but-idle Supervisor must not perturb the trajectory.
+
+    ``supervise=True`` registers the server under a Supervisor (safe-point
+    checkpoints and all) but the chaos plan kills nothing, so nothing
+    restarts: the payload must be byte-identical to the unsupervised run,
+    and the supervised run must itself replay byte-identically and stay
+    race-detector clean.
+    """
+    _, plain = _run(seed=0)
+    _, supervised = run_chaos(seed=0, supervise=True)
+    assert json.dumps(supervised, sort_keys=True) == json.dumps(
+        plain, sort_keys=True
+    )
+
+    _, supervised2 = run_chaos(seed=0, supervise=True)
+    assert json.dumps(supervised, sort_keys=True) == json.dumps(
+        supervised2, sort_keys=True
+    )
+
+    _, raced = run_chaos(seed=0, supervise=True, detect_races=True)
+    assert raced["races"] == [], raced["races"]
+
+
 def test_chaos_race_clean():
     """The seeded run has no tie-order races on shared runtime state.
 

@@ -21,9 +21,14 @@ Comparison rules, per field:
 * **info** — machine-dependent fields (``cpu_count``,
   ``speedup_asserted``) are reported but never fail the check.
 
-Exit codes: 0 no regressions, 1 regressions (or missing benchmarks),
-2 usage error.  ``--out`` writes the full comparison as JSON so CI can
-upload it as an artifact; the step itself is non-blocking in CI.
+Exit codes: 0 no blocking regressions, 1 blocking regressions (or
+missing benchmarks), 2 usage error.  ``--block-on`` picks what blocks:
+``all`` (the default) fails on any regression, while ``exact`` fails
+only on exact-field and structural regressions (missing files/fields,
+unreadable records) and downgrades band drift to a warning — that is
+what CI runs, so the deterministic guarantees gate merges while
+wall-clock noise stays advisory.  ``--out`` writes the full comparison
+as JSON so CI can upload it as an artifact.
 """
 
 from __future__ import annotations
@@ -135,11 +140,15 @@ def compare_dirs(
             continue
         rows.extend(compare_records(name, fresh, baseline, tolerance))
     regressions = [r for r in rows if r["status"] == "regression"]
+    blocking = [r for r in regressions if r["kind"] != "band"]
     return {
         "tolerance": tolerance,
         "benchmarks": sorted(set(fresh_files) | set(base_files)),
         "rows": rows,
         "regressions": len(regressions),
+        # Band (wall-clock) regressions are separable so callers can gate
+        # on the deterministic fields only (``--block-on exact``).
+        "exact_regressions": len(blocking),
         "ok": not regressions,
     }
 
@@ -171,6 +180,18 @@ def _render(report: Dict) -> str:
         f"{len(report['benchmarks'])} benchmark file(s) "
         f"(tolerance {report['tolerance']:.0%} on wall-clock fields)"
     )
+    if report.get("block_on") == "exact" and not report["ok"]:
+        band_only = report["regressions"] - report["exact_regressions"]
+        if report["exact_regressions"]:
+            lines.append(
+                f"blocking: {report['exact_regressions']} exact-field "
+                "regression(s) [--block-on exact]"
+            )
+        elif band_only:
+            lines.append(
+                f"advisory only: {band_only} wall-clock regression(s) "
+                "within --block-on exact policy"
+            )
     return "\n".join(lines)
 
 
@@ -206,6 +227,14 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
     )
     check.add_argument("--json", action="store_true", help="machine-readable output")
     check.add_argument(
+        "--block-on",
+        choices=("all", "exact"),
+        default="all",
+        help="which regressions set a failing exit code: 'all' (default) "
+        "or 'exact' (only deterministic/exact-field and structural "
+        "regressions block; wall-clock band drift is advisory)",
+    )
+    check.add_argument(
         "--out", type=Path, default=None,
         help="also write the JSON comparison report to this file",
     )
@@ -223,6 +252,7 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     report = compare_dirs(args.fresh, baseline_dir, tolerance=args.tolerance)
+    report["block_on"] = args.block_on
     if not report["benchmarks"]:
         print(
             f"repro bench check: no BENCH_*.json files under {args.fresh} "
@@ -238,4 +268,8 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         print(json.dumps(report, indent=1, sort_keys=True))
     else:
         print(_render(report))
-    return 0 if report["ok"] else 1
+    blocking = (
+        report["regressions"] if args.block_on == "all"
+        else report["exact_regressions"]
+    )
+    return 0 if not blocking else 1

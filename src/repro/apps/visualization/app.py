@@ -98,8 +98,21 @@ def make_viz_app(
         )
         rt.workload = workload
         model = workload.build_model()
-        rt.sim.process(server_process(rt, workload, model), name="viz-server")
-        return rt.sim.process(client_process(rt, workload, model), name="viz-client")
+        server = rt.sim.process(
+            server_process(rt, workload, model,
+                           overload=workload.overload,
+                           codec_state=workload.server_state),
+            name="viz-server",
+        )
+        client = rt.sim.process(
+            client_process(rt, workload, model), name="viz-client"
+        )
+        # Expose the pieces recovery harnesses need: the app model (so a
+        # supervised restart can re-spawn the server against the same
+        # pyramids) and the launched processes by name.
+        rt.app_model = model
+        rt.processes = {"viz-server": server, "viz-client": client}
+        return client
 
     return TunableApp(
         name="active-visualization",

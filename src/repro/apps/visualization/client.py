@@ -71,11 +71,26 @@ def client_process(rt: AppRuntime, workload: VizWorkload, model):
                 ),
                 size=REQUEST_WIRE_BYTES,
             )
+            # Match (image_id, seq) so a duplicate reply from a supervised
+            # server restart (requeued in-flight request whose original
+            # reply did arrive) can never be consumed by a later round.
             reply_msg = yield sandbox.recv(
                 DATA_PORT,
-                filter=lambda m: m.payload.image_id == image_id,
+                filter=lambda m, i=image_id, s=seq: (
+                    m.payload.image_id == i and m.payload.seq == s
+                ),
             )
             reply = reply_msg.payload
+            if getattr(reply, "shed", False):
+                # Overload backoff: the server refused this ring.  Rewind
+                # to the same radius and retry the same seq after a short
+                # pause; controls.apply at the loop top lets a brownout
+                # configuration switch take effect on the retry.
+                workload.shed_rounds.append(sim.now)
+                r = r0
+                if workload.shed_retry_delay > 0:
+                    yield sandbox.sleep(workload.shed_retry_delay)
+                continue
             # decompress(control.c, &data); update_display(...)
             yield sandbox.compute(
                 get_codec(reply.codec).decompress_work(reply.raw_bytes)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "FovealRequest",
@@ -38,6 +39,14 @@ class FovealRequest:
     r1: int
     level: int
     seq: int
+    #: QoS class for overload shedding: under soft overload the server
+    #: sheds requests below its guard's keep_priority (default keeps the
+    #: interactive session's priority-1 traffic; flash-crowd load uses 0).
+    priority: int = 1
+    #: Where to send the reply; None means the shared DATA_PORT (the
+    #: interactive client's filtered receive).  Crowd users get private
+    #: reply ports so their traffic never perturbs the primary session.
+    reply_port: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -49,6 +58,9 @@ class FovealReply:
     raw_bytes: float
     compressed_bytes: float
     codec: str
+    #: True when the server shed this request instead of serving it
+    #: (overload protection): no payload, back off and retry.
+    shed: bool = False
 
 
 @dataclass(frozen=True)

@@ -5,11 +5,27 @@ determined by the control messages sent to it from the client."  It holds
 the image pyramids, answers foveal ring requests with (optionally
 compressed) pyramid data, and obeys ``SetCompression`` control messages —
 the server-side effect of the client's transition construct.
+
+Robustness extensions (ISSUE 6), both default-off:
+
+- ``overload``: an :class:`repro.recovery.OverloadGuard` consulted per
+  request with the current mailbox backlog; shed requests get a tiny
+  ``shed=True`` reply so closed-loop clients back off instead of hanging.
+- ``codec_state``: a mutable dict mirroring the negotiated codec, so a
+  supervised restart can resume *warm* (checkpointed codec) instead of
+  re-reading the static launch configuration; the process also requeues
+  its in-flight request when killed, giving fail-stop semantics over the
+  durable request queue (no request is silently lost to a kill).
+
+Replies go to the request's source host on ``req.reply_port`` (falling
+back to the shared DATA_PORT), which lets flash-crowd users on the client
+host use private reply ports without perturbing the interactive session.
 """
 
 from __future__ import annotations
 
 from ...codecs import get_codec
+from ...sim import Interrupt
 from ...tunable import AppRuntime
 from .images import RealImageModel
 from .protocol import (
@@ -29,51 +45,87 @@ CLIENT_HOST = "client"
 SERVER_HOST = "server"
 
 
-def server_process(rt: AppRuntime, workload: VizWorkload, model):
+def server_process(rt: AppRuntime, workload: VizWorkload, model,
+                   overload=None, codec_state=None):
     """Generator: the server's request loop (run until CloseConnection)."""
     sandbox = rt.sandbox(SERVER_HOST)
-    codec = get_codec(rt.config.c)
+    if codec_state is not None and codec_state.get("codec"):
+        codec = get_codec(codec_state["codec"])  # warm restart
+    else:
+        codec = get_codec(rt.config.c)
     scale = workload.costs.codec_cost_scale
-    while True:
-        msg = yield sandbox.recv(REQ_PORT)
-        payload = msg.payload
-        if isinstance(payload, CloseConnection):
-            return
-        if isinstance(payload, SetCompression):
-            codec = get_codec(payload.codec)
-            continue
-        if not isinstance(payload, FovealRequest):  # pragma: no cover
-            continue
-        req = payload
-        raw = model.ring_raw_bytes(req.level, req.x, req.y, req.r0, req.r1)
-        if workload.server_disk and raw > 0:
-            # Fetch the stored coefficients from disk before encoding.
-            yield sandbox.disk_read(raw)
-        work = (
-            workload.costs.server_round_overhead
-            + workload.costs.server_encode_cost * raw
-            + codec.compress_work(raw) * scale
-        )
-        yield sandbox.compute(work)
-        if isinstance(model, RealImageModel) and raw > 0:
-            compressed = model.compressed_bytes(
-                codec.name,
-                raw,
-                level=req.level,
-                x=req.x,
-                y=req.y,
-                r0=req.r0,
-                r1=req.r1,
+    inflight = None
+    try:
+        while True:
+            inflight = None
+            msg = yield sandbox.recv(REQ_PORT)
+            inflight = msg
+            payload = msg.payload
+            if isinstance(payload, CloseConnection):
+                return
+            if isinstance(payload, SetCompression):
+                codec = get_codec(payload.codec)
+                if codec_state is not None:
+                    codec_state["codec"] = payload.codec
+                continue
+            if not isinstance(payload, FovealRequest):  # pragma: no cover
+                continue
+            req = payload
+            reply_to = getattr(msg, "src", None) or CLIENT_HOST
+            reply_port = req.reply_port or DATA_PORT
+            if overload is not None and not overload.admit(
+                req, len(sandbox.host.mailbox(REQ_PORT))
+            ):
+                # Shed: answer with an empty reply so the client backs off
+                # rather than blocking forever on a filtered receive.
+                yield sandbox.send(
+                    reply_to,
+                    reply_port,
+                    FovealReply(
+                        image_id=req.image_id, seq=req.seq, raw_bytes=0.0,
+                        compressed_bytes=0.0, codec=codec.name, shed=True,
+                    ),
+                    size=REPLY_HEADER_BYTES,
+                )
+                continue
+            raw = model.ring_raw_bytes(req.level, req.x, req.y, req.r0, req.r1)
+            if workload.server_disk and raw > 0:
+                # Fetch the stored coefficients from disk before encoding.
+                yield sandbox.disk_read(raw)
+            work = (
+                workload.costs.server_round_overhead
+                + workload.costs.server_encode_cost * raw
+                + codec.compress_work(raw) * scale
             )
-        else:
-            compressed = model.compressed_bytes(codec.name, raw)
-        reply = FovealReply(
-            image_id=req.image_id,
-            seq=req.seq,
-            raw_bytes=raw,
-            compressed_bytes=compressed,
-            codec=codec.name,
-        )
-        yield sandbox.send(
-            CLIENT_HOST, DATA_PORT, reply, size=compressed + REPLY_HEADER_BYTES
-        )
+            yield sandbox.compute(work)
+            if isinstance(model, RealImageModel) and raw > 0:
+                compressed = model.compressed_bytes(
+                    codec.name,
+                    raw,
+                    level=req.level,
+                    x=req.x,
+                    y=req.y,
+                    r0=req.r0,
+                    r1=req.r1,
+                )
+            else:
+                compressed = model.compressed_bytes(codec.name, raw)
+            reply = FovealReply(
+                image_id=req.image_id,
+                seq=req.seq,
+                raw_bytes=raw,
+                compressed_bytes=compressed,
+                codec=codec.name,
+            )
+            yield sandbox.send(
+                reply_to, reply_port, reply, size=compressed + REPLY_HEADER_BYTES
+            )
+    except Interrupt:
+        # Fail-stop under supervision: requeue the request we had already
+        # popped so the restarted incarnation serves it from the durable
+        # queue instead of losing it mid-computation or mid-reply.  (If the
+        # original reply did get out, the re-served duplicate is inert: the
+        # client's receive filters on (image_id, seq).)
+        if inflight is not None:
+            sandbox.host.mailbox(REQ_PORT).items.appendleft(inflight)
+        return

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 from .images import AnalyticImageModel, RealImageModel
 
@@ -53,12 +53,23 @@ class VizWorkload:
     #: of assuming an in-memory pyramid.
     server_disk: bool = False
     seed: int = 0
+    #: Client pause before retrying a round the server shed (overload
+    #: backoff); 0 retries immediately.
+    shed_retry_delay: float = 0.1
+    #: Optional :class:`repro.recovery.OverloadGuard` the server consults
+    #: per request (None = never shed, the historical behavior).
+    overload: Optional[Any] = None
+    #: Optional mutable dict holding warm-restart server state (negotiated
+    #: codec); supervised restarts pass the checkpointed copy back in.
+    server_state: Optional[dict] = None
 
     # -- outputs -------------------------------------------------------------
     #: (completion_time, duration) per downloaded image.
     image_times: List[Tuple[float, float]] = field(default_factory=list)
     #: (completion_time, duration) per request round.
     round_times: List[Tuple[float, float]] = field(default_factory=list)
+    #: Times at which the interactive client had a round shed (overload).
+    shed_rounds: List[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.fidelity not in ("analytic", "real"):

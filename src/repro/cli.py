@@ -38,6 +38,7 @@ from .experiments import (
     run_fig4a,
     run_fig4b,
     run_chaos,
+    run_recovery,
     run_fig5,
     run_fig6a,
     run_fig6b,
@@ -84,6 +85,7 @@ for names, runner in (
         "fig7c", "fig7d",
     ),
     _figs(run_chaos, "chaos"),
+    _figs(run_recovery, "recovery"),
     _table(scheduler_interpolation_ablation, "ablation-a1"),
     _table(sampling_strategy_ablation, "ablation-a2"),
     _table(hysteresis_ablation, "ablation-a3"),
@@ -96,7 +98,7 @@ for names, runner in (
 #: Canonical (deduplicated) target list for `all`.
 CANONICAL = [
     "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6a", "fig6b",
-    "fig7a", "fig7b", "fig7cd", "chaos",
+    "fig7a", "fig7b", "fig7cd", "chaos", "recovery",
     "ablation-a1", "ablation-a2", "ablation-a3", "ablation-a4", "ablation-a5",
 ]
 
@@ -154,7 +156,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        help="figure names (fig3a..fig7cd, exp1..exp3, chaos, "
+        help="figure names (fig3a..fig7cd, exp1..exp3, chaos, recovery, "
         "ablation-a1..a5), 'lint', 'trace', 'metrics', 'usage', 'diff', "
         "'report', 'bench', 'sweep', 'list', or 'all'",
     )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..sim import Simulator, Store
 from .cpu import CPU
@@ -44,6 +44,11 @@ class Host:
         self.down_mode = "queue"
         #: (crash_time, restore_time or None) history of outages.
         self.outages: list = []
+        #: key -> callback invoked when the host comes back from a crash.
+        #: Keys are sorted before invocation so post-restore re-arming
+        #: (e.g. monitor-exchange heartbeats) happens in a deterministic
+        #: order independent of registration / process creation order.
+        self.restore_hooks: Dict[str, Callable[[], None]] = {}
 
     def mailbox(self, port: str) -> Store:
         """Get (or lazily create) the message queue for ``port``."""
@@ -79,6 +84,8 @@ class Host:
         self.up = True
         if self.outages and self.outages[-1][1] is None:
             self.outages[-1] = (self.outages[-1][0], self.sim.now)
+        for key in sorted(self.restore_hooks):
+            self.restore_hooks[key]()
         if self.network is not None:
             self.network.flush_parked()
 

@@ -14,6 +14,12 @@ from .fig3 import run_fig3a, run_fig3b
 from .fig4 import run_fig4a, run_fig4b
 from .fig5 import fig5_database, run_fig5
 from .fig6 import fig6a_database, fig6b_database, run_fig6a, run_fig6b
+from .recovery import (
+    CHEAP_CONFIG,
+    DEFAULT_CROWD,
+    DEFAULT_RECOVERY_FAULTS,
+    run_recovery,
+)
 from .fig7 import (
     AdaptiveRun,
     ResourceVariation,
@@ -49,6 +55,10 @@ __all__ = [
     "run_chaos",
     "DEFAULT_FAULT_SPEC",
     "DEFAULT_VARIATIONS",
+    "run_recovery",
+    "DEFAULT_RECOVERY_FAULTS",
+    "DEFAULT_CROWD",
+    "CHEAP_CONFIG",
     "scheduler_interpolation_ablation",
     "sampling_strategy_ablation",
     "hysteresis_ablation",

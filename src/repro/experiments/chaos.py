@@ -70,6 +70,7 @@ def run_chaos(
     detect_races: bool = False,
     recorder=None,
     usage=None,
+    supervise: bool = False,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through a fault schedule.
 
@@ -92,6 +93,13 @@ def run_chaos(
     Accounting is passive like tracing — the payload stays byte-identical
     — and the account is read from ``usage.summary()`` by the caller, not
     folded into the payload.
+
+    With ``supervise`` a :class:`repro.recovery.Supervisor` owns the
+    server process.  No process dies before the run finishes (host
+    crashes park traffic, they don't kill processes), so the supervisor
+    schedules nothing and draws no randomness — the payload is
+    byte-identical with supervision on or off, which the chaos benchmark
+    asserts.
     """
     db, _dims, _configs = fig6a_database(seed=seed)
     plan = FaultPlan.from_spec(
@@ -115,6 +123,11 @@ def run_chaos(
     testbed = Testbed(
         host_specs=app.env.host_specs(), link_specs=app.env.link_specs(), seed=seed
     )
+    supervisor = None
+    if supervise:
+        from ..recovery import Supervisor
+
+        supervisor = Supervisor(testbed.sim, seed=seed).attach()
     injector = FaultInjector.attach(testbed, plan, seed=seed)
     workload = VizWorkload(n_images=n_images, costs=EXP1_COSTS, seed=seed)
     rt = app.instantiate(
@@ -123,6 +136,22 @@ def run_chaos(
         limits={"client": ResourceLimits(net_bw=500e3)},
         workload=workload,
     )
+    if supervisor is not None:
+        # Shut down before the server's normal post-CloseConnection exit
+        # lands, so teardown is never mistaken for a death.
+        if rt.finished.callbacks is not None:
+            rt.finished.callbacks.append(lambda _e: supervisor.shutdown())
+
+        def respawn_server(state):
+            from ..apps.visualization.server import server_process
+
+            return rt.sim.process(
+                server_process(rt, workload, rt.app_model), name="viz-server"
+            )
+
+        supervisor.supervise(
+            "viz-server", respawn_server, processes=[rt.processes["viz-server"]]
+        )
     controller.attach(rt)
 
     # Estimate exchange in both directions; the client side feeds the

@@ -81,6 +81,8 @@ class FaultInjector:
             entry["between"] = list(fault.between)
         if fault.groups is not None:
             entry["groups"] = [list(g) for g in fault.groups]
+        if fault.service is not None:
+            entry["service"] = fault.service
         self.log.append(entry)
         obs = self.sim.obs
         if obs is not None:
@@ -99,6 +101,16 @@ class FaultInjector:
             self.network.fail_link(*fault.between, mode=fault.mode)
         elif fault.kind == "partition":
             self.network.partition(*fault.groups, mode=fault.mode)
+        elif fault.kind == "kill":
+            supervisor = getattr(self.sim, "recovery", None)
+            if supervisor is None:
+                raise RuntimeError(
+                    f"FaultPlan 'kill' event for service {fault.service!r} "
+                    "requires an attached Supervisor (sim.recovery is None); "
+                    "create repro.recovery.Supervisor(...).attach() before "
+                    "installing the plan, or drop the kill event"
+                )
+            supervisor.kill(fault.service, reason="fault-plan")
         self._record(fault.kind, fault)
 
     def _recover(self, fault: ScheduledFault) -> None:

@@ -35,7 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 __all__ = ["FaultPlan", "FaultPlanError", "ScheduledFault", "MessageFaultRule"]
 
-_INFRA_KINDS = ("crash", "link-down", "partition")
+_INFRA_KINDS = ("crash", "link-down", "partition", "kill")
 _RULE_KINDS = ("loss", "delay", "duplicate")
 
 
@@ -47,7 +47,7 @@ class FaultPlanError(Exception):
 class ScheduledFault:
     """A timed infrastructure fault with an optional recovery time."""
 
-    kind: str  # "crash" | "link-down" | "partition"
+    kind: str  # "crash" | "link-down" | "partition" | "kill"
     at: float
     until: Optional[float] = None
     mode: str = "queue"  # "queue" (park traffic) | "drop" (lose it)
@@ -55,8 +55,12 @@ class ScheduledFault:
     between: Optional[Tuple[str, str]] = None  # link-down
     groups: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None  # partition
     clear_mailboxes: bool = False  # crash only
+    service: Optional[str] = None  # kill: supervised-service name
 
     def to_spec(self) -> Dict:
+        if self.kind == "kill":
+            # One-shot process kill: no window, no traffic mode.
+            return {"kind": self.kind, "at": self.at, "service": self.service}
         spec: Dict = {"kind": self.kind, "at": self.at, "mode": self.mode}
         if self.until is not None:
             spec["until"] = self.until
@@ -191,6 +195,19 @@ class FaultPlan:
                         ),
                     )
                 )
+            elif kind == "kill":
+                service = entry.get("service")
+                if not service:
+                    raise FaultPlanError("kill: missing 'service'")
+                if until is not None:
+                    raise FaultPlanError(
+                        "kill: is instantaneous (fail-stop + supervised "
+                        "restart); 'until' makes no sense — use 'crash' for "
+                        "a windowed host outage"
+                    )
+                plan.schedule.append(
+                    ScheduledFault(kind, at, service=str(service))
+                )
             elif kind in _RULE_KINDS:
                 rate = float(entry.get("rate", 1.0))
                 if not 0.0 <= rate <= 1.0:
@@ -219,7 +236,33 @@ class FaultPlan:
                 )
         plan.schedule.sort(key=lambda f: f.at)
         plan.rules.sort(key=lambda r: r.at)
+        plan._check_crash_overlaps()
         return plan
+
+    def _check_crash_overlaps(self) -> None:
+        """Reject overlapping crash windows on the same host.
+
+        Overlaps would make recovery order ill-defined: the first window's
+        ``until`` would restore a host that a second window still considers
+        down.  Windows may touch (one's ``until`` == the next's ``at``).
+        """
+        by_host: Dict[str, List[ScheduledFault]] = {}
+        for fault in self.schedule:
+            if fault.kind == "crash":
+                by_host.setdefault(fault.host, []).append(fault)
+        for host, faults in by_host.items():
+            prev = None
+            for fault in sorted(faults, key=lambda f: f.at):
+                if prev is not None:
+                    prev_end = prev.until if prev.until is not None else math.inf
+                    if fault.at < prev_end:
+                        raise FaultPlanError(
+                            f"crash: overlapping windows on host {host!r}: "
+                            f"[{prev.at}, {prev_end}) overlaps "
+                            f"[{fault.at}, "
+                            f"{fault.until if fault.until is not None else math.inf})"
+                        )
+                prev = fault
 
     def to_spec(self) -> Dict:
         """Round-trip back to a spec dict (for logging/replay)."""

@@ -44,6 +44,12 @@ def _run_chaos(seed: int, recorder=None, usage=None) -> None:
     run_chaos(seed=seed, recorder=recorder, usage=usage)
 
 
+def _run_recovery(seed: int, recorder=None, usage=None) -> None:
+    from ..experiments.recovery import run_recovery
+
+    run_recovery(seed=seed, recorder=recorder, usage=usage)
+
+
 def _run_fig5(seed: int, recorder=None, usage=None) -> None:
     from ..experiments.fig5 import fig5_database
 
@@ -65,6 +71,7 @@ def _run_fig6b(seed: int, recorder=None, usage=None) -> None:
 #: experiment name -> runner(seed, recorder=None, usage=None).
 TRACEABLE: Dict[str, Callable] = {
     "chaos": _run_chaos,
+    "recovery": _run_recovery,
     "fig5": _run_fig5,
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,

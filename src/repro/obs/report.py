@@ -89,14 +89,24 @@ def _fault_events(records: Sequence[SpanRecord]) -> List[SpanRecord]:
     ]
 
 
+def _recovery_events(records: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """Supervision/failover/brownout instants (cat ``recovery``)."""
+    return [
+        record
+        for record in ordered(records)
+        if record.cat == "recovery" or record.name.startswith("recovery.")
+    ]
+
+
 def _timeline_svg(
     marks: List[Tuple[float, str]],
     faults: List[SpanRecord],
     t_end: float,
     width: int = 720,
     height: int = 46,
+    recovery: Sequence[SpanRecord] = (),
 ) -> str:
-    """Configuration bands with fault ticks, as one inline SVG."""
+    """Configuration bands with fault (red) and recovery (green) ticks."""
     if t_end <= 0.0:
         t_end = 1.0
 
@@ -126,6 +136,12 @@ def _timeline_svg(
         parts.append(
             f'<line x1="{x(record.t0)}" y1="4" x2="{x(record.t0)}" y2="34" '
             f'stroke="#b91c1c" stroke-width="1.5">'
+            f"<title>{_esc(record.name)} @ {record.t0:.2f}s</title></line>"
+        )
+    for record in recovery:
+        parts.append(
+            f'<line x1="{x(record.t0)}" y1="10" x2="{x(record.t0)}" y2="38" '
+            f'stroke="#15803d" stroke-width="1.5" stroke-dasharray="2,2">'
             f"<title>{_esc(record.name)} @ {record.t0:.2f}s</title></line>"
         )
     parts.append(
@@ -219,6 +235,7 @@ def render_report(
     t_end = _trace_extent(records)
     marks = _config_marks(records)
     faults = _fault_events(records)
+    recovery = _recovery_events(records)
     body: List[str] = []
 
     body.append("<h2>Run</h2><table>")
@@ -229,11 +246,12 @@ def render_report(
         f'<tr><th>configuration switches</th>'
         f'<td class="num">{max(0, len(marks) - 1)}</td></tr>'
         f'<tr><th>fault events</th><td class="num">{len(faults)}</td></tr>'
+        f'<tr><th>recovery events</th><td class="num">{len(recovery)}</td></tr>'
     )
     body.append("</table>")
 
     body.append("<h2>Adaptation timeline</h2>")
-    body.append(_timeline_svg(marks, faults, t_end))
+    body.append(_timeline_svg(marks, faults, t_end, recovery=recovery))
 
     dwell = dwell_times(records)
     if dwell:

@@ -1,0 +1,37 @@
+"""Run-time recovery: supervision, checkpoint/restore, failover, brownout.
+
+The self-healing half of adaptation (ISSUE 6): the paper's runtime
+*detects* trouble and *re-plans*; this package *recovers state* —
+
+- :class:`Supervisor` / :class:`RestartPolicy` — supervision trees with
+  deterministic backoff, restart budgets, storm escalation, and MTTR
+  accounting (binds to the simulator as ``sim.recovery``);
+- :class:`CheckpointStore` — safe-point snapshots enabling warm restarts;
+- :class:`FailoverMember` — deterministic-rank controller failover over
+  replicated checkpoints;
+- :class:`OverloadGuard` / :class:`BrownoutController` — bounded queues,
+  QoS-aware shedding, and deliberate degradation under sustained load.
+
+See docs/robustness.md for the fault model and protocol descriptions.
+"""
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .failover import FAILOVER_PORT, FailoverHeartbeat, FailoverMember
+from .overload import BrownoutController, OverloadGuard, OverloadPolicy
+from .policy import RecoveryError, RestartPolicy
+from .supervisor import SupervisedService, Supervisor
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "FailoverMember",
+    "FailoverHeartbeat",
+    "FAILOVER_PORT",
+    "OverloadPolicy",
+    "OverloadGuard",
+    "BrownoutController",
+    "RestartPolicy",
+    "RecoveryError",
+    "SupervisedService",
+    "Supervisor",
+]

@@ -1,0 +1,73 @@
+"""Checkpoint storage for warm restarts and controller failover.
+
+A checkpoint is a plain-data snapshot of one service's state, taken at a
+ControlBox safe point (the only instants at which application state is
+guaranteed consistent — no reconfiguration is mid-flight).  The store
+keeps only the latest checkpoint per service: recovery always resumes
+from the most recent safe point, and bounded memory matters more than
+history (the trace recorder already keeps the timeline).
+
+Checkpoints must stay JSON-friendly (dicts / lists / tuples / scalars):
+the failover protocol replicates them inside heartbeat payloads, and
+experiments export them into run payloads for replay comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One snapshot of a service's state."""
+
+    service: str
+    #: Monotonic per-service sequence number (replication freshness order).
+    seq: int
+    #: Simulated time the snapshot was taken.
+    time: float
+    #: The snapshot itself (plain data, shape owned by the service).
+    state: Dict[str, Any]
+
+
+class CheckpointStore:
+    """Latest-wins checkpoint store keyed by service name."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[str, Checkpoint] = {}
+        self._seq: Dict[str, int] = {}
+        #: Total snapshots accepted (observability / overhead accounting).
+        self.saved = 0
+
+    def save(self, service: str, time: float, state: Dict[str, Any]) -> Checkpoint:
+        seq = self._seq.get(service, 0) + 1
+        self._seq[service] = seq
+        ckpt = Checkpoint(service=service, seq=seq, time=time, state=state)
+        self._latest[service] = ckpt
+        self.saved += 1
+        return ckpt
+
+    def latest(self, service: str) -> Optional[Checkpoint]:
+        return self._latest.get(service)
+
+    def adopt(self, ckpt: Checkpoint) -> bool:
+        """Accept a replicated checkpoint if it is fresher than ours."""
+        have = self._latest.get(ckpt.service)
+        if have is not None and have.seq >= ckpt.seq:
+            return False
+        self._latest[ckpt.service] = ckpt
+        self._seq[ckpt.service] = max(self._seq.get(ckpt.service, 0), ckpt.seq)
+        return True
+
+    def services(self):
+        return sorted(self._latest)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dump (replication / payload export)."""
+        return {
+            name: {"seq": c.seq, "time": c.time, "state": c.state}
+            for name, c in sorted(self._latest.items())
+        }

@@ -1,0 +1,186 @@
+"""Overload protection: bounded queues, QoS-aware shedding, brownout.
+
+Three cooperating pieces:
+
+- :class:`OverloadPolicy` — the declarative limits: a hard queue capacity
+  (beyond which *every* request is shed — backpressure) and a soft shed
+  depth beyond which only low-priority requests are shed (QoS-aware
+  shedding: the interactive session keeps its latency while flash-crowd
+  traffic is turned away).
+- :class:`OverloadGuard` — the server-side admission check.  The server
+  consults it per request with the current mailbox depth; shed requests
+  still get a tiny reply (``shed=True``) so closed-loop clients back off
+  instead of hanging on a filtered receive.
+- :class:`BrownoutController` — a periodic process watching the guard's
+  shed rate.  Sustained shedding above ``enter_shed_rate`` forces the
+  adaptation controller to a known-cheap configuration
+  (``force_config``); once the rate stays below ``exit_shed_rate`` the
+  pin is lifted (``resume_normal``) and normal scheduling resumes.
+
+The guard itself is passive bookkeeping (no events, no RNG); only the
+brownout controller schedules, and only when started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..sim import Interrupt, Process
+from ..tunable import AppRuntime, Configuration
+
+__all__ = ["OverloadPolicy", "OverloadGuard", "BrownoutController"]
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Bounded-queue and shedding limits for one server."""
+
+    #: Hard bound: at this mailbox depth every request is shed.
+    queue_capacity: int = 64
+    #: Soft bound: beyond this depth, requests with priority below
+    #: ``keep_priority`` are shed.
+    shed_depth: int = 8
+    #: Requests with ``priority >= keep_priority`` survive soft shedding.
+    keep_priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1 or self.shed_depth < 0:
+            raise ValueError("queue_capacity must be >= 1 and shed_depth >= 0")
+        if self.shed_depth > self.queue_capacity:
+            raise ValueError(
+                f"shed_depth {self.shed_depth} exceeds queue_capacity "
+                f"{self.queue_capacity}"
+            )
+
+
+class OverloadGuard:
+    """Per-request admission decisions + shed/served accounting."""
+
+    def __init__(self, policy: Optional[OverloadPolicy] = None, sim: Any = None):
+        self.policy = policy or OverloadPolicy()
+        self.sim = sim
+        self.served = 0
+        self.shed = 0
+        self.shed_low_priority = 0
+        self.shed_hard = 0
+        self.queue_peak = 0
+
+    def admit(self, request: Any, depth: int) -> bool:
+        """True to serve, False to shed. ``depth`` is the queue backlog."""
+        self.queue_peak = max(self.queue_peak, depth)
+        policy = self.policy
+        priority = getattr(request, "priority", policy.keep_priority)
+        if depth >= policy.queue_capacity:
+            self.shed += 1
+            self.shed_hard += 1
+        elif depth >= policy.shed_depth and priority < policy.keep_priority:
+            self.shed += 1
+            self.shed_low_priority += 1
+        else:
+            self.served += 1
+            return True
+        if self.sim is not None:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.metrics.counter("recovery.shed").inc()
+        return False
+
+    def totals(self) -> dict:
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "shed_low_priority": self.shed_low_priority,
+            "shed_hard": self.shed_hard,
+            "queue_peak": self.queue_peak,
+        }
+
+
+class BrownoutController:
+    """Turns sustained shedding into a deliberate cheap-config switch."""
+
+    def __init__(
+        self,
+        rt: AppRuntime,
+        controller: Any,
+        guard: OverloadGuard,
+        cheap_config: Configuration,
+        period: float = 1.0,
+        enter_shed_rate: float = 0.3,
+        exit_shed_rate: float = 0.05,
+        enter_after: int = 2,
+        exit_after: int = 3,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        if not 0.0 <= exit_shed_rate <= enter_shed_rate <= 1.0:
+            raise ValueError(
+                "need 0 <= exit_shed_rate <= enter_shed_rate <= 1"
+            )
+        if enter_after < 1 or exit_after < 1:
+            raise ValueError("enter_after and exit_after must be >= 1")
+        self.rt = rt
+        self.sim = rt.sim
+        self.controller = controller
+        self.guard = guard
+        self.cheap_config = cheap_config
+        self.period = float(period)
+        self.enter_shed_rate = float(enter_shed_rate)
+        self.exit_shed_rate = float(exit_shed_rate)
+        self.enter_after = int(enter_after)
+        self.exit_after = int(exit_after)
+        self.in_brownout = False
+        #: (enter_time, exit_time or None) windows, for payload export.
+        self.windows: List[Tuple[float, Optional[float]]] = []
+        self._stopped = False
+        self.process: Optional[Process] = None
+
+    def start(self) -> "BrownoutController":
+        self.process = self.sim.process(self._run(), name="brownout-controller")
+        if self.rt.finished is not None and self.rt.finished.callbacks is not None:
+            self.rt.finished.callbacks.append(lambda _e: self.stop())
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        last_served = self.guard.served
+        last_shed = self.guard.shed
+        above = 0
+        below = 0
+        try:
+            while not self._stopped:
+                yield self.sim.timeout(self.period)
+                if self._stopped:
+                    return
+                d_served = self.guard.served - last_served
+                d_shed = self.guard.shed - last_shed
+                last_served = self.guard.served
+                last_shed = self.guard.shed
+                total = d_served + d_shed
+                rate = (d_shed / total) if total else 0.0
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.metrics.series("recovery.shed_rate").record(
+                        self.sim.now, rate
+                    )
+                if not self.in_brownout:
+                    above = above + 1 if rate >= self.enter_shed_rate else 0
+                    if above >= self.enter_after:
+                        self.in_brownout = True
+                        above = 0
+                        self.windows.append((self.sim.now, None))
+                        self.controller.force_config(
+                            self.cheap_config, reason="brownout-enter"
+                        )
+                else:
+                    below = below + 1 if rate <= self.exit_shed_rate else 0
+                    if below >= self.exit_after:
+                        self.in_brownout = False
+                        below = 0
+                        if self.windows and self.windows[-1][1] is None:
+                            self.windows[-1] = (self.windows[-1][0], self.sim.now)
+                        self.controller.resume_normal(reason="brownout-exit")
+        except Interrupt:
+            return

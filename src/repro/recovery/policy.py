@@ -1,0 +1,76 @@
+"""Declarative restart policies for supervised services.
+
+A :class:`RestartPolicy` describes *when* and *how fast* a supervisor
+brings a dead service back: deterministic exponential backoff (with a
+bounded jitter term drawn from the supervisor's dedicated ``"recovery"``
+RNG stream), a max-restart budget inside a sliding storm window, and the
+readiness-poll cadence used to decide when a restarted service counts as
+up again (the end of the MTTR interval).
+
+Everything here is pure data + arithmetic: policies never touch the
+simulator, so the same policy object can be shared between services.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RestartPolicy", "RecoveryError"]
+
+
+class RecoveryError(Exception):
+    """Raised on supervisor/policy misconfiguration."""
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How a supervisor restarts one service.
+
+    ``delay(attempt)`` grows exponentially: ``base_delay * factor**attempt``
+    plus a jitter term uniform in ``[0, jitter)`` (de-synchronising restarts
+    of services that died at the same instant), capped at ``max_delay``.
+
+    ``max_restarts`` restarts within a sliding ``storm_window`` trip the
+    storm detector: the supervisor stops restarting the service and
+    escalates instead of looping forever on a hopeless start.
+    """
+
+    base_delay: float = 0.25
+    factor: float = 2.0
+    jitter: float = 0.05
+    max_delay: float = 30.0
+    #: Restart budget within ``storm_window`` before escalation.
+    max_restarts: int = 5
+    storm_window: float = 60.0
+    #: Cadence at which the supervisor polls a service's ``ready`` predicate
+    #: after relaunching it (bounds MTTR measurement granularity).
+    ready_poll: float = 0.05
+    #: Give up polling readiness after this long and declare the service up
+    #: anyway (a service that runs but never reports ready should not count
+    #: as down forever).
+    ready_timeout: float = 30.0
+    #: Warm restarts resume from the latest checkpoint when one exists.
+    warm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter < 0 or self.max_delay <= 0:
+            raise RecoveryError("restart delays must be non-negative")
+        if self.factor < 1.0:
+            raise RecoveryError(f"backoff factor must be >= 1, got {self.factor!r}")
+        if self.max_restarts < 1:
+            raise RecoveryError(f"max_restarts must be >= 1, got {self.max_restarts!r}")
+        if self.storm_window <= 0 or self.ready_poll <= 0 or self.ready_timeout <= 0:
+            raise RecoveryError("storm_window/ready_poll/ready_timeout must be positive")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before restart number ``attempt`` (0-based).
+
+        Deterministic given the RNG state: the jitter draw is the only
+        randomness, and the supervisor owns a dedicated seeded stream, so
+        same-seed runs replay the exact same restart instants.
+        """
+        base = min(self.base_delay * (self.factor ** attempt), self.max_delay)
+        if self.jitter > 0:
+            base += rng.random() * self.jitter
+        return min(base, self.max_delay + self.jitter)

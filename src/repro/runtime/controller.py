@@ -52,7 +52,7 @@ class AdaptationEvent:
 
     ``kind`` is one of: "initial", "trigger", "decision", "applied",
     "rejected", "no-candidate", "peer-lost", "peer-recovered",
-    "steering-timeout", "degraded".
+    "steering-timeout", "degraded", "brownout-enter", "brownout-exit".
     """
 
     time: float
@@ -119,7 +119,13 @@ class AdaptationController:
         self.events: List[AdaptationEvent] = []
         self.lost_peers: Set[str] = set()
         self._watchdog_stopped = False
+        self._watchdog_proc = None
         self._reconfiguring = False
+        #: While pinned (brownout), monitor violations do not steer away
+        #: from the forced configuration.
+        self._pinned = False
+        #: Monitor state from a checkpoint, applied by the next attach().
+        self._pending_monitor_state: Optional[Dict] = None
 
     # -- observability -----------------------------------------------------
     def _obs(self) -> Optional[TraceRecorder]:
@@ -180,6 +186,12 @@ class AdaptationController:
             on_violation=self._on_violation,
             **self.monitor_kwargs,
         )
+        if self._pending_monitor_state is not None:
+            # Warm restart/failover: resume from the checkpointed monitor
+            # state so estimates are available immediately instead of after
+            # a full sampling window refill.
+            self.monitor.restore(self._pending_monitor_state)
+            self._pending_monitor_state = None
         self.monitor.retarget(conditions=self.current_decision.conditions)
         self.monitor.start()
         if exchange is not None:
@@ -196,7 +208,10 @@ class AdaptationController:
             raise RuntimeError("call attach() before start_watchdog()")
         self.exchange = exchange
         if exchange.peers:
-            self.rt.sim.process(self._watchdog(), name="adaptation-watchdog")
+            self._watchdog_stopped = False
+            self._watchdog_proc = self.rt.sim.process(
+                self._watchdog(), name="adaptation-watchdog"
+            )
             rt = self.rt
             if rt.finished is not None and rt.finished.callbacks is not None:
                 rt.finished.callbacks.append(lambda _e: self.stop_watchdog())
@@ -292,6 +307,10 @@ class AdaptationController:
     # -- violation handling -------------------------------------------------
     def _on_violation(self, estimates: Dict[str, float]) -> None:
         assert self.rt is not None and self.monitor is not None
+        if self._pinned:
+            # Brownout: the configuration is deliberately forced; violations
+            # must not steer away until resume_normal() lifts the pin.
+            return
         now = self.rt.sim.now
         self.events.append(
             AdaptationEvent(time=now, kind="trigger", estimates=dict(estimates))
@@ -489,6 +508,135 @@ class AdaptationController:
         message.on_applied = on_applied
         message.on_timeout = on_timeout
         self.steering.deliver(message)
+
+    # -- forced steering (brownout) -------------------------------------------
+    def force_config(self, config: Configuration, reason: str = "brownout-enter") -> None:
+        """Steer directly to ``config``, bypassing the scheduler, and pin it.
+
+        Used by the brownout controller: under sustained overload the best
+        move is a *known cheaper* configuration, not whatever the database
+        predicts from (overload-polluted) estimates.  While pinned, monitor
+        violations are suppressed; :meth:`resume_normal` lifts the pin.
+        """
+        assert self.rt is not None and self.steering is not None
+        assert self.current_decision is not None
+        now = self.rt.sim.now
+        self._pinned = True
+        self.events.append(AdaptationEvent(time=now, kind=reason, config=config))
+        obs = self._obs()
+        cause = None
+        if obs is not None:
+            cause = obs.instant(
+                f"recovery.{reason}", cat="recovery", config=config.label()
+            )
+            obs.metrics.counter("recovery.forced_switches").inc()
+        if config == self.rt.controls.current:
+            return
+        base = self.current_decision
+        decision = Decision(
+            config=config,
+            predicted={},
+            constraint=base.constraint,
+            constraint_index=base.constraint_index,
+            point=base.point,
+            conditions={},
+        )
+        inflight = self._inflight
+        if inflight is not None and not inflight["done"]:
+            inflight["superseded"] = True
+        token = {"config": config, "done": False, "superseded": False}
+        self._inflight = token
+        message = ControlMessage(decision=decision, cause=cause)
+
+        def on_applied(ok: bool) -> None:
+            token["done"] = True
+            if not ok:
+                return
+            self.current_decision = decision
+            self.events.append(
+                AdaptationEvent(
+                    time=self.rt.sim.now, kind="applied", config=config
+                )
+            )
+            obs = self._obs()
+            if obs is not None:
+                obs.instant(
+                    "adapt.applied", cat="adapt", parent=cause,
+                    config=config.label(),
+                )
+                obs.metrics.counter("adapt.applied").inc()
+            # Empty conditions: nothing to violate while pinned.
+            self.monitor.retarget(
+                watch=self._watch_list(config), conditions={}
+            )
+
+        message.on_applied = on_applied
+        self.steering.deliver(message)
+
+    def resume_normal(self, reason: str = "brownout-exit") -> None:
+        """Lift a forced-configuration pin and re-run normal selection."""
+        assert self.rt is not None
+        if not self._pinned:
+            return
+        self._pinned = False
+        now = self.rt.sim.now
+        self.events.append(AdaptationEvent(time=now, kind=reason))
+        obs = self._obs()
+        cause = None
+        if obs is not None:
+            cause = obs.instant(f"recovery.{reason}", cat="recovery")
+        self._reschedule(self._global_estimates(), exclude=set(), cause=cause)
+
+    # -- checkpoint/restore ----------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data state for warm restart and failover replication.
+
+        Covers the decision (reconstructable: the constraint is referenced
+        by preference-list index), lost-peer set, and the monitor's state.
+        The event log is observational and stays with the instance.
+        """
+        d = self.current_decision
+        decision_state = None
+        if d is not None:
+            decision_state = {
+                "values": dict(d.config),
+                "predicted": dict(d.predicted),
+                "constraint_index": d.constraint_index,
+                "point": dict(d.point),
+                "conditions": {r: list(b) for r, b in d.conditions.items()},
+            }
+        return {
+            "decision": decision_state,
+            "lost_peers": sorted(self.lost_peers),
+            "pinned": self._pinned,
+            "monitor": (
+                self.monitor.snapshot() if self.monitor is not None else None
+            ),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Adopt checkpointed state; call before :meth:`attach`.
+
+        The monitor part is deferred: attach() creates the fresh
+        MonitoringAgent and applies it there.
+        """
+        d = state.get("decision")
+        if d is not None:
+            constraints = list(self.scheduler.preference)
+            idx = int(d["constraint_index"])
+            self.current_decision = Decision(
+                config=Configuration(dict(d["values"])),
+                predicted=dict(d["predicted"]),
+                constraint=constraints[idx],
+                constraint_index=idx,
+                point=ResourcePoint(dict(d["point"])),
+                conditions={
+                    r: (b[0], b[1]) for r, b in dict(d["conditions"]).items()
+                },
+            )
+        self.lost_peers = set(state.get("lost_peers", ()))
+        self._pinned = bool(state.get("pinned", False))
+        self._pending_monitor_state = state.get("monitor")
 
     # -- introspection ---------------------------------------------------------
     @property

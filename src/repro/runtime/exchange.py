@@ -98,6 +98,13 @@ class MonitorExchange:
         self.updates_received = 0
         self.expired = 0
         self._stopped = False
+        #: Set when our host comes back from a crash: the next publisher
+        #: tick re-announces the full estimate vector regardless of the
+        #: significance filter, so peers learn of the recovery exactly one
+        #: period after restore — not whenever the next significant change
+        #: or keepalive happens to land (which depended on process creation
+        #: order).  See Host.restore_hooks.
+        self._force_full = False
         self._recv_proc: Optional[Process] = None
         self._pub_proc: Optional[Process] = None
         self.sim = rt.sim
@@ -110,9 +117,17 @@ class MonitorExchange:
         self._recv_proc = self.sim.process(
             self._receiver(), name=f"exchange-recv@{self.host_name}"
         )
+        sandbox = self.rt.sandboxes.get(self.host_name)
+        if sandbox is not None:
+            sandbox.host.restore_hooks[f"exchange/{self.host_name}"] = (
+                self._on_host_restore
+            )
         if self.rt.finished is not None and self.rt.finished.callbacks is not None:
             self.rt.finished.callbacks.append(lambda _e: self.stop())
         return self
+
+    def _on_host_restore(self) -> None:
+        self._force_full = True
 
     def stop(self) -> None:
         """Stop publishing and *terminate* the receiver.
@@ -126,6 +141,9 @@ class MonitorExchange:
         if self._stopped:
             return
         self._stopped = True
+        sandbox = self.rt.sandboxes.get(self.host_name)
+        if sandbox is not None:
+            sandbox.host.restore_hooks.pop(f"exchange/{self.host_name}", None)
         for proc in (self._recv_proc, self._pub_proc):
             if (
                 proc is None
@@ -139,6 +157,22 @@ class MonitorExchange:
                 sandbox = self.rt.sandboxes.get(self.host_name)
                 if sandbox is not None:
                     sandbox.host.mailbox(_PORT).cancel(target)
+
+    # -- checkpoint/restore ----------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data state for a warm restart (see repro.recovery)."""
+        return {
+            "published": dict(self._published),
+            "remote": {r: list(v) for r, v in self.remote_estimates.items()},
+            "peer_last_seen": dict(self.peer_last_seen),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self._published = dict(state.get("published", {}))
+        self.remote_estimates = {
+            r: (v[0], v[1]) for r, v in dict(state.get("remote", {})).items()
+        }
+        self.peer_last_seen = dict(state.get("peer_last_seen", {}))
 
     # -- global view ------------------------------------------------------------
     def fresh_remote_estimates(self) -> Dict[str, float]:
@@ -206,9 +240,15 @@ class MonitorExchange:
                     self.heartbeat_every is not None
                     and self.sim.now - last_sent >= self.heartbeat_every
                 )
-                if not changed and not heartbeat_due:
+                force_full = self._force_full
+                if force_full:
+                    # Post-crash re-arm: announce the full vector now (an
+                    # empty vector still proves liveness to the peer).
+                    self._force_full = False
+                    changed = dict(estimates)
+                elif not changed and not heartbeat_due:
                     continue
-                if heartbeat_due and not changed:
+                elif heartbeat_due and not changed:
                     changed = dict(estimates)  # keepalive: resend everything
                 for r, v in changed.items():
                     self._published[r] = v

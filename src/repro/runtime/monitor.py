@@ -137,6 +137,49 @@ class MonitoringAgent:
         if conditions is not None:
             self.conditions = dict(conditions)
 
+    # -- checkpoint/restore ----------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data state for a warm restart (see repro.recovery).
+
+        The histories are the valuable part: a cold agent needs several
+        sample periods (and, for bandwidth, a completed large transfer)
+        before ``estimates()`` says anything, while a restored agent can
+        answer immediately — that gap is exactly the warm-vs-cold MTTR
+        difference the recovery benchmark measures.
+        """
+        return {
+            "watch": list(self.watch),
+            "conditions": {r: list(b) for r, b in self.conditions.items()},
+            "histories": {
+                r: [list(s) for s in h._samples]
+                for r, h in sorted(self._histories.items())
+            },
+            "cpu_anchor": {r: list(a) for r, a in self._cpu_anchor.items()},
+            "net_seen": dict(self._net_seen),
+            "last_trigger": self._last_trigger,
+            "violations": self.violations,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self.watch = list(state.get("watch", self.watch))
+        self.conditions = {
+            r: (b[0], b[1]) for r, b in dict(state.get("conditions", {})).items()
+        }
+        self._histories = {}
+        for r, samples in dict(state.get("histories", {})).items():
+            hist = HistoryWindow(self.window)
+            for t, v in samples:
+                hist.record(t, v)
+            self._histories[r] = hist
+        for r in self.watch:
+            self._histories.setdefault(r, HistoryWindow(self.window))
+        self._cpu_anchor = {
+            r: (a[0], a[1]) for r, a in dict(state.get("cpu_anchor", {})).items()
+        }
+        self._net_seen = dict(state.get("net_seen", {}))
+        self._last_trigger = state.get("last_trigger", -float("inf"))
+        self.violations = int(state.get("violations", 0))
+
     # -- estimation ------------------------------------------------------------
     def estimates(self) -> Dict[str, float]:
         """Latest windowed availability estimate per watched resource."""

@@ -346,6 +346,12 @@ class Simulator:
         #: ``config.switch`` safe points; like ``obs`` it is strictly
         #: passive, so disabled accounting costs one attribute read.
         self.usage: Optional[Any] = None
+        #: Discovery point for the recovery layer: an attached
+        #: :class:`repro.recovery.Supervisor`, or None.  ControlBox safe
+        #: points notify it (checkpointing) and FaultPlan ``kill`` events
+        #: route through it; with no supervisor attached every hook site is
+        #: a single ``is None`` check, so disabled recovery costs nothing.
+        self.recovery: Optional[Any] = None
 
     # -- inspection -------------------------------------------------------
     @property

@@ -18,21 +18,26 @@ __all__ = ["Store", "StorePut", "StoreGet", "Resource", "Request", "Container"]
 
 
 class StorePut(Event):
-    __slots__ = ("item",)
+    __slots__ = ("item", "store")
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim)
         self.item = item
+        #: Back-reference so teardown code (e.g. a supervisor killing a
+        #: parked process) can find the owning store without extra plumbing.
+        self.store = store
         store._put_waiters.append(self)
         store._dispatch()
 
 
 class StoreGet(Event):
-    __slots__ = ("filter",)
+    __slots__ = ("filter", "store")
 
     def __init__(self, store: "Store", filter=None):
         super().__init__(store.sim)
         self.filter = filter
+        #: Back-reference for :meth:`Store.cancel` from teardown code.
+        self.store = store
         store._get_waiters.append(self)
         store._dispatch()
 

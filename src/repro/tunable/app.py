@@ -39,6 +39,13 @@ class AppRuntime:
         self.seed = seed
         #: Set by instantiate(): the event that fires when the app finishes.
         self.finished: Optional[Event] = None
+        #: Optionally set by the launcher: name -> running Process, so
+        #: supervision harnesses can adopt the application's processes.
+        self.processes: Dict[str, Any] = {}
+        #: Optionally set by the launcher: the built application model
+        #: (e.g. the image pyramids), so a supervised restart can re-spawn
+        #: a process against the same data.
+        self.app_model: Any = None
 
     @property
     def config(self) -> Configuration:

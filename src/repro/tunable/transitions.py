@@ -99,25 +99,35 @@ class ControlBox:
         If any guard rejects the switch, the change is refused and the
         steering agent is informed via ``on_applied(False)`` (triggering
         renegotiation).
+
+        Safe points are also where the recovery layer checkpoints: after
+        any pending change has been applied (so snapshots always reflect
+        post-switch state), an attached supervisor's ``on_safe_point`` is
+        notified.  With no supervisor the extra cost is one attribute read.
         """
-        change = self.pending
-        if change is None:
-            return None
-        self.pending = None
-        new = change.new_config
-        if not self.guards_allow(new):
+        try:
+            change = self.pending
+            if change is None:
+                return None
+            self.pending = None
+            new = change.new_config
+            if not self.guards_allow(new):
+                if change.on_applied is not None:
+                    change.on_applied(False)
+                return None
+            old = self.current
+            for t in self.transitions:
+                if t.handler is None:
+                    continue
+                result = t.handler(ctx, old, new)
+                if result is not None and hasattr(result, "send"):
+                    yield from result
+            self.current = new
+            self.history.append((time, old, new))
             if change.on_applied is not None:
-                change.on_applied(False)
-            return None
-        old = self.current
-        for t in self.transitions:
-            if t.handler is None:
-                continue
-            result = t.handler(ctx, old, new)
-            if result is not None and hasattr(result, "send"):
-                yield from result
-        self.current = new
-        self.history.append((time, old, new))
-        if change.on_applied is not None:
-            change.on_applied(True)
-        return new
+                change.on_applied(True)
+            return new
+        finally:
+            recovery = getattr(getattr(ctx, "sim", None), "recovery", None)
+            if recovery is not None:
+                recovery.on_safe_point(ctx, time)

@@ -1,0 +1,96 @@
+"""Smoke tests for the recovery experiment (cheap settings).
+
+The full qualitative assertions (brownout cycle, failover latency
+bounds, warm-vs-cold MTTR) live in benchmarks/bench_recovery.py; these
+verify the experiment plumbing — payload structure, determinism, and the
+supervision/no-supervision contrast — at reduced cost.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import run_chaos, run_recovery
+
+CHEAP_FAULTS = {"events": [{"kind": "kill", "service": "viz-server", "at": 4.0}]}
+CHEAP_CROWD = {"users": 4, "start": 2.0, "duration": 5.0, "think": 0.05,
+               "r1": 8, "level": 3}
+
+
+def cheap_run(**kwargs):
+    kwargs.setdefault("fault_spec", CHEAP_FAULTS)
+    kwargs.setdefault("crowd_spec", CHEAP_CROWD)
+    kwargs.setdefault("n_images", 5)
+    kwargs.setdefault("brownout", False)
+    return run_recovery(seed=0, **kwargs)
+
+
+def test_recovery_payload_structure_and_restart():
+    result, payload = cheap_run()
+    assert payload["finished"]
+    assert len(payload["image_times"]) == 5
+    rec = payload["recovery"]
+    assert rec["kills"] == 1 and rec["restarts"] == 1
+    assert rec["services"]["viz-server"]["restarts"] == 1
+    assert all(s["state"] == "stopped" for s in rec["services"].values())
+    (mttr,) = rec["mttr"]
+    assert mttr["service"] == "viz-server" and mttr["warm"]
+    assert 0.0 < mttr["mttr"] < 1.0
+    # Accounting horizon froze at teardown (a hair after the last image,
+    # when the close handshake lands), not at the padded `until`.
+    assert payload["total_time"] <= payload["horizon"] < payload["total_time"] + 1.0
+    assert rec["services"]["viz-server"]["availability"] > 0.9
+    # Figure notes narrate the storm.
+    assert any("kill" in note for note in result.notes)
+    assert any("availability[viz-server]" in note for note in result.notes)
+
+
+def test_recovery_same_seed_replays_byte_identically():
+    _, first = cheap_run()
+    _, second = cheap_run()
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_unsupervised_baseline_accrues_downtime():
+    _, sup = cheap_run()
+    _, unsup = cheap_run(supervise=False, until=30.0)
+    assert not unsup["finished"]
+    assert unsup["recovery"]["restarts"] == 0
+    a_sup = sup["recovery"]["services"]["viz-server"]["availability"]
+    a_unsup = unsup["recovery"]["services"]["viz-server"]["availability"]
+    assert a_unsup < a_sup
+
+
+def test_crowd_is_shed_before_the_interactive_session():
+    # Heavy enough pressure to shed the crowd; the interactive client
+    # (priority 1) must never lose a round to soft shedding.
+    _, payload = cheap_run(
+        crowd_spec={"users": 10, "start": 1.0, "duration": 6.0,
+                    "think": 0.02, "r1": 12, "level": 3},
+    )
+    ov = payload["overload"]
+    assert ov["crowd_shed"] > 0
+    assert ov["interactive_shed_rounds"] == 0
+    assert ov["shed_hard"] == 0
+
+
+def test_chaos_replays_byte_identically_with_supervision():
+    """Satellite guarantee: an idle Supervisor is invisible to chaos."""
+    _, plain = run_chaos(seed=0)
+    _, supervised = run_chaos(seed=0, supervise=True)
+    assert json.dumps(plain, sort_keys=True) == json.dumps(
+        supervised, sort_keys=True
+    )
+
+
+def test_recovery_rejects_unknown_service_kill():
+    with pytest.raises(Exception, match="unknown service"):
+        run_recovery(
+            seed=0,
+            fault_spec={"events": [{"kind": "kill", "service": "ghost",
+                                    "at": 1.0}]},
+            crowd_spec={"users": 0, "start": 0.0, "duration": 0.0,
+                        "think": 0.05, "r1": 4, "level": 3},
+            n_images=2,
+            brownout=False,
+        )

@@ -109,3 +109,84 @@ def test_rule_window_and_matching():
 def test_invalid_specs_rejected(entry):
     with pytest.raises(FaultPlanError):
         FaultPlan.from_spec([entry])
+
+
+# ----------------------------------------------------------- kill events
+
+
+def test_kill_kind_parse_and_round_trip():
+    plan = FaultPlan.from_spec([{"kind": "kill", "service": "viz-server",
+                                 "at": 12.0}])
+    (kill,) = plan.schedule
+    assert (kill.kind, kill.service, kill.at, kill.until) == (
+        "kill", "viz-server", 12.0, None
+    )
+    assert kill.to_spec() == {"kind": "kill", "at": 12.0,
+                              "service": "viz-server"}
+    replayed = FaultPlan.from_spec(plan.to_spec())
+    assert replayed.schedule == plan.schedule
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [
+        {"kind": "kill"},  # missing service
+        {"kind": "kill", "service": ""},
+        {"kind": "kill", "service": "svc", "at": 5.0, "until": 9.0},
+        {"kind": "kill", "service": "svc", "at": -2.0},
+    ],
+)
+def test_invalid_kill_specs_rejected(entry):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_spec([entry])
+
+
+# ------------------------------------------------------ crash overlap checks
+
+
+def test_overlapping_crash_windows_on_same_host_rejected():
+    with pytest.raises(FaultPlanError, match="overlapping windows"):
+        FaultPlan.from_spec([
+            {"kind": "crash", "host": "x", "at": 1.0, "until": 5.0},
+            {"kind": "crash", "host": "x", "at": 4.0, "until": 8.0},
+        ])
+
+
+def test_open_ended_crash_overlaps_everything_later():
+    with pytest.raises(FaultPlanError, match="overlapping windows"):
+        FaultPlan.from_spec([
+            {"kind": "crash", "host": "x", "at": 1.0},  # never recovers
+            {"kind": "crash", "host": "x", "at": 100.0, "until": 101.0},
+        ])
+
+
+def test_touching_crash_windows_allowed():
+    plan = FaultPlan.from_spec([
+        {"kind": "crash", "host": "x", "at": 1.0, "until": 5.0},
+        {"kind": "crash", "host": "x", "at": 5.0, "until": 8.0},
+    ])
+    assert [f.at for f in plan.schedule] == [1.0, 5.0]
+
+
+def test_crash_windows_on_different_hosts_may_overlap():
+    plan = FaultPlan.from_spec([
+        {"kind": "crash", "host": "x", "at": 1.0, "until": 5.0},
+        {"kind": "crash", "host": "y", "at": 2.0, "until": 6.0},
+    ])
+    assert len(plan.schedule) == 2
+
+
+def test_every_kind_round_trips_through_to_spec():
+    spec = {
+        "events": FULL_SPEC["events"] + [
+            {"kind": "kill", "service": "svc", "at": 70.0},
+        ]
+    }
+    plan = FaultPlan.from_spec(spec)
+    replayed = FaultPlan.from_spec(plan.to_spec())
+    assert replayed.to_spec() == plan.to_spec()
+    assert replayed.schedule == plan.schedule
+    assert replayed.rules == plan.rules
+    assert {f.kind for f in plan.schedule} == {
+        "crash", "link-down", "partition", "kill"
+    }

@@ -1,0 +1,117 @@
+"""Regression: crash-healed hosts re-announce themselves deterministically.
+
+A host coming back from a windowed crash must re-arm its monitor
+exchange: the next publisher tick after the restore re-announces the
+full estimate vector, so peers learn of the recovery exactly one
+exchange period after the crash's ``until`` fires — not whenever the
+next significant change or keepalive happens to land (which used to
+depend on process creation order).
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.runtime import MonitorExchange, MonitoringAgent
+from repro.sandbox import ResourceLimits, Testbed
+from repro.tunable import (
+    ConfigSpace,
+    Configuration,
+    ControlParameter,
+    ExecutionEnv,
+    HostComponent,
+    LinkComponent,
+    QoSMetric,
+    TaskGraph,
+    TaskSpec,
+    TunableApp,
+)
+
+PERIOD = 0.25
+CRASH_AT, RESTORE_AT = 3.0, 6.0
+
+
+def spinner_app(rounds=5000):
+    space = ConfigSpace([ControlParameter("mode", ("x",))])
+    env = ExecutionEnv(
+        [HostComponent("client", cpu_speed=100.0),
+         HostComponent("server", cpu_speed=100.0)],
+        [LinkComponent("client", "server", bandwidth=1e6, latency=0.0005)],
+    )
+
+    def launcher(rt):
+        def spin(host):
+            sb = rt.sandbox(host)
+            for _ in range(rounds):
+                yield sb.compute(0.5)
+
+        rt.sim.process(spin("server"))
+        return rt.sim.process(spin("client"))
+
+    return TunableApp(
+        "rearm", space, env,
+        metrics=[QoSMetric("done")],
+        tasks=TaskGraph([TaskSpec("spin",
+                                  resources=("client.cpu", "server.cpu"))]),
+        launcher=launcher,
+    )
+
+
+def run_crash_heal(server_exchange_first):
+    """Crash the server host mid-run; return the client's view of it.
+
+    ``server_exchange_first`` flips the creation order of the two
+    exchanges — the re-announcement instant must not care.
+    """
+    app = spinner_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    FaultInjector.attach(
+        tb,
+        FaultPlan.from_spec([
+            {"kind": "crash", "host": "server", "at": CRASH_AT,
+             "until": RESTORE_AT, "mode": "drop"},
+        ]),
+        seed=0,
+    )
+    rt = app.instantiate(
+        tb, Configuration({"mode": "x"}),
+        limits={"client": ResourceLimits(cpu_share=0.8),
+                "server": ResourceLimits(cpu_share=0.3)},
+    )
+    client_agent = MonitoringAgent(rt, watch=["client.cpu"], period=0.05).start()
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"], period=0.05).start()
+
+    def make(host, agent, peer):
+        # A huge significance plus no keepalive means that after the
+        # initial announcement, *only* the post-restore re-arm can make
+        # this exchange publish again.
+        return MonitorExchange(
+            rt, agent, host, [peer], period=PERIOD, significance=10.0,
+        ).start()
+
+    if server_exchange_first:
+        make("server", server_agent, "client")
+        client_ex = make("client", client_agent, "server")
+    else:
+        client_ex = make("client", client_agent, "server")
+        make("server", server_agent, "client")
+    tb.run(until=9.0)
+    return client_ex
+
+
+@pytest.mark.parametrize("server_exchange_first", [False, True])
+def test_peer_learns_of_recovery_one_period_after_restore(server_exchange_first):
+    client_ex = run_crash_heal(server_exchange_first)
+    last_seen = client_ex.peer_last_seen["server"]
+    # Heard again strictly after the restore...
+    assert last_seen > RESTORE_AT
+    # ...and within one publisher period (+ delivery), not at some later
+    # significant change or keepalive.
+    assert last_seen <= RESTORE_AT + PERIOD + 0.05
+    # The re-announced estimates actually landed.
+    assert "server.cpu" in client_ex.remote_estimates
+
+
+def test_rearm_instant_is_independent_of_creation_order():
+    a = run_crash_heal(server_exchange_first=False)
+    b = run_crash_heal(server_exchange_first=True)
+    assert a.peer_last_seen["server"] == b.peer_last_seen["server"]

@@ -1,0 +1,175 @@
+"""Tests for overload admission, QoS-aware shedding, and brownout hysteresis."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.recovery import BrownoutController, OverloadGuard, OverloadPolicy
+from repro.sim import Simulator
+from repro.tunable import Configuration
+
+
+class Req:
+    def __init__(self, priority):
+        self.priority = priority
+
+
+# ------------------------------------------------------------- the guard
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        OverloadPolicy(queue_capacity=0)
+    with pytest.raises(ValueError):
+        OverloadPolicy(shed_depth=-1)
+    with pytest.raises(ValueError):
+        OverloadPolicy(queue_capacity=4, shed_depth=8)
+
+
+@pytest.mark.parametrize(
+    "priority,depth,admitted",
+    [
+        (0, 0, True),    # idle queue: everyone gets in
+        (1, 0, True),
+        (0, 4, False),   # at the soft depth, low priority is shed
+        (1, 4, True),    # ...but the interactive class survives
+        (0, 63, False),
+        (1, 63, True),
+        (1, 64, False),  # hard capacity sheds everyone
+        (0, 64, False),
+    ],
+)
+def test_admit_matrix(priority, depth, admitted):
+    guard = OverloadGuard(
+        OverloadPolicy(queue_capacity=64, shed_depth=4, keep_priority=1)
+    )
+    assert guard.admit(Req(priority), depth) is admitted
+
+
+def test_totals_distinguish_soft_and_hard_sheds():
+    guard = OverloadGuard(
+        OverloadPolicy(queue_capacity=8, shed_depth=2, keep_priority=1)
+    )
+    guard.admit(Req(1), 0)    # served
+    guard.admit(Req(0), 3)    # soft shed
+    guard.admit(Req(1), 9)    # hard shed
+    totals = guard.totals()
+    assert totals == {
+        "served": 1, "shed": 2, "shed_low_priority": 1, "shed_hard": 1,
+        "queue_peak": 9,
+    }
+
+
+def test_request_without_priority_counts_as_keep():
+    guard = OverloadGuard(
+        OverloadPolicy(queue_capacity=8, shed_depth=2, keep_priority=1)
+    )
+    assert guard.admit(object(), 5)  # no .priority => interactive class
+
+
+# ---------------------------------------------------------------- brownout
+
+
+class FakeController:
+    def __init__(self):
+        self.calls = []
+
+    def force_config(self, config, reason=""):
+        self.calls.append(("force", config.label(), reason))
+
+    def resume_normal(self, reason=""):
+        self.calls.append(("resume", None, reason))
+
+
+def make_brownout(sim, guard, **kwargs):
+    rt = SimpleNamespace(sim=sim, finished=None)
+    controller = FakeController()
+    ctl = BrownoutController(
+        rt, controller, guard, Configuration({"c": "lzw", "dR": 320, "l": 3}),
+        period=1.0, enter_shed_rate=0.5, exit_shed_rate=0.1,
+        enter_after=2, exit_after=3, **kwargs,
+    )
+    return ctl, controller
+
+
+def test_brownout_validation():
+    sim = Simulator()
+    rt = SimpleNamespace(sim=sim, finished=None)
+    cheap = Configuration({"c": "lzw"})
+    with pytest.raises(ValueError):
+        BrownoutController(rt, FakeController(), OverloadGuard(), cheap,
+                           period=0.0)
+    with pytest.raises(ValueError):
+        BrownoutController(rt, FakeController(), OverloadGuard(), cheap,
+                           enter_shed_rate=0.1, exit_shed_rate=0.5)
+    with pytest.raises(ValueError):
+        BrownoutController(rt, FakeController(), OverloadGuard(), cheap,
+                           enter_after=0)
+
+
+def drive(sim, guard, rates, ctl):
+    """Feed the guard one (served, shed) delta per brownout period."""
+
+    def feeder():
+        for served, shed in rates:
+            guard.served += served
+            guard.shed += shed
+            yield sim.timeout(1.0)
+        ctl.stop()
+
+    sim.process(feeder(), name="feeder")
+
+
+def test_brownout_enters_after_sustained_shedding_only():
+    sim = Simulator()
+    guard = OverloadGuard()
+    ctl, controller = make_brownout(sim, guard)
+    ctl.start()
+    # One hot window, then calm: hysteresis must NOT trip on the blip.
+    drive(sim, guard, [(1, 9), (9, 1), (9, 1), (9, 1)], ctl)
+    sim.run(until=10.0)
+    assert controller.calls == []
+    assert ctl.windows == []
+
+
+def test_brownout_full_cycle_enter_then_exit():
+    sim = Simulator()
+    guard = OverloadGuard()
+    ctl, controller = make_brownout(sim, guard)
+    ctl.start()
+    hot, calm = (1, 9), (19, 1)
+    drive(sim, guard, [hot, hot, hot, calm, calm, calm, calm], ctl)
+    sim.run(until=20.0)
+    kinds = [c[0] for c in controller.calls]
+    assert kinds == ["force", "resume"]
+    assert controller.calls[0][1] == "c=lzw,dR=320,l=3"
+    assert controller.calls[0][2] == "brownout-enter"
+    assert controller.calls[1][2] == "brownout-exit"
+    # One closed window: entered after 2 hot periods, left after 3 calm.
+    ((t0, t1),) = ctl.windows
+    assert t0 == pytest.approx(2.0)
+    assert t1 == pytest.approx(6.0)
+    assert not ctl.in_brownout
+
+
+def test_brownout_window_left_open_when_overload_persists():
+    sim = Simulator()
+    guard = OverloadGuard()
+    ctl, controller = make_brownout(sim, guard)
+    ctl.start()
+    drive(sim, guard, [(1, 9)] * 5, ctl)
+    sim.run(until=10.0)
+    assert [c[0] for c in controller.calls] == ["force"]
+    ((t0, t1),) = ctl.windows
+    assert t1 is None
+    assert ctl.in_brownout
+
+
+def test_idle_periods_do_not_count_as_shedding():
+    sim = Simulator()
+    guard = OverloadGuard()
+    ctl, controller = make_brownout(sim, guard)
+    ctl.start()
+    drive(sim, guard, [(0, 0)] * 4, ctl)
+    sim.run(until=10.0)
+    assert controller.calls == []

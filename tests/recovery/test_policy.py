@@ -1,0 +1,85 @@
+"""Tests for restart policies and the checkpoint store (pure data)."""
+
+import pytest
+
+from repro.recovery import Checkpoint, CheckpointStore, RecoveryError, RestartPolicy
+from repro.sim import stream
+
+
+# ----------------------------------------------------------- RestartPolicy
+
+
+def test_delay_grows_exponentially_and_caps():
+    policy = RestartPolicy(base_delay=1.0, factor=2.0, jitter=0.0, max_delay=5.0)
+    rng = stream(0, "recovery")
+    assert policy.delay(0, rng) == 1.0
+    assert policy.delay(1, rng) == 2.0
+    assert policy.delay(2, rng) == 4.0
+    assert policy.delay(3, rng) == 5.0  # capped
+    assert policy.delay(10, rng) == 5.0
+
+
+def test_delay_jitter_is_bounded_and_deterministic():
+    policy = RestartPolicy(base_delay=1.0, factor=2.0, jitter=0.25)
+    draws_a = [policy.delay(0, stream(7, "recovery")) for _ in range(1)]
+    draws_b = [policy.delay(0, stream(7, "recovery")) for _ in range(1)]
+    assert draws_a == draws_b  # same stream state => same delay
+    rng = stream(7, "recovery")
+    for attempt in range(5):
+        d = policy.delay(attempt, rng)
+        base = min(1.0 * 2.0 ** attempt, policy.max_delay)
+        assert base <= d < base + 0.25 or d == policy.max_delay + policy.jitter
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base_delay": -0.1},
+        {"jitter": -0.01},
+        {"max_delay": 0.0},
+        {"factor": 0.5},
+        {"max_restarts": 0},
+        {"storm_window": 0.0},
+        {"ready_poll": 0.0},
+        {"ready_timeout": -1.0},
+    ],
+)
+def test_invalid_policies_rejected(kwargs):
+    with pytest.raises(RecoveryError):
+        RestartPolicy(**kwargs)
+
+
+# --------------------------------------------------------- CheckpointStore
+
+
+def test_store_keeps_latest_per_service():
+    store = CheckpointStore()
+    assert store.latest("svc") is None
+    store.save("svc", 1.0, {"v": 1})
+    ckpt = store.save("svc", 2.0, {"v": 2})
+    assert store.latest("svc") is ckpt
+    assert ckpt.seq == 2 and ckpt.state == {"v": 2}
+    assert store.saved == 2
+    assert store.services() == ["svc"]
+
+
+def test_adopt_accepts_only_fresher_checkpoints():
+    store = CheckpointStore()
+    store.save("ctl", 1.0, {"v": "mine"})
+    stale = Checkpoint(service="ctl", seq=1, time=0.5, state={"v": "old"})
+    assert not store.adopt(stale)
+    assert store.latest("ctl").state == {"v": "mine"}
+    fresher = Checkpoint(service="ctl", seq=5, time=3.0, state={"v": "theirs"})
+    assert store.adopt(fresher)
+    assert store.latest("ctl").state == {"v": "theirs"}
+    # Local sequence numbering continues past the adopted checkpoint.
+    assert store.save("ctl", 4.0, {"v": "next"}).seq == 6
+
+
+def test_to_dict_is_json_friendly_and_sorted():
+    store = CheckpointStore()
+    store.save("b", 1.0, {"x": 1})
+    store.save("a", 2.0, {"y": [1, 2]})
+    dump = store.to_dict()
+    assert list(dump) == ["a", "b"]
+    assert dump["b"] == {"seq": 1, "time": 1.0, "state": {"x": 1}}
