@@ -109,3 +109,23 @@ def test_chaos_race_clean():
     assert json.dumps(payload, sort_keys=True) == json.dumps(
         baseline, sort_keys=True
     )
+
+
+def test_chaos_tiebreak_invisible():
+    """Installing a tiebreak policy with no directives is byte-invisible.
+
+    The explorer replays chaos under flipped same-instant orders; its
+    baseline anchor is that the identity policy (and an empty
+    ``DemoteTiebreak``) reproduces the default FIFO payload bit for bit.
+    """
+    from repro.analysis.schedule import DemoteTiebreak, FifoTiebreak
+
+    _, baseline = _run(seed=0)
+    _, fifo = run_chaos(seed=0, tiebreak=FifoTiebreak())
+    _, empty = run_chaos(seed=0, tiebreak=DemoteTiebreak({}))
+    assert json.dumps(fifo, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )
+    assert json.dumps(empty, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )

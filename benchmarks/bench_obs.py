@@ -112,7 +112,7 @@ def test_obs_overhead_bounded(artifact_dir):
     total_overhead = (total - base) / base
 
     (artifact_dir / "BENCH_obs.json").write_text(
-        json.dumps(
+        json.dumps(  # repro: allow[DET501] -- benchmark wall-time report, not sim state
             {
                 "bare_s": round(base, 3),
                 "traced_s": round(cost, 3),

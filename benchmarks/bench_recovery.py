@@ -133,7 +133,15 @@ def test_recovery_deterministic_replay():
 
 
 def test_recovery_race_clean():
-    """The seeded recovery run has no tie-order races on shared state."""
+    """The seeded recovery run has no tie-order races on shared state.
+
+    The detector watches every host mailbox, both exchanges' estimate
+    tables, *and* the recovery subsystem's own shared state: the
+    supervisor's service registry and restart planning, the checkpoint
+    store's tables, each failover member's heartbeat/rank state, and the
+    overload guard's admission path.  An empty report means none of it
+    is ordered merely by the event queue's FIFO tiebreak.
+    """
     _, payload = run_recovery(seed=0, detect_races=True)
     assert payload["races"] == [], payload["races"]
 
@@ -141,6 +149,26 @@ def test_recovery_race_clean():
     _, baseline = run_recovery(seed=0)
     payload.pop("races")
     assert json.dumps(payload, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )
+
+
+def test_recovery_tiebreak_invisible():
+    """Installing a tiebreak policy with no directives is byte-invisible.
+
+    The schedule explorer's whole soundness argument rests on this: the
+    identity policy (and an empty ``DemoteTiebreak``) must reproduce the
+    default FIFO payload bit for bit.
+    """
+    from repro.analysis.schedule import DemoteTiebreak, FifoTiebreak
+
+    _, baseline = run_recovery(seed=0)
+    _, fifo = run_recovery(seed=0, tiebreak=FifoTiebreak())
+    _, empty = run_recovery(seed=0, tiebreak=DemoteTiebreak({}))
+    assert json.dumps(fifo, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )
+    assert json.dumps(empty, sort_keys=True) == json.dumps(
         baseline, sort_keys=True
     )
 
@@ -242,5 +270,5 @@ def test_recovery_headline_numbers(artifact_dir):
         "overhead_idle_supervision": round(overhead_idle, 3),
     }
     (artifact_dir / "BENCH_recovery.json").write_text(
-        json.dumps(record, indent=1, sort_keys=True) + "\n"
+        json.dumps(record, indent=1, sort_keys=True) + "\n"  # repro: allow[DET501] -- benchmark wall-time report, not sim state
     )

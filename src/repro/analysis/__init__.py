@@ -9,11 +9,19 @@ Three coordinated passes:
 - :mod:`repro.analysis.protocol` — sim-protocol checker (``SIM*`` rules)
   for the kernel's coroutine discipline;
 - :mod:`repro.analysis.races` — opt-in run-time tie-order race detector
-  for same-timestamp conflicting accesses to shared simulation state.
+  for same-timestamp conflicting accesses to shared simulation state;
+- :mod:`repro.analysis.dataflow` — interprocedural nondeterminism taint
+  analysis (``DET5xx``): source → sink chains that cross function
+  boundaries, which the local rules cannot see;
+- :mod:`repro.analysis.explore` + :mod:`repro.analysis.schedule` —
+  bounded DPOR-style schedule exploration: replay a workload under
+  permuted same-instant event orders (pruned by the race detector's
+  conflict sets) and certify that no tie order changes the payload.
 
 ``repro lint`` (see :mod:`repro.analysis.cli`) runs the static passes
-with inline-suppression and baseline workflows; ``docs/determinism.md``
-documents every rule and its rationale.
+with inline-suppression and baseline workflows; ``repro check`` (see
+:mod:`repro.analysis.check_cli`) runs the explorer and the dataflow
+linter; ``docs/determinism.md`` documents every rule and its rationale.
 """
 
 from .findings import Finding, Severity, sort_findings
@@ -27,23 +35,46 @@ from .lint import (
     write_baseline,
 )
 from .cli import lint_main
+from .check_cli import check_main
+from .dataflow import DATAFLOW_RULES, flow_paths, flow_source
+from .explore import (
+    ExplorationResult,
+    Flip,
+    Scenario,
+    ScheduleDivergence,
+    ScheduleExplorer,
+    builtin_scenarios,
+)
 from .protocol import PROTOCOL_RULES, ProtocolVisitor
 from .races import Access, RaceDetector, RaceReport, watch
 from .rules import DETERMINISM_RULES, DeterminismVisitor
+from .schedule import DemoteTiebreak, FifoTiebreak
 
 __all__ = [
     "ALL_RULES",
     "Access",
     "BASELINE_NAME",
+    "DATAFLOW_RULES",
     "DETERMINISM_RULES",
+    "DemoteTiebreak",
     "DeterminismVisitor",
+    "ExplorationResult",
+    "FifoTiebreak",
     "Finding",
+    "Flip",
     "LintResult",
     "PROTOCOL_RULES",
     "ProtocolVisitor",
     "RaceDetector",
     "RaceReport",
+    "Scenario",
+    "ScheduleDivergence",
+    "ScheduleExplorer",
     "Severity",
+    "builtin_scenarios",
+    "check_main",
+    "flow_paths",
+    "flow_source",
     "lint_main",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,196 @@
+"""``repro check`` — dynamic schedule exploration and dataflow linting.
+
+Two subcommands:
+
+* ``repro check explore <scenario>`` replays a scenario under permuted
+  same-``(time, priority)`` event orders (:mod:`repro.analysis.explore`)
+  and either certifies it schedule-invariant or prints the minimal
+  divergent flip schedule with its first divergent span.
+* ``repro check flow [paths]`` runs the interprocedural nondeterminism
+  dataflow linter (:mod:`repro.analysis.dataflow`, ``DET5xx``) with the
+  same inline-allow and baseline gating as ``repro lint``.
+
+Exit codes mirror ``repro lint``: 0 clean/certified, 1 findings (a
+divergence, a taint chain, or a stale baseline entry), 2 usage error.
+An exploration that hits its budget without finding a divergence exits
+0 with an explicit "inconclusive" note — budgets bound CI time, and a
+truncated pass must not read as a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .lint import BASELINE_NAME
+
+__all__ = ["check_main"]
+
+
+def _explore_main(args: argparse.Namespace) -> int:
+    from .explore import ScheduleExplorer, builtin_scenarios
+
+    scenarios = builtin_scenarios(seed=args.seed)
+    if args.list:
+        for name in sorted(scenarios):
+            print(f"{name}  {scenarios[name].description}")
+        return 0
+    if args.scenario is None:
+        print("repro check explore: scenario required", file=sys.stderr)
+        return 2
+    if args.scenario not in scenarios:
+        print(
+            f"repro check explore: unknown scenario {args.scenario!r} "
+            f"(known: {', '.join(sorted(scenarios))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    explorer = ScheduleExplorer(
+        scenarios[args.scenario],
+        max_schedules=args.max_schedules,
+        max_depth=args.max_depth,
+        localize=not args.no_localize,
+    )
+    result = explorer.explore()
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(result.summary())
+        for div in result.divergences:
+            print(f"  minimal divergent schedule ({len(div.flips)} flip(s)):")
+            for flip in div.flips:
+                print(
+                    f"    t={flip.time:g} demote seq {flip.seq} on "
+                    f"{flip.label!r}: {flip.second_context} before "
+                    f"{flip.first_context}"
+                )
+            if div.error:
+                print(f"  flipped run crashed: {div.error}")
+            if div.payload_path:
+                print(f"  first payload divergence: {div.payload_path}")
+            if div.first_span:
+                print(
+                    f"  first divergent span: {div.first_span.get('key')} "
+                    f"({div.first_span.get('kind')}) at "
+                    f"t={div.first_span.get('t')}"
+                )
+        if not result.certified and not result.divergences:
+            print(
+                "note: inconclusive (budget bound the search); raise "
+                "--max-schedules/--max-depth for a full certificate"
+            )
+
+    return 1 if result.divergences else 0
+
+
+def _flow_main(args: argparse.Namespace) -> int:
+    from .dataflow import DATAFLOW_RULES, flow_paths
+
+    if args.list_rules:
+        for rule_id in sorted(DATAFLOW_RULES):
+            print(f"{rule_id}  {DATAFLOW_RULES[rule_id]}")
+        return 0
+
+    root = Path.cwd()
+    paths = args.paths or [root / "src", root / "benchmarks"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro check flow: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    baseline = args.baseline
+    if baseline is None and (root / BASELINE_NAME).exists():
+        baseline = root / BASELINE_NAME
+
+    result = flow_paths(paths, root=root, baseline=baseline)
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1, sort_keys=True))
+    else:
+        for finding in result.parse_errors + result.findings:
+            print(finding.render())
+        for entry in result.unused_baseline:
+            if entry.rule in DATAFLOW_RULES:
+                print(
+                    f"stale baseline entry: {entry.rule} {entry.path} "
+                    f"({entry.reason or 'no reason recorded'})"
+                )
+        status = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+        print(
+            f"repro check flow: {status}; {result.files_checked} file(s), "
+            f"{result.suppressed_baseline} baselined"
+        )
+
+    stale_flow = [
+        e for e in result.unused_baseline if e.rule in DATAFLOW_RULES
+    ]
+    if not result.clean or stale_flow:
+        return 1
+    return 0
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Schedule-invariance exploration and dataflow linting.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    explore = sub.add_parser(
+        "explore", help="replay a scenario under permuted event-tie orders"
+    )
+    explore.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario name (see --list)",
+    )
+    explore.add_argument("--seed", type=int, default=0, help="scenario seed")
+    explore.add_argument(
+        "--max-schedules", type=int, default=24,
+        help="total schedule budget for the search (default 24)",
+    )
+    explore.add_argument(
+        "--max-depth", type=int, default=3,
+        help="max nested flips per schedule (default 3)",
+    )
+    explore.add_argument(
+        "--no-localize", action="store_true",
+        help="skip trace-diff localization of divergences",
+    )
+    explore.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    explore.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    flow = sub.add_parser(
+        "flow", help="interprocedural nondeterminism dataflow linter (DET5xx)"
+    )
+    flow.add_argument(
+        "paths", nargs="*", type=Path, default=None,
+        help="files/directories to analyze (default: src/ and benchmarks/)",
+    )
+    flow.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: ./{BASELINE_NAME} when present)",
+    )
+    flow.add_argument(
+        "--list-rules", action="store_true",
+        help="print every DET5xx rule id and exit",
+    )
+    flow.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "explore":
+        return _explore_main(args)
+    if args.command == "flow":
+        return _flow_main(args)
+    parser.print_help()
+    return 2

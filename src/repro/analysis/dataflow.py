@@ -1,0 +1,614 @@
+"""Interprocedural nondeterminism dataflow: the ``DET5xx`` family.
+
+The ``DET1xx``–``DET4xx`` rules (:mod:`repro.analysis.rules`) are local:
+they flag a wall-clock read, an entropy draw, or an unordered iteration
+*at the expression that performs it*.  They cannot see a value that is
+produced in one function and only becomes dangerous two calls later::
+
+    def stamp():                  # no local finding: just returns a float
+        return time.time()
+
+    def jitter(base):             # no local finding: adds two numbers
+        return base + 0.01
+
+    def arm(sim):                 # no local finding: timeout(x) looks clean
+        sim.timeout(jitter(stamp()))
+
+This module closes that gap with a call-graph taint analysis:
+
+* **Sources** are the same canonical nondeterminism producers the local
+  rules know (wall clocks, OS entropy / global RNG, set construction,
+  filesystem enumeration, ``id()``/``hash()``).
+* Taint propagates through assignments, arithmetic, containers,
+  attributes on ``self``, function returns, and function parameters —
+  per-function summaries (``returns tainted``, ``param i flows to
+  return``, ``param i reaches sink``) are iterated to a fixed point over
+  the module's call graph, so chains of any depth converge.
+* **Sinks** are the ordering-sensitive operations (event scheduling,
+  message emission, serialization, checkpoint writes).
+* Only **multi-hop** flows — those crossing at least one function
+  boundary — are reported, with the full source → hop → sink chain in
+  the message.  Single-function flows are the local rules' territory
+  and are deliberately not duplicated.
+
+Scope: the call graph is per-module (module-level functions, nested
+calls through ``self.`` methods of the same class).  Cross-module flows
+are out of scope — an under-approximation, never a false positive.
+
+Findings gate exactly like the lint rules: inline
+``# repro: allow[DET501] -- reason`` on the sink line, or an entry in
+the checked-in ``lint_baseline.json``; ``repro check flow`` drives it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding, sort_findings
+from .lint import LintResult, _inline_allows, discover_files, load_baseline
+from .rules import (
+    _ENTROPY,
+    _FS_ENUM,
+    _FS_ENUM_ATTRS,
+    _ORDER_SINKS,
+    _RNG_PREFIXES,
+    _WALLCLOCK,
+    _Aliases,
+    _dotted,
+)
+
+__all__ = ["DATAFLOW_RULES", "flow_source", "flow_paths", "ModuleFlow"]
+
+#: rule id -> one-line summary.
+DATAFLOW_RULES: Dict[str, str] = {
+    "DET501": "wall-clock-derived value reaches an ordering sink "
+    "across function boundaries",
+    "DET502": "RNG/entropy-derived value reaches an ordering sink "
+    "across function boundaries",
+    "DET503": "unordered-collection/identity-derived value reaches an "
+    "ordering sink across function boundaries",
+}
+
+_KIND_RULE = {"wallclock": "DET501", "entropy": "DET502", "unordered": "DET503"}
+
+_KIND_HINT = {
+    "wallclock": "order events by virtual time (sim.now) or explicit "
+    "parameters; wall-clock values must never influence scheduling",
+    "entropy": "derive the value from a named seeded stream "
+    "(repro.sim.rng.stream(seed, name)) so the flow replays",
+    "unordered": "canonicalize with sorted(...) before the value "
+    "influences event/message/serialization order",
+}
+
+#: Ordering-sensitive operations for the flow analysis: the local rules'
+#: sinks plus checkpoint writes (``store.save``) — a nondeterministic
+#: value serialized into a checkpoint replays differently on restart.
+_FLOW_SINKS: Set[str] = set(_ORDER_SINKS) | {"save"}
+
+#: Fixed-point safety valve; summaries grow monotonically, so real
+#: convergence is bounded by chain depth (call-graph diameter), far
+#: below this.
+_MAX_ROUNDS = 20
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One nondeterministic value with its provenance chain."""
+
+    kind: str  # "wallclock" | "entropy" | "unordered"
+    origin: str  # e.g. "time.time() in stamp()"
+    line: int  # source line of the origin
+    hops: Tuple[str, ...] = ()  # function-boundary crossings, in order
+
+    def hop(self, description: str) -> "Taint":
+        if description in self.hops:  # cycles: don't grow forever
+            return self
+        return replace(self, hops=self.hops + (description,))
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """Symbolic taint: 'whatever the caller passes for parameter i'."""
+
+    index: int
+
+
+#: A sink reachable from a parameter: (sink name, sink line, inner hops).
+SinkRef = Tuple[str, int, Tuple[str, ...]]
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function plus its interprocedural summary."""
+
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: List[str]
+    cls: Optional[str] = None
+    return_taints: Set[Taint] = field(default_factory=set)
+    param_to_return: Set[int] = field(default_factory=set)
+    param_to_sink: Dict[int, Set[SinkRef]] = field(default_factory=dict)
+
+    def summary_key(self) -> tuple:
+        return (
+            frozenset(self.return_taints),
+            frozenset(self.param_to_return),
+            frozenset(
+                (i, frozenset(refs)) for i, refs in self.param_to_sink.items()
+            ),
+        )
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    # kwonly params are addressable by keyword at call sites; vararg and
+    # kwarg collect unnamed extras and are not tracked.
+    names += [a.arg for a in args.kwonlyargs]
+    return names
+
+
+class ModuleFlow:
+    """Call-graph taint analysis over one parsed module."""
+
+    def __init__(self, tree: ast.AST, path: str):
+        self.tree = tree
+        self.path = path
+        self.aliases = _Aliases().collect(tree)
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.methods: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: Taints written to ``self.<attr>`` anywhere in a class.
+        self.attr_taints: Dict[Tuple[str, str], Set[Taint]] = {}
+        self.findings: List[Finding] = []
+        self._seen: Set[tuple] = set()
+        self._collect()
+
+    # -- collection ------------------------------------------------------
+    def _collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(node.name, node, _param_names(node))
+                self.functions[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = FunctionInfo(
+                            f"{node.name}.{item.name}",
+                            item,
+                            _param_names(item),
+                            cls=node.name,
+                        )
+                        self.methods[(node.name, item.name)] = info
+
+    def _all_functions(self) -> List[FunctionInfo]:
+        return list(self.functions.values()) + list(self.methods.values())
+
+    # -- resolution ------------------------------------------------------
+    def resolve_call(
+        self, node: ast.Call, caller: FunctionInfo
+    ) -> Optional[FunctionInfo]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.functions.get(func.id)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and caller.cls is not None
+        ):
+            return self.methods.get((caller.cls, func.attr))
+        return None
+
+    # -- driver ----------------------------------------------------------
+    def analyze(self) -> List[Finding]:
+        for _ in range(_MAX_ROUNDS):
+            before = tuple(f.summary_key() for f in self._all_functions())
+            for info in self._all_functions():
+                _FunctionAnalyzer(self, info, emit=False).run()
+            if tuple(f.summary_key() for f in self._all_functions()) == before:
+                break
+        for info in self._all_functions():
+            _FunctionAnalyzer(self, info, emit=True).run()
+        return sort_findings(self.findings)
+
+    # -- reporting -------------------------------------------------------
+    def report(
+        self,
+        taint: Taint,
+        sink_name: str,
+        line: int,
+        extra_hops: Tuple[str, ...] = (),
+    ) -> None:
+        chain = [taint.origin, *taint.hops, *extra_hops, f"{sink_name}()"]
+        key = (taint.kind, line, sink_name, tuple(chain))
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        rule = _KIND_RULE[taint.kind]
+        hops = len(chain) - 2
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=line,
+                col=1,
+                message=(
+                    f"{taint.kind} value reaches ordering sink "
+                    f"{sink_name}() through {hops} function-boundary "
+                    f"hop(s): {' -> '.join(chain)}"
+                ),
+                hint=_KIND_HINT[taint.kind],
+            )
+        )
+
+
+class _FunctionAnalyzer:
+    """Two-pass abstract interpreter for one function body.
+
+    The environment maps local names to sets of :class:`Taint` /
+    :class:`ParamRef` markers.  Updates are weak (sets only grow), which
+    keeps everything monotone; the second pass lets loop-carried flows
+    stabilize within the function.
+    """
+
+    def __init__(self, flow: ModuleFlow, info: FunctionInfo, emit: bool):
+        self.flow = flow
+        self.info = info
+        self.emit = emit
+        self.env: Dict[str, Set[Any]] = {
+            name: {ParamRef(i)} for i, name in enumerate(info.params)
+        }
+        if info.cls is not None and info.params and info.params[0] == "self":
+            # `self` is the instance, not caller data: drop its ParamRef so
+            # method calls don't report flows through the receiver slot.
+            self.env["self"] = set()
+
+    def run(self) -> None:
+        body = getattr(self.info.node, "body", [])
+        for _ in range(2):
+            self._block(body)
+
+    # -- statements ------------------------------------------------------
+    def _block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _assign_target(self, target: ast.AST, markers: Set[Any]) -> None:
+        if isinstance(target, ast.Name):
+            self.env.setdefault(target.id, set()).update(markers)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, markers)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, markers)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self.info.cls is not None
+        ):
+            slot = self.flow.attr_taints.setdefault(
+                (self.info.cls, target.attr), set()
+            )
+            # An attribute write is a function-boundary crossing: the
+            # value becomes visible to every other method of the class.
+            hop = f"via self.{target.attr} (set in {self.info.qualname}())"
+            slot.update(
+                m.hop(hop) for m in markers if isinstance(m, Taint)
+            )
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            # container[k] = tainted: the container is now tainted.
+            self.env.setdefault(target.value.id, set()).update(markers)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            markers = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, markers)
+        elif isinstance(stmt, ast.AugAssign):
+            markers = self._expr(stmt.value)
+            self._assign_target(stmt.target, markers)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign_target(stmt.target, self._expr(stmt.value))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                for marker in self._expr(stmt.value):
+                    if isinstance(marker, ParamRef):
+                        self.info.param_to_return.add(marker.index)
+                    else:
+                        self.info.return_taints.add(marker)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._assign_target(stmt.target, self._expr(stmt.iter))
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                markers = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, markers)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        # Nested FunctionDef/ClassDef: separate scopes, not descended —
+        # they are not resolvable call targets at module level anyway.
+
+    # -- expressions -----------------------------------------------------
+    def _expr(self, node: Optional[ast.expr]) -> Set[Any]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self.info.cls is not None
+            ):
+                return set(
+                    self.flow.attr_taints.get((self.info.cls, node.attr), ())
+                )
+            return self._expr(node.value)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            markers = self._sub_markers(node)
+            markers.add(
+                Taint(
+                    "unordered",
+                    "set construction",
+                    getattr(node, "lineno", 0),
+                )
+            )
+            return markers
+        if isinstance(
+            node,
+            (
+                ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare, ast.IfExp,
+                ast.Tuple, ast.List, ast.Dict, ast.Subscript, ast.JoinedStr,
+                ast.FormattedValue, ast.Starred, ast.Await, ast.Yield,
+                ast.YieldFrom, ast.ListComp, ast.GeneratorExp, ast.DictComp,
+                ast.NamedExpr, ast.Slice,
+            ),
+        ):
+            return self._sub_markers(node)
+        if isinstance(node, ast.Lambda):
+            return set()
+        return self._sub_markers(node)
+
+    def _sub_markers(self, node: ast.AST) -> Set[Any]:
+        markers: Set[Any] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                markers |= self._expr(child)
+            elif isinstance(child, ast.comprehension):
+                self._assign_target(child.target, self._expr(child.iter))
+                for cond in child.ifs:
+                    self._expr(cond)
+        return markers
+
+    # -- calls: sources, sinks, summaries --------------------------------
+    def _source_taint(self, node: ast.Call, resolved: Optional[str]) -> Optional[Taint]:
+        line = getattr(node, "lineno", 0)
+        where = f"in {self.info.qualname}()"
+        if resolved is not None:
+            if resolved in _WALLCLOCK:
+                return Taint("wallclock", f"{resolved}() {where}", line)
+            if resolved in _ENTROPY or resolved.startswith(_RNG_PREFIXES):
+                return Taint("entropy", f"{resolved}() {where}", line)
+            if resolved in _FS_ENUM:
+                return Taint("unordered", f"{resolved}() {where}", line)
+            if resolved in ("set", "frozenset"):
+                return Taint("unordered", f"{resolved}() {where}", line)
+            if resolved in ("id", "hash"):
+                return Taint("unordered", f"{resolved}() {where}", line)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_ENUM_ATTRS
+        ):
+            return Taint(
+                "unordered", f".{node.func.attr}() {where}", line
+            )
+        return None
+
+    def _arg_markers(self, node: ast.Call, callee: Optional[FunctionInfo]):
+        """[(param index or None, markers)] for every argument."""
+        out = []
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                out.append((None, self._expr(arg.value)))
+            else:
+                out.append((i, self._expr(arg)))
+        for kw in node.keywords:
+            index = None
+            if callee is not None and kw.arg in (callee.params or ()):
+                index = callee.params.index(kw.arg)
+            out.append((index, self._expr(kw.value)))
+        return out
+
+    def _call(self, node: ast.Call) -> Set[Any]:
+        dotted = _dotted(node.func)
+        resolved = self.flow.aliases.resolve(dotted) if dotted else None
+        line = getattr(node, "lineno", 0)
+        callee = self.flow.resolve_call(node, self.info)
+        args = self._arg_markers(node, callee)
+        all_arg_markers: Set[Any] = set()
+        for _, markers in args:
+            all_arg_markers |= markers
+
+        # sorted() canonicalizes order: unordered taint is sanitized,
+        # value-level taints (a wall-clock reading is still wall-clock
+        # after sorting) pass through.
+        if resolved == "sorted":
+            return {
+                m
+                for m in all_arg_markers
+                if not (isinstance(m, Taint) and m.kind == "unordered")
+            }
+
+        source = self._source_taint(node, resolved)
+
+        # Receiver method names that are ordering sinks.
+        sink_name = None
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _FLOW_SINKS:
+            sink_name = node.func.attr
+        elif isinstance(node.func, ast.Name) and node.func.id in _FLOW_SINKS:
+            sink_name = node.func.id
+        if sink_name is not None:
+            for marker in all_arg_markers:
+                if isinstance(marker, Taint):
+                    # Multi-hop only: same-function flows belong to the
+                    # local DET1xx-4xx rules.
+                    if marker.hops and self.emit:
+                        self.flow.report(marker, sink_name, line)
+                elif isinstance(marker, ParamRef):
+                    self.info.param_to_sink.setdefault(
+                        marker.index, set()
+                    ).add((sink_name, line, ()))
+
+        result: Set[Any] = set()
+        if source is not None:
+            result.add(source)
+        if callee is not None:
+            through = f"{callee.qualname}()"
+            for taint in callee.return_taints:
+                result.add(taint.hop(f"returned by {through}"))
+            for index, markers in args:
+                if index is None:
+                    continue
+                if index in callee.param_to_return:
+                    for marker in markers:
+                        if isinstance(marker, Taint):
+                            result.add(marker.hop(f"through {through}"))
+                        else:
+                            result.add(marker)
+                for sink_ref in callee.param_to_sink.get(index, ()):
+                    sname, _sline, inner = sink_ref
+                    hop_chain = (f"into {through}",) + inner
+                    for marker in markers:
+                        if isinstance(marker, Taint):
+                            if self.emit:
+                                self.flow.report(
+                                    marker, sname, line, extra_hops=hop_chain
+                                )
+                        elif isinstance(marker, ParamRef):
+                            self.info.param_to_sink.setdefault(
+                                marker.index, set()
+                            ).add((sname, line, hop_chain))
+        else:
+            # Unknown callee: conservative pass-through of argument taints
+            # (str(x), float(x), obj.transform(x) keep the value tainted).
+            result |= all_arg_markers
+            # A method call on a tainted receiver yields tainted values.
+            if isinstance(node.func, ast.Attribute):
+                result |= self._expr(node.func.value)
+        return result
+
+
+# --------------------------------------------------------------------------
+# Engine entry points (mirror repro.analysis.lint)
+# --------------------------------------------------------------------------
+
+
+def flow_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Analyze one source string; findings after inline suppression."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+                hint="file could not be analyzed",
+            )
+        ]
+    findings = ModuleFlow(tree, path).analyze()
+    lines = source.splitlines()
+    allows = _inline_allows(source)
+    kept: List[Finding] = []
+    for f in findings:
+        allowed = allows.get(f.line, set())
+        if f.rule in allowed or "ALL" in allowed:
+            continue
+        context = lines[f.line - 1].strip() if 0 < f.line <= len(lines) else ""
+        kept.append(
+            Finding(
+                rule=f.rule, path=f.path, line=f.line, col=f.col,
+                message=f.message, hint=f.hint, severity=f.severity,
+                context=context,
+            )
+        )
+    return sort_findings(kept)
+
+
+def flow_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline: Optional[Path] = None,
+) -> LintResult:
+    """Run the dataflow analysis over every python file under ``paths``.
+
+    Same reporting contract as :func:`repro.analysis.lint.lint_paths`:
+    relative paths anchored at ``root``, known findings suppressed by the
+    shared ``lint_baseline.json`` (keyed by rule + path + sink-line
+    context), unused baseline entries surfaced.
+    """
+    root = (root or Path.cwd()).resolve()
+    result = LintResult()
+    baseline_entries = load_baseline(baseline) if baseline is not None else []
+    baseline_index = {e.key(): e for e in baseline_entries}
+    used: Set[tuple] = set()
+
+    for file_path in discover_files(paths):
+        resolved = file_path.resolve()
+        try:
+            rel = str(resolved.relative_to(root)).replace("\\", "/")
+        except ValueError:
+            rel = str(file_path).replace("\\", "/")
+        findings = flow_source(resolved.read_text(), path=rel)
+        result.files_checked += 1
+        for f in findings:
+            if f.rule == "PARSE":
+                result.parse_errors.append(f)
+                continue
+            key = (f.rule, f.path, f.context)
+            if key in baseline_index:
+                used.add(key)
+                result.suppressed_baseline += 1
+                continue
+            result.findings.append(f)
+
+    result.findings = sort_findings(result.findings)
+    result.unused_baseline = [
+        e for e in baseline_entries if e.key() not in used
+    ]
+    return result

@@ -27,7 +27,17 @@ The detector never changes simulation behavior: it only observes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, MutableMapping, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    MutableMapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..sim.core import Event, Simulator
 
@@ -173,6 +183,7 @@ class RaceDetector:
         #: the deterministic replay, so these indices are reproducible).
         self._ctx_ids: Dict[int, int] = {}
         self._watched_stores: Set[int] = set()
+        self._watched_calls: Set[Tuple[int, str]] = set()
         #: (label, first ctx, second ctx) pairs already reported at the
         #: current timestamp, so one loop does not spam N reports.
         self._reported_pairs: Set[Tuple[str, str, str]] = set()
@@ -296,6 +307,32 @@ class RaceDetector:
         if isinstance(current, _TrackedDict):
             return
         setattr(obj, attr, _TrackedDict(current, self, label))
+
+    def watch_calls(
+        self, obj: Any, methods: Iterable[str], label: str, op: str = "write"
+    ) -> None:
+        """Record every call of the named methods as one ``op`` access.
+
+        For state that is not a plain dict (deques of restart timestamps,
+        admission counters, rank bookkeeping) the mutation surface *is*
+        the method: wrapping it records one access per invocation, which
+        is exactly the granularity the tie-order analysis needs — two
+        same-timestamp calls from different contexts are order-sensitive.
+        The wrapper shadows the bound method with an instance attribute,
+        so even callbacks that capture ``self`` route through it.
+        """
+        for name in methods:
+            key = (id(obj), name)
+            if key in self._watched_calls:
+                continue
+            self._watched_calls.add(key)
+            original = getattr(obj, name)
+
+            def wrapped(*args, _original=original, _label=label, _op=op, **kwargs):
+                self.record(_label, _op)
+                return _original(*args, **kwargs)
+
+            setattr(obj, name, wrapped)
 
     # -- analysis --------------------------------------------------------
     def _check(self, access: Access) -> None:

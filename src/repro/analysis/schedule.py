@@ -1,0 +1,99 @@
+"""Tiebreak policies: controlled same-instant event ordering.
+
+The kernel breaks same-``(time, priority)`` scheduling ties with a FIFO
+counter (:attr:`repro.sim.core.Simulator._seq`).  A *tiebreak policy*
+replaces that counter's heap key, which is the only degree of freedom a
+deterministic cooperative scheduler has: changing the key reorders
+events **within** a tie window and nothing else (virtual time and the
+URGENT/NORMAL priority bands still dominate the sort).
+
+Two policies live here:
+
+* :class:`FifoTiebreak` — the identity policy: installing it is
+  byte-identical to installing nothing (regression-tested), which is the
+  anchor for every exploration claim below.
+* :class:`DemoteTiebreak` — the schedule explorer's workhorse: a map of
+  ``seq -> rank`` *directives*.  An event whose FIFO sequence number is
+  named by a directive is demoted past every lower-ranked event of its
+  own tie window (``key = seq + rank * RANK_STRIDE``); all other events
+  keep their FIFO key.  Because a replay is deterministic, the prefix of
+  a run up to the first demoted window assigns exactly the same sequence
+  numbers as the run the directive was derived from — which is what lets
+  :mod:`repro.analysis.explore` name "the other side" of an observed
+  race by its sequence number alone.
+
+Policies are installed at :class:`~repro.sim.core.Simulator`
+construction (``Simulator(tiebreak=...)``, ``Testbed(tiebreak=...)``,
+or the ``tiebreak=`` parameter of ``run_chaos``/``run_recovery``);
+installing one mid-run is rejected by :meth:`Simulator.set_tiebreak`
+because keys from different policies are not comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..sim.core import Event
+
+__all__ = ["FifoTiebreak", "DemoteTiebreak", "RANK_STRIDE"]
+
+#: Demotion stride: one rank moves an event past every same-window FIFO
+#: key while preserving the relative order of equally-ranked events.
+#: Far larger than any realistic sequence counter, so ranked keys can
+#: never collide with plain FIFO keys.
+RANK_STRIDE = 1 << 60
+
+
+class FifoTiebreak:
+    """The identity policy: byte-identical to no policy at all."""
+
+    def key(self, time: float, priority: int, seq: int, event: Event) -> int:
+        return seq
+
+
+class DemoteTiebreak:
+    """Demote named events past their same-``(time, priority)`` window.
+
+    ``directives`` maps a FIFO sequence number to a rank ``>= 1``; the
+    matching event's heap key becomes ``seq + rank * RANK_STRIDE`` so it
+    fires after every lower-ranked event scheduled at the same
+    ``(time, priority)``.  An empty directive map is byte-identical to
+    FIFO.  :attr:`applied` records which directives actually matched an
+    enqueue — the explorer uses it to reject stale flip descriptions.
+
+    With ``observe=True`` the policy also counts, per ``(time,
+    priority)`` pair, how many events were enqueued — a cheap census of
+    the tie windows a schedule actually has (:meth:`tie_windows`).
+    """
+
+    def __init__(
+        self,
+        directives: Optional[Mapping[int, int]] = None,
+        observe: bool = False,
+    ):
+        self.directives: Dict[int, int] = dict(directives or {})
+        for seq, rank in self.directives.items():
+            if rank < 1:
+                raise ValueError(f"directive rank must be >= 1: {seq}->{rank}")
+        #: seq -> rank for every directive that matched an enqueue.
+        self.applied: Dict[int, int] = {}
+        self.observe = observe
+        self._window_counts: Dict[tuple, int] = {}
+
+    def key(self, time: float, priority: int, seq: int, event: Event) -> int:
+        if self.observe:
+            window = (time, priority)
+            self._window_counts[window] = self._window_counts.get(window, 0) + 1
+        rank = self.directives.get(seq)
+        if rank is None:
+            return seq
+        self.applied[seq] = rank
+        return seq + rank * RANK_STRIDE
+
+    def tie_windows(self) -> int:
+        """Number of ``(time, priority)`` windows holding >= 2 events."""
+        return sum(1 for n in self._window_counts.values() if n > 1)
+
+    def events_in_ties(self) -> int:
+        """Total events that shared a window with at least one other."""
+        return sum(n for n in self._window_counts.values() if n > 1)

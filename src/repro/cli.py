@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli exp1          # alias for fig7a
     python -m repro.cli all --jobs 4  # parallel cells + result cache
     python -m repro.cli lint --json   # determinism/sim-protocol linter
+    python -m repro.cli check explore chaos  # schedule-invariance check
+    python -m repro.cli check flow    # interprocedural dataflow linter
     python -m repro.cli trace chaos   # traced run: spans + causal chains
     python -m repro.cli metrics chaos # traced run: metrics snapshot
     python -m repro.cli usage chaos   # usage account: who consumed what
@@ -133,6 +135,11 @@ def main(argv: List[str] = None) -> int:
         from .analysis.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "check":
+        # Schedule exploration + dataflow linting (repro check ...).
+        from .analysis.check_cli import check_main
+
+        return check_main(argv[1:])
     if argv and argv[0] in ("trace", "metrics", "usage", "diff", "report"):
         # Likewise the observability CLI.
         from .obs.cli import obs_main
@@ -157,8 +164,8 @@ def main(argv: List[str] = None) -> int:
         "targets",
         nargs="+",
         help="figure names (fig3a..fig7cd, exp1..exp3, chaos, recovery, "
-        "ablation-a1..a5), 'lint', 'trace', 'metrics', 'usage', 'diff', "
-        "'report', 'bench', 'sweep', 'list', or 'all'",
+        "ablation-a1..a5), 'lint', 'check', 'trace', 'metrics', 'usage', "
+        "'diff', 'report', 'bench', 'sweep', 'list', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")

@@ -146,7 +146,7 @@ def _worker_main(conn) -> None:
             spec = JobSpec.from_dict(message)
             conn.send(("ack", spec.key))
             result = run_job(spec)
-            conn.send(
+            conn.send(  # repro: allow[DET501] -- wall time is host-side job telemetry, not sim state
                 (
                     "done", result.key, result.ok, result.value,
                     result.error, result.wall, result.usage,

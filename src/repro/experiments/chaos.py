@@ -71,6 +71,7 @@ def run_chaos(
     recorder=None,
     usage=None,
     supervise: bool = False,
+    tiebreak=None,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through a fault schedule.
 
@@ -93,6 +94,11 @@ def run_chaos(
     Accounting is passive like tracing — the payload stays byte-identical
     — and the account is read from ``usage.summary()`` by the caller, not
     folded into the payload.
+
+    With ``tiebreak`` (a policy from :mod:`repro.analysis.schedule`) the
+    event queue's same-instant tie order is under the caller's control —
+    the schedule explorer uses this to replay the run under permuted
+    same-``(time, priority)`` orders.  ``None`` is the default FIFO.
 
     With ``supervise`` a :class:`repro.recovery.Supervisor` owns the
     server process.  No process dies before the run finishes (host
@@ -121,7 +127,8 @@ def run_chaos(
     config = controller.select_initial(initial_point).config
 
     testbed = Testbed(
-        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(), seed=seed
+        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(),
+        seed=seed, tiebreak=tiebreak,
     )
     supervisor = None
     if supervise:

@@ -146,6 +146,7 @@ def run_recovery(
     detect_races: bool = False,
     recorder=None,
     usage=None,
+    tiebreak=None,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through crashes and a flash crowd.
 
@@ -159,7 +160,8 @@ def run_recovery(
     unsupervised baseline the benchmark compares availability against.
     ``checkpoints=False`` forces every restart cold (warm-vs-cold MTTR).
     ``recorder``/``usage``/``detect_races`` behave as in ``run_chaos`` —
-    strictly passive instrumentation.
+    strictly passive instrumentation.  ``tiebreak`` hands same-instant
+    tie ordering to a schedule-exploration policy (None = default FIFO).
     """
     db, _dims, _configs = fig6a_database(seed=seed)
     plan = FaultPlan.from_spec(
@@ -182,7 +184,8 @@ def run_recovery(
     config = controller.select_initial(initial_point).config
 
     testbed = Testbed(
-        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(), seed=seed
+        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(),
+        seed=seed, tiebreak=tiebreak,
     )
     # The supervisor must bind before the plan installs: kill events route
     # through sim.recovery, and safe points start checkpointing immediately.
@@ -347,6 +350,35 @@ def run_recovery(
             detector.watch_mapping(
                 exchange, "peer_last_seen", f"{label}.peer_last_seen"
             )
+        # Recovery-subsystem shared state: the supervisor's service and
+        # checkpoint tables, each failover member's heartbeat/rank state,
+        # and the overload guard's admission counters.  All of it is
+        # touched from several coroutines (kill routing, safe-point
+        # checkpointing, watchdog ticks, crowd requests) — exactly the
+        # kind of cross-context state a tie-order race would corrupt.
+        detector.watch_mapping(supervisor, "services", "supervisor.services")
+        detector.watch_mapping(
+            supervisor.store, "_latest", "supervisor.checkpoints"
+        )
+        detector.watch_mapping(
+            supervisor.store, "_seq", "supervisor.checkpoint_seq"
+        )
+        detector.watch_calls(
+            supervisor, ("_plan_restart", "_restart"),
+            "supervisor.restart_table",
+        )
+        for member in (member_client, member_server):
+            if member is None:
+                continue
+            detector.watch_mapping(
+                member, "last_seen",
+                f"failover.{member.host_name}.last_seen",
+            )
+            detector.watch_calls(
+                member, ("_take_over",),
+                f"failover.{member.host_name}.takeover",
+            )
+        detector.watch_calls(guard, ("admit",), "overload.guard")
 
     if usage is not None:
         usage.attach(testbed.sim)

@@ -65,10 +65,13 @@ class Testbed:
         mode: str = LimiterMode.IDEAL,
         seed: int = 0,
         daemons: List[DaemonSpec] = (),
+        tiebreak=None,
     ):
         self.mode = mode
         self.seed = seed
-        self.sim = Simulator()
+        # ``tiebreak`` (see repro.analysis.schedule) reorders same-instant
+        # event ties for schedule exploration; None is byte-identical FIFO.
+        self.sim = Simulator(tiebreak=tiebreak)
         self.network = Network(self.sim)
         self.hosts: Dict[str, Host] = {}
         self.sandboxes: Dict[str, Sandbox] = {}

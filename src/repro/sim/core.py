@@ -324,12 +324,22 @@ class Process(Event):
 
 
 class Simulator:
-    """Owns virtual time and the pending-event queue."""
+    """Owns virtual time and the pending-event queue.
 
-    def __init__(self, start: float = 0.0):
+    Ties — events scheduled at the same ``(time, priority)`` — are broken
+    by a FIFO counter by default.  A **tiebreak policy** (see
+    :mod:`repro.analysis.schedule`) may replace that counter's key to
+    explore alternative same-instant orders: any object with a
+    ``key(time, priority, seq, event)`` method returning a sortable value
+    that is unique per event.  With no policy installed (the default) the
+    queue behaves byte-identically to the plain FIFO counter.
+    """
+
+    def __init__(self, start: float = 0.0, tiebreak: Optional[Any] = None):
         self._now = float(start)
         self._heap: list = []
         self._seq = count()
+        self._tiebreak = tiebreak
         self._active: Optional[Process] = None
         #: Opt-in instrumentation: called as ``hook(time, priority, seq,
         #: event)`` just before each popped event's callbacks run.  Used by
@@ -393,17 +403,37 @@ class Simulator:
         return AllOf(self, events)
 
     # -- scheduling ---------------------------------------------------------
+    def set_tiebreak(self, policy: Optional[Any]) -> None:
+        """Install (or clear) the same-instant tiebreak policy.
+
+        Only legal while the queue is empty: mixing keys produced by two
+        different policies inside one heap would make entries incomparable.
+        """
+        if self._heap:
+            raise SimulationError(
+                "set_tiebreak() with events already scheduled; install the "
+                "policy before creating any process or timeout"
+            )
+        self._tiebreak = policy
+
+    @property
+    def tiebreak(self) -> Optional[Any]:
+        return self._tiebreak
+
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         if event._scheduled:
             return
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        seq = next(self._seq)
+        if self._tiebreak is not None:
+            seq = self._tiebreak.key(self._now + delay, priority, seq, event)
+        heapq.heappush(self._heap, (self._now + delay, priority, seq, event))
 
     def schedule_callback(
         self, delay: float, fn: Callable[[], None], priority: int = NORMAL
     ) -> Event:
         """Run ``fn()`` after ``delay``; returns the underlying event."""
-        ev = Timeout(self, delay)
+        ev = Timeout(self, delay, priority=priority)
         ev.callbacks.append(lambda _e: fn())
         return ev
 

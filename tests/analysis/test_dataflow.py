@@ -1,0 +1,161 @@
+"""Fixture tests for the interprocedural dataflow linter (DET5xx)."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.dataflow import flow_source
+
+
+def findings_of(source, path="pkg/mod.py"):
+    return flow_source(textwrap.dedent(source), path)
+
+
+def rules_of(source, path="pkg/mod.py"):
+    return {f.rule for f in findings_of(source, path)}
+
+
+# -- DET501: wall-clock taint across function boundaries -------------------
+
+_WALLCLOCK_CHAIN = """
+    import time
+
+    def stamp():
+        return time.time()
+
+    def jitter(base):
+        return base + 0.5
+
+    def arm(sim):
+        sim.timeout(jitter(stamp()))
+"""
+
+
+def test_det501_reports_multi_hop_wallclock_chain():
+    findings = findings_of(_WALLCLOCK_CHAIN)
+    assert {f.rule for f in findings} == {"DET501"}
+    (finding,) = findings
+    # The message is a dataflow witness: origin, hops, sink.
+    assert "time.time" in finding.message
+    assert "timeout" in finding.message
+    assert "hop" in finding.message
+
+
+def test_local_rules_miss_the_chain_sink():
+    # The acceptance case: DET1xx flags the raw source line, but only
+    # the dataflow pass connects it to the ordering sink in arm().
+    local = {f.rule for f in lint_source(textwrap.dedent(_WALLCLOCK_CHAIN))}
+    assert "DET101" in local  # raw time.time() is still flagged locally
+    assert not any(r.startswith("DET5") for r in local)
+    assert "DET501" in rules_of(_WALLCLOCK_CHAIN)
+
+
+def test_det501_sink_inside_callee():
+    # Source in the caller, sink in the callee: param_to_sink summary.
+    assert "DET501" in rules_of(
+        """
+        import time
+
+        def send(q, x):
+            q.put(x)
+
+        def emit(q):
+            send(q, time.time())
+        """
+    )
+
+
+def test_single_function_flow_left_to_local_rules():
+    # Everything in one function: DET1xx territory, not a DET5xx chain.
+    assert rules_of(
+        """
+        import time
+
+        def arm(sim):
+            sim.timeout(time.time())
+        """
+    ) == set()
+
+
+# -- DET502: entropy / RNG taint -------------------------------------------
+
+
+def test_det502_flows_through_self_attribute():
+    assert "DET502" in rules_of(
+        """
+        import random
+
+        class Emitter:
+            def __init__(self):
+                self.salt = random.random()
+
+            def emit(self, queue):
+                queue.put(self.salt)
+        """
+    )
+
+
+# -- DET503: unordered-iteration taint -------------------------------------
+
+
+def test_det503_set_order_reaching_scheduler():
+    assert "DET503" in rules_of(
+        """
+        def pick(items):
+            return next(iter(set(items)))
+
+        def dispatch(sim, items):
+            sim.process(pick(items))
+        """
+    )
+
+
+def test_sorted_sanitizes_unordered_taint():
+    assert "DET503" not in rules_of(
+        """
+        def pick(items):
+            return sorted(set(items))
+
+        def dispatch(sim, items):
+            sim.process(pick(items)[0])
+        """
+    )
+
+
+def test_sorted_does_not_sanitize_wallclock():
+    # sorted() fixes *order* nondeterminism, not value nondeterminism.
+    assert "DET501" in rules_of(
+        """
+        import time
+
+        def stamps():
+            return sorted([time.time()])
+
+        def arm(sim):
+            sim.timeout(stamps()[0])
+        """
+    )
+
+
+# -- suppression workflow ---------------------------------------------------
+
+
+def test_inline_allow_silences_flow_finding():
+    assert (
+        rules_of(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def arm(sim):
+                sim.timeout(stamp())  # repro: allow[DET501] -- fixture
+            """
+        )
+        == set()
+    )
+
+
+def test_parse_error_is_reported_not_raised():
+    findings = findings_of("def broken(:\n")
+    assert [f.rule for f in findings] == ["PARSE"]

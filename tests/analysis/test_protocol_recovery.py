@@ -1,0 +1,142 @@
+"""SIM-rule fixtures modeled on the repro.recovery coroutine patterns.
+
+The generic per-rule fixtures live in ``test_lint_rules.py``; these
+exercise the protocol checker against the *shapes* the recovery
+subsystem actually uses — heartbeat publisher/receiver loops, the
+failover watchdog, supervisor restart hand-off events — one positive
+(misuse) and one negative (the real, legal idiom) per rule.
+"""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_of(source, path="pkg/recovery_mod.py"):
+    return {f.rule for f in lint_source(textwrap.dedent(source), path)}
+
+
+# -- SIM101: heartbeat loops must yield events, not values ----------------
+
+
+def test_sim101_flags_publisher_yielding_period():
+    # A publisher that yields its period instead of a timeout event:
+    # the literal yield silently stalls the coroutine forever.
+    assert "SIM101" in rules_of(
+        """
+        class FailoverMember:
+            def _publisher(self):
+                while not self._stopped:
+                    yield 0.5
+                    beat = self._heartbeat()
+                    for peer in self.peers:
+                        yield self.sandbox.send(peer, 7, beat)
+        """
+    )
+
+
+def test_sim101_accepts_real_publisher_shape():
+    # The actual publisher idiom: timeout between beats, send per peer.
+    assert "SIM101" not in rules_of(
+        """
+        class FailoverMember:
+            def _publisher(self):
+                while not self._stopped:
+                    yield self.sim.timeout(self.period)
+                    beat = self._heartbeat()
+                    for peer in self.peers:
+                        yield self.sandbox.send(peer, 7, beat)
+        """
+    )
+
+
+# -- SIM102: discarded events leak queue entries --------------------------
+
+
+def test_sim102_flags_discarded_watchdog_timeout():
+    # Calling timeout() without yielding it schedules a wakeup nobody
+    # observes — the watchdog would spin at time zero.
+    assert "SIM102" in rules_of(
+        """
+        class FailoverMember:
+            def _watchdog(self):
+                while not self._stopped:
+                    self.sim.timeout(self.period)
+                    yield self.sim.event()
+        """
+    )
+
+
+def test_sim102_accepts_fire_and_forget_send():
+    # Fire-and-forget heartbeat sends are legitimate: the network owns
+    # the transfer event, the publisher does not need its result.
+    assert "SIM102" not in rules_of(
+        """
+        class FailoverMember:
+            def _publisher(self):
+                while not self._stopped:
+                    yield self.sim.timeout(self.period)
+                    self.sandbox.send(self.peer, 7, self._heartbeat())
+        """
+    )
+
+
+# -- SIM103: restart hand-off events trigger exactly once -----------------
+
+
+def test_sim103_flags_double_ready_trigger():
+    # A supervisor marking the same readiness event up twice: the
+    # second succeed() raises at run time.
+    assert "SIM103" in rules_of(
+        """
+        class Supervisor:
+            def _mark_up(self, svc, ready):
+                ready.succeed(svc)
+                ready.succeed(svc)
+        """
+    )
+
+
+def test_sim103_accepts_branch_guarded_trigger():
+    # The legal idiom: success and failure live in disjoint branches.
+    assert "SIM103" not in rules_of(
+        """
+        class Supervisor:
+            def _on_exit(self, svc, ready, ok):
+                if ok:
+                    ready.succeed(svc)
+                else:
+                    ready.fail(RuntimeError("service crashed"))
+        """
+    )
+
+
+# -- SIM104: recovery coroutines never re-enter the kernel ----------------
+
+
+def test_sim104_flags_receiver_stepping_kernel():
+    # "Draining" the queue from inside the receiver re-enters run():
+    # the kernel forbids it, and the checker flags it statically.
+    assert "SIM104" in rules_of(
+        """
+        class FailoverMember:
+            def _receiver(self):
+                while not self._stopped:
+                    msg = yield self.mailbox.get()
+                    self.last_seen[msg.payload.origin] = self.sim.now
+                    self.sim.step()
+        """
+    )
+
+
+def test_sim104_accepts_real_receiver_shape():
+    # The actual receiver idiom: block on the mailbox, record the beat.
+    assert "SIM104" not in rules_of(
+        """
+        class FailoverMember:
+            def _receiver(self):
+                while not self._stopped:
+                    msg = yield self.mailbox.get()
+                    self.last_seen[msg.payload.origin] = self.sim.now
+        """
+    )

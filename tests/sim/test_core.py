@@ -463,3 +463,67 @@ def test_step_hook_observes_every_step():
     assert times == sorted(times)
     assert [name for _t, _prio, name in seen].count("Timeout") == 2
     sim.step_hook = None
+
+
+# -- tiebreak policy hook --------------------------------------------------
+
+
+class _DemoteSeqZero:
+    """Minimal policy: push the very first enqueue past its tie window."""
+
+    def key(self, time, priority, seq, event):
+        return seq + (1 << 60) if seq == 0 else seq
+
+
+def test_tiebreak_policy_reorders_same_instant_ties():
+    order = []
+    sim = Simulator(tiebreak=_DemoteSeqZero())
+    sim.schedule_callback(1.0, lambda: order.append("a"))  # seq 0, demoted
+    sim.schedule_callback(1.0, lambda: order.append("b"))  # seq 1
+    sim.run()
+    assert order == ["b", "a"]
+
+
+def test_identity_tiebreak_matches_no_policy():
+    class Identity:
+        def key(self, time, priority, seq, event):
+            return seq
+
+    def drive(sim):
+        order = []
+        sim.schedule_callback(1.0, lambda: order.append("a"))
+        sim.schedule_callback(1.0, lambda: order.append("b"))
+        sim.run()
+        return order
+
+    assert drive(Simulator()) == drive(Simulator(tiebreak=Identity()))
+
+
+def test_tiebreak_never_reorders_across_priorities():
+    from repro.sim import URGENT
+
+    order = []
+    sim = Simulator(tiebreak=_DemoteSeqZero())
+    # The demoted event is URGENT: demotion moves it within its own
+    # (time, priority) window, never behind a NORMAL event.
+    sim.schedule_callback(1.0, lambda: order.append("urgent"), priority=URGENT)
+    sim.schedule_callback(1.0, lambda: order.append("normal"))
+    sim.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_set_tiebreak_rejects_nonempty_heap():
+    sim = Simulator()
+    pending = sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        sim.set_tiebreak(_DemoteSeqZero())
+    assert pending is not None
+
+
+def test_set_tiebreak_on_fresh_sim_and_property():
+    sim = Simulator()
+    policy = _DemoteSeqZero()
+    sim.set_tiebreak(policy)
+    assert sim.tiebreak is policy
+    sim.set_tiebreak(None)
+    assert sim.tiebreak is None
