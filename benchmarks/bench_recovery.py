@@ -21,10 +21,6 @@ committed copy is the baseline ``repro bench check`` compares against.
 
 import json
 
-# Wall-clock measurement of the host process, not simulated behavior:
-# the supervision-overhead guard needs a real timer.
-from time import perf_counter  # repro: allow[DET101] -- benchmark harness timing
-
 from repro.experiments import run_chaos, run_recovery
 
 #: Mirrors the FailoverMember parameters run_recovery wires up: a standby
@@ -37,32 +33,6 @@ _WATCHDOG_WINDOW = _TAKEOVER_AFTER + 2 * _HEARTBEAT_PERIOD
 _ROUNDS = 8
 _REPEATS = 3
 _MAX_IDLE_OVERHEAD = 0.05
-
-
-def _interleaved_best(fns, rounds=_ROUNDS, repeats=_REPEATS):
-    """Best-of-N wall clock per fn, interleaved to dodge scheduler drift.
-
-    Each sample runs with the cyclic collector off (collected between
-    samples): a GC pause landing inside one variant's window would
-    otherwise dominate the few-hundred-ms runs this compares.
-    """
-    import gc
-
-    for fn in fns:  # warm caches/allocator before the first sample
-        fn()
-    best = [float("inf")] * len(fns)
-    for _ in range(rounds):
-        for i, fn in enumerate(fns):
-            gc.collect()
-            gc.disable()
-            try:
-                t0 = perf_counter()  # repro: allow[DET101] -- benchmark harness timing
-                for _ in range(repeats):
-                    fn()
-                best[i] = min(best[i], (perf_counter() - t0) / repeats)  # repro: allow[DET101] -- benchmark harness timing
-            finally:
-                gc.enable()
-    return best
 
 
 def test_recovery_trajectory(benchmark, save_figure, artifact_dir):
@@ -207,7 +177,7 @@ def test_warm_restart_beats_cold():
     assert warm_mttr < cold_mttr, (warm_mttr, cold_mttr)
 
 
-def test_recovery_headline_numbers(artifact_dir):
+def test_recovery_headline_numbers(artifact_dir, interleaved_best):
     """Write BENCH_recovery.json for ``repro bench check``.
 
     The committed copy is the baseline; exact fields are deterministic
@@ -221,8 +191,9 @@ def test_recovery_headline_numbers(artifact_dir):
     # Idle-supervision overhead on the chaos run: same workload, same
     # payload (asserted in bench_chaos), supervisor attached but never
     # needed.  Interleaved best-of damps scheduler noise.
-    plain_s, supervised_s = _interleaved_best(
-        [lambda: run_chaos(seed=0), lambda: run_chaos(seed=0, supervise=True)]
+    plain_s, supervised_s = interleaved_best(
+        [lambda: run_chaos(seed=0), lambda: run_chaos(seed=0, supervise=True)],
+        rounds=_ROUNDS, repeats=_REPEATS,
     )
     overhead_idle = supervised_s / plain_s - 1.0
     assert overhead_idle < _MAX_IDLE_OVERHEAD, (

@@ -29,6 +29,14 @@ unreadable records) and downgrades band drift to a warning — that is
 what CI runs, so the deterministic guarantees gate merges while
 wall-clock noise stays advisory.  ``--out`` writes the full comparison
 as JSON so CI can upload it as an artifact.
+
+``--update <name>`` (repeatable) accepts the fresh numbers of the named
+benchmark as the new baseline: the comparison still reports what moved
+(as ``updated`` rows), but that benchmark's drift never blocks, and the
+fresh record is copied over the baseline copy after the report.  Names
+are short (``sim`` means ``BENCH_sim.json``); re-run the benchmark
+first — updating from a stale fresh directory is refused only when the
+file is missing outright.
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-__all__ = ["bench_main", "compare_dirs", "compare_records"]
+__all__ = ["apply_updates", "bench_main", "compare_dirs", "compare_records"]
 
 #: Default relative tolerance for wall-clock-derived floats.  Generous on
 #: purpose: CI machines are noisy and the exact fields carry the
@@ -49,6 +57,16 @@ DEFAULT_TOLERANCE = 0.5
 #: Fields reported but never compared: they describe the machine, not the
 #: code under test.
 _INFO_FIELDS = frozenset({"cpu_count", "speedup_asserted"})
+
+
+def _bench_filename(name: str) -> str:
+    """Normalise a benchmark name (``sim`` / ``BENCH_sim`` /
+    ``BENCH_sim.json``) to its file name."""
+    if name.endswith(".json"):
+        name = name[: -len(".json")]
+    if not name.startswith("BENCH_"):
+        name = f"BENCH_{name}"
+    return f"{name}.json"
 
 
 def _is_timing(key: str) -> bool:
@@ -153,6 +171,46 @@ def compare_dirs(
     }
 
 
+def apply_updates(
+    report: Dict, names: List[str], fresh_dir: Path, baseline_dir: Path
+) -> List[str]:
+    """Accept fresh numbers as the new baseline for the named benchmarks.
+
+    Re-marks the named benchmarks' drift rows as ``updated`` (so they no
+    longer block), recomputes the report's regression counts, and copies
+    each fresh record over its baseline copy.  Returns a list of error
+    strings (unknown names, missing fresh files); on any error nothing
+    is copied.
+    """
+    filenames = [_bench_filename(n) for n in names]
+    errors = []
+    for filename in filenames:
+        if not (fresh_dir / filename).is_file():
+            errors.append(
+                f"--update {filename}: no fresh record at {fresh_dir / filename}"
+            )
+    if errors:
+        return errors
+    updated = set(filenames)
+    for row in report["rows"]:
+        if row["benchmark"] in updated and row["status"] in (
+            "regression", "improved", "new"
+        ):
+            row["status"] = "updated"
+    regressions = [r for r in report["rows"] if r["status"] == "regression"]
+    report["regressions"] = len(regressions)
+    report["exact_regressions"] = len(
+        [r for r in regressions if r["kind"] != "band"]
+    )
+    report["ok"] = not regressions
+    report["updated"] = sorted(updated)
+    for filename in filenames:
+        src, dst = fresh_dir / filename, baseline_dir / filename
+        if src.resolve() != dst.resolve():
+            dst.write_text(src.read_text())
+    return []
+
+
 def _render(report: Dict) -> str:
     lines = []
     current = None
@@ -162,7 +220,7 @@ def _render(report: Dict) -> str:
             lines.append(f"== {current} ==")
         mark = {
             "ok": " ", "info": "i", "new": "+", "improved": "^",
-            "regression": "!",
+            "regression": "!", "updated": "~",
         }[row["status"]]
         detail = f"{row['fresh']!r} vs baseline {row['baseline']!r}"
         if "delta_rel" in row:
@@ -180,6 +238,10 @@ def _render(report: Dict) -> str:
         f"{len(report['benchmarks'])} benchmark file(s) "
         f"(tolerance {report['tolerance']:.0%} on wall-clock fields)"
     )
+    if report.get("updated"):
+        lines.append(
+            "baselines updated: " + ", ".join(report["updated"])
+        )
     if report.get("block_on") == "exact" and not report["ok"]:
         band_only = report["regressions"] - report["exact_regressions"]
         if report["exact_regressions"]:
@@ -238,6 +300,13 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         "--out", type=Path, default=None,
         help="also write the JSON comparison report to this file",
     )
+    check.add_argument(
+        "--update", action="append", metavar="NAME", default=None,
+        help="accept the fresh numbers of this benchmark as the new "
+        "baseline ('sim' means BENCH_sim.json; repeatable): its drift "
+        "is reported but never blocks, and the fresh record is copied "
+        "over the baseline copy",
+    )
     args = parser.parse_args(argv)
 
     if args.command != "check":
@@ -253,6 +322,12 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
 
     report = compare_dirs(args.fresh, baseline_dir, tolerance=args.tolerance)
     report["block_on"] = args.block_on
+    if args.update:
+        errors = apply_updates(report, args.update, args.fresh, baseline_dir)
+        if errors:
+            for error in errors:
+                print(f"repro bench check: {error}", file=sys.stderr)
+            return 2
     if not report["benchmarks"]:
         print(
             f"repro bench check: no BENCH_*.json files under {args.fresh} "

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 from .findings import Finding, sort_findings
 from .protocol import PROTOCOL_RULES, ProtocolVisitor
 from .rules import (
+    ALLOW_SATISFIES,
     DETERMINISM_RULES,
     DeterminismVisitor,
     OBSERVABILITY_RULES,
@@ -142,7 +143,8 @@ def _lint_one(
     for f in findings:
         context = lines[f.line - 1].strip() if 0 < f.line <= len(lines) else ""
         allowed = allows.get(f.line, set())
-        if f.rule in allowed or "ALL" in allowed:
+        satisfies = ALLOW_SATISFIES.get(f.rule, frozenset({f.rule}))
+        if allowed & satisfies or "ALL" in allowed:
             suppressed += 1
             continue
         kept.append(

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Set
 from .findings import Finding
 
 __all__ = [
+    "ALLOW_SATISFIES",
     "DETERMINISM_RULES",
     "DeterminismVisitor",
     "OBSERVABILITY_RULES",
@@ -43,6 +44,18 @@ OBSERVABILITY_RULES: Dict[str, str] = {
     "(emit through the trace recorder instead)",
     "OBS102": "span id from .begin() discarded or never referenced "
     "(the span can never be finished)",
+    "OBS103": "bare wall-clock read in runtime/sim/faults code without a "
+    "host-side-telemetry allow annotation",
+}
+
+#: Allow-annotation aliasing: an inline ``# repro: allow[X]`` naming any
+#: rule in the value set satisfies the key rule too.  OBS103 exists to
+#: force wall-clock reads in kernel code to *carry a justification*; the
+#: established justification convention is the DET101 allow
+#: (``# repro: allow[DET101] -- host-side ... telemetry``), so that
+#: annotation is the fix, not a second stacked allow.
+ALLOW_SATISFIES: Dict[str, frozenset] = {
+    "OBS103": frozenset({"OBS103", "DET101"}),
 }
 
 #: Directory fragments whose files must not print directly: these modules
@@ -414,16 +427,27 @@ class ObservabilityVisitor(ast.NodeVisitor):
     ``end()`` — the span leaks open on every path.  Ids stored on
     attributes/subscripts (``message.span = obs.begin(...)``) escape the
     local scope and are not flagged.
+
+    **OBS103** (gated like OBS101): a wall-clock read in kernel code
+    either leaks host time into simulation state (a DET101 bug) or is
+    deliberate host-side telemetry — and the two must be visually
+    distinguishable at the call site.  The fix for legitimate telemetry
+    is the standard annotation, ``# repro: allow[DET101] -- host-side
+    ... telemetry``, which satisfies OBS103 too (see
+    :data:`ALLOW_SATISFIES`); an *unannotated* read is flagged even
+    where plain DET101 linting is not running.
     """
 
     def __init__(self, path: str):
         self.path = path
         self.findings: List[Finding] = []
+        self.aliases = _Aliases()
         norm = path.replace("\\", "/")
         self._gated = any(fragment in norm for fragment in _OBS_GATED)
 
     def run(self, tree: ast.AST) -> List[Finding]:
         if self._gated:
+            self.aliases.collect(tree)
             self.visit(tree)
         self._check_leaked_spans(tree)
         return self.findings
@@ -439,6 +463,21 @@ class ObservabilityVisitor(ast.NodeVisitor):
                     message="direct print() inside simulation code",
                     hint="record a span/instant on sim.obs (repro.obs) "
                     "or return the data to the caller",
+                )
+            )
+        name = _dotted(node.func)
+        resolved = self.aliases.resolve(name) if name else None
+        if resolved in _WALLCLOCK:
+            self.findings.append(
+                Finding(
+                    rule="OBS103",
+                    path=self.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    message=f"bare wall-clock read in kernel code: {resolved}()",
+                    hint="sim state must use the virtual clock (sim.now); "
+                    "if this is host-side telemetry, annotate the line: "
+                    "# repro: allow[DET101] -- host-side <what> telemetry",
                 )
             )
         self.generic_visit(node)

@@ -72,6 +72,7 @@ def run_chaos(
     usage=None,
     supervise: bool = False,
     tiebreak=None,
+    profiler=None,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through a fault schedule.
 
@@ -94,6 +95,12 @@ def run_chaos(
     Accounting is passive like tracing — the payload stays byte-identical
     — and the account is read from ``usage.summary()`` by the caller, not
     folded into the payload.
+
+    With ``profiler`` (a :class:`repro.obs.KernelProfiler`) the kernel
+    attributes host wall-clock cost per event bucket and counts heap /
+    tie-window / fluid-update telemetry.  Profiling is passive like
+    tracing — the payload stays byte-identical — and results are read
+    from ``profiler.summary()`` by the caller.
 
     With ``tiebreak`` (a policy from :mod:`repro.analysis.schedule`) the
     event queue's same-instant tie order is under the caller's control —
@@ -200,6 +207,10 @@ def run_chaos(
         usage.set_config(config.label(), t=testbed.sim.now)
     if recorder is not None:
         recorder.bind(testbed.sim)
+    if profiler is not None:
+        # Not part of the step_hook chain: the kernel calls it directly
+        # through ``sim.perf``, so attach order is independent.
+        profiler.attach(testbed.sim)
 
     def vary():
         for at, net_bw in variations:
@@ -261,6 +272,8 @@ def run_chaos(
     if usage is not None:
         usage.finish()
         usage.detach()
+    if profiler is not None:
+        profiler.detach()
 
     result = FigureResult(
         figure="Chaos",

@@ -54,6 +54,7 @@ def fig5_database(
     recorder=None,
     engine=None,
     usage=None,
+    profiler=None,
 ):
     """Profile the fovea-size configurations over the CPU-share axis.
 
@@ -61,8 +62,9 @@ def fig5_database(
     adaptive run (Fig. 7c/d), which is how the paper uses these curves.
     An optional :class:`repro.obs.TraceRecorder` wraps each measurement
     in a ``profile.measure`` span; since engine workers carry no trace
-    context, the sweep engine is only consulted when no recorder is set
-    (or when ``engine`` is passed explicitly).
+    context, the sweep engine is only consulted when no instrumentation
+    (recorder / usage accountant / kernel profiler) is set — or when
+    ``engine`` is passed explicitly.
     """
     app = make_viz_app()
     dims = [
@@ -74,7 +76,7 @@ def fig5_database(
         workload="repro.experiments.fig5:exp3_workload",
         workload_kwargs={"n_images": n_images},
     )
-    if engine is None and recorder is None and usage is None:
+    if engine is None and recorder is None and usage is None and profiler is None:
         engine = default_engine()
     driver = ProfilingDriver(
         app,
@@ -84,6 +86,7 @@ def fig5_database(
         recorder=recorder,
         app_spec=app_spec,
         usage=usage,
+        profiler=profiler,
     )
     configs = [
         Configuration({"dR": dr, "c": "lzw", "l": 4}) for dr in fovea_sizes

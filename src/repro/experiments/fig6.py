@@ -64,6 +64,7 @@ def fig6a_database(
     recorder=None,
     engine=None,
     usage=None,
+    profiler=None,
 ):
     """Profile {lzw, bzip2} over the client-bandwidth axis (CPU fixed)."""
     app = make_viz_app()
@@ -76,7 +77,7 @@ def fig6a_database(
         workload="repro.experiments.fig6:exp1_workload",
         workload_kwargs={"n_images": n_images},
     )
-    if engine is None and recorder is None and usage is None:
+    if engine is None and recorder is None and usage is None and profiler is None:
         engine = default_engine()
     driver = ProfilingDriver(
         app,
@@ -86,6 +87,7 @@ def fig6a_database(
         recorder=recorder,
         app_spec=app_spec,
         usage=usage,
+        profiler=profiler,
     )
     configs = [
         Configuration({"dR": 320, "c": codec, "l": 4}) for codec in ("lzw", "bzip2")
@@ -103,6 +105,7 @@ def fig6b_database(
     recorder=None,
     engine=None,
     usage=None,
+    profiler=None,
 ):
     """Profile resolution levels {3, 4} over the CPU-share axis."""
     app = make_viz_app()
@@ -115,7 +118,7 @@ def fig6b_database(
         workload="repro.experiments.fig6:exp2_workload",
         workload_kwargs={"n_images": n_images},
     )
-    if engine is None and recorder is None and usage is None:
+    if engine is None and recorder is None and usage is None and profiler is None:
         engine = default_engine()
     driver = ProfilingDriver(
         app,
@@ -125,6 +128,7 @@ def fig6b_database(
         recorder=recorder,
         app_spec=app_spec,
         usage=usage,
+        profiler=profiler,
     )
     configs = [
         Configuration({"dR": 320, "c": "lzw", "l": level}) for level in (3, 4)

@@ -147,6 +147,7 @@ def run_recovery(
     recorder=None,
     usage=None,
     tiebreak=None,
+    profiler=None,
 ) -> Tuple[FigureResult, Dict]:
     """Run the adaptive visualization app through crashes and a flash crowd.
 
@@ -159,9 +160,10 @@ def run_recovery(
     route, downtime still accrues) but never restarts anything — the
     unsupervised baseline the benchmark compares availability against.
     ``checkpoints=False`` forces every restart cold (warm-vs-cold MTTR).
-    ``recorder``/``usage``/``detect_races`` behave as in ``run_chaos`` —
-    strictly passive instrumentation.  ``tiebreak`` hands same-instant
-    tie ordering to a schedule-exploration policy (None = default FIFO).
+    ``recorder``/``usage``/``profiler``/``detect_races`` behave as in
+    ``run_chaos`` — strictly passive instrumentation.  ``tiebreak`` hands
+    same-instant tie ordering to a schedule-exploration policy (None =
+    default FIFO).
     """
     db, _dims, _configs = fig6a_database(seed=seed)
     plan = FaultPlan.from_spec(
@@ -386,6 +388,8 @@ def run_recovery(
         usage.set_config(config.label(), t=testbed.sim.now)
     if recorder is not None:
         recorder.bind(testbed.sim)
+    if profiler is not None:
+        profiler.attach(testbed.sim)
 
     testbed.run(until=until)
     testbed.shutdown()
@@ -470,6 +474,8 @@ def run_recovery(
     if usage is not None:
         usage.finish()
         usage.detach()
+    if profiler is not None:
+        profiler.detach()
 
     result = FigureResult(
         figure="Recovery",

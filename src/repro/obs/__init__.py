@@ -24,6 +24,7 @@ from .metrics import (
     TimeSeries,
 )
 from .diff import DiffResult, diff_metrics, diff_traces, structural_keys
+from .perf import KernelProfiler, to_chrome_profile, to_folded
 from .query import adaptation_chains, chain, dwell_times, timeline
 from .record import ObsError, SpanRecord, TraceRecorder
 from .usage import UsageAccountant, owner_label
@@ -33,6 +34,7 @@ __all__ = [
     "DiffResult",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "MetricError",
     "MetricsRegistry",
     "ObsError",
@@ -52,5 +54,7 @@ __all__ = [
     "summary",
     "timeline",
     "to_chrome",
+    "to_chrome_profile",
+    "to_folded",
     "to_jsonl",
 ]

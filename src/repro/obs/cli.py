@@ -13,6 +13,9 @@ Runs a traced experiment and renders what the recorder captured::
     python -m repro.cli diff a.jsonl b.jsonl     # diff two trace exports
     python -m repro.cli report chaos --out report.html
     python -m repro.cli report chaos --compare chaos --seed-b 1
+    python -m repro.cli perf chaos              # kernel cost buckets
+    python -m repro.cli perf chaos --flame      # collapsed-stack folded
+    python -m repro.cli perf fig5 --json        # full profile summary
 
 Everything printed is a pure function of ``(experiment, seed)``: traced
 runs are byte-identical to untraced ones, and the trace itself is
@@ -38,37 +41,37 @@ from .usage import UsageAccountant
 __all__ = ["obs_main", "TRACEABLE"]
 
 
-def _run_chaos(seed: int, recorder=None, usage=None) -> None:
+def _run_chaos(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.chaos import run_chaos
 
-    run_chaos(seed=seed, recorder=recorder, usage=usage)
+    run_chaos(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
-def _run_recovery(seed: int, recorder=None, usage=None) -> None:
+def _run_recovery(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.recovery import run_recovery
 
-    run_recovery(seed=seed, recorder=recorder, usage=usage)
+    run_recovery(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
-def _run_fig5(seed: int, recorder=None, usage=None) -> None:
+def _run_fig5(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.fig5 import fig5_database
 
-    fig5_database(seed=seed, recorder=recorder, usage=usage)
+    fig5_database(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
-def _run_fig6a(seed: int, recorder=None, usage=None) -> None:
+def _run_fig6a(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.fig6 import fig6a_database
 
-    fig6a_database(seed=seed, recorder=recorder, usage=usage)
+    fig6a_database(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
-def _run_fig6b(seed: int, recorder=None, usage=None) -> None:
+def _run_fig6b(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.fig6 import fig6b_database
 
-    fig6b_database(seed=seed, recorder=recorder, usage=usage)
+    fig6b_database(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
-#: experiment name -> runner(seed, recorder=None, usage=None).
+#: experiment name -> runner(seed, recorder=None, usage=None, profiler=None).
 TRACEABLE: Dict[str, Callable] = {
     "chaos": _run_chaos,
     "recovery": _run_recovery,
@@ -208,6 +211,55 @@ def _render_usage(usage: UsageAccountant) -> str:
     return "\n".join(lines)
 
 
+def _render_perf(profiler, experiment: str, seed: int) -> str:
+    s = profiler.summary()
+    sim, wall = s["sim"], s["wall"]
+    lines = [
+        f"== kernel profile: {experiment} (seed {seed}) ==",
+        f"  steps={sim['steps']}  pushes={sim['pushes']}  "
+        f"max_heap={sim['max_heap']}",
+        f"  sampling: {sim['sampling']['mode']} "
+        f"({sim['sampling']['sampled_steps']}/{sim['steps']} steps observed)",
+        "  event mix: " + "  ".join(
+            f"{kind}:{n}" for kind, n in sim["event_mix"].items()
+        ),
+        f"  tie windows: {sim['ties']['windows']} "
+        f"({sim['ties']['tied_events']} tied events, "
+        f"max window {sim['ties']['max_window']})",
+    ]
+    fluid = sim["fluid"]
+    if fluid["shares"]:
+        lines.append(
+            f"  fluid: {fluid['updates']} updates, "
+            f"{fluid['reschedules']} reschedules, "
+            f"fan-out sum {fluid['fanout_sum']} "
+            f"(max {fluid['fanout_max']} flows/update)"
+        )
+        for name, entry in fluid["shares"].items():
+            mutations = "  ".join(
+                f"{kind}:{entry[kind]}"
+                for kind in ("submit", "cancel", "set_speed", "set_weight", "set_cap")
+                if entry[kind]
+            )
+            lines.append(f"    {name}: {mutations or 'no mutations'}")
+    lines.append(
+        f"  wall: {wall['total_s']:.4f}s attributed over "
+        f"{len(wall['buckets'])} buckets "
+        f"(coverage {100 * wall['coverage']:.1f}%)"
+    )
+    ranked = sorted(
+        wall["buckets"].items(), key=lambda kv: (-kv[1]["seconds"], kv[0])
+    )
+    for name, bucket in ranked[:20]:
+        lines.append(
+            f"    {100 * bucket['share']:5.1f}%  {bucket['seconds']:9.6f}s  "
+            f"x{bucket['count']:<7d} {name}"
+        )
+    if len(ranked) > 20:
+        lines.append(f"    ... {len(ranked) - 20} more buckets (use --json)")
+    return "\n".join(lines)
+
+
 def _render_diff(result, metrics_delta: Optional[dict]) -> str:
     lines = []
     if result.identical and (metrics_delta is None or metrics_delta["identical"]):
@@ -265,7 +317,7 @@ def _write_or_print(text: str, out: Optional[Path]) -> None:
         print(text)
 
 
-def _traced_run(experiment: str, seed: int, with_usage: bool):
+def _traced_run(experiment: str, seed: int, with_usage: bool, profiler=None):
     """Run one experiment traced (and optionally usage-accounted)."""
     recorder = TraceRecorder()
     usage = None
@@ -273,7 +325,7 @@ def _traced_run(experiment: str, seed: int, with_usage: bool):
         # Share the recorder's registry so usage.* series appear in the
         # metrics snapshot (and therefore in reports and CSV exports).
         usage = UsageAccountant(metrics=recorder.metrics)
-    TRACEABLE[experiment](seed, recorder=recorder, usage=usage)
+    TRACEABLE[experiment](seed, recorder=recorder, usage=usage, profiler=profiler)
     return recorder, usage
 
 
@@ -349,6 +401,19 @@ def obs_main(argv: List[str]) -> int:
             "--seed-b", type=int, default=None,
             help="seed for the comparison run (defaults to --seed)",
         )
+        parser.add_argument(
+            "--perf", action="store_true",
+            help="attach a kernel profiler and add a perf section",
+        )
+    if mode == "perf":
+        parser.add_argument(
+            "--flame", action="store_true",
+            help="collapsed-stack folded output for flamegraph tools",
+        )
+        parser.add_argument(
+            "--chrome", action="store_true",
+            help="chrome://tracing flame-chart JSON of the cost buckets",
+        )
     parser.add_argument(
         "--out", type=Path, default=None, help="write to file instead of stdout"
     )
@@ -397,16 +462,49 @@ def obs_main(argv: List[str]) -> int:
         _write_or_print(text, args.out)
         return 0
 
+    if mode == "perf":
+        from .perf import KernelProfiler, to_chrome_profile, to_folded
+
+        # Full fidelity (every step observed): a one-off profile capture
+        # wants exact attribution and census, not low overhead.
+        profiler = KernelProfiler(full=True)
+        TRACEABLE[args.experiment](args.seed, profiler=profiler)
+        if args.flame:
+            text = to_folded(profiler)
+        elif args.chrome:
+            text = json.dumps(to_chrome_profile(profiler), sort_keys=True)
+        elif args.json:
+            payload = {
+                "experiment": args.experiment,
+                "seed": args.seed,
+                "perf": profiler.summary(),
+            }
+            text = json.dumps(payload, indent=1, sort_keys=True)
+        else:
+            text = _render_perf(profiler, args.experiment, args.seed)
+        _write_or_print(text, args.out)
+        return 0
+
     if mode == "report":
         from .report import render_comparison, render_report
 
-        recorder, usage = _traced_run(args.experiment, args.seed, with_usage=True)
+        profiler = None
+        if args.perf and args.compare is None:
+            from .perf import KernelProfiler
+
+            profiler = KernelProfiler(full=True)
+        recorder, usage = _traced_run(
+            args.experiment, args.seed, with_usage=True, profiler=profiler
+        )
         if args.compare is None:
             text = render_report(
                 recorder.records,
                 recorder.metrics.snapshot(),
                 title=f"repro report: {args.experiment} (seed {args.seed})",
                 usage_summary=usage.summary(),
+                perf_summary=(
+                    profiler.summary() if profiler is not None else None
+                ),
             )
         else:
             seed_b = args.seed if args.seed_b is None else args.seed_b

@@ -230,8 +230,15 @@ def render_report(
     metrics_snapshot: dict,
     title: str,
     usage_summary: Optional[dict] = None,
+    perf_summary: Optional[dict] = None,
 ) -> str:
-    """One run's self-contained HTML report."""
+    """One run's self-contained HTML report.
+
+    ``perf_summary`` (a :meth:`repro.obs.KernelProfiler.summary` dict)
+    adds a kernel-profile section; it is opt-in (``repro report --perf``)
+    because its wall-clock side is host telemetry, not deterministic run
+    state.
+    """
     t_end = _trace_extent(records)
     marks = _config_marks(records)
     faults = _fault_events(records)
@@ -324,6 +331,51 @@ def render_report(
                 f"<td>{_esc(attrs)}</td></tr>"
             )
         body.append("</table>")
+
+    if perf_summary:
+        sim_side = perf_summary.get("sim", {})
+        wall = perf_summary.get("wall", {})
+        ties = sim_side.get("ties", {})
+        fluid = sim_side.get("fluid", {})
+        body.append("<h2>Kernel profile</h2><table>")
+        body.append(
+            f'<tr><th>events processed</th>'
+            f'<td class="num">{sim_side.get("steps", 0)}</td></tr>'
+            f'<tr><th>heap pushes / peak size</th>'
+            f'<td class="num">{sim_side.get("pushes", 0)} / '
+            f'{sim_side.get("max_heap", 0)}</td></tr>'
+            f'<tr><th>same-instant tie windows</th>'
+            f'<td class="num">{ties.get("windows", 0)} '
+            f'({ties.get("tied_events", 0)} tied events, '
+            f'max {ties.get("max_window", 0)})</td></tr>'
+            f'<tr><th>fluid updates / reschedules</th>'
+            f'<td class="num">{fluid.get("updates", 0)} / '
+            f'{fluid.get("reschedules", 0)} '
+            f'(max fan-out {fluid.get("fanout_max", 0)})</td></tr>'
+            f'<tr><th>wall-clock attributed</th>'
+            f'<td class="num">{wall.get("total_s", 0.0):.4f}s over '
+            f'{len(wall.get("buckets", {}))} buckets '
+            f'(coverage {100 * wall.get("coverage", 0.0):.1f}%)</td></tr>'
+        )
+        body.append("</table>")
+        buckets = wall.get("buckets", {})
+        if buckets:
+            body.append(
+                "<h3>Cost buckets (host wall-clock — not deterministic)</h3>"
+                "<table><tr><th>bucket</th><th>share</th><th>seconds</th>"
+                "<th>count</th></tr>"
+            )
+            ranked = sorted(
+                buckets.items(), key=lambda kv: (-kv[1]["seconds"], kv[0])
+            )
+            for name, bucket in ranked[:15]:
+                body.append(
+                    f"<tr><td><code>{_esc(name)}</code></td>"
+                    f'<td class="num">{100 * bucket["share"]:.1f}%</td>'
+                    f'<td class="num">{bucket["seconds"]:.6f}</td>'
+                    f'<td class="num">{bucket["count"]}</td></tr>'
+                )
+            body.append("</table>")
 
     body.append("<h2>Metrics</h2><table>")
     body.append("<tr><th>name</th><th>kind</th><th>value</th></tr>")

@@ -48,6 +48,7 @@ class ProfilingDriver:
         recorder: Optional[TraceRecorder] = None,
         app_spec=None,
         usage=None,
+        profiler=None,
     ):
         names = [d.name for d in dims]
         if len(set(names)) != len(names):
@@ -76,6 +77,11 @@ class ProfilingDriver:
         #: (entries rebase onto each new testbed's shares).  Not consulted
         #: on the engine path, like the recorder.
         self.usage = usage
+        #: Optional :class:`repro.obs.KernelProfiler`; when set, every
+        #: :meth:`measure` attaches it to the fresh testbed for the run,
+        #: so kernel cost buckets accumulate across the whole sweep.  Not
+        #: consulted on the engine path, like the recorder.
+        self.profiler = profiler
         #: Optional :class:`repro.exec.AppSpec` enabling the engine path
         #: of :meth:`profile`/:meth:`profile_adaptive` (workers must be
         #: able to rebuild the app from pure data).
@@ -93,7 +99,10 @@ class ProfilingDriver:
         )
         obs = self.recorder
         usage = self.usage
+        perf = self.profiler
         span = None
+        if perf is not None:
+            perf.attach(testbed.sim)
         if usage is not None:
             usage.attach(testbed.sim)
             usage.track_testbed(testbed)
@@ -135,6 +144,8 @@ class ProfilingDriver:
             if usage is not None:
                 usage.finish()
                 usage.detach()
+            if perf is not None:
+                perf.detach()
         self.runs += 1
         metrics = rt.qos.snapshot()
         if obs is not None:

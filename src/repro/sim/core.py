@@ -362,6 +362,15 @@ class Simulator:
         #: route through it; with no supervisor attached every hook site is
         #: a single ``is None`` check, so disabled recovery costs nothing.
         self.recovery: Optional[Any] = None
+        #: Discovery point for the kernel self-profiler: an attached
+        #: :class:`repro.obs.perf.KernelProfiler`, or None.  The hot loop
+        #: decrements its burst-sampling countdown inline and hands it
+        #: observed steps so host wall-clock cost can be attributed per
+        #: bucket; it is
+        #: strictly passive — it never schedules, draws randomness, or
+        #: touches sim state — so profiled runs stay byte-identical and
+        #: disabled profiling costs one attribute read.
+        self.perf: Optional[Any] = None
 
     # -- inspection -------------------------------------------------------
     @property
@@ -434,7 +443,15 @@ class Simulator:
     ) -> Event:
         """Run ``fn()`` after ``delay``; returns the underlying event."""
         ev = Timeout(self, delay, priority=priority)
-        ev.callbacks.append(lambda _e: fn())
+
+        def _fire(_e: Event) -> None:
+            fn()
+
+        # Callsite identity for the kernel profiler: the wrapper itself has
+        # an anonymous qualname, so expose the scheduled function through
+        # the standard ``__wrapped__`` convention.
+        _fire.__wrapped__ = fn  # type: ignore[attr-defined]
+        ev.callbacks.append(_fire)
         return ev
 
     # -- execution ----------------------------------------------------------
@@ -453,6 +470,19 @@ class Simulator:
         self._now = t
         if self.step_hook is not None:
             self.step_hook(t, _prio, _seq, event)
+        perf = self.perf
+        if perf is not None:
+            # Burst sampling: during a profiler off phase the countdown is
+            # decremented inline (three ops, no call).  On observed steps
+            # pre_step closes the previous event's wall window with a
+            # single clock read, so each bucket's cost spans from its
+            # event's dispatch to the next event's dispatch — callbacks,
+            # chained step hooks, and heap maintenance included.
+            n = perf.skip
+            if n:
+                perf.skip = n - 1
+            else:
+                perf.pre_step(t, _prio, event)
         event._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -474,6 +504,12 @@ class Simulator:
                 self.step()
         except StopSimulation:
             return
+        finally:
+            # Structural profiling boundary: host time after this point
+            # (between run() segments) must not be charged to the last
+            # event's bucket.
+            if self.perf is not None:
+                self.perf.run_pause()
         if until is not None:
             self._now = until
 

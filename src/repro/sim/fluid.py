@@ -155,6 +155,8 @@ class FluidShare:
             raise SimulationError(f"weight must be non-negative, got {weight!r}")
         if cap is not None and cap < 0:
             raise SimulationError(f"cap must be non-negative, got {cap!r}")
+        if self.sim.perf is not None:
+            self.sim.perf.fluid_event(self.name, "submit")
         self._advance()
         job = FluidJob(self, work, weight, cap, owner)
         if work <= _EPS:
@@ -170,6 +172,8 @@ class FluidShare:
             raise SimulationError(f"weight must be non-negative, got {weight!r}")
         if job not in self._jobs:
             return
+        if self.sim.perf is not None:
+            self.sim.perf.fluid_event(self.name, "set_weight")
         self._advance()
         job.weight = float(weight)
         self._reschedule()
@@ -179,6 +183,8 @@ class FluidShare:
             raise SimulationError(f"cap must be non-negative, got {cap!r}")
         if job not in self._jobs:
             return
+        if self.sim.perf is not None:
+            self.sim.perf.fluid_event(self.name, "set_cap")
         self._advance()
         job.cap = cap
         self._reschedule()
@@ -186,6 +192,8 @@ class FluidShare:
     def set_speed(self, speed: float) -> None:
         if speed < 0:
             raise SimulationError(f"speed must be non-negative, got {speed!r}")
+        if self.sim.perf is not None:
+            self.sim.perf.fluid_event(self.name, "set_speed")
         self._advance()
         if self.speed_tap is not None:
             self.speed_tap()
@@ -196,6 +204,8 @@ class FluidShare:
         """Abort a job; its ``done`` event fails with :class:`SimulationError`."""
         if job not in self._jobs:
             return
+        if self.sim.perf is not None:
+            self.sim.perf.fluid_event(self.name, "cancel")
         self._advance()
         del self._jobs[job]
         job._rate = 0.0
@@ -311,6 +321,11 @@ class FluidShare:
 
     def _reschedule(self) -> None:
         """Recompute rates and arm a timer for the next completion."""
+        if self.sim.perf is not None:
+            # The O(active flows) fan-out ROADMAP item 1 targets: every
+            # membership/weight/cap/speed change pays one pass over the
+            # whole job set here.
+            self.sim.perf.fluid_reschedule(self.name, len(self._jobs))
         rates = self._rates()
         horizon = math.inf
         for job, rate in rates.items():

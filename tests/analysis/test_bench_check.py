@@ -1,10 +1,16 @@
-"""Tests for ``repro bench check`` — baselines, field kinds, --block-on."""
+"""Tests for ``repro bench check`` — baselines, field kinds, --block-on,
+--update."""
 
 import json
 
 import pytest
 
-from repro.analysis.bench import bench_main, compare_dirs, compare_records
+from repro.analysis.bench import (
+    _bench_filename,
+    bench_main,
+    compare_dirs,
+    compare_records,
+)
 
 BASELINE = {
     "bytes_identical": True,   # bool -> exact
@@ -119,3 +125,71 @@ def test_missing_benchmark_file_blocks_under_exact(tmp_path, capsys):
     ])
     capsys.readouterr()
     assert rc == 1
+
+
+def test_update_name_normalisation():
+    assert _bench_filename("sim") == "BENCH_sim.json"
+    assert _bench_filename("BENCH_sim") == "BENCH_sim.json"
+    assert _bench_filename("BENCH_sim.json") == "BENCH_sim.json"
+
+
+def test_update_accepts_drift_and_rewrites_baseline(tmp_path, capsys):
+    # Exact drift (cells) would normally block, but --update x accepts
+    # the fresh numbers: exit 0 and the baseline copy is overwritten.
+    fresh = dict(BASELINE, cells=23, wall_time_s=2.0)
+    fresh_dir, base_dir = write_pair(tmp_path, fresh, BASELINE)
+    out = tmp_path / "report.json"
+    rc = bench_main([
+        "check", "--fresh", str(fresh_dir), "--baseline", str(base_dir),
+        "--update", "x", "--json", "--out", str(out),
+    ])
+    capsys.readouterr()
+    assert rc == 0
+    assert json.loads((base_dir / "BENCH_x.json").read_text()) == fresh
+    report = json.loads(out.read_text())
+    assert report["updated"] == ["BENCH_x.json"]
+    assert report["ok"]
+    statuses = {r["field"]: r["status"] for r in report["rows"]}
+    assert statuses["cells"] == "updated"
+    assert statuses["wall_time_s"] == "updated"
+    assert statuses["bytes_identical"] == "ok"  # unchanged fields stay ok
+
+
+def test_update_only_unblocks_the_named_benchmark(tmp_path, capsys):
+    fresh_dir, base_dir = write_pair(
+        tmp_path, dict(BASELINE, cells=23), BASELINE
+    )
+    (fresh_dir / "BENCH_y.json").write_text(json.dumps({"cells": 9}))
+    (base_dir / "BENCH_y.json").write_text(json.dumps({"cells": 10}))
+    rc = bench_main([
+        "check", "--fresh", str(fresh_dir), "--baseline", str(base_dir),
+        "--update", "y",
+    ])
+    capsys.readouterr()
+    # BENCH_x's exact drift still blocks; only BENCH_y was accepted.
+    assert rc == 1
+    assert json.loads((base_dir / "BENCH_y.json").read_text()) == {"cells": 9}
+    assert json.loads((base_dir / "BENCH_x.json").read_text()) == BASELINE
+
+
+def test_update_missing_fresh_record_is_usage_error(tmp_path, capsys):
+    fresh_dir, base_dir = write_pair(tmp_path, BASELINE, BASELINE)
+    rc = bench_main([
+        "check", "--fresh", str(fresh_dir), "--baseline", str(base_dir),
+        "--update", "nope",
+    ])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "BENCH_nope.json" in err
+
+
+def test_update_with_shared_fresh_and_baseline_dir(tmp_path, capsys):
+    # The default invocation compares the committed copies to themselves;
+    # --update must not corrupt the file by copying it onto itself.
+    d = tmp_path / "out"
+    d.mkdir()
+    (d / "BENCH_x.json").write_text(json.dumps(BASELINE))
+    rc = bench_main(["check", "--fresh", str(d), "--update", "x"])
+    capsys.readouterr()
+    assert rc == 0
+    assert json.loads((d / "BENCH_x.json").read_text()) == BASELINE

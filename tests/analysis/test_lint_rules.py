@@ -480,3 +480,57 @@ def test_obs102_ignores_span_captured_by_closure():
             return finish
         """
     )
+
+
+# -- OBS103: unannotated wall-clock reads in kernel code -------------------
+
+
+def test_obs103_flags_bare_wallclock_in_gated_code():
+    assert "OBS103" in rules_of(
+        """
+        from time import perf_counter
+
+        def window():
+            return perf_counter()
+        """,
+        path="src/repro/sim/core.py",
+    )
+
+
+def test_obs103_ignores_wallclock_outside_gated_dirs():
+    # The profiler (repro/obs) and experiments read host clocks too; only
+    # the kernel/runtime/faults dirs demand the visible justification.
+    assert "OBS103" not in rules_of(
+        """
+        from time import perf_counter
+
+        def window():
+            return perf_counter()
+        """,
+        path="src/repro/obs/perf.py",
+    )
+
+
+def test_obs103_satisfied_by_det101_telemetry_annotation():
+    # The established convention annotates the read as host-side
+    # telemetry via allow[DET101]; that same annotation satisfies OBS103
+    # (no stacked double-allow needed).
+    source = """
+        import time
+
+        def window():
+            return time.perf_counter()  # repro: allow[DET101] -- host-side profiler telemetry
+        """
+    found = rules_of(source, path="src/repro/runtime/launcher.py")
+    assert "OBS103" not in found
+    assert "DET101" not in found
+
+
+def test_obs103_flags_virtual_clock_never():
+    assert "OBS103" not in rules_of(
+        """
+        def window(sim):
+            return sim.now
+        """,
+        path="src/repro/faults/inject.py",
+    )
