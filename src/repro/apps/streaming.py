@@ -29,7 +29,13 @@ from ..tunable import (
     TunableApp,
 )
 
-__all__ = ["make_streaming_app", "StreamWorkload", "QUALITY_BYTES"]
+__all__ = [
+    "make_streaming_app",
+    "stream_server_session",
+    "stream_client_session",
+    "StreamWorkload",
+    "QUALITY_BYTES",
+]
 
 FRAME_PORT = "stream.frames"
 CTL_PORT = "stream.ctl"
@@ -67,6 +73,81 @@ def _notify_stream_params(rt, old, new):
         )
 
 
+def stream_server_session(rt, workload: StreamWorkload):
+    """The server half of one streaming session (module-level, reusable)."""
+    sandbox = rt.sandbox("server")
+    sim = rt.sim
+    params = dict(rt.config)
+    frame_id = 0
+    t_end = sim.now + workload.duration
+    next_deadline = sim.now
+    while sim.now < t_end:
+        # Pick up any control updates that have arrived.
+        while True:
+            update = sandbox.host.mailbox(CTL_PORT).try_get()
+            if update is None:
+                break
+            params = dict(update.payload)
+        period = 1.0 / float(params["fps"])
+        raw = QUALITY_BYTES[params["quality"]]
+        codec = get_codec(params["c"])
+        yield sandbox.compute(
+            workload.encode_cost * raw + codec.compress_work(raw)
+        )
+        wire = raw / _STREAM_RATIOS[params["c"]]
+        frame = _Frame(frame_id=frame_id, sent_at=sim.now, raw_bytes=raw)
+        yield sandbox.send("client", FRAME_PORT, frame, size=wire)
+        frame_id += 1
+        # Deadline pacing: encode/transfer time counts against the
+        # frame period instead of stretching it.
+        next_deadline += period
+        if sim.now < next_deadline:
+            yield sandbox.sleep(next_deadline - sim.now)
+        else:
+            next_deadline = sim.now  # fell behind: resynchronize
+    yield sandbox.send("client", FRAME_PORT, None, size=16.0)  # EOS
+
+
+def stream_client_session(rt, workload: StreamWorkload):
+    """The client half of one streaming session (module-level, reusable).
+
+    The same generator runs as the launcher's ``stream-client`` process or
+    as a :class:`repro.crowd.CrowdSource` session — the crowd equivalence
+    fixture asserts both drives produce an identical ``frame_log``.
+    """
+    sandbox = rt.sandbox("client")
+    sim = rt.sim
+    start = sim.now
+    displayed = 0
+    lag_sum = 0.0
+    quality_sum = 0.0
+    while True:
+        yield from rt.controls.apply(rt, sim.now)
+        msg = yield sandbox.recv(FRAME_PORT)
+        frame = msg.payload
+        if frame is None:
+            break
+        codec = get_codec(rt.config.c)
+        yield sandbox.compute(
+            codec.decompress_work(frame.raw_bytes)
+            + workload.decode_cost * frame.raw_bytes
+        )
+        displayed += 1
+        lag_sum += sim.now - frame.sent_at
+        quality_sum += frame.raw_bytes
+        workload.frame_log.append((frame.sent_at, sim.now, frame.frame_id))
+    elapsed = max(sim.now - start, 1e-9)
+    rt.qos.update("fps_delivered", displayed / elapsed, time=sim.now)
+    rt.qos.update(
+        "frame_lag", lag_sum / displayed if displayed else float("inf"),
+        time=sim.now,
+    )
+    rt.qos.update(
+        "quality_bytes", quality_sum / displayed if displayed else 0.0,
+        time=sim.now,
+    )
+
+
 def make_streaming_app(
     fps_domain=(10, 15, 30),
     quality_domain=("low", "medium", "high"),
@@ -75,8 +156,16 @@ def make_streaming_app(
     server_speed: float = 450.0,
     link_bandwidth: float = 100e6 / 8,
     link_latency: float = 0.002,
+    client_session=None,
 ) -> TunableApp:
-    """Build the tunable streaming application."""
+    """Build the tunable streaming application.
+
+    ``client_session`` overrides the client half of the session: a
+    ``(rt, workload) -> generator`` callable, or one returning ``None``
+    to skip spawning a client entirely (the session is driven externally,
+    e.g. by a :class:`repro.crowd.CrowdSource`) — the launcher then
+    returns the server process as the runtime's ``finished`` anchor.
+    """
     space = ConfigSpace(
         [
             ControlParameter("fps", tuple(fps_domain), "frames per second"),
@@ -118,74 +207,14 @@ def make_streaming_app(
         workload: StreamWorkload = rt.workload or StreamWorkload()
         rt.workload = workload
 
-        def server():
-            sandbox = rt.sandbox("server")
-            sim = rt.sim
-            params = dict(rt.config)
-            frame_id = 0
-            t_end = sim.now + workload.duration
-            next_deadline = sim.now
-            while sim.now < t_end:
-                # Pick up any control updates that have arrived.
-                while True:
-                    update = sandbox.host.mailbox(CTL_PORT).try_get()
-                    if update is None:
-                        break
-                    params = dict(update.payload)
-                period = 1.0 / float(params["fps"])
-                raw = QUALITY_BYTES[params["quality"]]
-                codec = get_codec(params["c"])
-                yield sandbox.compute(
-                    workload.encode_cost * raw + codec.compress_work(raw)
-                )
-                wire = raw / _STREAM_RATIOS[params["c"]]
-                frame = _Frame(frame_id=frame_id, sent_at=sim.now, raw_bytes=raw)
-                yield sandbox.send("client", FRAME_PORT, frame, size=wire)
-                frame_id += 1
-                # Deadline pacing: encode/transfer time counts against the
-                # frame period instead of stretching it.
-                next_deadline += period
-                if sim.now < next_deadline:
-                    yield sandbox.sleep(next_deadline - sim.now)
-                else:
-                    next_deadline = sim.now  # fell behind: resynchronize
-            yield sandbox.send("client", FRAME_PORT, None, size=16.0)  # EOS
-
-        def client():
-            sandbox = rt.sandbox("client")
-            sim = rt.sim
-            start = sim.now
-            displayed = 0
-            lag_sum = 0.0
-            quality_sum = 0.0
-            while True:
-                yield from rt.controls.apply(rt, sim.now)
-                msg = yield sandbox.recv(FRAME_PORT)
-                frame = msg.payload
-                if frame is None:
-                    break
-                codec = get_codec(rt.config.c)
-                yield sandbox.compute(
-                    codec.decompress_work(frame.raw_bytes)
-                    + workload.decode_cost * frame.raw_bytes
-                )
-                displayed += 1
-                lag_sum += sim.now - frame.sent_at
-                quality_sum += frame.raw_bytes
-                workload.frame_log.append((frame.sent_at, sim.now, frame.frame_id))
-            elapsed = max(sim.now - start, 1e-9)
-            rt.qos.update("fps_delivered", displayed / elapsed, time=sim.now)
-            rt.qos.update(
-                "frame_lag", lag_sum / displayed if displayed else float("inf"),
-                time=sim.now,
-            )
-            rt.qos.update(
-                "quality_bytes", quality_sum / displayed if displayed else 0.0,
-                time=sim.now,
-            )
-
-        rt.sim.process(server(), name="stream-server")
-        return rt.sim.process(client(), name="stream-client")
+        server_proc = rt.sim.process(
+            stream_server_session(rt, workload), name="stream-server"
+        )
+        session = client_session or stream_client_session
+        gen = session(rt, workload)
+        if gen is None:
+            return server_proc
+        return rt.sim.process(gen, name="stream-client")
 
     return TunableApp(
         name="streaming",

@@ -41,6 +41,7 @@ from .experiments import (
     run_fig4a,
     run_fig4b,
     run_chaos,
+    run_crowd_figure,
     run_recovery,
     run_fig5,
     run_fig6a,
@@ -89,6 +90,7 @@ for names, runner in (
     ),
     _figs(run_chaos, "chaos"),
     _figs(run_recovery, "recovery"),
+    _figs(run_crowd_figure, "crowd"),
     _table(scheduler_interpolation_ablation, "ablation-a1"),
     _table(sampling_strategy_ablation, "ablation-a2"),
     _table(hysteresis_ablation, "ablation-a3"),
@@ -101,7 +103,7 @@ for names, runner in (
 #: Canonical (deduplicated) target list for `all`.
 CANONICAL = [
     "fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6a", "fig6b",
-    "fig7a", "fig7b", "fig7cd", "chaos", "recovery",
+    "fig7a", "fig7b", "fig7cd", "chaos", "recovery", "crowd",
     "ablation-a1", "ablation-a2", "ablation-a3", "ablation-a4", "ablation-a5",
 ]
 
@@ -164,7 +166,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        help="figure names (fig3a..fig7cd, exp1..exp3, chaos, recovery, "
+        help="figure names (fig3a..fig7cd, exp1..exp3, chaos, recovery, crowd, "
         "ablation-a1..a5), 'lint', 'check', 'trace', 'metrics', 'usage', "
         "'diff', 'report', 'perf', 'bench', 'sweep', 'list', or 'all'",
     )

@@ -1,0 +1,48 @@
+"""Vectorized client populations: N users as one deterministic aggregate.
+
+``repro.crowd`` scales adaptation scenarios from hundreds of coroutine
+clients to millions of simulated users by representing each population
+as columnar per-class state advanced once per tick (`CrowdSource`),
+served through per-class :class:`~repro.sim.AggregateFlow` demand on the
+server fleet (`CrowdAgent`).  Crowds use the same mailboxes, network
+gate, FluidShare resources, overload guard, and metrics registry as
+coroutine clients — fault injection, tracing, usage accounting, and the
+adaptation controller work unchanged.
+
+See ``docs/scale.md`` for the model and the determinism contract.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    ClosedLoop,
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowd,
+)
+from .service import CrowdAgent, ServiceClass
+from .source import (
+    BATCH_HEADER_BYTES,
+    SUMMARY_HEADER_BYTES,
+    CrowdBatch,
+    CrowdClass,
+    CrowdOwner,
+    CrowdSource,
+    CrowdSummary,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowd",
+    "ClosedLoop",
+    "CrowdClass",
+    "CrowdBatch",
+    "CrowdSummary",
+    "CrowdOwner",
+    "CrowdSource",
+    "CrowdAgent",
+    "ServiceClass",
+    "BATCH_HEADER_BYTES",
+    "SUMMARY_HEADER_BYTES",
+]

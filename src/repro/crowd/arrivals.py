@@ -1,0 +1,126 @@
+"""Arrival-rate processes for crowd classes.
+
+Each process maps simulation time to a *per-user* request rate (req/s).
+The :class:`~repro.crowd.source.CrowdSource` integrates the rate over a
+tick and thins it through the dedicated ``"crowd"`` RNG stream — open
+loop draws a Poisson count, closed loop converts the think-time into a
+per-tick completion probability for the thinking population.
+
+All processes are pure functions of time: no internal mutable state, no
+RNG access.  Randomness lives in exactly one place (the source's tick
+loop), which is what keeps million-user runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "DiurnalRate",
+    "FlashCrowd",
+    "ClosedLoop",
+]
+
+
+class ArrivalProcess:
+    """Base class: per-user request rate as a function of sim time."""
+
+    #: Closed-loop processes gate arrivals on the thinking population.
+    closed_loop: bool = False
+
+    def rate(self, t: float) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantRate(ArrivalProcess):
+    """Open-loop Poisson arrivals at a fixed per-user rate."""
+
+    per_user: float
+
+    def rate(self, t: float) -> float:
+        return self.per_user
+
+
+@dataclass(frozen=True)
+class DiurnalRate(ArrivalProcess):
+    """Sinusoidal day/night curve: ``base + amplitude*sin(...)``, clipped at 0.
+
+    ``period`` is the length of one "day" in sim seconds and ``phase``
+    shifts the peak; the default peaks a quarter-period in.
+    """
+
+    base: float
+    amplitude: float
+    period: float
+    phase: float = 0.0
+
+    def rate(self, t: float) -> float:
+        r = self.base + self.amplitude * math.sin(
+            2.0 * math.pi * (t / self.period) + self.phase
+        )
+        return r if r > 0.0 else 0.0
+
+    def peak(self) -> float:
+        return self.base + abs(self.amplitude)
+
+
+@dataclass(frozen=True)
+class FlashCrowd(ArrivalProcess):
+    """Trapezoidal surge: quiet baseline, linear ramp to a spike, decay back.
+
+    Models the slashdot shape — ``t_start`` begins the ramp, the rate
+    holds at ``spike`` between ``t_peak`` and ``t_fall``, and returns to
+    ``baseline`` by ``t_end``.
+    """
+
+    baseline: float
+    spike: float
+    t_start: float
+    t_peak: float
+    t_fall: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if not (self.t_start <= self.t_peak <= self.t_fall <= self.t_end):
+            raise ValueError(
+                "flash crowd breakpoints must be ordered "
+                f"(got {self.t_start}, {self.t_peak}, {self.t_fall}, {self.t_end})"
+            )
+
+    def rate(self, t: float) -> float:
+        if t < self.t_start or t >= self.t_end:
+            return self.baseline
+        if t < self.t_peak:
+            frac = (t - self.t_start) / max(self.t_peak - self.t_start, 1e-12)
+            return self.baseline + (self.spike - self.baseline) * frac
+        if t < self.t_fall:
+            return self.spike
+        frac = (t - self.t_fall) / max(self.t_end - self.t_fall, 1e-12)
+        return self.spike + (self.baseline - self.spike) * frac
+
+
+@dataclass(frozen=True)
+class ClosedLoop(ArrivalProcess):
+    """Closed-loop think-time model: each idle user re-requests after an
+    exponential think time with mean ``think`` seconds.
+
+    The effective per-tick arrival probability for a thinking user is
+    ``1 - exp(-dt/think)``; the source draws a binomial over the thinking
+    population, so the offered load self-limits under congestion exactly
+    like N coroutine clients sleeping between requests.
+    """
+
+    think: float
+    closed_loop: bool = True
+
+    def rate(self, t: float) -> float:
+        return 1.0 / self.think if self.think > 0.0 else 0.0
+
+    def tick_probability(self, dt: float) -> float:
+        if self.think <= 0.0:
+            return 1.0
+        return 1.0 - math.exp(-dt / self.think)

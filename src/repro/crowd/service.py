@@ -1,0 +1,258 @@
+"""CrowdAgent: server-side aggregate service for crowd batches.
+
+The agent is the server half of the aggregate protocol.  It receives
+:class:`~repro.crowd.source.CrowdBatch` messages on the ordinary request
+mailbox, runs each through the server's :class:`OverloadGuard` (one
+``admit`` per batch, so brownout shed-rate accounting sees crowd load),
+prices admitted work from the *current* configuration, and pushes the
+demand into one :class:`~repro.sim.AggregateFlow` per class on the
+server's CPU share — where it water-fills against coroutine-client work,
+fault injection, and anything else the fleet is doing.
+
+A tick loop converts drained fluid work back into integer request
+completions (FIFO within a class) and queues them on a per-class outbox;
+a sender process per class ships at most ONE summary transfer at a time,
+folding whatever completed meanwhile into the next one.  Coalescing is
+what keeps the crowd's link footprint bounded: without it a backlogged
+tick loop would pile up concurrent summary transfers and the crowd's
+aggregate GPS weight would grow with the backlog, starving every other
+flow on the link.  All float progress is tracked against a per-class
+high-water mark so residual fractions carry across ticks without drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..cluster.host import Host
+from ..sim import AggregateFlow, Event, Simulator
+from .source import SUMMARY_HEADER_BYTES, CrowdOwner, CrowdSource, CrowdSummary
+
+__all__ = ["ServiceClass", "CrowdAgent"]
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """Server-side service spec for one crowd class.
+
+    ``price(config)`` returns ``(work_per_request, reply_bytes_per_request)``
+    under a configuration mapping — evaluated at *admission* time, so a
+    brownout config switch cheapens new arrivals while queued work keeps
+    the price it was admitted at.
+    """
+
+    name: str
+    price: Callable[[Mapping], Tuple[float, float]]
+    #: GPS weight of this class's aggregate CPU flow (≈ worker-pool share).
+    weight: float = 1.0
+    cap: Optional[float] = None
+    #: GPS weight of reply-summary transfers on the network.  ``None``
+    #: weights each summary by the requests it covers — per-user fair, but
+    #: a million-user crowd then starves every weight-1 flow sharing the
+    #: link (including control traffic).  A fixed value bounds the crowd's
+    #: aggregate link share the way an egress scheduler class would.
+    link_weight: Optional[float] = None
+
+
+@dataclass
+class _QueueEntry:
+    seq: int
+    n: int
+    work: float
+    reply_bytes: float
+    src: str
+    reply_port: str
+
+
+class CrowdAgent:
+    """Aggregate request service attached to one server host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        req_port: str,
+        classes: List[ServiceClass],
+        config_fn: Callable[[], Mapping],
+        guard=None,
+        source: Optional[CrowdSource] = None,
+        tick: float = 0.25,
+    ):
+        self.sim = sim
+        self.host = host
+        self.req_port = req_port
+        self.classes = list(classes)
+        self.config_fn = config_fn
+        self.guard = guard
+        self.source = source
+        self.tick = float(tick)
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(self.classes)}
+        self._flows = [self._make_flow(c) for c in self.classes]
+        self._queues: List[List[_QueueEntry]] = [[] for _ in self.classes]
+        self._backlog = [0] * len(self.classes)  # queued requests per class
+        self._mark = [0.0] * len(self.classes)  # drained work already credited
+        # (src, reply_port) -> [served pairs, covered bytes, count]; filled
+        # by the tick loop, drained by the per-class sender.
+        self._outbox: List[Dict[Tuple[str, str], List]] = [
+            {} for _ in self.classes
+        ]
+        # Admitted requests whose summary has not yet been *delivered*:
+        # CPU queue + outbox + in-flight transfer.  This is the depth the
+        # overload guard sees — under link congestion the CPU queue can be
+        # near-empty while hundreds of thousands of replies wait on the
+        # wire, and admission control must push back on exactly that.
+        self._undelivered = [0] * len(self.classes)
+        self._kick = [Event(sim) for _ in self.classes]
+        self._done = False
+        self._procs = [
+            sim.process(self._recv(), name=f"crowd.agent.{host.name}.recv"),
+            sim.process(self._serve(), name=f"crowd.agent.{host.name}.serve"),
+        ] + [
+            sim.process(
+                self._send_loop(i, c),
+                name=f"crowd.agent.{host.name}.send.{c.name}",
+            )
+            for i, c in enumerate(self.classes)
+        ]
+
+    def _make_flow(self, spec: ServiceClass) -> AggregateFlow:
+        return AggregateFlow(
+            self.host.cpu.share,
+            weight=spec.weight,
+            cap=spec.cap,
+            owner=CrowdOwner(f"crowd.{spec.name}"),
+        )
+
+    # -- admission -----------------------------------------------------------
+    def _recv(self):
+        mailbox = self.host.mailbox(self.req_port)
+        while True:
+            msg = yield mailbox.get()
+            batch = msg.payload
+            if batch is None:
+                break
+            idx = self._index.get(batch.cls)
+            if idx is None:
+                continue
+            if self.guard is not None and not self.guard.admit(
+                batch, self._undelivered[idx]
+            ):
+                # Rejected whole: one cheap summary so the source's columns
+                # move the users straight back to thinking.
+                self.host.send(
+                    msg.src,
+                    batch.reply_port,
+                    CrowdSummary(batch.cls, shed=((batch.seq, batch.n),)),
+                    size=SUMMARY_HEADER_BYTES,
+                    owner=self._flows[idx].owner,
+                )
+                continue
+            work, reply_bytes = self.classes[idx].price(self.config_fn())
+            self._queues[idx].append(
+                _QueueEntry(
+                    batch.seq, batch.n, float(work), float(reply_bytes),
+                    msg.src, batch.reply_port,
+                )
+            )
+            self._backlog[idx] += batch.n
+            self._undelivered[idx] += batch.n
+            self._flows[idx].add(batch.n * float(work))
+
+    # -- service -------------------------------------------------------------
+    def _serve(self):
+        sim = self.sim
+        while True:
+            yield sim.timeout(self.tick)
+            for idx, spec in enumerate(self.classes):
+                self._drain_class(idx, spec)
+                obs = sim.obs
+                if obs is not None:
+                    obs.metrics.series(f"crowd.{spec.name}.backlog").record(
+                        sim.now, float(self._backlog[idx])
+                    )
+            if self._idle():
+                break
+        # Wake every sender so it can flush its outbox and exit.
+        self._done = True
+        for kick in self._kick:
+            if not kick.triggered:
+                kick.succeed()
+
+    def _drain_class(self, idx: int, spec: ServiceClass) -> None:
+        queue = self._queues[idx]
+        if not queue:
+            return
+        flow = self._flows[idx]
+        avail = flow.drained() - self._mark[idx]
+        # An idle flow has consumed every unit ever admitted, so the whole
+        # queue is complete; any ``avail`` shortfall at that point is
+        # floating-point drift between the credit mark and the fluid
+        # integrator, and must not strand the tail of the run.
+        complete = flow.idle
+        out = self._outbox[idx]
+        added = False
+        while queue:
+            entry = queue[0]
+            if entry.work <= 0.0 or complete:
+                k = entry.n
+            else:
+                k = min(entry.n, int(avail / entry.work + 1e-9))
+            if k <= 0:
+                break
+            entry.n -= k
+            credit = k * entry.work
+            avail -= credit
+            self._mark[idx] += credit
+            self._backlog[idx] -= k
+            bucket = out.setdefault((entry.src, entry.reply_port), [[], 0.0, 0])
+            bucket[0].append((entry.seq, k))
+            bucket[1] += k * entry.reply_bytes
+            bucket[2] += k
+            added = True
+            if entry.n > 0:
+                break  # head entry only partially covered
+            queue.pop(0)
+        if added and not self._kick[idx].triggered:
+            self._kick[idx].succeed()
+
+    def _send_loop(self, idx: int, spec: ServiceClass):
+        """Ship coalesced summaries, one transfer in flight per class."""
+        sim = self.sim
+        while True:
+            if not self._outbox[idx]:
+                if self._done:
+                    break
+                yield self._kick[idx]
+                self._kick[idx] = Event(sim)
+                continue
+            out = self._outbox[idx]
+            self._outbox[idx] = {}
+            for (src, port), (served, nbytes, count) in sorted(out.items()):
+                try:
+                    yield self.host.send(
+                        src,
+                        port,
+                        CrowdSummary(spec.name, served=tuple(served)),
+                        size=SUMMARY_HEADER_BYTES + nbytes,
+                        weight=(
+                            float(count) if spec.link_weight is None
+                            else spec.link_weight
+                        ),
+                        owner=self._flows[idx].owner,
+                    )
+                except Exception:
+                    # Delivery failed (host crash mid-transfer): the batch
+                    # is lost on the wire; the source's timeouts recover.
+                    pass
+                finally:
+                    self._undelivered[idx] -= count
+
+    def _idle(self) -> bool:
+        if self.source is None or not self.source.closed:
+            return False
+        if any(self._backlog):
+            return False
+        if any(self._outbox):
+            return False
+        return all(flow.idle for flow in self._flows)

@@ -9,6 +9,7 @@ from .ablations import (
 )
 from .chaos import DEFAULT_FAULT_SPEC, DEFAULT_VARIATIONS, run_chaos
 from .common import FigureResult, Series, ascii_plot, render_table
+from .crowd import crowd_cell, run_crowd, run_crowd_figure
 from .extension_memory import memory_database, run_memory_adaptation
 from .fig3 import run_fig3a, run_fig3b
 from .fig4 import run_fig4a, run_fig4b
@@ -59,6 +60,9 @@ __all__ = [
     "DEFAULT_RECOVERY_FAULTS",
     "DEFAULT_CROWD",
     "CHEAP_CONFIG",
+    "run_crowd",
+    "run_crowd_figure",
+    "crowd_cell",
     "scheduler_interpolation_ablation",
     "sampling_strategy_ablation",
     "hysteresis_ablation",

@@ -20,18 +20,16 @@ from typing import Dict, Optional, Tuple
 
 from ..apps.visualization import VizWorkload, make_viz_app
 from ..faults import FaultInjector, FaultPlan
-from ..runtime import (
-    AdaptationController,
-    MonitorExchange,
-    MonitoringAgent,
-    Objective,
-    ResourceScheduler,
-    UserPreference,
-)
-from ..profiling import ResourcePoint
 from ..sandbox import ResourceLimits, Testbed
-from ..tunable import Preprocessor
-from .common import FigureResult
+from .common import (
+    FigureResult,
+    attach_instrumentation,
+    build_viz_controller,
+    detach_instrumentation,
+    start_estimate_exchanges,
+    viz_initial_point,
+    viz_preference,
+)
 from .fig6 import EXP1_COSTS, fig6a_database
 
 __all__ = ["run_chaos", "DEFAULT_FAULT_SPEC", "DEFAULT_VARIATIONS"]
@@ -118,18 +116,12 @@ def run_chaos(
     plan = FaultPlan.from_spec(
         DEFAULT_FAULT_SPEC if fault_spec is None else fault_spec
     )
-    preference = UserPreference.single(Objective("transmit_time", "minimize"))
-    initial_point = ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
+    preference = viz_preference()
+    initial_point = viz_initial_point()
 
     app = make_viz_app()
-    scheduler = ResourceScheduler(db, preference)
-    controller = AdaptationController(
-        scheduler,
-        monitoring_plan=Preprocessor(app).monitoring_plan(),
-        monitor_kwargs={"window": 2.0, "cooldown": 5.0, "period": 0.01},
-        steering_kwargs={"ack_timeout": 2.0, "max_retries": 2, "backoff": 2.0},
-        watchdog_period=0.5,
-        recorder=recorder,
+    _scheduler, controller = build_viz_controller(
+        app, db, preference, recorder=recorder
     )
     config = controller.select_initial(initial_point).config
 
@@ -170,16 +162,7 @@ def run_chaos(
 
     # Estimate exchange in both directions; the client side feeds the
     # controller's watchdog with server heartbeats.
-    server_agent = MonitoringAgent(rt, watch=["server.cpu"], period=0.05).start()
-    client_ex = MonitorExchange(
-        rt, controller.monitor, "client", ["server"],
-        stale_after=2.0, heartbeat_every=0.5,
-    ).start()
-    server_ex = MonitorExchange(
-        rt, server_agent, "server", ["client"],
-        stale_after=2.0, heartbeat_every=0.5,
-    ).start()
-    controller.start_watchdog(client_ex)
+    server_agent, client_ex, server_ex = start_estimate_exchanges(rt, controller)
 
     detector = None
     if detect_races:
@@ -198,19 +181,12 @@ def run_chaos(
 
     # Hook order: the race detector refuses to attach over an existing
     # step_hook, so it goes first; the accountant and the recorder each
-    # chain whatever they find, recorder last.
-    if usage is not None:
-        usage.attach(testbed.sim)
-        usage.track_testbed(testbed)
-        # The accountant attaches after controller.attach() (the detector
-        # needs the bare hook), so record the initial attribution here.
-        usage.set_config(config.label(), t=testbed.sim.now)
-    if recorder is not None:
-        recorder.bind(testbed.sim)
-    if profiler is not None:
-        # Not part of the step_hook chain: the kernel calls it directly
-        # through ``sim.perf``, so attach order is independent.
-        profiler.attach(testbed.sim)
+    # chain whatever they find, recorder last (attach_instrumentation
+    # keeps that canonical order).
+    attach_instrumentation(
+        testbed.sim, testbed, config,
+        usage=usage, recorder=recorder, profiler=profiler,
+    )
 
     def vary():
         for at, net_bw in variations:
@@ -266,14 +242,7 @@ def run_chaos(
     if detector is not None:
         payload["races"] = [r.to_dict() for r in detector.finish()]
         detector.detach()
-    if recorder is not None:
-        recorder.finish()
-        recorder.unbind()
-    if usage is not None:
-        usage.finish()
-        usage.detach()
-    if profiler is not None:
-        profiler.detach()
+    detach_instrumentation(usage=usage, recorder=recorder, profiler=profiler)
 
     result = FigureResult(
         figure="Chaos",

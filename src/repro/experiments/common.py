@@ -20,7 +20,20 @@ from typing import Dict, List, Tuple
 
 from ..exec import sweep_cells
 
-__all__ = ["Series", "FigureResult", "render_table", "ascii_plot", "sweep_cells"]
+__all__ = [
+    "Series",
+    "FigureResult",
+    "render_table",
+    "ascii_plot",
+    "sweep_cells",
+    "viz_preference",
+    "viz_initial_point",
+    "build_viz_controller",
+    "start_estimate_exchanges",
+    "attach_instrumentation",
+    "detach_instrumentation",
+    "closed_loop_viz_user",
+]
 
 
 @dataclass
@@ -146,3 +159,152 @@ def ascii_plot(result: FigureResult, width: int = 72, height: int = 16) -> str:
     )
     lines.append(" " * 12 + legend)
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shared scenario factories (used by chaos, recovery, and crowd experiments).
+#
+# These used to be copy-pasted per experiment; they are centralized here so
+# coroutine and crowd scenarios build the *same* adaptation runtime.  Keep
+# construction order and RNG stream names stable: the chaos/recovery
+# benchmark payloads are byte-identity-gated.
+# ---------------------------------------------------------------------------
+
+
+def viz_preference():
+    """The experiments' common user preference: minimize transmit time."""
+    from ..runtime import Objective, UserPreference
+
+    return UserPreference.single(Objective("transmit_time", "minimize"))
+
+
+def viz_initial_point():
+    """The initial resource availability every scenario starts from."""
+    from ..profiling import ResourcePoint
+
+    return ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
+
+
+def build_viz_controller(app, db, preference, recorder=None):
+    """Scheduler + adaptation controller with the experiments' tuning.
+
+    Returns ``(scheduler, controller)``; the monitor window/cooldown and
+    steering retry policy are the values every experiment has used since
+    the chaos run was first benchmarked — change them there and here
+    together or replay byte-identity breaks.
+    """
+    from ..runtime import AdaptationController, ResourceScheduler
+    from ..tunable import Preprocessor
+
+    scheduler = ResourceScheduler(db, preference)
+    controller = AdaptationController(
+        scheduler,
+        monitoring_plan=Preprocessor(app).monitoring_plan(),
+        monitor_kwargs={"window": 2.0, "cooldown": 5.0, "period": 0.01},
+        steering_kwargs={"ack_timeout": 2.0, "max_retries": 2, "backoff": 2.0},
+        watchdog_period=0.5,
+        recorder=recorder,
+    )
+    return scheduler, controller
+
+
+def start_estimate_exchanges(rt, controller):
+    """Bidirectional estimate exchange + controller watchdog.
+
+    Returns ``(server_agent, client_ex, server_ex)`` — the server-side
+    monitoring agent and both exchange endpoints, already started.
+    """
+    from ..runtime import MonitorExchange, MonitoringAgent
+
+    server_agent = MonitoringAgent(rt, watch=["server.cpu"], period=0.05).start()
+    client_ex = MonitorExchange(
+        rt, controller.monitor, "client", ["server"],
+        stale_after=2.0, heartbeat_every=0.5,
+    ).start()
+    server_ex = MonitorExchange(
+        rt, server_agent, "server", ["client"],
+        stale_after=2.0, heartbeat_every=0.5,
+    ).start()
+    controller.start_watchdog(client_ex)
+    return server_agent, client_ex, server_ex
+
+
+def attach_instrumentation(sim, testbed, config, usage=None, recorder=None,
+                           profiler=None):
+    """Attach passive observers in the canonical order.
+
+    Usage accounting chains the step hook first, the recorder binds last,
+    and the profiler hangs off ``sim.perf`` independently — the order every
+    benchmarked experiment uses (see the chaos run's hook-order comment).
+    """
+    if usage is not None:
+        usage.attach(sim)
+        usage.track_testbed(testbed)
+        usage.set_config(config.label(), t=sim.now)
+    if recorder is not None:
+        recorder.bind(sim)
+    if profiler is not None:
+        profiler.attach(sim)
+
+
+def detach_instrumentation(usage=None, recorder=None, profiler=None):
+    """Finish and detach whatever ``attach_instrumentation`` installed."""
+    if recorder is not None:
+        recorder.finish()
+        recorder.unbind()
+    if usage is not None:
+        usage.finish()
+        usage.detach()
+    if profiler is not None:
+        profiler.detach()
+
+
+def closed_loop_viz_user(rt, workload, model, uid, spec, seed, stats,
+                         stream_prefix="recovery.crowd",
+                         port_prefix="viz.crowd"):
+    """One closed-loop background user: small foveal requests, QoS class 0.
+
+    The coroutine counterpart of one crowd-class user — the recovery
+    experiment's flash crowd runs N of these, and the crowd benchmark's
+    baseline scenario reuses them verbatim.  Think times draw from the
+    per-user ``<stream_prefix>.<uid>`` stream, never the global RNG.
+    """
+    from ..apps.visualization.protocol import (
+        REQ_PORT,
+        REQUEST_WIRE_BYTES,
+        FovealRequest,
+    )
+    from ..apps.visualization.server import SERVER_HOST
+    from ..sim import stream
+
+    sandbox = rt.sandboxes["client"]
+    sim = rt.sim
+    rng = stream(seed, f"{stream_prefix}.{uid}")
+    port = f"{port_prefix}.{uid}"
+    level = int(spec["level"])
+    side = model.level_side(level)
+    end = float(spec["start"]) + float(spec["duration"])
+    stats[uid] = {"served": 0, "shed": 0}
+    # Deterministic ramp: users arrive staggered, not as one thundering tick.
+    yield sandbox.sleep(float(spec["start"]) + 0.05 * uid)
+    seq = 0
+    while sim.now < end:
+        req = FovealRequest(
+            image_id=uid % workload.n_images,
+            x=side // 2,
+            y=side // 2,
+            r0=0,
+            r1=int(spec["r1"]),
+            level=level,
+            seq=seq,
+            priority=0,
+            reply_port=port,
+        )
+        yield sandbox.send(SERVER_HOST, REQ_PORT, req, size=REQUEST_WIRE_BYTES)
+        msg = yield sandbox.recv(port)
+        if getattr(msg.payload, "shed", False):
+            stats[uid]["shed"] += 1
+        else:
+            stats[uid]["served"] += 1
+        seq += 1
+        yield sandbox.sleep(float(spec["think"]) * (0.5 + rng.random()))

@@ -34,10 +34,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..apps.visualization import VizWorkload, make_viz_app
-from ..apps.visualization.protocol import REQ_PORT, REQUEST_WIRE_BYTES, FovealRequest
-from ..apps.visualization.server import SERVER_HOST
 from ..faults import FaultInjector, FaultPlan
-from ..profiling import ResourcePoint
 from ..recovery import (
     BrownoutController,
     FailoverMember,
@@ -46,18 +43,18 @@ from ..recovery import (
     RestartPolicy,
     Supervisor,
 )
-from ..runtime import (
-    AdaptationController,
-    MonitorExchange,
-    MonitoringAgent,
-    Objective,
-    ResourceScheduler,
-    UserPreference,
-)
 from ..sandbox import ResourceLimits, Testbed
-from ..sim import stream
-from ..tunable import Configuration, Preprocessor
-from .common import FigureResult
+from ..tunable import Configuration
+from .common import (
+    FigureResult,
+    attach_instrumentation,
+    build_viz_controller,
+    closed_loop_viz_user,
+    detach_instrumentation,
+    start_estimate_exchanges,
+    viz_initial_point,
+    viz_preference,
+)
 from .fig6 import EXP1_COSTS, fig6a_database
 
 __all__ = [
@@ -98,41 +95,6 @@ DEFAULT_CROWD: Dict = {
 CHEAP_CONFIG = {"dR": 320, "c": "lzw", "l": 3}
 
 
-def _crowd_user(rt, workload, model, uid: int, spec: Dict, seed: int, stats: Dict):
-    """One flash-crowd user: closed loop of small requests, QoS class 0."""
-    sandbox = rt.sandboxes["client"]
-    sim = rt.sim
-    rng = stream(seed, f"recovery.crowd.{uid}")
-    port = f"viz.crowd.{uid}"
-    level = int(spec["level"])
-    side = model.level_side(level)
-    end = float(spec["start"]) + float(spec["duration"])
-    stats[uid] = {"served": 0, "shed": 0}
-    # Deterministic ramp: users arrive staggered, not as one thundering tick.
-    yield sandbox.sleep(float(spec["start"]) + 0.05 * uid)
-    seq = 0
-    while sim.now < end:
-        req = FovealRequest(
-            image_id=uid % workload.n_images,
-            x=side // 2,
-            y=side // 2,
-            r0=0,
-            r1=int(spec["r1"]),
-            level=level,
-            seq=seq,
-            priority=0,
-            reply_port=port,
-        )
-        yield sandbox.send(SERVER_HOST, REQ_PORT, req, size=REQUEST_WIRE_BYTES)
-        msg = yield sandbox.recv(port)
-        if getattr(msg.payload, "shed", False):
-            stats[uid]["shed"] += 1
-        else:
-            stats[uid]["served"] += 1
-        seq += 1
-        yield sandbox.sleep(float(spec["think"]) * (0.5 + rng.random()))
-
-
 def run_recovery(
     seed: int = 0,
     n_images: int = 14,
@@ -170,18 +132,12 @@ def run_recovery(
         DEFAULT_RECOVERY_FAULTS if fault_spec is None else fault_spec
     )
     crowd = dict(DEFAULT_CROWD if crowd_spec is None else crowd_spec)
-    preference = UserPreference.single(Objective("transmit_time", "minimize"))
-    initial_point = ResourcePoint({"client.cpu": 1.0, "client.network": 500e3})
+    preference = viz_preference()
+    initial_point = viz_initial_point()
 
     app = make_viz_app()
-    scheduler = ResourceScheduler(db, preference)
-    controller = AdaptationController(
-        scheduler,
-        monitoring_plan=Preprocessor(app).monitoring_plan(),
-        monitor_kwargs={"window": 2.0, "cooldown": 5.0, "period": 0.01},
-        steering_kwargs={"ack_timeout": 2.0, "max_retries": 2, "backoff": 2.0},
-        watchdog_period=0.5,
-        recorder=recorder,
+    _scheduler, controller = build_viz_controller(
+        app, db, preference, recorder=recorder
     )
     config = controller.select_initial(initial_point).config
 
@@ -215,16 +171,7 @@ def run_recovery(
         rt.finished.callbacks.append(lambda _e: supervisor.shutdown())
     controller.attach(rt)
 
-    server_agent = MonitoringAgent(rt, watch=["server.cpu"], period=0.05).start()
-    client_ex = MonitorExchange(
-        rt, controller.monitor, "client", ["server"],
-        stale_after=2.0, heartbeat_every=0.5,
-    ).start()
-    server_ex = MonitorExchange(
-        rt, server_agent, "server", ["client"],
-        stale_after=2.0, heartbeat_every=0.5,
-    ).start()
-    controller.start_watchdog(client_ex)
+    server_agent, client_ex, server_ex = start_estimate_exchanges(rt, controller)
 
     # -- controller failover group -----------------------------------------
     member_client: Optional[FailoverMember] = None
@@ -334,7 +281,9 @@ def run_recovery(
     crowd_stats: Dict[int, Dict[str, int]] = {}
     for uid in range(int(crowd.get("users", 0))):
         testbed.sim.process(
-            _crowd_user(rt, workload, rt.app_model, uid, crowd, seed, crowd_stats),
+            closed_loop_viz_user(
+                rt, workload, rt.app_model, uid, crowd, seed, crowd_stats
+            ),
             name=f"crowd-{uid}",
         )
 
@@ -382,14 +331,10 @@ def run_recovery(
             )
         detector.watch_calls(guard, ("admit",), "overload.guard")
 
-    if usage is not None:
-        usage.attach(testbed.sim)
-        usage.track_testbed(testbed)
-        usage.set_config(config.label(), t=testbed.sim.now)
-    if recorder is not None:
-        recorder.bind(testbed.sim)
-    if profiler is not None:
-        profiler.attach(testbed.sim)
+    attach_instrumentation(
+        testbed.sim, testbed, config,
+        usage=usage, recorder=recorder, profiler=profiler,
+    )
 
     testbed.run(until=until)
     testbed.shutdown()
@@ -468,14 +413,7 @@ def run_recovery(
     if detector is not None:
         payload["races"] = [r.to_dict() for r in detector.finish()]
         detector.detach()
-    if recorder is not None:
-        recorder.finish()
-        recorder.unbind()
-    if usage is not None:
-        usage.finish()
-        usage.detach()
-    if profiler is not None:
-        profiler.detach()
+    detach_instrumentation(usage=usage, recorder=recorder, profiler=profiler)
 
     result = FigureResult(
         figure="Recovery",

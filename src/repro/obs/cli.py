@@ -53,6 +53,12 @@ def _run_recovery(seed: int, recorder=None, usage=None, profiler=None) -> None:
     run_recovery(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
+def _run_crowd(seed: int, recorder=None, usage=None, profiler=None) -> None:
+    from ..experiments.crowd import run_crowd
+
+    run_crowd(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
+
+
 def _run_fig5(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.fig5 import fig5_database
 
@@ -75,6 +81,7 @@ def _run_fig6b(seed: int, recorder=None, usage=None, profiler=None) -> None:
 TRACEABLE: Dict[str, Callable] = {
     "chaos": _run_chaos,
     "recovery": _run_recovery,
+    "crowd": _run_crowd,
     "fig5": _run_fig5,
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,

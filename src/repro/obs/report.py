@@ -191,6 +191,70 @@ def _series_svg(
     )
 
 
+def _crowd_counter(snapshot: dict, cls: str, column: str) -> int:
+    payload = snapshot.get(f"crowd.{cls}.{column}", {})
+    return int(payload.get("value", 0))
+
+
+def _crowd_section(metrics_snapshot: dict, t_end: float) -> str:
+    """Per-class QoS satisfaction bars + arrival-rate timelines.
+
+    Present only when the run drove a :class:`repro.crowd.CrowdSource`
+    (the ``crowd.<class>.*`` metrics exist); rendered with the same
+    no-JS machinery as every other section.
+    """
+    classes = sorted(
+        {
+            name.split(".")[1]
+            for name in metrics_snapshot
+            if name.startswith("crowd.") and name.count(".") == 2
+        }
+    )
+    if not classes:
+        return ""
+    body: List[str] = ["<h2>Crowd</h2>"]
+
+    body.append("<table><tr><th>class</th><th>issued</th><th>served</th>"
+                "<th>shed</th><th>lost</th><th>QoS satisfaction</th></tr>")
+    for cls in classes:
+        issued = _crowd_counter(metrics_snapshot, cls, "issued")
+        satisfied = _crowd_counter(metrics_snapshot, cls, "satisfied")
+        violated = _crowd_counter(metrics_snapshot, cls, "violated")
+        resolved = satisfied + violated
+        frac = satisfied / resolved if resolved else 1.0
+        bar_w = int(round(200 * frac))
+        bar = (
+            f'<svg width="220" height="14" viewBox="0 0 220 14">'
+            f'<rect x="0" y="1" width="200" height="12" fill="#fee2e2"/>'
+            f'<rect x="0" y="1" width="{bar_w}" height="12" fill="#16a34a"/>'
+            f'</svg> <span class="num">{100.0 * frac:.1f}%</span>'
+        )
+        body.append(
+            f"<tr><td><code>{_esc(cls)}</code></td>"
+            f'<td class="num">{issued}</td>'
+            f'<td class="num">{_crowd_counter(metrics_snapshot, cls, "served")}'
+            f"</td>"
+            f'<td class="num">{_crowd_counter(metrics_snapshot, cls, "shed")}'
+            f"</td>"
+            f'<td class="num">{_crowd_counter(metrics_snapshot, cls, "lost")}'
+            f"</td>"
+            f"<td>{bar}</td></tr>"
+        )
+    body.append("</table>")
+
+    for cls in classes:
+        payload = metrics_snapshot.get(f"crowd.{cls}.rate", {})
+        samples = [tuple(s) for s in payload.get("samples", [])]
+        if not samples:
+            continue
+        body.append(
+            f'<div class="strip"><div class="label">'
+            f"<code>crowd.{_esc(cls)}.rate</code> (req/s)</div>"
+            f"{_series_svg(samples, t_end)}</div>"
+        )
+    return "".join(body)
+
+
 def _metrics_rows(snapshot: dict) -> str:
     rows = []
     for name in sorted(snapshot):
@@ -289,6 +353,10 @@ def render_report(
                 f"<code>{_esc(name)}</code></div>"
                 f"{_series_svg(samples, t_end, v_max=v_max)}</div>"
             )
+
+    crowd_section = _crowd_section(metrics_snapshot, t_end)
+    if crowd_section:
+        body.append(crowd_section)
 
     if usage_summary:
         body.append("<h2>Usage account</h2><table>")

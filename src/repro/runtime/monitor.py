@@ -81,6 +81,7 @@ class MonitoringAgent:
         hysteresis: float = 0.05,
         cooldown: float = 0.5,
         on_violation: Optional[Callable[[Dict[str, float]], None]] = None,
+        crowd=None,
     ):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period!r}")
@@ -97,6 +98,9 @@ class MonitoringAgent:
         self.on_violation = on_violation
         #: Messages smaller than this do not contribute bandwidth samples.
         self.min_sample_bytes = 4096.0
+        #: Optional :class:`repro.crowd.CrowdSource` whose columnar tallies
+        #: back ``crowd.<class>.{qos,rate,inflight}`` watch entries.
+        self.crowd = crowd
         self.system = SystemMonitor.from_runtime(rt)
 
         #: resource -> (lo, hi) validity bounds from the current decision.
@@ -105,6 +109,7 @@ class MonitoringAgent:
             r: HistoryWindow(window) for r in self.watch
         }
         self._cpu_anchor: Dict[str, Tuple[float, float]] = {}
+        self._crowd_anchor: Dict[str, Tuple[float, float, float]] = {}
         self._net_seen: Dict[str, int] = {}
         self._last_trigger = -float("inf")
         self._stopped = False
@@ -155,6 +160,7 @@ class MonitoringAgent:
                 for r, h in sorted(self._histories.items())
             },
             "cpu_anchor": {r: list(a) for r, a in self._cpu_anchor.items()},
+            "crowd_anchor": {r: list(a) for r, a in self._crowd_anchor.items()},
             "net_seen": dict(self._net_seen),
             "last_trigger": self._last_trigger,
             "violations": self.violations,
@@ -176,6 +182,9 @@ class MonitoringAgent:
         self._cpu_anchor = {
             r: (a[0], a[1]) for r, a in dict(state.get("cpu_anchor", {})).items()
         }
+        self._crowd_anchor = {
+            r: tuple(a) for r, a in dict(state.get("crowd_anchor", {})).items()
+        }
         self._net_seen = dict(state.get("net_seen", {}))
         self._last_trigger = state.get("last_trigger", -float("inf"))
         self.violations = int(state.get("violations", 0))
@@ -192,8 +201,16 @@ class MonitoringAgent:
 
     def _sample(self) -> None:
         now = self.sim.now
+        crowd_stats = None
         for resource in self.watch:
             host, _, kind = resource.partition(".")
+            if host == "crowd":
+                if self.crowd is None:
+                    continue
+                if crowd_stats is None:  # one columnar snapshot per period
+                    crowd_stats = self.crowd.stats()
+                self._sample_crowd(resource, crowd_stats, now)
+                continue
             sandbox = self.rt.sandboxes.get(host)
             if sandbox is None:
                 continue
@@ -205,6 +222,35 @@ class MonitoringAgent:
                 self._sample_memory(resource, sandbox, now)
             elif kind == "disk":
                 self._sample_disk(resource, sandbox)
+
+    def _sample_crowd(self, resource: str, stats: Dict, now: float) -> None:
+        """Estimates from a CrowdSource's cumulative per-class tallies.
+
+        ``crowd.<class>.qos`` is the satisfaction fraction of outcomes
+        resolved since the previous sample, ``crowd.<class>.rate`` the
+        realized issue rate (req/s), and ``crowd.<class>.inflight`` the
+        instantaneous outstanding-request count.  All three are pure
+        reads of columnar state — sampling never perturbs the crowd.
+        """
+        cls, _, kind = resource[len("crowd."):].partition(".")
+        row = stats.get(cls)
+        if row is None:
+            return
+        if kind == "inflight":
+            self._histories[resource].record(now, float(row["inflight"]))
+            return
+        anchor = self._crowd_anchor.get(resource)
+        cur = (float(row["satisfied"]), float(row["violated"]), float(row["issued"]))
+        self._crowd_anchor[resource] = cur
+        if anchor is None:
+            return
+        if kind == "qos":
+            resolved = (cur[0] - anchor[0]) + (cur[1] - anchor[1])
+            if resolved <= 0:
+                return  # nothing resolved this period: no signal
+            self._histories[resource].record(now, (cur[0] - anchor[0]) / resolved)
+        elif kind == "rate":
+            self._histories[resource].record(now, (cur[2] - anchor[2]) / self.period)
 
     def _sample_cpu(self, resource: str, sandbox: Sandbox, now: float) -> None:
         consumed = sandbox.cpu_consumed()
@@ -234,28 +280,34 @@ class MonitoringAgent:
         for direction, log in (("recv", sandbox.recv_log), ("send", sandbox.send_log)):
             key = f"{resource}:{direction}"
             seen = self._net_seen.get(key, 0)
-            prev_end = log[seen - 1][1] if seen > 0 else float("-inf")
-            for start, end, size in log[seen:]:
+            # The sandbox trims its bounded log from the front; ``seen`` is
+            # an absolute index, so re-anchor it past whatever was dropped.
+            dropped = getattr(sandbox, f"{direction}_log_dropped", 0)
+            start_idx = max(0, seen - dropped)
+            prev_end = log[start_idx - 1][1] if start_idx > 0 else float("-inf")
+            for start, end, size in log[start_idx:]:
                 duration = end - max(start, prev_end)
                 # Skip control-sized messages: their timing is dominated by
                 # per-message latency, not bandwidth.
                 if duration > 1e-9 and size >= self.min_sample_bytes:
                     self._histories[resource].record(end, size / duration)
                 prev_end = end
-            self._net_seen[key] = len(log)
+            self._net_seen[key] = dropped + len(log)
 
     def _sample_disk(self, resource: str, sandbox: Sandbox) -> None:
         """Effective disk bandwidth from completed operations."""
         key = f"{resource}:ops"
         seen = self._net_seen.get(key, 0)
         log = sandbox.disk_log
-        prev_end = log[seen - 1][1] if seen > 0 else float("-inf")
-        for start, end, size in log[seen:]:
+        dropped = getattr(sandbox, "disk_log_dropped", 0)
+        start_idx = max(0, seen - dropped)
+        prev_end = log[start_idx - 1][1] if start_idx > 0 else float("-inf")
+        for start, end, size in log[start_idx:]:
             duration = end - max(start, prev_end)
             if duration > 1e-9 and size >= self.min_sample_bytes:
                 self._histories[resource].record(end, size / duration)
             prev_end = end
-        self._net_seen[key] = len(log)
+        self._net_seen[key] = dropped + len(log)
 
     def _sample_memory(self, resource: str, sandbox: Sandbox, now: float) -> None:
         space = sandbox.mem_space

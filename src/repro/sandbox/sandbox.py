@@ -109,6 +109,12 @@ class Sandbox:
         self.recv_log: list = []
         #: (start, end, size) of completed disk operations.
         self.disk_log: list = []
+        # Entries trimmed off the front of each bounded log, so consumers
+        # holding absolute indices (the monitoring agent's ``_net_seen``)
+        # can re-anchor after a trim instead of slicing out of range.
+        self.send_log_dropped = 0
+        self.recv_log_dropped = 0
+        self.disk_log_dropped = 0
 
         # -- memory ------------------------------------------------------------
         self.mem_space = None
@@ -264,6 +270,7 @@ class Sandbox:
         self.send_log.append((start, self.sim.now, size))
         if len(self.send_log) > 4096:
             del self.send_log[:2048]
+            self.send_log_dropped += 2048
         return msg
 
     def recv(self, port: str, filter=None) -> Process:
@@ -288,6 +295,7 @@ class Sandbox:
         self.recv_log.append((getattr(msg, "send_time", self.sim.now), self.sim.now, msg.size))
         if len(self.recv_log) > 4096:
             del self.recv_log[:2048]
+            self.recv_log_dropped += 2048
         return msg
 
     def note_received(self, msg) -> None:
@@ -314,6 +322,7 @@ class Sandbox:
                 self.disk_log.append((start, self.sim.now, nbytes))
                 if len(self.disk_log) > 4096:
                     del self.disk_log[:2048]
+                    self.disk_log_dropped += 2048
 
         if done.callbacks is not None:
             done.callbacks.append(log)

@@ -1,5 +1,6 @@
 """Discrete-event simulation kernel (virtual time, processes, fluid sharing)."""
 
+from .aggregate import AggregateFlow
 from .conditions import AllOf, AnyOf, Condition, ConditionValue
 from .core import (
     NORMAL,
@@ -39,6 +40,7 @@ __all__ = [
     "Container",
     "FluidShare",
     "FluidJob",
+    "AggregateFlow",
     "stream",
     "Tracer",
     "Probe",

@@ -1,0 +1,131 @@
+"""Aggregate demand flows: N clients as one lazily-integrated fluid job.
+
+A :class:`AggregateFlow` attaches a *population's* resource demand to an
+existing :class:`~repro.sim.fluid.FluidShare` as a single standing job.
+Arrivals top up the job's remaining work (``add``), rate ceilings map to
+the job's cap (``set_rate``), and progress is read passively with
+``drained()`` — the projection trick of ``FluidShare.served_now`` scoped
+to one flow.  Every operation is O(1) bookkeeping plus at most one
+O(active jobs) reschedule on the share, independent of the population
+size N: a crowd of a million clients costs exactly as much per rate
+change as a crowd of ten.
+
+The flow deliberately *competes* through the share's ordinary
+water-filling: give it ``weight=n`` and it squeezes coexisting
+interactive jobs exactly like n unit-weight flows would, which is what
+makes aggregate crowds congest links and CPUs the honest way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .core import Simulator
+from .fluid import FluidJob, FluidShare
+
+__all__ = ["AggregateFlow"]
+
+
+class AggregateFlow:
+    """One population's demand on a :class:`FluidShare`, as a standing job."""
+
+    __slots__ = ("share", "sim", "owner", "_weight", "_cap", "_job", "_prior")
+
+    def __init__(
+        self,
+        share: FluidShare,
+        weight: float = 1.0,
+        cap: Optional[float] = None,
+        owner: Optional[object] = None,
+    ):
+        self.share = share
+        self.sim: Simulator = share.sim
+        self.owner = owner
+        self._weight = float(weight)
+        self._cap = cap
+        #: Active standing job, or None when the backlog is fully drained.
+        self._job: Optional[FluidJob] = None
+        #: Work drained by previous job generations (folded on resubmit).
+        self._prior = 0.0
+
+    # -- demand -------------------------------------------------------------
+    def add(self, work: float) -> None:
+        """Enqueue ``work`` units of aggregate demand (one arrival batch)."""
+        if work <= 0.0:
+            return
+        job = self._job
+        if job is not None and self.share.add_work(job, work):
+            return
+        # No standing job, or it completed during the catch-up advance:
+        # fold its total and open the next generation.
+        self._fold()
+        self._job = self.share.submit(
+            work, weight=self._weight, cap=self._cap, owner=self.owner
+        )
+
+    def set_rate(self, cap: Optional[float]) -> None:
+        """Ceiling on the service rate — one O(1) cap change, any N."""
+        self._cap = cap
+        job = self._job
+        if job is not None and not job.finished:
+            self.share.set_cap(job, cap)
+
+    def set_weight(self, weight: float) -> None:
+        """Contention weight (≈ number of aggregated unit flows)."""
+        self._weight = float(weight)
+        job = self._job
+        if job is not None and not job.finished:
+            self.share.set_weight(job, weight)
+
+    # -- passive reads -------------------------------------------------------
+    def drained(self) -> float:
+        """Cumulative work served, projected to now without touching the sim.
+
+        Safe for instrumentation and per-tick accounting: the share's lazy
+        accumulators and completion timer are left untouched, so reading
+        between events keeps the run byte-identical.
+        """
+        job = self._job
+        if job is None:
+            return self._prior
+        if job.finished:
+            return self._prior + job.consumed
+        extra = 0.0
+        dt = self.sim.now - self.share._last_update
+        if dt > 0.0 and job._rate > 0.0:
+            extra = min(job._rate * dt, job.remaining)
+        return self._prior + job.consumed + extra
+
+    def pending(self) -> float:
+        """Demand not yet served, projected to now (passive)."""
+        job = self._job
+        if job is None or job.finished:
+            return 0.0
+        extra = 0.0
+        dt = self.sim.now - self.share._last_update
+        if dt > 0.0 and job._rate > 0.0:
+            extra = min(job._rate * dt, job.remaining)
+        return max(0.0, job.remaining - extra)
+
+    @property
+    def idle(self) -> bool:
+        return self._job is None or self._job.finished
+
+    # -- teardown -----------------------------------------------------------
+    def cancel(self) -> None:
+        """Abandon any unserved demand; drained() keeps the served total."""
+        job = self._job
+        if job is not None and not job.finished:
+            self.share.cancel(job)  # fails job.done with defused set
+        self._fold()
+
+    def _fold(self) -> None:
+        if self._job is not None:
+            self._prior += self._job.consumed
+            self._job = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<AggregateFlow share={self.share.name!r} weight={self._weight}"
+            f" cap={self._cap} pending={self.pending():.6g}>"
+        )

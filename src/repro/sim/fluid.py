@@ -167,6 +167,34 @@ class FluidShare:
         self._reschedule()
         return job
 
+    def add_work(self, job: FluidJob, amount: float) -> bool:
+        """Top up an in-service job's remaining work in place.
+
+        The aggregate-flow primitive (see :mod:`repro.sim.aggregate`): a
+        population of N clients is represented by *one* job whose demand
+        grows by ``amount`` per arrival batch, so a rate change costs one
+        O(active jobs) reschedule regardless of N — the same lazy-integral
+        trick the usage accountant uses, generalized into the resource.
+
+        Returns ``False`` (without applying anything) when the job is no
+        longer in service — it completed during the catch-up advance or
+        was cancelled — so the caller can resubmit a fresh job.
+        """
+        if amount < 0:
+            raise SimulationError(f"amount must be non-negative, got {amount!r}")
+        if job not in self._jobs:
+            return False
+        if amount <= _EPS:
+            return True
+        if self.sim.perf is not None:
+            self.sim.perf.fluid_event(self.name, "submit")
+        self._advance()
+        if job not in self._jobs:  # completed exactly at the catch-up point
+            return False
+        job.remaining += float(amount)
+        self._reschedule()
+        return True
+
     def set_weight(self, job: FluidJob, weight: float) -> None:
         if weight < 0:
             raise SimulationError(f"weight must be non-negative, got {weight!r}")

@@ -1,0 +1,77 @@
+"""Unit tests for the arrival-rate processes.
+
+Every process is a pure function of time — these tests pin the shapes
+(clipping, breakpoints, symmetry) the experiment tuning relies on.
+"""
+
+import math
+
+import pytest
+
+from repro.crowd import ClosedLoop, ConstantRate, DiurnalRate, FlashCrowd
+
+
+def test_constant_rate_is_flat():
+    proc = ConstantRate(per_user=0.25)
+    assert proc.rate(0.0) == proc.rate(17.3) == 0.25
+    assert not proc.closed_loop
+
+
+def test_diurnal_peak_and_trough():
+    proc = DiurnalRate(base=0.03, amplitude=0.02, period=60.0)
+    # Peak a quarter-period in, trough three quarters in.
+    assert proc.rate(15.0) == pytest.approx(0.05)
+    assert proc.rate(45.0) == pytest.approx(0.01)
+    assert proc.rate(0.0) == pytest.approx(0.03)
+    assert proc.peak() == pytest.approx(0.05)
+
+
+def test_diurnal_clips_at_zero():
+    proc = DiurnalRate(base=0.01, amplitude=0.05, period=60.0)
+    assert proc.rate(45.0) == 0.0  # base - amplitude < 0 -> clipped
+    assert proc.rate(15.0) == pytest.approx(0.06)
+
+
+def test_diurnal_phase_shifts_peak():
+    # phase=-pi/2 moves the peak to half a period in.
+    proc = DiurnalRate(base=0.03, amplitude=0.02, period=60.0,
+                       phase=-math.pi / 2)
+    assert proc.rate(30.0) == pytest.approx(0.05)
+    assert proc.rate(0.0) == pytest.approx(0.01)
+
+
+def test_flash_crowd_trapezoid():
+    proc = FlashCrowd(baseline=0.01, spike=0.5, t_start=10.0, t_peak=20.0,
+                      t_fall=30.0, t_end=40.0)
+    assert proc.rate(0.0) == 0.01
+    assert proc.rate(10.0) == pytest.approx(0.01)
+    assert proc.rate(15.0) == pytest.approx((0.01 + 0.5) / 2)  # mid-ramp
+    assert proc.rate(20.0) == pytest.approx(0.5)
+    assert proc.rate(25.0) == pytest.approx(0.5)  # plateau
+    assert proc.rate(35.0) == pytest.approx((0.5 + 0.01) / 2)  # mid-decay
+    assert proc.rate(40.0) == 0.01
+    assert proc.rate(1e6) == 0.01
+
+
+def test_flash_crowd_degenerate_instant_spike():
+    # Coincident breakpoints are legal: a step up and straight back down.
+    proc = FlashCrowd(baseline=0.0, spike=1.0, t_start=5.0, t_peak=5.0,
+                      t_fall=5.0, t_end=5.0)
+    assert proc.rate(4.999) == 0.0
+    assert proc.rate(5.0) == 0.0  # t >= t_end
+
+
+def test_flash_crowd_rejects_unordered_breakpoints():
+    with pytest.raises(ValueError, match="breakpoints must be ordered"):
+        FlashCrowd(baseline=0.0, spike=1.0, t_start=20.0, t_peak=10.0,
+                   t_fall=30.0, t_end=40.0)
+
+
+def test_closed_loop_rate_and_tick_probability():
+    proc = ClosedLoop(think=2.0)
+    assert proc.closed_loop
+    assert proc.rate(0.0) == pytest.approx(0.5)
+    assert proc.tick_probability(0.25) == pytest.approx(1.0 - math.exp(-0.125))
+    # Probability saturates monotonically toward 1.
+    assert proc.tick_probability(100.0) == pytest.approx(1.0, abs=1e-12)
+    assert ClosedLoop(think=0.0).tick_probability(0.25) == 1.0

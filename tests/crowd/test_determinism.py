@@ -1,0 +1,63 @@
+"""Satellite guarantee: the crowd subsystem never touches ambient state.
+
+The repo's own static determinism linter must find nothing in
+``src/repro/crowd`` — no wall clocks, no global RNG, no unordered
+iteration feeding the simulator — and the package must draw randomness
+exclusively from the dedicated named ``"crowd"`` stream.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+CROWD = REPO / "src" / "repro" / "crowd"
+
+
+def test_crowd_package_lints_clean():
+    result = lint_paths([CROWD], root=REPO)
+    assert result.files_checked >= 3
+    assert result.findings == [], [f.render() for f in result.findings]
+    # Clean outright — not clean-by-suppression.
+    assert result.suppressed_inline == 0
+
+
+def test_crowd_randomness_comes_only_from_the_named_stream():
+    sources = {p.name: p.read_text() for p in CROWD.glob("*.py")}
+    assert sources, "crowd package has no modules?"
+    for name, text in sources.items():
+        # No direct numpy/stdlib RNG anywhere in the subsystem.
+        assert "np.random" not in text, name
+        assert "default_rng" not in text, name
+        assert not re.search(r"\bimport random\b", text), name
+        assert "time.time" not in text and "perf_counter" not in text, name
+    # The one generator the subsystem owns is the named "crowd" stream.
+    assert 'stream(seed, "crowd")' in sources["source.py"]
+    calls = [
+        m for text in sources.values()
+        for m in re.findall(r"=\s*stream\(", text)
+    ]
+    assert len(calls) == 1, "exactly one stream() construction site"
+
+
+def test_arrival_processes_are_frozen_pure_functions():
+    """Arrival processes are immutable values: rate(t) can hide no state."""
+    import dataclasses
+
+    import pytest
+
+    from repro.crowd import ClosedLoop, ConstantRate, DiurnalRate, FlashCrowd
+
+    for proc in (
+        ConstantRate(0.1),
+        DiurnalRate(base=0.03, amplitude=0.02, period=60.0),
+        FlashCrowd(baseline=0.0, spike=1.0, t_start=1.0, t_peak=2.0,
+                   t_fall=3.0, t_end=4.0),
+        ClosedLoop(think=1.0),
+    ):
+        assert dataclasses.is_dataclass(proc)
+        assert proc.__dataclass_params__.frozen
+        assert proc.rate(5.0) == proc.rate(5.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            proc.think = 2.0

@@ -1,0 +1,85 @@
+"""Satellite guarantee: sessions-mode CrowdSource == plain coroutine client.
+
+The aggregate subsystem's per-user fallback (``CrowdSource.drive_sessions``)
+must be *behaviour-preserving*: driving the streaming app's client half as
+a crowd session with N=1 produces exactly the timeline the app's own
+launcher produces.  This is the regression anchor for the whole
+aggregation story — if the plumbing ever perturbs a single-client run,
+the 1M-user runs built on it measure an artifact.
+"""
+
+import pytest
+
+from repro.apps import StreamWorkload, make_streaming_app
+from repro.apps.streaming import stream_client_session
+from repro.crowd import ClosedLoop, CrowdClass, CrowdSource
+from repro.tunable import Configuration
+
+CONFIG = {"fps": 15, "quality": "medium", "c": "lzw"}
+
+
+def _run_launcher_client(config, duration=6.0):
+    """Control: the app's own launcher spawns the client coroutine."""
+    from repro.sandbox import Testbed
+
+    app = make_streaming_app()
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    wl = StreamWorkload(duration=duration)
+    rt = app.instantiate(tb, Configuration(config), workload=wl)
+    tb.run(until=3600)
+    assert rt.finished.triggered
+    return rt, wl
+
+
+def _run_crowd_session_client(config, duration=6.0):
+    """Same app, but the client half runs as a CrowdSource session."""
+    from repro.sandbox import Testbed
+
+    app = make_streaming_app(client_session=lambda rt, wl: None)
+    tb = Testbed(host_specs=app.env.host_specs(), link_specs=app.env.link_specs())
+    wl = StreamWorkload(duration=duration)
+    rt = app.instantiate(tb, Configuration(config), workload=wl)
+    source = CrowdSource(
+        tb.sim,
+        tb.hosts["client"],
+        "server",
+        "unused.req",
+        [
+            CrowdClass(
+                "stream",
+                users=1,
+                arrivals=ClosedLoop(think=1.0),
+                session=lambda uid: stream_client_session(rt, wl),
+            )
+        ],
+        seed=0,
+    )
+    tb.sim.process(source.drive_sessions(), name="crowd.sessions")
+    tb.run(until=3600)
+    assert rt.finished.triggered
+    return rt, wl
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        CONFIG,
+        {"fps": 30, "quality": "low", "c": "none"},
+    ],
+    ids=["medium-lzw", "low-raw"],
+)
+def test_session_mode_reproduces_launcher_timeline(config):
+    rt_a, wl_a = _run_launcher_client(config)
+    rt_b, wl_b = _run_crowd_session_client(config)
+    # The frame log is the full observable timeline: send instant,
+    # delivery instant, and identity of every displayed frame.
+    assert wl_a.frame_log == wl_b.frame_log
+    assert len(wl_a.frame_log) > 10
+    for metric in ("fps_delivered", "frame_lag", "quality_bytes"):
+        assert rt_a.qos.get(metric) == rt_b.qos.get(metric), metric
+
+
+def test_session_mode_runs_qos_pipeline():
+    rt, wl = _run_crowd_session_client(CONFIG)
+    assert rt.qos.get("fps_delivered") == pytest.approx(15.0, rel=0.1)
+    assert wl.frame_log, "session client displayed no frames"

@@ -124,3 +124,16 @@ def test_report_cli_compare_mode(tmp_path):
     )
     html = out_file.read_text()
     assert "first divergence" in html.lower()
+
+
+def test_report_cli_crowd_section(tmp_path):
+    """The crowd run's report carries the per-class QoS + arrival panel."""
+    out_file = tmp_path / "crowd.html"
+    assert main(["report", "crowd", "--out", str(out_file)]) == 0
+    html = out_file.read_text()
+    assert "<script" not in html, "report must be self-contained, no JS"
+    assert "<h2>Crowd</h2>" in html
+    # One row per class, satisfaction bar plus arrival-rate timeline.
+    assert "crowd.free.rate" in html
+    assert "crowd.premium.rate" in html
+    assert "QoS satisfaction" in html

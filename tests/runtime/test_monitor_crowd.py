@@ -1,0 +1,114 @@
+"""MonitoringAgent estimates sourced from a CrowdSource's columnar tallies."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.runtime.monitor import MonitoringAgent
+from repro.sim import Simulator
+
+
+class FakeCrowd:
+    """Stands in for a CrowdSource: stats() over mutable tallies."""
+
+    def __init__(self):
+        self.rows = {
+            "free": {"satisfied": 0, "violated": 0, "issued": 0, "inflight": 0},
+        }
+
+    def stats(self):
+        return {name: dict(row) for name, row in self.rows.items()}
+
+
+def make_agent(crowd, watch, period=0.5):
+    sim = Simulator()
+    rt = SimpleNamespace(sim=sim, sandboxes={}, finished=None)
+    return MonitoringAgent(rt, watch=watch, period=period, window=10.0,
+                           crowd=crowd)
+
+
+def test_crowd_qos_and_rate_are_delta_anchored():
+    crowd = FakeCrowd()
+    agent = make_agent(
+        crowd,
+        ["crowd.free.qos", "crowd.free.rate", "crowd.free.inflight"],
+    )
+    crowd.rows["free"].update(satisfied=10, violated=0, issued=100, inflight=7)
+    agent._sample()
+    # First sample anchors the cumulative counters: no qos/rate estimate
+    # yet, but inflight is instantaneous and reports immediately.
+    est = agent.estimates()
+    assert "crowd.free.qos" not in est
+    assert "crowd.free.rate" not in est
+    assert est["crowd.free.inflight"] == pytest.approx(7.0)
+
+    crowd.rows["free"].update(satisfied=90, violated=20, issued=600, inflight=3)
+    agent._sample()
+    est = agent.estimates()
+    # 80 satisfied + 20 violated resolved since the anchor -> 0.8.
+    assert est["crowd.free.qos"] == pytest.approx(0.8)
+    # 500 issued over one 0.5 s period -> 1000 req/s.
+    assert est["crowd.free.rate"] == pytest.approx(1000.0)
+    assert est["crowd.free.inflight"] == pytest.approx(5.0)  # mean of 7, 3
+
+
+def test_quiet_period_produces_no_qos_signal():
+    crowd = FakeCrowd()
+    agent = make_agent(crowd, ["crowd.free.qos"])
+    crowd.rows["free"].update(satisfied=50, violated=50, issued=100)
+    agent._sample()
+    agent._sample()  # nothing resolved since the anchor
+    assert "crowd.free.qos" not in agent.estimates()
+
+
+def test_unknown_class_and_missing_crowd_are_ignored():
+    crowd = FakeCrowd()
+    agent = make_agent(crowd, ["crowd.ghost.qos"])
+    agent._sample()
+    assert agent.estimates() == {}
+
+    agent_none = make_agent(None, ["crowd.free.qos"])
+    agent_none._sample()  # no crowd attached: the entry is skipped
+    assert agent_none.estimates() == {}
+
+
+def test_sampling_is_passive_on_real_source():
+    """A live MonitoringAgent sampling a real CrowdSource run changes
+    nothing about the run's outcome."""
+    from repro.crowd import ConstantRate, CrowdAgent, CrowdClass, CrowdSource, ServiceClass
+    from repro.sandbox import HostSpec, LinkSpec, Testbed
+
+    def run(monitored: bool):
+        tb = Testbed(
+            host_specs=[HostSpec("client", 450.0), HostSpec("server", 450.0)],
+            link_specs=[LinkSpec("client", "server", 12.5e6, 0.002)],
+            seed=0,
+        )
+        classes = [CrowdClass("open", users=400,
+                              arrivals=ConstantRate(per_user=0.05))]
+        source = CrowdSource(tb.sim, tb.hosts["client"], "server", "crowd.req",
+                             classes, seed=0, horizon=10.0, drain=5.0)
+        CrowdAgent(
+            tb.sim, tb.hosts["server"], "crowd.req",
+            [ServiceClass("open", price=lambda _c: (1e-4, 200.0),
+                          link_weight=8.0)],
+            config_fn=lambda: {}, source=source,
+        )
+        agent = None
+        if monitored:
+            rt = SimpleNamespace(sim=tb.sim, sandboxes={}, finished=None)
+            agent = MonitoringAgent(
+                rt, watch=["crowd.open.qos", "crowd.open.rate"],
+                period=0.5, window=60.0, crowd=source,
+            ).start()
+        tb.run(until=30.0)
+        if agent is not None:
+            agent.stop()
+        return source.stats(), agent
+
+    plain, _ = run(monitored=False)
+    monitored, agent = run(monitored=True)
+    assert plain == monitored
+    est = agent.estimates()
+    assert est["crowd.open.rate"] > 0.0
+    assert 0.0 < est["crowd.open.qos"] <= 1.0

@@ -1,0 +1,136 @@
+"""Tests for AggregateFlow: N clients as one lazily-integrated fluid job."""
+
+import pytest
+
+from repro.sim import AggregateFlow, FluidShare, Simulator
+
+
+def test_single_flow_drains_all_added_work():
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu)
+    flow.add(50.0)
+    sim.run()
+    assert flow.idle
+    assert flow.drained() == pytest.approx(50.0)
+    assert flow.pending() == 0.0
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_top_up_extends_standing_job_exactly():
+    """add() while the job is live folds into it without losing progress."""
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu)
+    flow.add(100.0)
+
+    def topper():
+        yield sim.timeout(0.5)  # job half done
+        flow.add(100.0)
+
+    sim.process(topper())
+    sim.run()
+    assert flow.drained() == pytest.approx(200.0)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_resubmit_after_completion_folds_prior_generations():
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu)
+    flow.add(30.0)
+    sim.run()
+    assert flow.idle and flow.drained() == pytest.approx(30.0)
+    flow.add(70.0)  # opens a new generation; prior total must carry
+    sim.run()
+    assert flow.drained() == pytest.approx(100.0)
+    assert flow.idle
+
+
+def test_weighted_flow_squeezes_unit_job_like_n_clients():
+    """weight=3 against a unit job splits capacity 75/25."""
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu, weight=3.0)
+    flow.add(150.0)
+    unit = cpu.submit(work=50.0, weight=1.0)
+    sim.run()
+    # Both run the whole time: 75/s vs 25/s -> both end at t=2.
+    assert unit.done.value == pytest.approx(2.0)
+    assert flow.drained() == pytest.approx(150.0)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_set_rate_caps_service():
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu, cap=20.0)
+    flow.add(40.0)
+    sim.run()
+    assert sim.now == pytest.approx(2.0)
+    flow.set_rate(None)
+    flow.add(40.0)
+    sim.run()
+    assert sim.now == pytest.approx(2.4)
+
+
+def test_drained_is_a_passive_projection():
+    """Reading progress mid-run must not perturb completion times."""
+    def run(probe: bool):
+        sim = Simulator()
+        cpu = FluidShare(sim, speed=100.0)
+        flow = AggregateFlow(cpu)
+        flow.add(100.0)
+        contender = cpu.submit(work=100.0)
+        reads = []
+
+        def prober():
+            while not flow.idle:
+                reads.append((sim.now, flow.drained(), flow.pending()))
+                yield sim.timeout(0.1)
+
+        if probe:
+            sim.process(prober())
+        sim.run()
+        return flow.drained(), contender.done.value, reads
+
+    drained_plain, done_plain, _ = run(probe=False)
+    drained_probed, done_probed, reads = run(probe=True)
+    assert drained_probed == drained_plain
+    assert done_probed == done_plain
+    # The projection itself is exact: equal shares -> 50/s for this flow.
+    for t, drained, pending in reads:
+        assert drained == pytest.approx(min(50.0 * t, 100.0))
+        assert drained + pending == pytest.approx(100.0)
+
+
+def test_cancel_keeps_served_total():
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu)
+    flow.add(100.0)
+
+    def canceller():
+        yield sim.timeout(0.25)  # 25 units served
+        flow.cancel()
+
+    sim.process(canceller())
+    sim.run()
+    assert flow.idle
+    assert flow.drained() == pytest.approx(25.0)
+    assert flow.pending() == 0.0
+    # The flow is reusable after a cancel.
+    flow.add(10.0)
+    sim.run()
+    assert flow.drained() == pytest.approx(35.0)
+
+
+def test_zero_and_negative_add_are_noops():
+    sim = Simulator()
+    cpu = FluidShare(sim, speed=100.0)
+    flow = AggregateFlow(cpu)
+    flow.add(0.0)
+    flow.add(-5.0)
+    assert flow.idle
+    sim.run()
+    assert flow.drained() == 0.0
