@@ -46,6 +46,8 @@ OBSERVABILITY_RULES: Dict[str, str] = {
     "(the span can never be finished)",
     "OBS103": "bare wall-clock read in runtime/sim/faults code without a "
     "host-side-telemetry allow annotation",
+    "OBS104": "mutating kernel/runtime call inside a read-only inspector "
+    "accessor (repro.obs.interactive)",
 }
 
 #: Allow-annotation aliasing: an inline ``# repro: allow[X]`` naming any
@@ -61,6 +63,28 @@ ALLOW_SATISFIES: Dict[str, frozenset] = {
 #: Directory fragments whose files must not print directly: these modules
 #: run inside the simulation and own the structured-trace contract.
 _OBS_GATED = ("repro/runtime/", "repro/sim/", "repro/faults/")
+
+#: Files whose ``*Inspector*`` classes carry the read-only contract
+#: (OBS104): every accessor must leave the run byte-identical, so none
+#: may call a mutating kernel/runtime API.
+_OBS104_GATED = ("repro/obs/interactive",)
+
+#: Method names that mutate simulation, runtime, or recorder state when
+#: called on *any* receiver — scheduling events, moving fluid-share
+#: clocks, steering the controller, closing accounting windows, or
+#: writing metrics.  Passive counterparts (``peek``, ``served_now``,
+#: ``summary``, ``estimates``, ``stats``, ``totals``) are the inspector
+#: vocabulary.  ``schedule*`` is matched by prefix.
+_OBS104_MUTATING = frozenset({
+    "set_speed", "set_weight", "set_cap", "set_limits", "set_config",
+    "send", "succeed", "fail", "interrupt", "submit", "cancel", "put",
+    "timeout", "process", "step", "run",
+    "sync", "snapshot", "utilization_since",
+    "select", "select_initial", "retarget", "force_config",
+    "resume_normal", "attach", "detach", "bind", "unbind",
+    "install", "inject", "crash", "restore", "finalize", "finish",
+    "inc", "observe", "begin", "end", "instant",
+})
 
 #: Canonical call targets that read wall clocks.
 _WALLCLOCK = {
@@ -436,6 +460,13 @@ class ObservabilityVisitor(ast.NodeVisitor):
     ... telemetry``, which satisfies OBS103 too (see
     :data:`ALLOW_SATISFIES`); an *unannotated* read is flagged even
     where plain DET101 linting is not running.
+
+    **OBS104** (gated to ``repro/obs/interactive``): methods of
+    ``*Inspector*`` classes are the read-only surface of the interactive
+    context — stepped runs with inspection must stay byte-identical to
+    uninterrupted ones, so no accessor may call a mutating kernel or
+    runtime API (``set_speed``, ``send``, ``succeed``, ``schedule*``,
+    ``sync``, ``select``, ...).
     """
 
     def __init__(self, path: str):
@@ -444,12 +475,17 @@ class ObservabilityVisitor(ast.NodeVisitor):
         self.aliases = _Aliases()
         norm = path.replace("\\", "/")
         self._gated = any(fragment in norm for fragment in _OBS_GATED)
+        self._inspector_gated = any(
+            fragment in norm for fragment in _OBS104_GATED
+        )
 
     def run(self, tree: ast.AST) -> List[Finding]:
         if self._gated:
             self.aliases.collect(tree)
             self.visit(tree)
         self._check_leaked_spans(tree)
+        if self._inspector_gated:
+            self._check_inspectors(tree)
         return self.findings
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -534,6 +570,43 @@ class ObservabilityVisitor(ast.NodeVisitor):
                     child.__class__.__name__ == "match_case"
                 ):
                     stack.append(child)
+
+    # -- OBS104: mutating calls in inspector accessors ------------------
+    def _check_inspectors(self, tree: ast.AST) -> None:
+        """Inspector classes in gated files must stay strictly passive.
+
+        Any ``<receiver>.<mutator>(...)`` call inside a class whose name
+        contains ``Inspector`` is flagged: the receiver could be the
+        simulator, a fluid share, the controller, or the recorder, and
+        one mutating call breaks the inspection byte-identity guarantee
+        (see :mod:`repro.obs.interactive`).  ``schedule*`` names match by
+        prefix so new kernel scheduling entry points are covered.
+        """
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef) or "Inspector" not in cls.name:
+                continue
+            for node in ast.walk(cls):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                attr = node.func.attr
+                if attr in _OBS104_MUTATING or attr.startswith("schedule"):
+                    self.findings.append(
+                        Finding(
+                            rule="OBS104",
+                            path=self.path,
+                            line=getattr(node, "lineno", 0),
+                            col=getattr(node, "col_offset", 0) + 1,
+                            message=f"mutating call .{attr}(...) inside "
+                            f"read-only inspector class {cls.name!r}",
+                            hint="inspectors must use passive reads only "
+                            "(peek/served_now/summary/estimates/stats); "
+                            "mutations belong on InteractiveContext "
+                            "interventions",
+                        )
+                    )
 
     def _flag_leak(self, node: ast.AST, message: str) -> None:
         self.findings.append(

@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli diff chaos chaos --seed-b 1  # first divergence
     python -m repro.cli report chaos --out report.html  # HTML report
     python -m repro.cli perf chaos --flame  # kernel flamegraph (folded)
+    python -m repro.cli dash fig5-sweep chaos recovery  # fleet dashboard
     python -m repro.cli bench check   # compare benchmarks vs baselines
     python -m repro.cli sweep toy --jobs 4   # standalone sweep engine run
 """
@@ -143,7 +144,9 @@ def main(argv: List[str] = None) -> int:
         from .analysis.check_cli import check_main
 
         return check_main(argv[1:])
-    if argv and argv[0] in ("trace", "metrics", "usage", "diff", "report", "perf"):
+    if argv and argv[0] in (
+        "trace", "metrics", "usage", "diff", "report", "perf", "dash"
+    ):
         # Likewise the observability CLI.
         from .obs.cli import obs_main
 
@@ -168,7 +171,7 @@ def main(argv: List[str] = None) -> int:
         nargs="+",
         help="figure names (fig3a..fig7cd, exp1..exp3, chaos, recovery, crowd, "
         "ablation-a1..a5), 'lint', 'check', 'trace', 'metrics', 'usage', "
-        "'diff', 'report', 'perf', 'bench', 'sweep', 'list', or 'all'",
+        "'diff', 'report', 'perf', 'dash', 'bench', 'sweep', 'list', or 'all'",
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--out", type=Path, default=None, help="artifact directory")

@@ -31,8 +31,9 @@ from .common import (
     viz_preference,
 )
 from .fig6 import EXP1_COSTS, fig6a_database
+from .scene import Scene
 
-__all__ = ["run_chaos", "DEFAULT_FAULT_SPEC", "DEFAULT_VARIATIONS"]
+__all__ = ["build_chaos", "run_chaos", "DEFAULT_FAULT_SPEC", "DEFAULT_VARIATIONS"]
 
 #: The scripted fault schedule: a server crash window, a full client-server
 #: partition, and a lossy/laggy spell on the monitoring exchange traffic.
@@ -59,7 +60,7 @@ DEFAULT_VARIATIONS: Tuple[Tuple[float, float], ...] = (
 )
 
 
-def run_chaos(
+def build_chaos(
     seed: int = 0,
     n_images: int = 8,
     fault_spec: Optional[Dict] = None,
@@ -71,11 +72,14 @@ def run_chaos(
     supervise: bool = False,
     tiebreak=None,
     profiler=None,
-) -> Tuple[FigureResult, Dict]:
-    """Run the adaptive visualization app through a fault schedule.
+) -> Scene:
+    """Construct the chaos scenario without running it.
 
-    Returns the rendered figure plus a JSON-friendly trajectory payload
-    (written to ``benchmarks/out/chaos.json`` by the benchmark harness).
+    Performs every construction statement of :func:`run_chaos` in the
+    original order (this order is byte-identity-gated by ``bench_chaos``)
+    and returns a :class:`~repro.experiments.scene.Scene` whose
+    ``finalize()`` produces the figure + payload once the sim has been
+    driven to ``until``.
 
     With ``detect_races`` the run is instrumented by
     :class:`repro.analysis.RaceDetector`: every host mailbox and the
@@ -195,11 +199,32 @@ def run_chaos(
 
     if variations:
         testbed.sim.process(vary())
-    testbed.run(until=until)
-    testbed.shutdown()
-    if not rt.finished.triggered:
-        raise RuntimeError(f"chaos run did not finish by t={until}")
 
+    def _finalize():
+        testbed.shutdown()
+        if not rt.finished.triggered:
+            raise RuntimeError(f"chaos run did not finish by t={until}")
+        return _summarize_chaos(
+            plan=plan, seed=seed, n_images=n_images, variations=variations,
+            injector=injector, controller=controller, rt=rt,
+            workload=workload, testbed=testbed,
+            client_ex=client_ex, server_ex=server_ex, detector=detector,
+            usage=usage, recorder=recorder, profiler=profiler,
+        )
+
+    return Scene(
+        name="chaos", seed=seed, until=until, testbed=testbed,
+        finalize=_finalize, rt=rt, controller=controller, workload=workload,
+        injector=injector, supervisor=supervisor,
+        client_exchange=client_ex, server_exchange=server_ex,
+        recorder=recorder, usage=usage, profiler=profiler,
+    )
+
+
+def _summarize_chaos(
+    plan, seed, n_images, variations, injector, controller, rt, workload,
+    testbed, client_ex, server_ex, detector, usage, recorder, profiler,
+) -> Tuple[FigureResult, Dict]:
     payload = {
         "experiment": "chaos",
         "seed": seed,
@@ -265,3 +290,34 @@ def run_chaos(
         result.note(f"{kind} events: {kinds.count(kind)}")
     result.note(f"final config: {payload['final_config']}")
     return result, payload
+
+
+def run_chaos(
+    seed: int = 0,
+    n_images: int = 8,
+    fault_spec: Optional[Dict] = None,
+    variations: Tuple[Tuple[float, float], ...] = DEFAULT_VARIATIONS,
+    until: float = 2000.0,
+    detect_races: bool = False,
+    recorder=None,
+    usage=None,
+    supervise: bool = False,
+    tiebreak=None,
+    profiler=None,
+) -> Tuple[FigureResult, Dict]:
+    """Run the adaptive visualization app through a fault schedule.
+
+    Returns the rendered figure plus a JSON-friendly trajectory payload
+    (written to ``benchmarks/out/chaos.json`` by the benchmark harness).
+    Construction, run, and summary are :func:`build_chaos` +
+    ``testbed.run`` + ``Scene.finalize`` — see that function for what the
+    instrumentation/`supervise`/`tiebreak` knobs do.
+    """
+    scene = build_chaos(
+        seed=seed, n_images=n_images, fault_spec=fault_spec,
+        variations=variations, until=until, detect_races=detect_races,
+        recorder=recorder, usage=usage, supervise=supervise,
+        tiebreak=tiebreak, profiler=profiler,
+    )
+    scene.testbed.run(until=until)
+    return scene.finalize()

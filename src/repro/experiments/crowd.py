@@ -57,8 +57,10 @@ from .common import (
 )
 from .fig6 import EXP1_COSTS, fig6a_database
 from .recovery import CHEAP_CONFIG
+from .scene import Scene
 
 __all__ = [
+    "build_crowd",
     "run_crowd",
     "run_crowd_figure",
     "crowd_cell",
@@ -166,7 +168,7 @@ def _crowd_classes(
     return [bulk, premium], service
 
 
-def run_crowd(
+def build_crowd(
     seed: int = 0,
     scenario: str = "diurnal",
     users: Optional[int] = None,
@@ -176,11 +178,13 @@ def run_crowd(
     usage=None,
     profiler=None,
     tiebreak=None,
-) -> Tuple[FigureResult, Dict]:
-    """Run one crowd scenario; returns (figure, JSON-friendly payload).
+) -> Scene:
+    """Construct one crowd scenario without running it.
 
-    ``recorder``/``usage``/``profiler`` are strictly passive, as in
-    ``run_chaos`` — the payload is byte-identical with or without them.
+    Performs every construction statement of :func:`run_crowd` in the
+    original order (byte-identity-gated by ``bench_crowd``) and returns a
+    :class:`~repro.experiments.scene.Scene` whose ``finalize()`` produces
+    the figure + payload once the sim reaches ``until``.
     """
     if scenario not in DEFAULT_USERS:
         raise ValueError(
@@ -287,9 +291,31 @@ def run_crowd(
         usage=usage, recorder=recorder, profiler=profiler,
     )
 
-    testbed.run(until=until)
-    testbed.shutdown()
+    def _finalize():
+        testbed.shutdown()
+        return _summarize_crowd(
+            scenario=scenario, seed=seed, users=users, until=until,
+            n_images=n_images, controller=controller, rt=rt,
+            workload=workload, testbed=testbed, source=source, guard=guard,
+            brownout_ctl=brownout_ctl, baseline_stats=baseline_stats,
+            client_ex=client_ex, server_ex=server_ex,
+            usage=usage, recorder=recorder, profiler=profiler,
+        )
 
+    return Scene(
+        name="crowd", seed=seed, until=until, testbed=testbed,
+        finalize=_finalize, rt=rt, controller=controller, workload=workload,
+        guard=guard, brownout=brownout_ctl, crowd=source,
+        client_exchange=client_ex, server_exchange=server_ex,
+        recorder=recorder, usage=usage, profiler=profiler,
+    )
+
+
+def _summarize_crowd(
+    scenario, seed, users, until, n_images, controller, rt, workload,
+    testbed, source, guard, brownout_ctl, baseline_stats, client_ex,
+    server_ex, usage, recorder, profiler,
+) -> Tuple[FigureResult, Dict]:
     payload: Dict = {
         "experiment": "crowd",
         "scenario": scenario,
@@ -378,6 +404,33 @@ def run_crowd(
             result.note(f"brownout window: {t0:.1f}s .. {t1s}s")
     result.note(f"final config: {payload['final_config']}")
     return result, payload
+
+
+def run_crowd(
+    seed: int = 0,
+    scenario: str = "diurnal",
+    users: Optional[int] = None,
+    until: float = 120.0,
+    n_images: Optional[int] = None,
+    recorder=None,
+    usage=None,
+    profiler=None,
+    tiebreak=None,
+) -> Tuple[FigureResult, Dict]:
+    """Run one crowd scenario; returns (figure, JSON-friendly payload).
+
+    ``recorder``/``usage``/``profiler`` are strictly passive, as in
+    ``run_chaos`` — the payload is byte-identical with or without them.
+    Construction, run, and summary are :func:`build_crowd` +
+    ``testbed.run`` + ``Scene.finalize``.
+    """
+    scene = build_crowd(
+        seed=seed, scenario=scenario, users=users, until=until,
+        n_images=n_images, recorder=recorder, usage=usage,
+        profiler=profiler, tiebreak=tiebreak,
+    )
+    scene.testbed.run(until=until)
+    return scene.finalize()
 
 
 def crowd_cell(payload: Mapping, seed: int) -> Dict:

@@ -11,7 +11,7 @@ client-side rendering dominating.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..apps.visualization import VizCosts, VizWorkload, make_viz_app
 from ..exec import AppSpec, default_engine
@@ -21,10 +21,27 @@ from ..profiling import (
     ResourcePoint,
     vary_one_plan,
 )
+from ..sandbox import ResourceLimits, Testbed
 from ..tunable import Configuration
-from .common import FigureResult
+from .common import (
+    FigureResult,
+    attach_instrumentation,
+    build_viz_controller,
+    detach_instrumentation,
+    start_estimate_exchanges,
+)
+from .scene import Scene
 
-__all__ = ["EXP3_COSTS", "EXP3_BW", "run_fig5", "fig5_database", "exp3_workload"]
+__all__ = [
+    "EXP3_COSTS",
+    "EXP3_BW",
+    "run_fig5",
+    "fig5_database",
+    "exp3_workload",
+    "build_fig5_session",
+    "run_fig5_session",
+    "DEFAULT_SESSION_VARIATIONS",
+]
 
 #: Experiment-3 calibration: rendering cost placed so that the 1 s
 #: response bound separates the fovea sizes the way the paper reports —
@@ -95,6 +112,180 @@ def fig5_database(
     plan = vary_one_plan(dims, "client.cpu", base)
     db = driver.profile(configs=configs, plan=plan, engine=engine)
     return db, dims, configs
+
+
+#: CPU-share steps of the single adaptive Experiment-3 session: a drop to
+#: the 40 % regime (where fovea 320 and 160 both miss the response bound,
+#: per the EXP3 calibration above — the scheduler re-picks 80) and a late
+#: recovery that lets adaptation switch back up.
+DEFAULT_SESSION_VARIATIONS: Tuple[Tuple[float, float], ...] = (
+    (20.0, 0.4),
+    (60.0, 0.9),
+)
+
+
+def build_fig5_session(
+    seed: int = 0,
+    n_images: int = 30,
+    variations: Tuple[Tuple[float, float], ...] = DEFAULT_SESSION_VARIATIONS,
+    until: float = 2000.0,
+    recorder=None,
+    usage=None,
+    profiler=None,
+    tiebreak=None,
+) -> Scene:
+    """Construct one adaptive Experiment-3 session without running it.
+
+    The fig5 *figure* is a profiling sweep (many independent testbeds);
+    this is its adaptive counterpart — a single fovea-rendering session
+    over the fig5 performance database whose client CPU share steps
+    through ``variations``, so the monitor sees the drop, the response
+    bound breaks, and the scheduler re-picks the fovea size exactly as
+    the Fig. 5 curves predict.  Scenario of choice for the interactive
+    context: short, fault-free, one clean violation -> re-selection ->
+    recovery arc (fovea 320 -> 80 at the drop, back to 320 after).
+    """
+    from ..runtime import Objective, UserPreference
+    from ..tunable import MetricRange
+
+    db, _dims, _configs = fig5_database(seed=seed)
+    # The paper's Experiment-3 preference: minimize transmission time
+    # subject to the 1 s round-response bound that separates the fovea
+    # sizes (see EXP3_COSTS above and run_experiment3 in fig7).
+    preference = UserPreference.single(
+        Objective("transmit_time", "minimize"),
+        [MetricRange("response_time", hi=1.0)],
+    )
+    initial_point = ResourcePoint(
+        {"client.cpu": 0.9, "client.network": EXP3_BW}
+    )
+
+    app = make_viz_app()
+    _scheduler, controller = build_viz_controller(
+        app, db, preference, recorder=recorder
+    )
+    config = controller.select_initial(initial_point).config
+
+    testbed = Testbed(
+        host_specs=app.env.host_specs(), link_specs=app.env.link_specs(),
+        seed=seed, tiebreak=tiebreak,
+    )
+    workload = VizWorkload(n_images=n_images, costs=EXP3_COSTS, seed=seed)
+    rt = app.instantiate(
+        testbed,
+        config,
+        limits={"client": ResourceLimits(cpu_share=0.9, net_bw=EXP3_BW)},
+        workload=workload,
+    )
+    controller.attach(rt)
+    server_agent, client_ex, server_ex = start_estimate_exchanges(rt, controller)
+
+    attach_instrumentation(
+        testbed.sim, testbed, config,
+        usage=usage, recorder=recorder, profiler=profiler,
+    )
+
+    def vary():
+        for at, share in variations:
+            yield testbed.sim.timeout(at - testbed.sim.now)
+            rt.sandboxes["client"].set_limits(
+                ResourceLimits(cpu_share=share, net_bw=EXP3_BW)
+            )
+
+    if variations:
+        testbed.sim.process(vary())
+
+    def _finalize():
+        testbed.shutdown()
+        if not rt.finished.triggered:
+            raise RuntimeError(f"fig5 session did not finish by t={until}")
+        return _summarize_fig5_session(
+            seed=seed, n_images=n_images, variations=variations,
+            controller=controller, rt=rt, workload=workload, testbed=testbed,
+            client_ex=client_ex, server_ex=server_ex,
+            usage=usage, recorder=recorder, profiler=profiler,
+        )
+
+    return Scene(
+        name="fig5", seed=seed, until=until, testbed=testbed,
+        finalize=_finalize, rt=rt, controller=controller, workload=workload,
+        client_exchange=client_ex, server_exchange=server_ex,
+        recorder=recorder, usage=usage, profiler=profiler,
+    )
+
+
+def _summarize_fig5_session(
+    seed, n_images, variations, controller, rt, workload, testbed,
+    client_ex, server_ex, usage, recorder, profiler,
+) -> Tuple[FigureResult, Dict]:
+    payload: Dict = {
+        "experiment": "fig5_session",
+        "seed": seed,
+        "n_images": n_images,
+        "variations": [[at, share] for at, share in variations],
+        "events": [
+            {
+                "t": e.time,
+                "kind": e.kind,
+                "config": e.config.label() if e.config is not None else None,
+            }
+            for e in controller.events
+        ],
+        "switches": [
+            {"t": t, "from": old.label(), "to": new.label()}
+            for t, old, new in rt.controls.history
+        ],
+        "final_config": rt.controls.current.label(),
+        "qos": rt.qos.snapshot(),
+        "image_times": [[t, d] for t, d in workload.image_times],
+        "network": {
+            "delivered": testbed.network.messages_delivered,
+            "lost": testbed.network.messages_lost,
+        },
+        "exchange": {
+            "client_updates_received": client_ex.updates_received,
+            "server_updates_received": server_ex.updates_received,
+        },
+        "total_time": workload.image_times[-1][0] if workload.image_times else 0.0,
+    }
+    detach_instrumentation(usage=usage, recorder=recorder, profiler=profiler)
+
+    result = FigureResult(
+        figure="Fig 5 session",
+        title="Adaptive fovea selection as client CPU share steps",
+        xlabel="time (s)",
+        ylabel="image transmission time (s)",
+    )
+    series = result.new_series("adaptive session")
+    for t, duration in workload.image_times:
+        series.add(t, duration)
+    for at, share in variations:
+        result.note(f"t={at:.1f}s: client CPU share -> {share:g}")
+    for switch in payload["switches"]:
+        result.note(
+            f"t={switch['t']:.1f}s: switched {switch['from']} -> {switch['to']}"
+        )
+    result.note(f"final config: {payload['final_config']}")
+    return result, payload
+
+
+def run_fig5_session(
+    seed: int = 0,
+    n_images: int = 30,
+    variations: Tuple[Tuple[float, float], ...] = DEFAULT_SESSION_VARIATIONS,
+    until: float = 2000.0,
+    recorder=None,
+    usage=None,
+    profiler=None,
+    tiebreak=None,
+) -> Tuple[FigureResult, Dict]:
+    """Run the adaptive Experiment-3 session (see :func:`build_fig5_session`)."""
+    scene = build_fig5_session(
+        seed=seed, n_images=n_images, variations=variations, until=until,
+        recorder=recorder, usage=usage, profiler=profiler, tiebreak=tiebreak,
+    )
+    scene.testbed.run(until=until)
+    return scene.finalize()
 
 
 def run_fig5(seed: int = 0, engine=None) -> Tuple[FigureResult, FigureResult]:

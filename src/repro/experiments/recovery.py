@@ -56,8 +56,10 @@ from .common import (
     viz_preference,
 )
 from .fig6 import EXP1_COSTS, fig6a_database
+from .scene import Scene
 
 __all__ = [
+    "build_recovery",
     "run_recovery",
     "DEFAULT_RECOVERY_FAULTS",
     "DEFAULT_CROWD",
@@ -95,7 +97,7 @@ DEFAULT_CROWD: Dict = {
 CHEAP_CONFIG = {"dR": 320, "c": "lzw", "l": 3}
 
 
-def run_recovery(
+def build_recovery(
     seed: int = 0,
     n_images: int = 14,
     fault_spec: Optional[Dict] = None,
@@ -110,13 +112,13 @@ def run_recovery(
     usage=None,
     tiebreak=None,
     profiler=None,
-) -> Tuple[FigureResult, Dict]:
-    """Run the adaptive visualization app through crashes and a flash crowd.
+) -> Scene:
+    """Construct the recovery scenario without running it.
 
-    Returns the rendered figure plus a JSON-friendly payload (availability,
-    MTTR records, failover latencies, shed/served accounting, and the full
-    adaptation trajectory).  Two same-seed runs produce byte-identical
-    payloads.
+    Performs every construction statement of :func:`run_recovery` in the
+    original order (byte-identity-gated by ``bench_recovery``) and returns
+    a :class:`~repro.experiments.scene.Scene` whose ``finalize()``
+    produces the figure + payload once the sim reaches ``until``.
 
     ``supervise=False`` keeps the service *registry* (kill events still
     route, downtime still accrues) but never restarts anything — the
@@ -336,11 +338,39 @@ def run_recovery(
         usage=usage, recorder=recorder, profiler=profiler,
     )
 
-    testbed.run(until=until)
-    testbed.shutdown()
-    if supervise and not rt.finished.triggered:
-        raise RuntimeError(f"supervised recovery run did not finish by t={until}")
+    def _finalize():
+        testbed.shutdown()
+        if supervise and not rt.finished.triggered:
+            raise RuntimeError(
+                f"supervised recovery run did not finish by t={until}"
+            )
+        return _summarize_recovery(
+            plan=plan, seed=seed, n_images=n_images, crowd=crowd,
+            supervise=supervise, checkpoints=checkpoints, failover=failover,
+            brownout=brownout, supervisor=supervisor, injector=injector,
+            controller=controller, rt=rt, workload=workload, testbed=testbed,
+            guard=guard, brownout_ctl=brownout_ctl,
+            member_client=member_client, member_server=member_server,
+            crowd_stats=crowd_stats, detector=detector,
+            usage=usage, recorder=recorder, profiler=profiler,
+        )
 
+    return Scene(
+        name="recovery", seed=seed, until=until, testbed=testbed,
+        finalize=_finalize, rt=rt, controller=controller, workload=workload,
+        injector=injector, supervisor=supervisor, guard=guard,
+        brownout=brownout_ctl,
+        client_exchange=client_ex, server_exchange=server_ex,
+        recorder=recorder, usage=usage, profiler=profiler,
+    )
+
+
+def _summarize_recovery(
+    plan, seed, n_images, crowd, supervise, checkpoints, failover, brownout,
+    supervisor, injector, controller, rt, workload, testbed, guard,
+    brownout_ctl, member_client, member_server, crowd_stats, detector,
+    usage, recorder, profiler,
+) -> Tuple[FigureResult, Dict]:
     # Accounting horizon: the teardown instant when the app finished (the
     # supervisor recorded it in shutdown()); for unsupervised runs that never
     # fire shutdown, fall back to the simulated clock.
@@ -455,3 +485,39 @@ def run_recovery(
     )
     result.note(f"final config: {payload['final_config']}")
     return result, payload
+
+
+def run_recovery(
+    seed: int = 0,
+    n_images: int = 14,
+    fault_spec: Optional[Dict] = None,
+    crowd_spec: Optional[Dict] = None,
+    supervise: bool = True,
+    checkpoints: bool = True,
+    failover: bool = True,
+    brownout: bool = True,
+    until: float = 400.0,
+    detect_races: bool = False,
+    recorder=None,
+    usage=None,
+    tiebreak=None,
+    profiler=None,
+) -> Tuple[FigureResult, Dict]:
+    """Run the adaptive visualization app through crashes and a flash crowd.
+
+    Returns the rendered figure plus a JSON-friendly payload (availability,
+    MTTR records, failover latencies, shed/served accounting, and the full
+    adaptation trajectory).  Two same-seed runs produce byte-identical
+    payloads.  Construction, run, and summary are :func:`build_recovery`
+    + ``testbed.run`` + ``Scene.finalize`` — see that function for the
+    mode/instrumentation knobs.
+    """
+    scene = build_recovery(
+        seed=seed, n_images=n_images, fault_spec=fault_spec,
+        crowd_spec=crowd_spec, supervise=supervise, checkpoints=checkpoints,
+        failover=failover, brownout=brownout, until=until,
+        detect_races=detect_races, recorder=recorder, usage=usage,
+        tiebreak=tiebreak, profiler=profiler,
+    )
+    scene.testbed.run(until=until)
+    return scene.finalize()

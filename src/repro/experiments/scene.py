@@ -1,0 +1,92 @@
+"""Build/finalize split for steppable experiment scenarios.
+
+The experiment modules historically constructed, ran, and summarized a
+scenario in one monolithic function.  The interactive context
+(:mod:`repro.obs.interactive`) needs to *pause* between those stages —
+construct everything, hand the simulator to the user for ``step()`` /
+``run_until()`` driving, then produce the exact same payload at the end.
+
+A :class:`Scene` is the contract between the two: ``build_<name>()``
+performs every construction statement of the original ``run_<name>()``
+in the original order (this is byte-identity-gated by the chaos/recovery
+/crowd benchmarks), and stores a ``finalize`` closure holding everything
+that used to follow ``testbed.run(...)``.  ``run_<name>()`` is then just
+
+    scene = build_<name>(...)
+    scene.testbed.run(until=scene.until)
+    return scene.finalize()
+
+so the monolithic entry points stay bit-for-bit compatible while the
+interactive context can drive the middle leg one event at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["Scene"]
+
+
+class Scene:
+    """A constructed-but-not-yet-run experiment scenario.
+
+    Attributes are discovery points for inspectors; any of them may be
+    ``None`` when the scenario does not use that subsystem.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        until: float,
+        testbed,
+        finalize: Callable[[], Tuple[Any, Dict]],
+        rt=None,
+        controller=None,
+        workload=None,
+        injector=None,
+        supervisor=None,
+        guard=None,
+        brownout=None,
+        client_exchange=None,
+        server_exchange=None,
+        crowd=None,
+        recorder=None,
+        usage=None,
+        profiler=None,
+    ):
+        self.name = name
+        self.seed = seed
+        #: Default run horizon; ``finalize`` assumes the sim has reached a
+        #: state equivalent to ``testbed.run(until=self.until)``.
+        self.until = until
+        self.testbed = testbed
+        self.rt = rt
+        self.controller = controller
+        self.workload = workload
+        self.injector = injector
+        self.supervisor = supervisor
+        self.guard = guard
+        self.brownout = brownout
+        self.client_exchange = client_exchange
+        self.server_exchange = server_exchange
+        self.crowd = crowd
+        self.recorder = recorder
+        self.usage = usage
+        self.profiler = profiler
+        self._finalize = finalize
+        self.result: Optional[Tuple[Any, Dict]] = None
+
+    @property
+    def sim(self):
+        return self.testbed.sim
+
+    @property
+    def finalized(self) -> bool:
+        return self.result is not None
+
+    def finalize(self) -> Tuple[Any, Dict]:
+        """Tear down and summarize; idempotent (the payload is cached)."""
+        if self.result is None:
+            self.result = self._finalize()
+        return self.result

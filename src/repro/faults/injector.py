@@ -73,6 +73,31 @@ class FaultInjector:
                 )
         return self
 
+    def inject(self, plan: FaultPlan) -> "FaultInjector":
+        """Merge an additional plan fragment mid-flight.
+
+        Unlike :meth:`install` (one plan per run, scheduled up front) this
+        extends the live injector: the fragment's message rules join the
+        per-message gate and its scheduled faults are armed relative to the
+        current sim time.  Used by interactive interventions — the fragment
+        becomes part of the run's deterministic history (same callbacks,
+        same ``"faults"`` RNG stream), so replaying the same fragment at the
+        same virtual time reproduces the run bit-exactly.
+        """
+        if self.plan is None:
+            return self.install(plan)
+        self.rules.extend(plan.rules)
+        now = self.sim.now
+        for fault in plan.schedule:
+            self.sim.schedule_callback(
+                max(0.0, fault.at - now), lambda f=fault: self._apply(f)
+            )
+            if fault.until is not None:
+                self.sim.schedule_callback(
+                    max(0.0, fault.until - now), lambda f=fault: self._recover(f)
+                )
+        return self
+
     def _record(self, action: str, fault: ScheduledFault) -> None:
         entry = {"t": self.sim.now, "action": action}
         if fault.host is not None:

@@ -23,10 +23,25 @@ from .metrics import (
     MetricsRegistry,
     TimeSeries,
 )
+from .dash import (
+    dashboard_cell,
+    dashboard_cell_from_context,
+    dashboard_cell_from_run,
+    load_store_cells,
+    render_dashboard,
+)
 from .diff import DiffResult, diff_metrics, diff_traces, structural_keys
+from .interactive import (
+    SCENARIOS,
+    InteractiveContext,
+    ScenarioInspector,
+    register_scenario,
+    replay,
+)
 from .perf import KernelProfiler, to_chrome_profile, to_folded
 from .query import adaptation_chains, chain, dwell_times, timeline
 from .record import ObsError, SpanRecord, TraceRecorder
+from .report import render_comparison, render_report
 from .usage import UsageAccountant, owner_label
 
 __all__ = [
@@ -34,22 +49,34 @@ __all__ = [
     "DiffResult",
     "Gauge",
     "Histogram",
+    "InteractiveContext",
     "KernelProfiler",
     "MetricError",
     "MetricsRegistry",
     "ObsError",
+    "SCENARIOS",
+    "ScenarioInspector",
     "SpanRecord",
     "TimeSeries",
     "TraceRecorder",
     "UsageAccountant",
     "adaptation_chains",
     "chain",
+    "dashboard_cell",
+    "dashboard_cell_from_context",
+    "dashboard_cell_from_run",
     "diff_metrics",
     "diff_traces",
     "dwell_times",
     "from_jsonl",
+    "load_store_cells",
     "ordered",
     "owner_label",
+    "register_scenario",
+    "render_comparison",
+    "render_dashboard",
+    "render_report",
+    "replay",
     "structural_keys",
     "summary",
     "timeline",

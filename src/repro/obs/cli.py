@@ -16,6 +16,7 @@ Runs a traced experiment and renders what the recorder captured::
     python -m repro.cli perf chaos              # kernel cost buckets
     python -m repro.cli perf chaos --flame      # collapsed-stack folded
     python -m repro.cli perf fig5 --json        # full profile summary
+    python -m repro.cli dash fig5-sweep chaos recovery --out fleet.html
 
 Everything printed is a pure function of ``(experiment, seed)``: traced
 runs are byte-identical to untraced ones, and the trace itself is
@@ -65,6 +66,12 @@ def _run_fig5(seed: int, recorder=None, usage=None, profiler=None) -> None:
     fig5_database(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
 
 
+def _run_fig5sess(seed: int, recorder=None, usage=None, profiler=None) -> None:
+    from ..experiments.fig5 import run_fig5_session
+
+    run_fig5_session(seed=seed, recorder=recorder, usage=usage, profiler=profiler)
+
+
 def _run_fig6a(seed: int, recorder=None, usage=None, profiler=None) -> None:
     from ..experiments.fig6 import fig6a_database
 
@@ -83,6 +90,7 @@ TRACEABLE: Dict[str, Callable] = {
     "recovery": _run_recovery,
     "crowd": _run_crowd,
     "fig5": _run_fig5,
+    "fig5sess": _run_fig5sess,
     "fig6a": _run_fig6a,
     "fig6b": _run_fig6b,
 }
@@ -351,9 +359,144 @@ def _load_side(source: str, seed: int):
     return f"{source}@seed={seed}", recorder.records, recorder.metrics.snapshot()
 
 
+#: Scenarios ``repro dash`` can run traced *with a payload* (the figure
+#: experiments that return ``(figure, payload)`` and accept instrumentation).
+_DASH_RUNNERS: Dict[str, str] = {
+    "fig5sess": "repro.experiments.fig5:run_fig5_session",
+    "chaos": "repro.experiments.chaos:run_chaos",
+    "recovery": "repro.experiments.recovery:run_recovery",
+    "crowd": "repro.experiments.crowd:run_crowd",
+}
+
+#: The built-in ``fig5-sweep`` source: a 2x2 (cpu share x fovea size)
+#: grid of Experiment-3 profiling cells run through the exec engine.
+_FIG5_SWEEP_SHARES = (0.4, 0.9)
+_FIG5_SWEEP_FOVEAS = (80, 160)
+
+
+def _dash_traced_cell(source: str, seed: int):
+    from importlib import import_module
+
+    from .dash import dashboard_cell_from_run
+
+    module_name, _, attr = _DASH_RUNNERS[source].partition(":")
+    runner = getattr(import_module(module_name), attr)
+    recorder = TraceRecorder()
+    usage = UsageAccountant(metrics=recorder.metrics)
+    _fig, payload = runner(seed=seed, recorder=recorder, usage=usage)
+    return dashboard_cell_from_run(
+        f"{source}@seed={seed}", recorder, usage=usage, payload=payload,
+        group=source, seed=seed,
+    )
+
+
+def _fig5_sweep_cells(seed: int, cache: Path, jobs: int) -> List[dict]:
+    """The 2x2 fig5 sweep as result-store cells (cache-backed, parallel)."""
+    from ..exec import AppSpec, JobSpec, ResultStore, SweepEngine
+    from ..exec.profile_jobs import app_spec_payload
+    from ..experiments.fig5 import EXP3_BW
+    from .dash import dashboard_cell
+
+    app_spec = AppSpec(
+        "repro.apps.visualization:make_viz_app",
+        workload="repro.experiments.fig5:exp3_workload",
+        workload_kwargs={"n_images": 2},
+    )
+    labels, specs = [], []
+    for share in _FIG5_SWEEP_SHARES:
+        for fovea in _FIG5_SWEEP_FOVEAS:
+            payload = app_spec_payload(
+                app_spec,
+                config={"dR": fovea, "c": "lzw", "l": 4},
+                point={"client.cpu": share, "client.network": EXP3_BW},
+                mode="ideal",
+                max_run_time=3600.0,
+            )
+            payload["with_usage"] = True
+            labels.append(f"fig5 dR={fovea} cpu={share:g} seed={seed}")
+            specs.append(
+                JobSpec(
+                    kind="repro.exec.profile_jobs:measure_cell",
+                    payload=payload, seed=seed,
+                    key=f"cpu={share:g}/dR={fovea}",
+                )
+            )
+    engine = SweepEngine(jobs=jobs, store=ResultStore(cache))
+    report = engine.run(specs)
+    return [
+        dashboard_cell(
+            label, group="fig5-sweep",
+            payload=report.value(spec.key),
+            usage=next(
+                (r.usage for r in report.outcomes if r.key == spec.key), None
+            ),
+            seed=seed,
+        )
+        for label, spec in zip(labels, specs)
+    ]
+
+
+def _dash_main(argv: List[str]) -> int:
+    """Entry point for ``repro dash <sources...>`` (multi-run dashboard)."""
+    from .dash import load_store_cells, render_dashboard
+
+    parser = argparse.ArgumentParser(
+        prog="repro dash",
+        description="Aggregate N runs/cells into one fleet-dashboard HTML page.",
+    )
+    parser.add_argument(
+        "sources", nargs="+",
+        help="traced experiments (%s), 'fig5-sweep' (2x2 grid via the exec "
+        "engine), or repro.exec result-store directories"
+        % ", ".join(sorted(_DASH_RUNNERS)),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="seed for every run")
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the fig5-sweep source",
+    )
+    parser.add_argument(
+        "--cache", type=Path, default=Path(".repro_cache/dash"),
+        help="result-store directory backing the fig5-sweep source",
+    )
+    parser.add_argument("--title", default=None, help="page title")
+    parser.add_argument(
+        "--out", type=Path, default=Path("fleet_dashboard.html"),
+        help="output HTML file",
+    )
+    args = parser.parse_args(argv)
+
+    cells: List[dict] = []
+    for source in args.sources:
+        if source in _DASH_RUNNERS:
+            cells.append(_dash_traced_cell(source, args.seed))
+        elif source == "fig5-sweep":
+            cells.extend(_fig5_sweep_cells(args.seed, args.cache, args.jobs))
+        elif Path(source).is_dir():
+            store_cells = load_store_cells(source)
+            if not store_cells:
+                raise SystemExit(
+                    f"repro dash: no result-store entries under {source!r}"
+                )
+            cells.extend(store_cells)
+        else:
+            raise SystemExit(
+                f"repro dash: {source!r} is neither a runnable scenario "
+                f"({', '.join(sorted(_DASH_RUNNERS))}), 'fig5-sweep', nor a "
+                "result-store directory"
+            )
+    title = args.title or (
+        f"repro fleet dashboard: {', '.join(args.sources)} (seed {args.seed})"
+    )
+    _write_or_print(render_dashboard(cells, title=title), args.out)
+    return 0
+
+
 def obs_main(argv: List[str]) -> int:
-    """Entry point for ``repro trace|metrics|usage|diff|report ...``."""
+    """Entry point for ``repro trace|metrics|usage|diff|report|dash ...``."""
     mode = argv[0]  # vetted by the dispatcher
+    if mode == "dash":
+        return _dash_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog=f"repro {mode}",
         description="Run an experiment with tracing and render the result.",

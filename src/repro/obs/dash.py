@@ -1,0 +1,440 @@
+"""Multi-run fleet dashboard: N runs/cells on one self-contained page.
+
+``render_dashboard`` aggregates heterogeneous *cells* — traced
+experiment runs, ``repro.exec`` sweep results, or a live
+:class:`~repro.obs.interactive.InteractiveContext` snapshot — into a
+single no-JS HTML page (inline CSS + inline SVG, like
+:mod:`repro.obs.report`): a fleet overview table, QoS/violation heat
+rows across all cells, per-cell adaptation timelines and utilization
+bars, and first-divergence links between run pairs of the same group.
+
+A *cell* is a plain dict (see :func:`dashboard_cell`); builders exist
+for the three sources:
+
+- :func:`dashboard_cell_from_run` — a traced run (records + metrics
+  snapshot + optional usage summary + optional experiment payload);
+- :func:`load_store_cells` — every entry of a ``repro.exec``
+  :class:`~repro.exec.ResultStore` directory (sweep results);
+- :func:`dashboard_cell_from_context` — the mid-flight state of an
+  interactive context (strictly passive: rendering leaves the run
+  byte-identical).
+
+Determinism: the page is a pure function of the cells — no wall clocks,
+no random ids, stable iteration order — so two same-seed builds are
+byte-identical (gated in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .diff import diff_traces, format_key
+from .report import (
+    _CSS,
+    _config_marks,
+    _esc,
+    _fault_events,
+    _fmt,
+    _recovery_events,
+    _series_svg,
+    _timeline_svg,
+    _trace_extent,
+)
+
+__all__ = [
+    "dashboard_cell",
+    "dashboard_cell_from_context",
+    "dashboard_cell_from_run",
+    "load_store_cells",
+    "render_dashboard",
+]
+
+_DASH_CSS = _CSS + """
+.heat { display: flex; gap: 3px; margin: .3em 0; }
+.heat .box { width: 5.2em; height: 1.6em; border: 1px solid #cbd5e1;
+             font-size: .7em; display: flex; align-items: center;
+             justify-content: center; overflow: hidden; }
+.cellgrid { border-left: 3px solid #16213e; padding-left: .8em;
+            margin: 1.2em 0; }
+.util { display: flex; align-items: center; gap: .5em; font-size: .8em; }
+.util .track { background: #f1f5f9; border: 1px solid #e2e8f0;
+               width: 240px; height: 11px; }
+.util .fill { background: #2563eb; height: 11px; }
+"""
+
+
+def dashboard_cell(
+    label: str,
+    group: Optional[str] = None,
+    records: Optional[Sequence] = None,
+    metrics: Optional[dict] = None,
+    usage: Optional[dict] = None,
+    payload: Optional[dict] = None,
+    inspect: Optional[dict] = None,
+    seed: Optional[int] = None,
+) -> dict:
+    """One dashboard cell.  ``group`` scopes the pairwise divergence links."""
+    return {
+        "label": label,
+        "group": group if group is not None else label.split("@")[0].split()[0],
+        "records": list(records) if records is not None else None,
+        "metrics": metrics,
+        "usage": usage,
+        "payload": payload,
+        "inspect": inspect,
+        "seed": seed,
+    }
+
+
+def dashboard_cell_from_run(
+    label: str,
+    recorder,
+    usage=None,
+    payload: Optional[dict] = None,
+    group: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> dict:
+    """Cell from a traced run's :class:`TraceRecorder` (+ accountant)."""
+    return dashboard_cell(
+        label,
+        group=group,
+        records=recorder.records,
+        metrics=recorder.metrics.snapshot(),
+        usage=usage.summary() if usage is not None else None,
+        payload=payload,
+        seed=seed,
+    )
+
+
+def dashboard_cell_from_context(ctx) -> dict:
+    """Mid-flight cell from an :class:`InteractiveContext` (passive)."""
+    recorder = ctx.recorder
+    return dashboard_cell(
+        f"{ctx.scenario}@seed={ctx.seed} t={ctx.now:.3f}",
+        group=ctx.scenario,
+        records=recorder.records if recorder is not None else None,
+        metrics=recorder.metrics.snapshot() if recorder is not None else None,
+        usage=ctx.usage.summary() if ctx.usage is not None else None,
+        payload=ctx.result[1] if ctx.result is not None else None,
+        inspect=ctx.inspect.snapshot(),
+        seed=ctx.seed,
+    )
+
+
+def load_store_cells(root) -> List[dict]:
+    """Cells for every entry of a ``repro.exec`` result-store directory.
+
+    Entries are loaded in sorted cache-key order (the sweep engine's
+    merge order), so the cell list is deterministic for a given store.
+    """
+    root = Path(root)
+    cells: List[dict] = []
+    for path in sorted(root.rglob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        spec = entry.get("spec") or {}
+        kind = str(spec.get("kind", "?")).rpartition(":")[2]
+        seed = spec.get("seed")
+        label_bits = [kind]
+        job_payload = spec.get("payload") or {}
+        for field in ("config", "point"):
+            part = job_payload.get(field)
+            if isinstance(part, dict):
+                label_bits.append(
+                    ",".join(f"{k}={_fmt(v)}" for k, v in sorted(part.items()))
+                )
+        label_bits.append(f"seed={seed}")
+        value = entry.get("value")
+        cells.append(
+            dashboard_cell(
+                " ".join(label_bits),
+                group=kind,
+                payload=value if isinstance(value, dict) else {"value": value},
+                usage=entry.get("usage"),
+                seed=seed,
+            )
+        )
+    return cells
+
+
+# -- derived per-cell stats ----------------------------------------------------
+
+def _metric_value(metrics: Optional[dict], name: str) -> Optional[float]:
+    if not metrics:
+        return None
+    payload = metrics.get(name)
+    if not isinstance(payload, dict) or "value" not in payload:
+        return None
+    return payload["value"]
+
+
+def _flat_numbers(payload: Optional[dict]) -> Dict[str, float]:
+    """Scalar numbers of an experiment/measurement payload, one level deep."""
+    out: Dict[str, float] = {}
+    if not isinstance(payload, dict):
+        return out
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[key] = value
+        elif isinstance(value, dict):
+            for sub in sorted(value):
+                if isinstance(value[sub], (int, float)) and not isinstance(
+                    value[sub], bool
+                ):
+                    out[f"{key}.{sub}"] = value[sub]
+    return out
+
+
+def _cell_stats(cell: dict) -> dict:
+    """The overview/heat numbers of one cell, however it was sourced."""
+    records = cell.get("records")
+    payload = cell.get("payload") or {}
+    metrics = cell.get("metrics")
+    duration = None
+    switches = faults = None
+    if records:
+        duration = _trace_extent(records)
+        switches = max(0, len(_config_marks(records)) - 1)
+        faults = len(_fault_events(records))
+    if switches is None and isinstance(payload.get("switches"), list):
+        switches = len(payload["switches"])
+    if duration is None:
+        for key in ("total_time", "run_time", "elapsed"):
+            if isinstance(payload.get(key), (int, float)):
+                duration = float(payload[key])
+                break
+    violations = _metric_value(metrics, "monitor.violations")
+    if violations is None and isinstance(payload.get("violations"), (int, float)):
+        violations = payload["violations"]
+    qos = payload.get("qos") if isinstance(payload.get("qos"), dict) else None
+    if qos is None and isinstance(payload.get("metrics"), dict):
+        qos = payload["metrics"]  # profiling measurement records
+    return {
+        "duration": duration,
+        "records": len(records) if records is not None else None,
+        "switches": switches,
+        "faults": faults,
+        "violations": violations,
+        "qos": qos,
+    }
+
+
+def _heat_color(value: Optional[float], worst: float) -> str:
+    """White (no data) / green (0) / yellow-to-red ramp up to ``worst``."""
+    if value is None:
+        return "#f8fafc"
+    if value <= 0:
+        return "#bbf7d0"
+    frac = min(1.0, value / worst) if worst > 0 else 1.0
+    # fixed 4-step ramp keeps the palette (and the bytes) deterministic
+    if frac < 0.25:
+        return "#fef9c3"
+    if frac < 0.5:
+        return "#fde68a"
+    if frac < 0.75:
+        return "#fca5a5"
+    return "#ef4444"
+
+
+def _heat_row(title: str, boxes: List[str]) -> str:
+    return (
+        f'<div class="label">{_esc(title)}</div>'
+        f'<div class="heat">{"".join(boxes)}</div>'
+    )
+
+
+def _interactive_events(records: Sequence) -> List:
+    return [r for r in records if r.cat == "interactive"]
+
+
+def _utilization_bars(usage_summary: dict) -> str:
+    parts: List[str] = []
+    for name in sorted(usage_summary.get("resources", {})):
+        res = usage_summary["resources"][name]
+        frac = min(1.0, max(0.0, float(res.get("utilization", 0.0))))
+        parts.append(
+            f'<div class="util"><span style="width:11em">'
+            f"<code>{_esc(name)}</code></span>"
+            f'<span class="track"><span class="fill" '
+            f'style="width:{round(240 * frac)}px;display:block"></span></span>'
+            f"<span>{100.0 * frac:.1f}%</span></div>"
+        )
+    return "".join(parts)
+
+
+def _divergence_rows(cells: Sequence[dict]) -> List[str]:
+    """First-divergence links between consecutive same-group traced cells."""
+    rows: List[str] = []
+    by_group: Dict[str, List[dict]] = {}
+    for cell in cells:
+        if cell.get("records"):
+            by_group.setdefault(cell["group"], []).append(cell)
+    for group in sorted(by_group):
+        members = by_group[group]
+        for a, b in zip(members, members[1:]):
+            result = diff_traces(a["records"], b["records"])
+            if result.identical:
+                verdict = (
+                    f'<span class="ok">identical</span> '
+                    f"({result.matched} spans matched)"
+                )
+            else:
+                divergence = result.first_divergence
+                where = (
+                    f"<code>{_esc(format_key(divergence.key))}</code> "
+                    f"at t={divergence.record.t0:.4f}s ({_esc(divergence.kind)})"
+                    if divergence is not None
+                    else f"{result.divergences} divergence(s)"
+                )
+                verdict = f'<span class="bad">diverges</span>: {where}'
+            rows.append(
+                f"<tr><td>{_esc(a['label'])}</td><td>{_esc(b['label'])}</td>"
+                f"<td>{verdict}</td></tr>"
+            )
+    return rows
+
+
+def render_dashboard(
+    cells: Sequence[dict], title: str = "repro fleet dashboard"
+) -> str:
+    """One self-contained HTML page over all ``cells`` (see module doc)."""
+    cells = list(cells)
+    stats = [_cell_stats(cell) for cell in cells]
+
+    body: List[str] = []
+
+    # -- fleet overview -------------------------------------------------
+    body.append("<h2>Fleet</h2><table>")
+    body.append(
+        "<tr><th>#</th><th>cell</th><th>duration</th><th>trace records</th>"
+        "<th>switches</th><th>faults</th><th>violations</th></tr>"
+    )
+    for i, (cell, st) in enumerate(zip(cells, stats)):
+
+        def num(v, fmt="{:g}"):
+            return "-" if v is None else fmt.format(v)
+
+        body.append(
+            f'<tr><td class="num">{i}</td>'
+            f"<td><a href=\"#cell-{i}\">{_esc(cell['label'])}</a></td>"
+            f'<td class="num">{num(st["duration"], "{:.3f}s")}</td>'
+            f'<td class="num">{num(st["records"])}</td>'
+            f'<td class="num">{num(st["switches"])}</td>'
+            f'<td class="num">{num(st["faults"])}</td>'
+            f'<td class="num">{num(st["violations"])}</td></tr>'
+        )
+    body.append("</table>")
+
+    # -- heat rows ------------------------------------------------------
+    worst_violations = max(
+        (st["violations"] for st in stats if st["violations"] is not None),
+        default=0.0,
+    )
+    violation_boxes = []
+    qos_metrics = sorted(
+        {name for st in stats for name in (st["qos"] or {})
+         if isinstance((st["qos"] or {}).get(name), (int, float))}
+    )
+    for i, st in enumerate(stats):
+        color = _heat_color(st["violations"], worst_violations)
+        text = "-" if st["violations"] is None else f"{st['violations']:g}"
+        violation_boxes.append(
+            f'<div class="box" style="background:{color}" '
+            f'title="cell {i}">{text}</div>'
+        )
+    body.append("<h2>QoS / violation heat</h2>")
+    body.append(_heat_row("constraint violations", violation_boxes))
+    for metric in qos_metrics:
+        values = [
+            (st["qos"] or {}).get(metric)
+            if isinstance((st["qos"] or {}).get(metric), (int, float))
+            else None
+            for st in stats
+        ]
+        worst = max((v for v in values if v is not None), default=0.0)
+        boxes = [
+            f'<div class="box" style="background:{_heat_color(v, worst)}" '
+            f'title="cell {i}">{"-" if v is None else _fmt(v)}</div>'
+            for i, v in enumerate(values)
+        ]
+        body.append(_heat_row(f"qos: {metric}", boxes))
+
+    # -- per-cell sections ----------------------------------------------
+    for i, (cell, st) in enumerate(zip(cells, stats)):
+        body.append(f'<div class="cellgrid" id="cell-{i}">')
+        body.append(f"<h2>cell {i}: {_esc(cell['label'])}</h2>")
+        records = cell.get("records")
+        if records:
+            t_end = _trace_extent(records)
+            marks = _config_marks(records)
+            recovery = list(_recovery_events(records)) + _interactive_events(
+                records
+            )
+            body.append("<h3>Adaptation timeline</h3>")
+            body.append(
+                _timeline_svg(
+                    marks, _fault_events(records), t_end, recovery=recovery
+                )
+            )
+            interventions = _interactive_events(records)
+            if interventions:
+                body.append("<h3>Interventions</h3><table>")
+                body.append("<tr><th>t</th><th>kind</th><th>args</th></tr>")
+                for record in interventions:
+                    attrs = " ".join(
+                        f"{k}={v}"
+                        for k, v in sorted(record.attrs.items())
+                        if k != "steps"
+                    )
+                    body.append(
+                        f'<tr><td class="num">{record.t0:.3f}</td>'
+                        f"<td><code>{_esc(record.name)}</code></td>"
+                        f"<td>{_esc(attrs)}</td></tr>"
+                    )
+                body.append("</table>")
+        if cell.get("usage"):
+            body.append("<h3>Utilization</h3>")
+            body.append(_utilization_bars(cell["usage"]))
+        numbers = _flat_numbers(cell.get("payload"))
+        if numbers:
+            body.append("<h3>Result</h3><table>")
+            body.append("<tr><th>key</th><th>value</th></tr>")
+            for key, value in numbers.items():
+                body.append(
+                    f"<tr><td><code>{_esc(key)}</code></td>"
+                    f'<td class="num">{_esc(_fmt(value))}</td></tr>'
+                )
+            body.append("</table>")
+        inspect = cell.get("inspect")
+        if inspect:
+            body.append("<h3>Live state</h3>")
+            body.append(
+                f"<pre><code>{_esc(json.dumps(inspect, indent=1, sort_keys=True, default=str))}"
+                "</code></pre>"
+            )
+        body.append("</div>")
+
+    # -- pairwise first divergences -------------------------------------
+    divergences = _divergence_rows(cells)
+    if divergences:
+        body.append("<h2>Run-pair divergences</h2><table>")
+        body.append("<tr><th>A</th><th>B</th><th>first divergence</th></tr>")
+        body.extend(divergences)
+        body.append("</table>")
+
+    return (
+        "<!DOCTYPE html>\n"
+        f'<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title><style>{_DASH_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>{''.join(body)}"
+        f"<footer>Generated by <code>repro dash</code> over {len(cells)} "
+        "cell(s) — deterministic: a pure function of the runs.</footer>"
+        "</body></html>\n"
+    )

@@ -286,6 +286,42 @@ class FluidShare:
         self._advance()
         self._reschedule()
 
+    def peek(self) -> dict:
+        """Passive state projection for inspectors, read-only.
+
+        Like :meth:`served_now` but for the whole share: every figure is
+        projected to the current instant *without* touching
+        ``_last_update`` or re-arming the completion timer, so reading it
+        between :meth:`Simulator.step` calls leaves the event sequence
+        byte-identical.  (``sync``/``snapshot``/``utilization_since`` all
+        fold the accumulators and reschedule — never call those from a
+        read-only path.)
+        """
+        now = self.sim.now
+        dt = max(0.0, now - self._last_update)
+        jobs = []
+        projected_total = self.total_served
+        for job in self._jobs:
+            served = min(job._rate * dt, job.remaining) if job._rate > 0.0 else 0.0
+            projected_total += served
+            jobs.append(
+                {
+                    "remaining": job.remaining - served,
+                    "consumed": job.consumed + served,
+                    "rate": job._rate,
+                    "weight": job.weight,
+                    "cap": job.cap,
+                    "owner": str(job.owner) if job.owner is not None else None,
+                }
+            )
+        return {
+            "name": self.name,
+            "speed": self._speed,
+            "active_jobs": len(self._jobs),
+            "total_served": projected_total,
+            "jobs": jobs,
+        }
+
     # -- fluid mechanics ----------------------------------------------------
     def _rates(self) -> Dict[FluidJob, float]:
         """Water-filling: weighted shares with per-job ceilings."""

@@ -534,3 +534,84 @@ def test_obs103_flags_virtual_clock_never():
         """,
         path="src/repro/faults/inject.py",
     )
+
+
+# -- OBS104: mutating calls inside read-only inspectors --------------------
+
+
+def test_obs104_flags_mutating_call_in_inspector_class():
+    assert "OBS104" in rules_of(
+        """
+        class ScenarioInspector:
+            def shares(self):
+                self._scene.testbed.hosts["client"].cpu.share.set_speed(0.5)
+        """,
+        path="src/repro/obs/interactive.py",
+    )
+
+
+def test_obs104_flags_schedule_prefix_by_name():
+    assert "OBS104" in rules_of(
+        """
+        class QueueInspector:
+            def poke(self, sim):
+                sim.schedule_callback(0.0, lambda: None)
+        """,
+        path="src/repro/obs/interactive.py",
+    )
+
+
+def test_obs104_flags_fluid_sync_and_scheduler_select():
+    found = rules_of(
+        """
+        class ShareInspector:
+            def shares(self, share):
+                return share.sync()
+
+            def decision(self, scheduler, estimates):
+                return scheduler.select(estimates)
+        """,
+        path="src/repro/obs/interactive.py",
+    )
+    assert "OBS104" in found
+
+
+def test_obs104_ignores_passive_reads_in_inspector():
+    assert "OBS104" not in rules_of(
+        """
+        class ScenarioInspector:
+            def shares(self, share):
+                return share.peek()
+
+            def monitor(self, agent):
+                return dict(agent.estimates())
+
+            def supervision(self, supervisor, now):
+                return supervisor.summary(now)
+        """,
+        path="src/repro/obs/interactive.py",
+    )
+
+
+def test_obs104_ignores_mutations_outside_inspector_classes():
+    # Interventions on the context itself are the sanctioned mutation
+    # surface; only *Inspector* classes carry the read-only contract.
+    assert "OBS104" not in rules_of(
+        """
+        class InteractiveContext:
+            def perturb(self, sandbox, limits):
+                sandbox.set_limits(limits)
+        """,
+        path="src/repro/obs/interactive.py",
+    )
+
+
+def test_obs104_gated_to_interactive_module_only():
+    assert "OBS104" not in rules_of(
+        """
+        class WidgetInspector:
+            def poke(self, share):
+                share.set_speed(0.5)
+        """,
+        path="src/repro/obs/report.py",
+    )

@@ -1,0 +1,29 @@
+"""Smoke test: the interactive-session example runs and is deterministic."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run_example():
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH", "")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, str(REPO / "examples" / "interactive_session.py")],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return out.stdout
+
+
+def test_interactive_session_example_runs_and_is_deterministic():
+    stdout = _run_example()
+    assert "first switch" in stdout
+    assert "replay is bit-identical" in stdout
+    assert stdout.rstrip().endswith("interactive session OK")
+    assert _run_example() == stdout
